@@ -1,0 +1,96 @@
+// Ablation for the §4.3 head-node optimisation: fine-grained range-scan
+// throughput and per-query round trips as a function of the head-node
+// interval (0 = disabled), plus the staleness penalty after splits and the
+// recovery after an epoch rebuild.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/fine_grained.h"
+#include "nam/cluster.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+namespace {
+
+namtree::ycsb::RunResult RunScan(namtree::bench::Experiment& exp,
+                                 uint64_t keys) {
+  namtree::ycsb::RunConfig run;
+  run.num_clients = 80;
+  run.mix = namtree::ycsb::WorkloadB(0.01);
+  run.duration = namtree::bench::DurationFor(run.mix, keys, run.num_clients);
+  run.warmup = run.duration / 10;
+  return exp.Run(run);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+
+  namtree::bench::PrintPreamble(
+      "Ablation: head nodes", "Fine-grained range scans (sel=0.01)",
+      Num(static_cast<double>(keys)) + " keys, 80 clients");
+  PrintRow({"head_interval", "lookups_per_s", "round_trips_per_op"});
+
+  for (uint32_t interval : {0u, 4u, 8u, 16u, 32u, 64u}) {
+    ExperimentConfig config;
+    config.design = DesignKind::kFine;
+    config.num_keys = keys;
+    config.head_node_interval = interval;
+    auto exp = namtree::bench::MakeExperiment(config);
+    const auto result = RunScan(exp, keys);
+    PrintRow({Num(interval), Num(result.ops_per_sec),
+              Num(static_cast<double>(result.round_trips) /
+                  std::max<uint64_t>(1, result.ops))});
+  }
+
+  // Staleness: splits invalidate head groupings; the epoch rebuild restores
+  // the prefetch efficiency.
+  std::printf("\n# staleness: scans after heavy inserts vs after rebuild\n");
+  PrintRow({"phase", "lookups_per_s", "round_trips_per_op"});
+  {
+    ExperimentConfig config;
+    config.design = DesignKind::kFine;
+    config.num_keys = keys;
+    config.head_node_interval = 16;
+    auto exp = namtree::bench::MakeExperiment(config);
+
+    const auto fresh = RunScan(exp, keys);
+    PrintRow({"fresh", Num(fresh.ops_per_sec),
+              Num(static_cast<double>(fresh.round_trips) /
+                  std::max<uint64_t>(1, fresh.ops))});
+
+    // Insert burst (workload D) to split many leaves.
+    namtree::ycsb::RunConfig churn;
+    churn.num_clients = 80;
+    churn.mix = namtree::ycsb::WorkloadD();
+    churn.duration = 40 * namtree::kMillisecond;
+    churn.warmup = namtree::kMillisecond;
+    (void)exp.Run(churn);
+
+    const auto stale = RunScan(exp, keys);
+    PrintRow({"after_inserts", Num(stale.ops_per_sec),
+              Num(static_cast<double>(stale.round_trips) /
+                  std::max<uint64_t>(1, stale.ops))});
+
+    // One GC pass (compaction + head rebuild) from a compute client.
+    namtree::ycsb::RunConfig gc;
+    gc.num_clients = 1;
+    gc.mix = namtree::ycsb::WorkloadA();
+    gc.duration = 60 * namtree::kMillisecond;
+    gc.warmup = 0;
+    gc.gc_interval = 5 * namtree::kMillisecond;
+    (void)exp.Run(gc);
+
+    const auto rebuilt = RunScan(exp, keys);
+    PrintRow({"after_rebuild", Num(rebuilt.ops_per_sec),
+              Num(static_cast<double>(rebuilt.round_trips) /
+                  std::max<uint64_t>(1, rebuilt.ops))});
+  }
+  return 0;
+}

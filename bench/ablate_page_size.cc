@@ -1,0 +1,56 @@
+// Ablation for the index-node page size P (the paper fixes P=1024, Table 1):
+// point- and range-query throughput of all three designs for P in
+// {512, 1024, 2048, 4096}. Larger pages flatten the tree (fewer round trips
+// / node visits) but cost more bandwidth per access.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+
+  namtree::bench::PrintPreamble(
+      "Ablation: page size", "Index node size vs throughput",
+      Num(static_cast<double>(keys)) + " keys, 120 clients, uniform data");
+
+  struct Subplot {
+    const char* label;
+    namtree::ycsb::WorkloadMix mix;
+  };
+  const Subplot subplots[] = {
+      {"point_queries", namtree::ycsb::WorkloadA()},
+      {"range_sel_0.01", namtree::ycsb::WorkloadB(0.01)},
+  };
+
+  for (const Subplot& subplot : subplots) {
+    std::printf("\n# subplot: %s\n", subplot.label);
+    PrintRow({"page_size", "coarse-grained", "fine-grained", "hybrid"});
+    for (uint32_t page : {512u, 1024u, 2048u, 4096u}) {
+      std::vector<std::string> row = {Num(page)};
+      for (DesignKind design :
+           {DesignKind::kCoarse, DesignKind::kFine, DesignKind::kHybrid}) {
+        ExperimentConfig config;
+        config.design = design;
+        config.num_keys = keys;
+        config.page_size = page;
+        auto exp = MakeExperiment(config);
+        namtree::ycsb::RunConfig run;
+        run.num_clients = 120;
+        run.mix = subplot.mix;
+        run.duration = namtree::bench::DurationFor(subplot.mix, keys, run.num_clients);
+        run.warmup = run.duration / 10;
+        row.push_back(Num(exp.Run(run).ops_per_sec));
+      }
+      PrintRow(row);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation for epoch rebalancing (the paper's GC "removing and
+// re-balancing the index in regular intervals"): after a delete-heavy
+// phase, compare chain length, range-scan throughput, and memory footprint
+// with rebalancing off (compaction only) vs on (merge + unlink).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/fine_grained.h"
+#include "index/leaf_level.h"
+#include "nam/cluster.h"
+
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+namespace {
+
+struct Outcome {
+  uint64_t chain_pages = 0;
+  uint64_t live_entries = 0;
+  double scan_ops = 0;
+  double round_trips_per_op = 0;
+};
+
+namtree::sim::Task<> CountChainTask(namtree::index::RemoteOps ops,
+                                    namtree::rdma::RemotePtr first,
+                                    Outcome* outcome) {
+  outcome->chain_pages = co_await namtree::index::LeafLevel::CountChain(
+      ops, first, &outcome->live_entries, nullptr);
+}
+
+Outcome Measure(uint32_t merge_percent, uint64_t keys, uint32_t clients) {
+  namtree::rdma::FabricConfig fc;
+  const uint64_t region_bytes =
+      (keys / 40 + 1024) * 1024ull * 3 + (16ull << 20);
+  namtree::nam::Cluster cluster(fc, region_bytes);
+  namtree::index::IndexConfig ic;
+  ic.gc_merge_fill_percent = merge_percent;
+  namtree::index::FineGrainedIndex index(cluster, ic);
+  const auto data = namtree::ycsb::GenerateDataset(keys);
+  if (!index.BulkLoad(data).ok()) return {};
+
+  // Delete-heavy phase: tombstone ~85% of the data, then two GC epochs
+  // (drain, then unlink).
+  namtree::nam::ClientContext gc_ctx(0, cluster.fabric(), index.page_size(),
+                                     1);
+  struct Driver {
+    static namtree::sim::Task<> Go(namtree::index::FineGrainedIndex& index,
+                                   namtree::nam::ClientContext& ctx,
+                                   uint64_t keys) {
+      for (uint64_t k = 0; k < keys; ++k) {
+        if (k % 8 != 0) {
+          (void)co_await index.Delete(ctx, k * namtree::ycsb::kKeyStride);
+        }
+      }
+      (void)co_await index.GarbageCollect(ctx);
+      (void)co_await index.GarbageCollect(ctx);
+    }
+  };
+  namtree::sim::Spawn(cluster.simulator(),
+                      Driver::Go(index, gc_ctx, keys));
+  cluster.simulator().Run();
+
+  Outcome outcome;
+  namtree::sim::Spawn(
+      cluster.simulator(),
+      CountChainTask(namtree::index::RemoteOps(gc_ctx), index.first_leaf(),
+                     &outcome));
+  cluster.simulator().Run();
+
+  // Range-scan throughput over the shrunken data set.
+  namtree::ycsb::RunConfig run;
+  run.num_clients = clients;
+  run.mix = namtree::ycsb::WorkloadB(0.01);
+  run.duration = namtree::bench::DurationFor(run.mix, keys, clients);
+  run.warmup = run.duration / 10;
+  const auto result = namtree::ycsb::RunWorkload(cluster, index, keys, run);
+  outcome.scan_ops = result.ops_per_sec;
+  outcome.round_trips_per_op =
+      static_cast<double>(result.round_trips) /
+      std::max<uint64_t>(1, result.ops);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 120));
+
+  namtree::bench::PrintPreamble(
+      "Ablation: epoch rebalancing",
+      "Fine-grained index after deleting ~85% of the data + 2 GC epochs",
+      Num(static_cast<double>(keys)) + " keys, " + Num(clients) +
+          " scan clients (range sel=0.01)");
+  PrintRow({"gc_mode", "chain_pages", "live_entries",
+            "range_scan_ops_per_s", "round_trips_per_op"});
+
+  for (uint32_t merge : {0u, 70u, 90u}) {
+    const Outcome outcome = Measure(merge, keys, clients);
+    PrintRow({merge == 0 ? "compact_only"
+                         : ("merge_at_" + Num(merge) + "pct"),
+              Num(static_cast<double>(outcome.chain_pages)),
+              Num(static_cast<double>(outcome.live_entries)),
+              Num(outcome.scan_ops), Num(outcome.round_trips_per_op)});
+  }
+  return 0;
+}

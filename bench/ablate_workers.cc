@@ -1,0 +1,49 @@
+// Ablation for the memory-server worker count: the central claim behind
+// the two-sided designs' saturation (§6.1: "the memory servers become CPU
+// bound") made directly visible. Coarse-grained and hybrid scale with the
+// handler pool; the fine-grained design never touches it.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 240));
+
+  namtree::bench::PrintPreamble(
+      "Ablation: memory-server workers",
+      "Point-query throughput vs. RPC handler threads per server",
+      Num(static_cast<double>(keys)) + " keys, " + Num(clients) +
+          " clients, uniform data");
+  PrintRow({"workers_per_server", "coarse-grained", "fine-grained",
+            "hybrid"});
+
+  for (uint32_t workers : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<std::string> row = {Num(workers)};
+    for (DesignKind design :
+         {DesignKind::kCoarse, DesignKind::kFine, DesignKind::kHybrid}) {
+      ExperimentConfig config;
+      config.design = design;
+      config.num_keys = keys;
+      config.workers_per_server = workers;
+      auto exp = MakeExperiment(config);
+      namtree::ycsb::RunConfig run;
+      run.num_clients = clients;
+      run.mix = namtree::ycsb::WorkloadA();
+      run.duration = 20 * namtree::kMillisecond;
+      run.warmup = 2 * namtree::kMillisecond;
+      row.push_back(Num(exp.Run(run).ops_per_sec));
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Baseline comparison: the one-sided distributed hash index (the related
+// work of §8: RDMA key-value stores) against the tree designs. Hash wins
+// point lookups — one small READ instead of a traversal — which is exactly
+// why [44] used one for primary indexes; it cannot serve range queries at
+// all, which is why this paper builds trees.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "index/hash_index.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+namespace {
+
+struct Measurement {
+  double point_ops = 0;
+  double point_latency_us = 0;
+  double insert_ops = 0;
+  double range_ops = 0;  // 0 when unsupported
+};
+
+Measurement MeasureIndex(namtree::nam::Cluster& cluster,
+                         namtree::index::DistributedIndex& index,
+                         uint64_t keys, uint32_t clients, bool ranges) {
+  Measurement m;
+  {
+    namtree::ycsb::RunConfig run;
+    run.num_clients = clients;
+    run.mix = namtree::ycsb::WorkloadA();
+    run.duration = 20 * namtree::kMillisecond;
+    run.warmup = 2 * namtree::kMillisecond;
+    const auto result = namtree::ycsb::RunWorkload(cluster, index, keys, run);
+    m.point_ops = result.ops_per_sec;
+    m.point_latency_us = result.latency.mean() / 1000.0;
+  }
+  {
+    namtree::ycsb::RunConfig run;
+    run.num_clients = clients;
+    run.mix = namtree::ycsb::WorkloadD();
+    run.duration = 20 * namtree::kMillisecond;
+    run.warmup = 2 * namtree::kMillisecond;
+    m.insert_ops =
+        namtree::ycsb::RunWorkload(cluster, index, keys, run).ops_per_sec;
+  }
+  if (ranges) {
+    namtree::ycsb::RunConfig run;
+    run.num_clients = clients;
+    run.mix = namtree::ycsb::WorkloadB(0.001);
+    run.duration =
+        namtree::bench::DurationFor(run.mix, keys, run.num_clients);
+    run.warmup = run.duration / 10;
+    m.range_ops =
+        namtree::ycsb::RunWorkload(cluster, index, keys, run).ops_per_sec;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 240));
+
+  namtree::bench::PrintPreamble(
+      "Baseline: one-sided hash index vs tree designs",
+      "point / insert throughput, point latency, range capability",
+      Num(static_cast<double>(keys)) + " keys, " + Num(clients) +
+          " clients, uniform data");
+  PrintRow({"index", "point_ops", "point_lat_us", "insert_mix_ops",
+            "range_sel_0.001_ops"});
+
+  // Hash baseline.
+  {
+    namtree::rdma::FabricConfig fc;
+    const uint64_t region_bytes =
+        keys * 128ull / 2 + (64ull << 20);  // bucket arrays + overflow room
+    namtree::nam::Cluster cluster(fc, region_bytes);
+    namtree::index::DistributedHashIndex index(cluster,
+                                               namtree::index::IndexConfig{});
+    const auto data = namtree::ycsb::GenerateDataset(keys);
+    if (!index.BulkLoad(data).ok()) return 1;
+    const auto m = MeasureIndex(cluster, index, keys, clients,
+                                /*ranges=*/false);
+    PrintRow({"hash-baseline", Num(m.point_ops), Num(m.point_latency_us),
+              Num(m.insert_ops), "unsupported"});
+  }
+
+  for (DesignKind design : {DesignKind::kCoarse, DesignKind::kFine,
+                            DesignKind::kHybrid}) {
+    ExperimentConfig config;
+    config.design = design;
+    config.num_keys = keys;
+    auto exp = MakeExperiment(config);
+    const auto m = MeasureIndex(*exp.cluster, *exp.index, keys, clients,
+                                /*ranges=*/true);
+    PrintRow({namtree::bench::DesignLabel(design), Num(m.point_ops),
+              Num(m.point_latency_us), Num(m.insert_ops), Num(m.range_ops)});
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 3: theoretical maximal throughput of range queries
+// (sel=0.001, z=10) for S = 2..64 memory servers, per scheme and workload
+// distribution. FG's uniform and skew curves coincide (the paper plots them
+// as one line), as do the CG schemes under skew.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/scalability.h"
+
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+using namtree::model::Distribution;
+using namtree::model::MaxThroughputRange;
+using namtree::model::ModelParams;
+using namtree::model::Scheme;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const double s = args.GetDouble("sel", 0.001);
+  const double z = args.GetDouble("z", 10);
+
+  namtree::bench::PrintPreamble(
+      "Figure 3", "Maximal Throughput (Theoretical)",
+      "range queries, sel=" + Num(s) + ", z=" + Num(z) +
+          "; Table 1 example values otherwise");
+  PrintRow({"servers", "fine-grained(unif/skew)", "coarse-range(unif)",
+            "coarse-hash(unif)", "coarse-range/hash(skew)"});
+
+  for (double servers = 2; servers <= 64; servers *= 2) {
+    ModelParams p;
+    p.num_servers = servers;
+    PrintRow({Num(servers),
+              Num(MaxThroughputRange(p, Scheme::kFineGrained,
+                                     Distribution::kUniform, s, z)),
+              Num(MaxThroughputRange(p, Scheme::kCoarseRange,
+                                     Distribution::kUniform, s, z)),
+              Num(MaxThroughputRange(p, Scheme::kCoarseHash,
+                                     Distribution::kUniform, s, z)),
+              Num(MaxThroughputRange(p, Scheme::kCoarseRange,
+                                     Distribution::kSkew, s, z))});
+  }
+  return 0;
+}

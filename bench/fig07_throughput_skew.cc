@@ -1,0 +1,14 @@
+// Reproduces Figure 7: throughput of workloads A (point queries) and B
+// (range queries, sel = 0.001/0.01/0.1) under attribute-value-skewed data
+// placement, for 20..240 closed-loop clients on 4 memory servers.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  namtree::bench::RunLoadSweep(
+      args, "Figure 7",
+      "Throughput for Workloads A and B (skewed data)", /*skewed_data=*/true,
+      namtree::bench::SweepMetric::kThroughput);
+  return 0;
+}

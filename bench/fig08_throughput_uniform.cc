@@ -1,0 +1,13 @@
+// Reproduces Figure 8: throughput of workloads A and B under uniform data
+// placement (same axes as Figure 7).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  namtree::bench::RunLoadSweep(
+      args, "Figure 8",
+      "Throughput for Workloads A and B (uniform data)",
+      /*skewed_data=*/false, namtree::bench::SweepMetric::kThroughput);
+  return 0;
+}

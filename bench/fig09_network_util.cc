@@ -1,0 +1,15 @@
+// Reproduces Figure 9: aggregated memory-server network utilisation (GB/s)
+// for workloads A and B under skewed data placement. The paper's dashed
+// "Max. Bandwidth" line is 4 ports x 6.8 GB/s = 27.2 GB/s.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  std::printf("# max_bandwidth_gbps\t27.2\n");
+  namtree::bench::RunLoadSweep(
+      args, "Figure 9",
+      "Network Utilization for Workloads A and B (skewed data)",
+      /*skewed_data=*/true, namtree::bench::SweepMetric::kBandwidth);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 10: throughput when varying the data size at a fixed
+// deployment (4 memory servers, 240 clients, uniform data): (a) point
+// queries, (b) range queries with sel = 0.1. The paper sweeps 1M/10M/100M
+// keys; the bench default sweeps 100K/1M/10M (--sizes to override, e.g.
+// --sizes=1000000,10000000,100000000).
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 240));
+
+  std::vector<uint64_t> sizes;
+  {
+    std::stringstream ss(args.GetString("sizes", "100000,1000000,10000000"));
+    std::string item;
+    while (std::getline(ss, item, ',')) sizes.push_back(std::stoull(item));
+  }
+
+  namtree::bench::PrintPreamble(
+      "Figure 10", "Varying Data Size for Workloads A and B",
+      "uniform data, " + Num(clients) +
+          " clients; paper sizes are 1M/10M/100M — scale with --sizes");
+
+  struct Subplot {
+    const char* label;
+    namtree::ycsb::WorkloadMix mix;
+  };
+  const Subplot subplots[] = {
+      {"point_queries", namtree::ycsb::WorkloadA()},
+      {"range_sel_0.1", namtree::ycsb::WorkloadB(0.1)},
+  };
+
+  for (const Subplot& subplot : subplots) {
+    std::printf("\n# subplot: %s\n", subplot.label);
+    PrintRow({"data_size", "coarse-grained", "fine-grained", "hybrid"});
+    for (uint64_t keys : sizes) {
+      std::vector<std::string> row = {Num(static_cast<double>(keys))};
+      for (DesignKind design :
+           {DesignKind::kCoarse, DesignKind::kFine, DesignKind::kHybrid}) {
+        ExperimentConfig config;
+        config.design = design;
+        config.num_keys = keys;
+        auto exp = MakeExperiment(config);
+        namtree::ycsb::RunConfig run;
+        run.num_clients = clients;
+        run.mix = subplot.mix;
+        run.duration = namtree::bench::DurationFor(subplot.mix, keys, run.num_clients);
+        run.warmup = run.duration / 10;
+        row.push_back(Num(exp.Run(run).ops_per_sec));
+      }
+      PrintRow(row);
+    }
+  }
+  return 0;
+}

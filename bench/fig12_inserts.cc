@@ -1,0 +1,55 @@
+// Reproduces Figure 12: throughput of the mixed workloads C (5% inserts)
+// and D (50% inserts) under uniform data placement, 20..240 clients, all
+// three designs. Each cell starts from a freshly bulk-loaded index because
+// inserts mutate the tree.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namtree::bench::ClientSweep;
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 1000000));
+  const int64_t scale = args.GetInt("scale", 1);
+
+  namtree::bench::PrintPreamble(
+      "Figure 12", "Throughput for Workloads C & D with Inserts",
+      "uniform data, " + Num(static_cast<double>(keys)) +
+          " keys; lines are <design> 5 (workload C) and <design> 50 "
+          "(workload D)");
+
+  PrintRow({"clients", "CG 5", "CG 50", "FG 5", "FG 50", "Hybrid 5",
+            "Hybrid 50"});
+
+  const DesignKind designs[] = {DesignKind::kCoarse, DesignKind::kFine,
+                                DesignKind::kHybrid};
+  const namtree::ycsb::WorkloadMix mixes[] = {namtree::ycsb::WorkloadC(),
+                                              namtree::ycsb::WorkloadD()};
+
+  for (uint32_t clients : ClientSweep(scale)) {
+    std::vector<std::string> row = {Num(clients)};
+    for (DesignKind design : designs) {
+      for (const auto& mix : mixes) {
+        ExperimentConfig config;
+        config.design = design;
+        config.num_keys = keys;
+        auto exp = MakeExperiment(config);
+        namtree::ycsb::RunConfig run;
+        run.num_clients = clients;
+        run.mix = mix;
+        run.duration = namtree::bench::DurationFor(mix, keys, run.num_clients);
+        run.warmup = run.duration / 10;
+        row.push_back(Num(exp.Run(run).ops_per_sec));
+      }
+    }
+    PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 13 (Appendix A.2): mean per-query latency (seconds) of
+// workloads A and B under skewed data placement, 20..240 clients.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  namtree::bench::RunLoadSweep(
+      args, "Figure 13", "Latency for Workloads A and B (skewed data)",
+      /*skewed_data=*/true, namtree::bench::SweepMetric::kLatency);
+  return 0;
+}

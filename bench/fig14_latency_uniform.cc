@@ -1,0 +1,12 @@
+// Reproduces Figure 14 (Appendix A.2): mean per-query latency (seconds) of
+// workloads A and B under uniform data placement, 20..240 clients.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  namtree::bench::RunLoadSweep(
+      args, "Figure 14", "Latency for Workloads A and B (uniform data)",
+      /*skewed_data=*/false, namtree::bench::SweepMetric::kLatency);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 15 (Appendix A.3): the effect of co-locating compute
+// and memory servers. Two NAM variants with the same resources — 4 memory
+// servers either on 4 dedicated machines ("distributed") or sharing their
+// machines with the compute threads ("co-located") — run workloads A and B
+// with 80 clients on uniform data; co-location turns ~25% of page accesses
+// into local memory accesses.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 1000000));
+  const uint32_t clients = static_cast<uint32_t>(args.GetInt("clients", 80));
+
+  namtree::bench::PrintPreamble(
+      "Figure 15", "Effects of Co-location on Throughput",
+      "uniform data, " + Num(static_cast<double>(keys)) + " keys, " +
+          Num(clients) + " clients");
+
+  struct Subplot {
+    const char* label;
+    namtree::ycsb::WorkloadMix mix;
+  };
+  const Subplot subplots[] = {
+      {"point_queries", namtree::ycsb::WorkloadA()},
+      {"range_sel_0.001", namtree::ycsb::WorkloadB(0.001)},
+      {"range_sel_0.01", namtree::ycsb::WorkloadB(0.01)},
+      {"range_sel_0.1", namtree::ycsb::WorkloadB(0.1)},
+  };
+
+  for (const Subplot& subplot : subplots) {
+    std::printf("\n# subplot: %s\n", subplot.label);
+    PrintRow({"design", "distributed", "co-located"});
+    for (DesignKind design : {DesignKind::kFine, DesignKind::kCoarse}) {
+      std::vector<std::string> row = {namtree::bench::DesignLabel(design)};
+      for (bool colocate : {false, true}) {
+        ExperimentConfig config;
+        config.design = design;
+        config.num_keys = keys;
+        config.colocate = colocate;
+        auto exp = MakeExperiment(config);
+        namtree::ycsb::RunConfig run;
+        run.num_clients = clients;
+        run.mix = subplot.mix;
+        run.duration = namtree::bench::DurationFor(subplot.mix, keys, run.num_clients);
+        run.warmup = run.duration / 10;
+        row.push_back(Num(exp.Run(run).ops_per_sec));
+      }
+      PrintRow(row);
+    }
+  }
+  return 0;
+}

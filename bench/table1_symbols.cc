@@ -1,0 +1,42 @@
+// Reproduces Table 1: the symbols of the scalability analysis with the
+// paper's example values (S=4, BW=50GB/s, P=1024B, D=100M, K=8B).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/scalability.h"
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  namtree::model::ModelParams p;
+  p.num_servers = static_cast<double>(args.GetInt("servers", 4));
+  p.data_size = args.GetDouble("data", 100e6);
+  p.page_size = args.GetDouble("page", 1024);
+  p.key_size = args.GetDouble("key", 8);
+  p.bandwidth = args.GetDouble("bandwidth", 50e9);
+
+  namtree::bench::PrintPreamble("Table 1", "Overview of Symbols", "");
+  namtree::bench::PrintRow({"symbol", "description", "value"});
+  namtree::bench::PrintRow({"S", "# of Memory Servers",
+                            namtree::bench::Num(p.num_servers)});
+  namtree::bench::PrintRow(
+      {"BW", "Bandwidth per Memory Server (GB/s)",
+       namtree::bench::Num(p.bandwidth / 1e9)});
+  namtree::bench::PrintRow({"P", "Page Size of Index Nodes (Bytes)",
+                            namtree::bench::Num(p.page_size)});
+  namtree::bench::PrintRow({"D", "Data Size (# of tuples)",
+                            namtree::bench::Num(p.data_size)});
+  namtree::bench::PrintRow({"K", "Key Size (Bytes)",
+                            namtree::bench::Num(p.key_size)});
+  namtree::bench::PrintRow({"M=P/(3K)", "Fanout (per index node)",
+                            namtree::bench::Num(p.Fanout())});
+  namtree::bench::PrintRow({"L=D/M", "Leaves (# of nodes)",
+                            namtree::bench::Num(p.Leaves())});
+  namtree::bench::PrintRow({"H_FG", "Max. index height (FG, Unif./Skew)",
+                            namtree::bench::Num(p.HeightFineGrained())});
+  namtree::bench::PrintRow({"H_CG_U", "Max. index height (CG, Unif.)",
+                            namtree::bench::Num(p.HeightCoarseUniform())});
+  namtree::bench::PrintRow({"H_CG_S", "Max. index height (CG, Skew)",
+                            namtree::bench::Num(p.HeightCoarseSkew())});
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table 2: the theoretical scalability analysis — available
+// aggregated bandwidth (step 1), per-query bandwidth requirements (step 2)
+// and the resulting maximal throughput (step 3) for every scheme x
+// distribution, evaluated at the Table 1 example values.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/scalability.h"
+
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+using namtree::model::AvailableBandwidth;
+using namtree::model::Distribution;
+using namtree::model::MaxThroughputPoint;
+using namtree::model::MaxThroughputRange;
+using namtree::model::ModelParams;
+using namtree::model::PointQueryBytes;
+using namtree::model::RangeQueryBytes;
+using namtree::model::Scheme;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  ModelParams p;
+  p.num_servers = static_cast<double>(args.GetInt("servers", 4));
+  const double s = args.GetDouble("sel", 0.001);
+  const double z = args.GetDouble("z", 10);
+
+  namtree::bench::PrintPreamble(
+      "Table 2", "Scalability Analysis (Theoretical)",
+      "columns: fine-grained (1-sided), coarse-grained range / hash "
+      "(2-sided); sel=" +
+          Num(s) + " z=" + Num(z));
+
+  const Scheme schemes[] = {Scheme::kFineGrained, Scheme::kCoarseRange,
+                            Scheme::kCoarseHash};
+
+  auto row = [&](const char* label, auto fn) {
+    std::vector<std::string> cells = {label};
+    for (Scheme scheme : schemes) cells.push_back(Num(fn(scheme)));
+    PrintRow(cells);
+  };
+
+  PrintRow({"quantity", "fine-grained", "coarse-range", "coarse-hash"});
+  row("total_bw_uniform_GBps", [&](Scheme x) {
+    return AvailableBandwidth(p, x, Distribution::kUniform) / 1e9;
+  });
+  row("total_bw_skew_GBps", [&](Scheme x) {
+    return AvailableBandwidth(p, x, Distribution::kSkew) / 1e9;
+  });
+  row("point_bytes_uniform", [&](Scheme x) {
+    return PointQueryBytes(p, x, Distribution::kUniform, z);
+  });
+  row("point_bytes_skew", [&](Scheme x) {
+    return PointQueryBytes(p, x, Distribution::kSkew, z);
+  });
+  row("range_bytes_uniform", [&](Scheme x) {
+    return RangeQueryBytes(p, x, Distribution::kUniform, s, z);
+  });
+  row("range_bytes_skew", [&](Scheme x) {
+    return RangeQueryBytes(p, x, Distribution::kSkew, s, z);
+  });
+  row("max_point_qps_uniform", [&](Scheme x) {
+    return MaxThroughputPoint(p, x, Distribution::kUniform, z);
+  });
+  row("max_point_qps_skew", [&](Scheme x) {
+    return MaxThroughputPoint(p, x, Distribution::kSkew, z);
+  });
+  row("max_range_qps_uniform", [&](Scheme x) {
+    return MaxThroughputRange(p, x, Distribution::kUniform, s, z);
+  });
+  row("max_range_qps_skew", [&](Scheme x) {
+    return MaxThroughputRange(p, x, Distribution::kSkew, s, z);
+  });
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension table backing the paper's §6.1 "Discussion of Network
+// Utilization": per-operation network cost of every design — round trips
+// and memory-server bytes per operation — for point queries, range queries
+// and inserts. Quantifies statements like "the fine-grained scheme needs
+// multiple round-trips to traverse the index" and "for range queries the
+// communication is dominated by the leaf level".
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namtree::bench::DesignKind;
+using namtree::bench::ExperimentConfig;
+using namtree::bench::MakeExperiment;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+int main(int argc, char** argv) {
+  namtree::ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+
+  namtree::bench::PrintPreamble(
+      "Network efficiency (per-op)",
+      "round trips and memory-server bytes per operation, 40 clients",
+      Num(static_cast<double>(keys)) + " keys, uniform data");
+
+  struct Cell {
+    const char* label;
+    namtree::ycsb::WorkloadMix mix;
+  };
+  const Cell cells[] = {
+      {"point", namtree::ycsb::WorkloadA()},
+      {"range_0.001", namtree::ycsb::WorkloadB(0.001)},
+      {"insert_mix", namtree::ycsb::WorkloadD()},
+  };
+
+  for (const Cell& cell : cells) {
+    std::printf("\n# subplot: %s\n", cell.label);
+    PrintRow({"design", "round_trips_per_op", "server_bytes_per_op"});
+    for (DesignKind design :
+         {DesignKind::kCoarse, DesignKind::kFine, DesignKind::kHybrid,
+          DesignKind::kCoarseOneSided}) {
+      ExperimentConfig config;
+      config.design = design;
+      config.num_keys = keys;
+      auto exp = MakeExperiment(config);
+      namtree::ycsb::RunConfig run;
+      run.num_clients = 40;
+      run.mix = cell.mix;
+      run.duration =
+          namtree::bench::DurationFor(cell.mix, keys, run.num_clients);
+      run.warmup = run.duration / 10;
+      const auto result = exp.Run(run);
+      const double ops = std::max<double>(1, result.ops);
+      PrintRow({namtree::bench::DesignLabel(design),
+                Num(static_cast<double>(result.round_trips) / ops),
+                Num(static_cast<double>(result.server_bytes) / ops)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Workload trace workbench: generate (or load) a trace, replay it against
+// any design, and print the per-operation-type breakdown — the workflow for
+// sharing reproducible experiments ("here is the trace that makes design X
+// slow on my cluster").
+//
+//   ./build/examples/trace_workbench --design=hybrid --clients=32
+//   ./build/examples/trace_workbench --save=/tmp/t.trace
+//   ./build/examples/trace_workbench --load=/tmp/t.trace --design=fine
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/arg_parser.h"
+#include "common/units.h"
+#include "index/coarse_grained.h"
+#include "index/fine_grained.h"
+#include "index/hybrid.h"
+#include "nam/cluster.h"
+#include "ycsb/trace.h"
+
+using namespace namtree;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string design = args.GetString("design", "hybrid");
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 200000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 32));
+  const uint32_t ops = static_cast<uint32_t>(args.GetInt("ops", 500));
+
+  // Obtain a trace: load from file or generate a mixed workload.
+  ycsb::Trace trace;
+  const std::string load_path = args.GetString("load", "");
+  if (!load_path.empty()) {
+    auto loaded = ycsb::Trace::Load(load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+    std::printf("loaded %zu ops (%u clients) from %s\n", trace.size(),
+                trace.num_clients(), load_path.c_str());
+  } else {
+    ycsb::WorkloadMix mix;
+    mix.point = 0.55;
+    mix.range = 0.05;
+    mix.insert = 0.25;
+    mix.update = 0.10;
+    mix.remove = 0.05;
+    mix.range_selectivity = 0.01;
+    trace = ycsb::Trace::Generate(mix, keys, clients, ops,
+                                  static_cast<uint64_t>(args.GetInt("seed", 1)));
+    std::printf("generated %zu ops across %u clients\n", trace.size(),
+                clients);
+  }
+
+  const std::string save_path = args.GetString("save", "");
+  if (!save_path.empty()) {
+    if (Status s = trace.Save(save_path); !s.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved trace to %s\n", save_path.c_str());
+  }
+
+  // Replay against the chosen design.
+  rdma::FabricConfig fabric_config;
+  nam::Cluster cluster(fabric_config, 256ull << 20);
+  index::IndexConfig index_config;
+  std::unique_ptr<index::DistributedIndex> index;
+  if (design == "coarse") {
+    index = std::make_unique<index::CoarseGrainedIndex>(cluster,
+                                                        index_config);
+  } else if (design == "fine") {
+    index = std::make_unique<index::FineGrainedIndex>(cluster, index_config);
+  } else {
+    index = std::make_unique<index::HybridIndex>(cluster, index_config);
+  }
+  if (Status s = index->BulkLoad(ycsb::GenerateDataset(keys)); !s.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const ycsb::RunResult result = ycsb::ReplayTrace(cluster, *index, trace);
+  std::printf("\nreplayed on %-14s: %s ops in %s virtual time "
+              "(%s ops/s, %.2f GB/s on the fabric)\n",
+              index->name().c_str(),
+              FormatCount(static_cast<double>(result.ops)).c_str(),
+              FormatDuration(static_cast<SimTime>(result.seconds * kSecond))
+                  .c_str(),
+              FormatCount(result.ops_per_sec).c_str(), result.gb_per_sec);
+  std::printf("%-10s %10s %12s %12s %12s\n", "op", "count", "mean", "p50",
+              "p99");
+  for (int t = 0; t < ycsb::kNumOpTypes; ++t) {
+    const auto& per_type = result.per_type[t];
+    if (per_type.count == 0) continue;
+    std::printf("%-10s %10llu %12s %12s %12s\n",
+                ycsb::OpTypeName(static_cast<ycsb::OpType>(t)),
+                static_cast<unsigned long long>(per_type.count),
+                FormatDuration(static_cast<SimTime>(per_type.latency.mean()))
+                    .c_str(),
+                FormatDuration(
+                    static_cast<SimTime>(per_type.latency.Quantile(0.5)))
+                    .c_str(),
+                FormatDuration(
+                    static_cast<SimTime>(per_type.latency.Quantile(0.99)))
+                    .c_str());
+  }
+  return 0;
+}

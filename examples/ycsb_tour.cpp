@@ -1,0 +1,94 @@
+// Runs the paper's four YCSB workloads (Table 3) against one index design
+// and prints a results table: throughput, latency percentiles and network
+// utilisation — the same metrics the evaluation section reports.
+//
+//   ./build/examples/ycsb_tour [--design=coarse|fine|hybrid]
+//                              [--keys=500000] [--clients=80] [--skew]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/arg_parser.h"
+#include "common/units.h"
+#include "index/coarse_grained.h"
+#include "index/fine_grained.h"
+#include "index/hybrid.h"
+#include "nam/cluster.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+using namespace namtree;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string design = args.GetString("design", "hybrid");
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 500000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 80));
+  const bool skew = args.GetBool("skew", false);
+
+  rdma::FabricConfig fabric_config;
+  nam::Cluster cluster(fabric_config, 512ull << 20);
+
+  index::IndexConfig index_config;
+  if (skew) index_config.partition_weights = {0.80, 0.12, 0.05, 0.03};
+
+  std::unique_ptr<index::DistributedIndex> index;
+  if (design == "coarse") {
+    index = std::make_unique<index::CoarseGrainedIndex>(cluster,
+                                                        index_config);
+  } else if (design == "fine") {
+    index = std::make_unique<index::FineGrainedIndex>(cluster, index_config);
+  } else {
+    index = std::make_unique<index::HybridIndex>(cluster, index_config);
+  }
+
+  const auto data = ycsb::GenerateDataset(keys);
+  if (Status s = index->BulkLoad(data); !s.ok()) {
+    std::fprintf(stderr, "bulk load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("design=%s  keys=%llu  clients=%u  placement=%s\n\n",
+              index->name().c_str(), static_cast<unsigned long long>(keys),
+              clients, skew ? "skewed(80/12/5/3)" : "uniform");
+  std::printf("%-22s %12s %10s %10s %10s %12s\n", "workload", "ops/s",
+              "mean", "p50", "p99", "net GB/s");
+
+  struct Entry {
+    std::string label;
+    ycsb::WorkloadMix mix;
+  };
+  const Entry entries[] = {
+      {"A: 100% point", ycsb::WorkloadA()},
+      {"B: range sel=0.001", ycsb::WorkloadB(0.001)},
+      {"B: range sel=0.01", ycsb::WorkloadB(0.01)},
+      {"B: range sel=0.1", ycsb::WorkloadB(0.1)},
+      {"C: 95% pt / 5% ins", ycsb::WorkloadC()},
+      {"D: 50% pt / 50% ins", ycsb::WorkloadD()},
+  };
+
+  for (const Entry& entry : entries) {
+    ycsb::RunConfig run;
+    run.num_clients = clients;
+    run.mix = entry.mix;
+    run.duration =
+        entry.mix.range > 0 ? 60 * kMillisecond : 20 * kMillisecond;
+    run.warmup = run.duration / 10;
+    const ycsb::RunResult result =
+        ycsb::RunWorkload(cluster, *index, keys, run);
+    std::printf("%-22s %12s %10s %10s %10s %12.2f\n", entry.label.c_str(),
+                FormatCount(result.ops_per_sec).c_str(),
+                FormatDuration(static_cast<SimTime>(result.latency.mean()))
+                    .c_str(),
+                FormatDuration(
+                    static_cast<SimTime>(result.latency.Quantile(0.5)))
+                    .c_str(),
+                FormatDuration(
+                    static_cast<SimTime>(result.latency.Quantile(0.99)))
+                    .c_str(),
+                result.gb_per_sec);
+  }
+  return 0;
+}

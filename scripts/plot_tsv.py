@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""ASCII-plots the TSV series emitted by the namtree figure benches.
+
+Usage:
+    ./build/bench/fig08_throughput_uniform | scripts/plot_tsv.py
+    scripts/plot_tsv.py bench_output.txt           # plots every figure found
+    scripts/plot_tsv.py --log bench_output.txt     # log-scale y axis
+
+Each `# subplot:` block (or each header+rows table) becomes one chart with
+the first column as x and every other column as a named series.
+"""
+
+import math
+import sys
+
+WIDTH = 64
+HEIGHT = 16
+MARKS = "*o+x#@%&"
+
+
+def is_number(token):
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def render(title, header, rows, log_scale):
+    xs = [float(r[0]) for r in rows]
+    series = []
+    for col in range(1, len(header)):
+        points = []
+        for r in rows:
+            if col < len(r) and is_number(r[col]):
+                points.append(float(r[col]))
+            else:
+                points.append(None)
+        series.append((header[col], points))
+
+    values = [v for _, pts in series for v in pts if v is not None]
+    if not values or not xs:
+        return
+    lo, hi = min(values), max(values)
+    if log_scale:
+        floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1
+        lo = math.log10(max(floor, 1e-12))
+        hi = math.log10(max(hi, 1e-12))
+    if hi <= lo:
+        hi = lo + 1
+
+    def ycell(v):
+        if v is None or (log_scale and v <= 0):
+            return None
+        val = math.log10(v) if log_scale else v
+        return int((val - lo) / (hi - lo) * (HEIGHT - 1))
+
+    def xcell(i):
+        if len(xs) == 1:
+            return 0
+        return int(i / (len(xs) - 1) * (WIDTH - 1))
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for si, (_, pts) in enumerate(series):
+        for i, v in enumerate(pts):
+            yc = ycell(v)
+            if yc is None:
+                continue
+            grid[HEIGHT - 1 - yc][xcell(i)] = MARKS[si % len(MARKS)]
+
+    print(f"\n== {title} ==")
+    top = f"{10 ** hi:.3g}" if log_scale else f"{hi:.3g}"
+    bot = f"{10 ** lo:.3g}" if log_scale else f"{lo:.3g}"
+    for i, line in enumerate(grid):
+        label = top if i == 0 else (bot if i == HEIGHT - 1 else "")
+        print(f"{label:>10} |{''.join(line)}")
+    print(f"{'':>10} +{'-' * WIDTH}")
+    print(f"{'':>12}x: {header[0]}  [{xs[0]:g} .. {xs[-1]:g}]"
+          f"{'  (log y)' if log_scale else ''}")
+    for si, (name, _) in enumerate(series):
+        print(f"{'':>12}{MARKS[si % len(MARKS)]} {name}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--log"]
+    log_scale = "--log" in sys.argv[1:]
+    stream = open(args[0]) if args else sys.stdin
+
+    title = "figure"
+    subplot = ""
+    header = None
+    rows = []
+
+    def flush():
+        nonlocal header, rows
+        if header and rows:
+            render(f"{title} {subplot}".strip(), header, rows, log_scale)
+        header, rows = None, []
+
+    for raw in stream:
+        line = raw.rstrip("\n")
+        if line.startswith("====") or not line.strip():
+            continue
+        if line.startswith("# subplot:"):
+            flush()
+            subplot = line.split(":", 1)[1].strip()
+            continue
+        if line.startswith("#"):
+            text = line[1:].strip()
+            if "—" in text or " - " in text or text.lower().startswith(
+                    ("figure", "table", "ablation", "baseline", "design")):
+                flush()
+                title = text.split("—")[0].strip()
+                subplot = ""
+            continue
+        cells = line.split("\t")
+        if len(cells) < 2:
+            continue
+        if not is_number(cells[0]):
+            flush()
+            header = cells
+            continue
+        if header is None:
+            header = [f"col{i}" for i in range(len(cells))]
+        rows.append(cells)
+    flush()
+
+
+if __name__ == "__main__":
+    main()

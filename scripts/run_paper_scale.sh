@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the figure benches at (or near) the paper's data scale instead of the
+# quick defaults. Expect tens of minutes and several GB of RAM.
+#
+#   scripts/run_paper_scale.sh [build-dir] | tee bench_output_paper_scale.txt
+
+set -euo pipefail
+BUILD="${1:-build}"
+
+# 100M keys matches the paper's default data size (§6). Drop to 10M if the
+# machine has < 32 GB of RAM.
+KEYS="${NAMTREE_PAPER_KEYS:-10000000}"
+
+echo "# paper-scale run: ${KEYS} keys per experiment"
+
+for b in \
+    table1_symbols table2_scalability fig03_theoretical \
+    fig07_throughput_skew fig08_throughput_uniform fig09_network_util \
+    fig11_memory_servers fig12_inserts \
+    fig13_latency_skew fig14_latency_uniform fig15_colocation; do
+  echo "===== ${b} ====="
+  "${BUILD}/bench/${b}" --keys="${KEYS}"
+  echo
+done
+
+echo "===== fig10_data_size ====="
+"${BUILD}/bench/fig10_data_size" --sizes=1000000,10000000,100000000

@@ -1,0 +1,203 @@
+#include "btree/page.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace namtree::btree {
+
+void PageView::InitLeaf(Key high_key, uint64_t right_sibling_raw) {
+  std::memset(data_, 0, page_size_);
+  PageHeader& h = header();
+  h.high_key = high_key;
+  h.right_sibling = right_sibling_raw;
+  h.level = 0;
+  assert(leaf_capacity() <= kTombstoneBytes * 8);
+}
+
+void PageView::InitInner(uint8_t level, Key high_key,
+                         uint64_t right_sibling_raw) {
+  assert(level > 0);
+  std::memset(data_, 0, page_size_);
+  PageHeader& h = header();
+  h.high_key = high_key;
+  h.right_sibling = right_sibling_raw;
+  h.level = level;
+}
+
+void PageView::InitHead(uint64_t right_sibling_raw) {
+  std::memset(data_, 0, page_size_);
+  PageHeader& h = header();
+  h.high_key = 0;  // head nodes are pass-through; fences are unused
+  h.right_sibling = right_sibling_raw;
+  h.level = 0;
+  h.flags = kHeadNodeFlag;
+}
+
+uint32_t PageView::LeafLowerBound(Key key) const {
+  const KV* entries = leaf_entries();
+  uint32_t lo = 0;
+  uint32_t hi = count();
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (entries[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int32_t PageView::LeafFindLive(Key key) const {
+  const KV* entries = leaf_entries();
+  const uint32_t n = count();
+  for (uint32_t i = LeafLowerBound(key); i < n && entries[i].key == key; ++i) {
+    if (!LeafIsTombstoned(i)) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+bool PageView::LeafInsert(Key key, Value value) const {
+  const uint32_t n = count();
+  if (n >= leaf_capacity()) return false;
+  KV* entries = leaf_entries();
+  // Insert after existing duplicates: first index with entry.key > key.
+  uint32_t pos = LeafLowerBound(key);
+  while (pos < n && entries[pos].key == key) pos++;
+  // Shift entries and their tombstone bits up by one.
+  for (uint32_t i = n; i > pos; --i) {
+    entries[i] = entries[i - 1];
+    LeafSetTombstone(i, LeafIsTombstoned(i - 1));
+  }
+  entries[pos] = KV{key, value};
+  LeafSetTombstone(pos, false);
+  header().count = static_cast<uint16_t>(n + 1);
+  return true;
+}
+
+bool PageView::LeafMarkDeleted(Key key) const {
+  const int32_t i = LeafFindLive(key);
+  if (i < 0) return false;
+  LeafSetTombstone(static_cast<uint32_t>(i), true);
+  return true;
+}
+
+bool PageView::LeafUpdateFirst(Key key, Value value) const {
+  const int32_t i = LeafFindLive(key);
+  if (i < 0) return false;
+  leaf_entries()[i].value = value;
+  return true;
+}
+
+uint32_t PageView::LeafCollect(Key key, std::vector<Value>* out) const {
+  const KV* entries = leaf_entries();
+  const uint32_t n = count();
+  uint32_t found = 0;
+  for (uint32_t i = LeafLowerBound(key); i < n && entries[i].key == key;
+       ++i) {
+    if (LeafIsTombstoned(i)) continue;
+    if (out != nullptr) out->push_back(entries[i].value);
+    found++;
+  }
+  return found;
+}
+
+uint32_t PageView::LeafCompact() const {
+  KV* entries = leaf_entries();
+  const uint32_t n = count();
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (LeafIsTombstoned(i)) continue;
+    entries[out] = entries[i];
+    out++;
+  }
+  for (uint32_t i = 0; i < out; ++i) LeafSetTombstone(i, false);
+  for (uint32_t i = out; i < n; ++i) LeafSetTombstone(i, false);
+  header().count = static_cast<uint16_t>(out);
+  return n - out;
+}
+
+Key PageView::SplitLeafInto(PageView right, uint64_t right_raw) const {
+  const uint32_t n = count();
+  assert(n >= 2);
+  KV* entries = leaf_entries();
+  // A duplicate run may straddle the separator: the left page is allowed to
+  // keep entries equal to its high fence. Lookups use lower-bound inner
+  // descent plus the B-link sibling chase, so such entries stay reachable.
+  const uint32_t mid = n / 2;
+
+  right.InitLeaf(high_key(), right_sibling());
+  KV* rentries = right.leaf_entries();
+  const uint32_t moved = n - mid;
+  for (uint32_t i = 0; i < moved; ++i) {
+    rentries[i] = entries[mid + i];
+    right.LeafSetTombstone(i, LeafIsTombstoned(mid + i));
+  }
+  right.header().count = static_cast<uint16_t>(moved);
+
+  const Key separator = rentries[0].key;
+  header().count = static_cast<uint16_t>(mid);
+  for (uint32_t i = mid; i < n; ++i) LeafSetTombstone(i, false);
+  header().high_key = separator;
+  header().right_sibling = right_raw;
+  return separator;
+}
+
+uint64_t PageView::InnerChildFor(Key key) const {
+  const Key* keys = inner_keys();
+  const uint32_t n = count();
+  // Lower-bound descent: the first separator >= key routes left of itself,
+  // so a lookup for a key equal to a separator first visits the left child
+  // (where duplicates of the separator may live) and relies on the B-link
+  // sibling chase to move right on a miss.
+  uint32_t lo = 0;
+  uint32_t hi = n;
+  while (lo < hi) {
+    const uint32_t mid = (lo + hi) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return inner_children()[lo];
+}
+
+bool PageView::InnerInsert(Key sep, uint64_t child_raw) const {
+  const uint32_t n = count();
+  if (n >= inner_capacity()) return false;
+  Key* keys = inner_keys();
+  uint64_t* children = inner_children();
+  uint32_t pos = 0;
+  while (pos < n && keys[pos] < sep) pos++;
+  for (uint32_t i = n; i > pos; --i) keys[i] = keys[i - 1];
+  for (uint32_t i = n + 1; i > pos + 1; --i) children[i] = children[i - 1];
+  keys[pos] = sep;
+  children[pos + 1] = child_raw;
+  header().count = static_cast<uint16_t>(n + 1);
+  return true;
+}
+
+Key PageView::SplitInnerInto(PageView right, uint64_t right_raw) const {
+  const uint32_t n = count();
+  assert(n >= 3);
+  const uint32_t mid = n / 2;
+  Key* keys = inner_keys();
+  uint64_t* children = inner_children();
+  const Key separator = keys[mid];
+
+  right.InitInner(level(), high_key(), right_sibling());
+  Key* rkeys = right.inner_keys();
+  uint64_t* rchildren = right.inner_children();
+  const uint32_t moved = n - mid - 1;  // keys[mid] is promoted
+  for (uint32_t i = 0; i < moved; ++i) rkeys[i] = keys[mid + 1 + i];
+  for (uint32_t i = 0; i <= moved; ++i) rchildren[i] = children[mid + 1 + i];
+  right.header().count = static_cast<uint16_t>(moved);
+
+  header().count = static_cast<uint16_t>(mid);
+  header().high_key = separator;
+  header().right_sibling = right_raw;
+  return separator;
+}
+
+}  // namespace namtree::btree

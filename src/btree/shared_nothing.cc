@@ -1,0 +1,179 @@
+#include "btree/shared_nothing.h"
+
+#include <algorithm>
+
+namespace namtree::btree {
+
+SharedNothingCluster::SharedNothingCluster(uint32_t nodes,
+                                           uint32_t workers_per_node,
+                                           uint32_t page_size)
+    : page_size_(page_size) {
+  for (uint32_t n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<Node>(page_size));
+    boundaries_.push_back(kInfinityKey);
+  }
+  for (auto& node : nodes_) {
+    for (uint32_t w = 0; w < workers_per_node; ++w) {
+      node->workers.emplace_back([this, &node] { WorkerMain(*node); });
+    }
+  }
+}
+
+SharedNothingCluster::~SharedNothingCluster() {
+  for (auto& node : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(node->mutex);
+      node->stopping = true;
+    }
+    node->cv.notify_all();
+  }
+  for (auto& node : nodes_) {
+    for (std::thread& worker : node->workers) worker.join();
+  }
+}
+
+Status SharedNothingCluster::BulkLoad(std::span<const KV> sorted) {
+  const uint32_t n = num_nodes();
+  size_t begin = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const size_t end =
+        (i + 1 == n) ? sorted.size() : sorted.size() * (i + 1) / n;
+    const Status status =
+        nodes_[i]->tree.BulkLoad(sorted.subspan(begin, end - begin));
+    if (!status.ok()) return status;
+    boundaries_[i] =
+        (end < sorted.size()) ? sorted[end].key : kInfinityKey;
+    begin = end;
+  }
+  return Status::OK();
+}
+
+uint32_t SharedNothingCluster::NodeFor(Key key) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end() - 1, key);
+  return static_cast<uint32_t>(it - boundaries_.begin());
+}
+
+std::pair<Status, uint64_t> SharedNothingCluster::Execute(
+    Node& node, const Request& request) {
+  switch (request.kind) {
+    case OpKind::kLookup: {
+      const Result<Value> r = node.tree.Lookup(request.key);
+      return {r.ok() ? Status::OK() : r.status(), r.value_or(0)};
+    }
+    case OpKind::kInsert:
+      return {node.tree.Insert(request.key, request.value), 0};
+    case OpKind::kUpdate:
+      return {node.tree.Update(request.key, request.value), 0};
+    case OpKind::kDelete:
+      return {node.tree.Delete(request.key), 0};
+    case OpKind::kScan:
+      return {Status::OK(),
+              node.tree.Scan(request.key, request.hi, request.out)};
+    case OpKind::kGc:
+      return {Status::OK(), node.tree.GarbageCollect()};
+  }
+  return {Status::Unsupported(), 0};
+}
+
+void SharedNothingCluster::WorkerMain(Node& node) {
+  for (;;) {
+    std::unique_ptr<Request> request;
+    {
+      std::unique_lock<std::mutex> lock(node.mutex);
+      node.cv.wait(lock,
+                   [&node] { return node.stopping || !node.inbox.empty(); });
+      if (node.inbox.empty()) return;  // stopping and drained
+      request = std::move(node.inbox.front());
+      node.inbox.pop_front();
+    }
+    node.served.fetch_add(1, std::memory_order_relaxed);
+    request->done.set_value(Execute(node, *request));
+  }
+}
+
+std::pair<Status, uint64_t> SharedNothingCluster::Submit(
+    uint32_t target, OpKind kind, Key key, Key hi, Value value,
+    std::vector<KV>* out, uint32_t home_node) {
+  Node& node = *nodes_[target];
+  Request staged;
+  staged.kind = kind;
+  staged.key = key;
+  staged.hi = hi;
+  staged.value = value;
+  staged.out = out;
+
+  if (home_node == target) {
+    // Locality fast path (Appendix A.3): same-node operations touch the
+    // tree directly instead of paying the mailbox round trip.
+    local_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Execute(node, staged);
+  }
+
+  auto request = std::make_unique<Request>(std::move(staged));
+  std::future<std::pair<Status, uint64_t>> done =
+      request->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    node.inbox.push_back(std::move(request));
+  }
+  node.cv.notify_one();
+  return done.get();
+}
+
+Result<Value> SharedNothingCluster::Lookup(Key key, uint32_t home_node) {
+  const auto [status, value] = Submit(NodeFor(key), OpKind::kLookup, key, 0,
+                                      0, nullptr, home_node);
+  if (!status.ok()) return status;
+  return value;
+}
+
+Status SharedNothingCluster::Insert(Key key, Value value,
+                                    uint32_t home_node) {
+  return Submit(NodeFor(key), OpKind::kInsert, key, 0, value, nullptr,
+                home_node)
+      .first;
+}
+
+Status SharedNothingCluster::Update(Key key, Value value,
+                                    uint32_t home_node) {
+  return Submit(NodeFor(key), OpKind::kUpdate, key, 0, value, nullptr,
+                home_node)
+      .first;
+}
+
+Status SharedNothingCluster::Delete(Key key, uint32_t home_node) {
+  return Submit(NodeFor(key), OpKind::kDelete, key, 0, 0, nullptr, home_node)
+      .first;
+}
+
+uint64_t SharedNothingCluster::Scan(Key lo, Key hi, std::vector<KV>* out,
+                                    uint32_t home_node) {
+  if (lo >= hi) return 0;
+  uint64_t found = 0;
+  const uint32_t first = NodeFor(lo);
+  const uint32_t last = NodeFor(hi - 1);
+  for (uint32_t n = first; n <= last; ++n) {
+    found +=
+        Submit(n, OpKind::kScan, lo, hi, 0, out, home_node).second;
+  }
+  return found;
+}
+
+uint64_t SharedNothingCluster::GarbageCollect() {
+  uint64_t reclaimed = 0;
+  for (uint32_t n = 0; n < num_nodes(); ++n) {
+    reclaimed += Submit(n, OpKind::kGc, 0, 0, 0, nullptr, kRemoteOnly).second;
+  }
+  return reclaimed;
+}
+
+uint64_t SharedNothingCluster::remote_requests() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->served.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace namtree::btree

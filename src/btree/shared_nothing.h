@@ -1,0 +1,111 @@
+#ifndef NAMTREE_BTREE_SHARED_NOTHING_H_
+#define NAMTREE_BTREE_SHARED_NOTHING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "btree/local_tree.h"
+#include "btree/types.h"
+#include "common/status.h"
+
+namespace namtree::btree {
+
+/// Section 7's shared-nothing adaptation, running on real std::threads
+/// (no simulator): every node hosts a LocalBLinkTree over its range
+/// partition plus a worker pool draining a request mailbox — the
+/// process-local stand-in for the paper's "ship the operation over
+/// two-sided RDMA". Clients route by key; operations against the client's
+/// *own* node can bypass the mailbox entirely and touch the tree directly,
+/// which is exactly the locality benefit the paper measures in Appendix
+/// A.3 ("transactions that run on the same node where the index resides
+/// can leverage locality").
+///
+/// This module exists to exercise the B-link substrate under true hardware
+/// parallelism (the NAM designs run in deterministic virtual time); it is
+/// not a performance model of a network.
+class SharedNothingCluster {
+ public:
+  /// `nodes`: partition count; `workers_per_node`: mailbox consumers.
+  SharedNothingCluster(uint32_t nodes, uint32_t workers_per_node,
+                       uint32_t page_size = 1024);
+  ~SharedNothingCluster();
+
+  SharedNothingCluster(const SharedNothingCluster&) = delete;
+  SharedNothingCluster& operator=(const SharedNothingCluster&) = delete;
+
+  /// Range-partitions `sorted` evenly and bulk-loads every node. Must run
+  /// before concurrent access.
+  Status BulkLoad(std::span<const KV> sorted);
+
+  // ---- Client API (thread-safe, blocking). `home_node` identifies the
+  // node the calling thread lives on; pass kRemoteOnly to force the RPC
+  // path even for local keys. -----------------------------------------------
+
+  static constexpr uint32_t kRemoteOnly = UINT32_MAX;
+
+  Result<Value> Lookup(Key key, uint32_t home_node = kRemoteOnly);
+  Status Insert(Key key, Value value, uint32_t home_node = kRemoteOnly);
+  Status Update(Key key, Value value, uint32_t home_node = kRemoteOnly);
+  Status Delete(Key key, uint32_t home_node = kRemoteOnly);
+  /// Scans [lo, hi) across all intersecting partitions in key order.
+  uint64_t Scan(Key lo, Key hi, std::vector<KV>* out,
+                uint32_t home_node = kRemoteOnly);
+  /// Compacts every node's tree.
+  uint64_t GarbageCollect();
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t NodeFor(Key key) const;
+
+  /// Requests served through the mailbox (vs. locality fast path).
+  uint64_t remote_requests() const;
+  uint64_t local_requests() const { return local_requests_.load(); }
+
+ private:
+  enum class OpKind { kLookup, kInsert, kUpdate, kDelete, kScan, kGc };
+
+  struct Request {
+    OpKind kind;
+    Key key = 0;
+    Key hi = 0;
+    Value value = 0;
+    std::vector<KV>* out = nullptr;
+    std::promise<std::pair<Status, uint64_t>> done;
+  };
+
+  struct Node {
+    explicit Node(uint32_t page_size) : tree(page_size) {}
+    LocalBLinkTree tree;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::unique_ptr<Request>> inbox;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> served{0};
+  };
+
+  /// Executes `request` against `node`'s tree (worker or fast path).
+  static std::pair<Status, uint64_t> Execute(Node& node,
+                                             const Request& request);
+
+  std::pair<Status, uint64_t> Submit(uint32_t target, OpKind kind, Key key,
+                                     Key hi, Value value, std::vector<KV>* out,
+                                     uint32_t home_node);
+
+  void WorkerMain(Node& node);
+
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Key> boundaries_;  // exclusive upper bound per node (last=inf)
+  std::atomic<uint64_t> local_requests_{0};
+};
+
+}  // namespace namtree::btree
+
+#endif  // NAMTREE_BTREE_SHARED_NOTHING_H_

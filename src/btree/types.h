@@ -1,0 +1,45 @@
+#ifndef NAMTREE_BTREE_TYPES_H_
+#define NAMTREE_BTREE_TYPES_H_
+
+#include <cstdint>
+
+namespace namtree::btree {
+
+/// Index key type. The paper's analysis (Table 1) uses 8-byte keys; so do
+/// we. `kInfinityKey` is reserved as the +infinity fence sentinel, so user
+/// keys must be < UINT64_MAX.
+using Key = uint64_t;
+
+/// Leaf payload: for a secondary index this is the primary key (paper §2.2).
+using Value = uint64_t;
+
+constexpr Key kInfinityKey = UINT64_MAX;
+
+struct KV {
+  Key key;
+  Value value;
+};
+
+inline bool operator==(const KV& a, const KV& b) {
+  return a.key == b.key && a.value == b.value;
+}
+
+// ---- Version/lock word helpers (paper §3.1: an 8-byte (version, lock-bit)
+// field per index node; bit 0 is the lock bit). ----------------------------
+
+constexpr uint64_t kLockBit = 1ull;
+
+inline bool IsLocked(uint64_t version_word) {
+  return (version_word & kLockBit) != 0;
+}
+inline uint64_t WithLockBit(uint64_t version_word) {
+  return version_word | kLockBit;
+}
+/// Version component only (lock bit masked out).
+inline uint64_t VersionOf(uint64_t version_word) {
+  return version_word & ~kLockBit;
+}
+
+}  // namespace namtree::btree
+
+#endif  // NAMTREE_BTREE_TYPES_H_

@@ -1,0 +1,78 @@
+#include "common/arg_parser.h"
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <cctype>
+
+namespace namtree {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::string ArgParser::Raw(const std::string& key, bool* found) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) {
+    *found = true;
+    return it->second;
+  }
+  std::string env_key = "NAMTREE_";
+  for (char c : key) {
+    env_key += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  }
+  if (const char* env = std::getenv(env_key.c_str())) {
+    *found = true;
+    return env;
+  }
+  *found = false;
+  return "";
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  bool found = false;
+  (void)Raw(key, &found);
+  return found;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  bool found = false;
+  std::string v = Raw(key, &found);
+  return found ? v : fallback;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t fallback) const {
+  bool found = false;
+  std::string v = Raw(key, &found);
+  if (!found) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double ArgParser::GetDouble(const std::string& key, double fallback) const {
+  bool found = false;
+  std::string v = Raw(key, &found);
+  if (!found) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool ArgParser::GetBool(const std::string& key, bool fallback) const {
+  bool found = false;
+  std::string v = Raw(key, &found);
+  if (!found) return fallback;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  return v == "1" || v == "true" || v == "yes" || v == "on" || v.empty();
+}
+
+}  // namespace namtree

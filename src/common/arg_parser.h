@@ -1,0 +1,42 @@
+#ifndef NAMTREE_COMMON_ARG_PARSER_H_
+#define NAMTREE_COMMON_ARG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace namtree {
+
+/// Minimal `--key=value` / `--flag` command-line parser used by the bench
+/// and example binaries. Unknown keys are kept and can be enumerated so
+/// callers may reject typos. Values also fall back to environment variables
+/// named `NAMTREE_<UPPERCASE_KEY>` so whole bench sweeps can be re-scaled
+/// without editing scripts (see DESIGN.md §4).
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  /// True if `--key` or `--key=...` was passed.
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Name of the program (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  /// Returns the raw string for `key` from argv or the environment, or
+  /// empty optional semantics via `found`.
+  std::string Raw(const std::string& key, bool* found) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace namtree
+
+#endif  // NAMTREE_COMMON_ARG_PARSER_H_

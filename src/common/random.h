@@ -1,0 +1,76 @@
+#ifndef NAMTREE_COMMON_RANDOM_H_
+#define NAMTREE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace namtree {
+
+/// Deterministic, fast 64-bit PRNG (xoshiro256**). Every stochastic
+/// component of the library (workload generators, simulators, tests) draws
+/// from an explicitly seeded instance so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds the generator via SplitMix64 state expansion.
+  void Seed(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses Lemire's method to
+  /// avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in the closed interval [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed generator over {0, ..., n-1} with exponent `theta`
+/// (YCSB uses theta = 0.99). Implements the Gray et al. rejection-free
+/// algorithm used by YCSB's ScrambledZipfianGenerator, without scrambling:
+/// rank 0 is the most popular item.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Draws the next rank in [0, n).
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Produces a deterministic pseudo-random permutation index: maps
+/// `i in [0, n)` to another element of [0, n) bijectively. Used to scatter
+/// Zipf ranks over the key space (YCSB "scrambled zipfian").
+uint64_t FnvScramble(uint64_t i, uint64_t n);
+
+}  // namespace namtree
+
+#endif  // NAMTREE_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace namtree {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace namtree

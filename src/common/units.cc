@@ -1,0 +1,51 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace namtree {
+
+std::string FormatCount(double value) {
+  char buf[64];
+  const double a = std::fabs(value);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fB", value / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimTime ns) {
+  char buf[64];
+  if (ns >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / kSecond);
+  } else if (ns >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms",
+                  static_cast<double>(ns) / kMillisecond);
+  } else if (ns >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fus",
+                  static_cast<double>(ns) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::string FormatBandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_second / kGB);
+  } else if (bytes_per_second >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B/s", bytes_per_second);
+  }
+  return buf;
+}
+
+}  // namespace namtree

@@ -1,0 +1,33 @@
+#ifndef NAMTREE_COMMON_UNITS_H_
+#define NAMTREE_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace namtree {
+
+// The simulator's unit of virtual time.
+using SimTime = int64_t;  // nanoseconds
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t kKiB = 1024ull;
+constexpr uint64_t kMiB = 1024ull * kKiB;
+constexpr uint64_t kGiB = 1024ull * kMiB;
+constexpr double kGB = 1e9;  // decimal GB, used for link bandwidth
+
+/// Formats a count with engineering suffixes: 1234567 -> "1.2M".
+std::string FormatCount(double value);
+
+/// Formats nanoseconds with an adaptive unit: 2500 -> "2.5us".
+std::string FormatDuration(SimTime ns);
+
+/// Formats a rate in bytes/s as "12.3 GB/s" (decimal GB).
+std::string FormatBandwidth(double bytes_per_second);
+
+}  // namespace namtree
+
+#endif  // NAMTREE_COMMON_UNITS_H_

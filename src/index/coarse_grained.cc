@@ -1,0 +1,249 @@
+#include "index/coarse_grained.h"
+
+#include <algorithm>
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::KV;
+using btree::Value;
+
+CoarseGrainedIndex::CoarseGrainedIndex(nam::Cluster& cluster,
+                                       IndexConfig config)
+    : cluster_(cluster),
+      config_(config),
+      partitioner_(config.partition, cluster.num_memory_servers()),
+      rpc_service_(cluster.AllocateRpcService()) {}
+
+Status CoarseGrainedIndex::BulkLoad(std::span<const KV> sorted) {
+  partitioner_.FitBoundaries(sorted, config_.partition_weights);
+
+  // Slice the sorted data into per-server runs. Hash partitioning needs a
+  // scatter pass; range partitioning slices contiguously.
+  const uint32_t servers = cluster_.num_memory_servers();
+  std::vector<std::vector<KV>> scattered;
+  std::vector<std::span<const KV>> slices(servers);
+  if (partitioner_.kind() == PartitionKind::kHash) {
+    scattered.resize(servers);
+    for (const KV& kv : sorted) {
+      scattered[partitioner_.ServerFor(kv.key)].push_back(kv);
+    }
+    for (uint32_t s = 0; s < servers; ++s) slices[s] = scattered[s];
+  } else {
+    size_t begin = 0;
+    for (uint32_t s = 0; s < servers; ++s) {
+      const Key upper = partitioner_.UpperBoundOf(s);
+      size_t end = begin;
+      while (end < sorted.size() && sorted[end].key < upper) end++;
+      slices[s] = sorted.subspan(begin, end - begin);
+      begin = end;
+    }
+  }
+
+  trees_.clear();
+  for (uint32_t s = 0; s < servers; ++s) {
+    nam::MemoryServer& server = cluster_.memory_server(s);
+    trees_.push_back(std::make_unique<ServerTree>(server, config_.page_size));
+    Status status = trees_[s]->Build(slices[s], config_.leaf_fill_percent);
+    if (!status.ok()) return status;
+    server.RegisterHandler(
+        rpc_service_, [this](nam::MemoryServer& srv, rdma::IncomingRpc rpc) {
+          return Handle(srv, std::move(rpc));
+        });
+  }
+  return Status::OK();
+}
+
+sim::Task<> CoarseGrainedIndex::Handle(nam::MemoryServer& server,
+                                       rdma::IncomingRpc rpc) {
+  co_await sim::Delay(cluster_.simulator(), server.RequestOverhead());
+  ServerTree& tree = *trees_[server.server_id()];
+  rdma::RpcResponse resp;
+
+  switch (rpc.request.op) {
+    case kLookup: {
+      const LookupResult result = co_await tree.Lookup(rpc.request.arg0);
+      resp.status = result.found
+                        ? static_cast<uint16_t>(StatusCode::kOk)
+                        : static_cast<uint16_t>(StatusCode::kNotFound);
+      resp.arg0 = result.value;
+      break;
+    }
+    case kScan: {
+      std::vector<KV> hits;
+      const uint64_t count =
+          co_await tree.Scan(rpc.request.arg0, rpc.request.arg1, &hits);
+      resp.status = static_cast<uint16_t>(StatusCode::kOk);
+      resp.arg0 = count;
+      resp.payload.reserve(hits.size() * 2);
+      for (const KV& kv : hits) {
+        resp.payload.push_back(kv.key);
+        resp.payload.push_back(kv.value);
+      }
+      break;
+    }
+    case kInsert: {
+      const Status status =
+          co_await tree.Insert(rpc.request.arg0, rpc.request.arg1);
+      resp.status = static_cast<uint16_t>(status.code());
+      break;
+    }
+    case kDelete: {
+      const Status status = co_await tree.Delete(rpc.request.arg0);
+      resp.status = static_cast<uint16_t>(status.code());
+      break;
+    }
+    case kGc: {
+      resp.arg0 = co_await tree.Compact();
+      resp.status = static_cast<uint16_t>(StatusCode::kOk);
+      break;
+    }
+    case kUpdate: {
+      const Status status =
+          co_await tree.Update(rpc.request.arg0, rpc.request.arg1);
+      resp.status = static_cast<uint16_t>(status.code());
+      break;
+    }
+    case kLookupAll: {
+      std::vector<Value> values;
+      resp.arg0 = co_await tree.LookupAll(rpc.request.arg0, &values);
+      resp.status = static_cast<uint16_t>(StatusCode::kOk);
+      resp.payload.assign(values.begin(), values.end());
+      break;
+    }
+    default:
+      resp.status = static_cast<uint16_t>(StatusCode::kUnsupported);
+      break;
+  }
+
+  cluster_.fabric().Respond(server.server_id(), rpc, std::move(resp));
+}
+
+sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
+                                                   Key key) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kLookup;
+  req.arg0 = key;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
+    co_return LookupResult{true, resp.arg0};
+  }
+  co_return LookupResult{false, 0};
+}
+
+sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
+                                             Key hi, std::vector<KV>* out) {
+  uint64_t found = 0;
+  std::vector<KV> merged;
+  const bool hash = partitioner_.kind() == PartitionKind::kHash;
+  for (uint32_t server : partitioner_.ServersFor(lo, hi)) {
+    rdma::RpcRequest req;
+    req.service = rpc_service_;
+    req.op = kScan;
+    req.arg0 = lo;
+    req.arg1 = hi;
+    ctx.round_trips++;
+    rdma::RpcResponse resp =
+        co_await cluster_.fabric().Call(ctx.client_id(), server,
+                                        std::move(req));
+    found += resp.arg0;
+    if (out != nullptr) {
+      std::vector<KV>& sink = hash ? merged : *out;
+      for (size_t i = 0; i + 1 < resp.payload.size(); i += 2) {
+        sink.push_back(KV{resp.payload[i], resp.payload[i + 1]});
+      }
+    }
+  }
+  if (out != nullptr && hash) {
+    // Hash partitioning scatters the range over all servers: merge by key.
+    // Stable so duplicates keep their per-server (insertion) order.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const KV& a, const KV& b) { return a.key < b.key; });
+    out->insert(out->end(), merged.begin(), merged.end());
+  }
+  co_return found;
+}
+
+sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
+                                             Value value) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kInsert;
+  req.arg0 = key;
+  req.arg1 = value;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
+    co_return Status::OK();
+  }
+  co_return Status::Aborted("insert failed");
+}
+
+sim::Task<Status> CoarseGrainedIndex::Update(nam::ClientContext& ctx, Key key,
+                                             Value value) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kUpdate;
+  req.arg0 = key;
+  req.arg1 = value;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
+    co_return Status::OK();
+  }
+  co_return Status::NotFound();
+}
+
+sim::Task<uint64_t> CoarseGrainedIndex::LookupAll(
+    nam::ClientContext& ctx, Key key, std::vector<Value>* out) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kLookupAll;
+  req.arg0 = key;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (out != nullptr) {
+    out->insert(out->end(), resp.payload.begin(), resp.payload.end());
+  }
+  co_return resp.arg0;
+}
+
+sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
+                                             Key key) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kDelete;
+  req.arg0 = key;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
+    co_return Status::OK();
+  }
+  co_return Status::NotFound();
+}
+
+sim::Task<uint64_t> CoarseGrainedIndex::GarbageCollect(
+    nam::ClientContext& ctx) {
+  // Epoch GC runs on each memory server (paper §3.2); triggering it costs
+  // one RPC per server.
+  uint64_t reclaimed = 0;
+  for (uint32_t s = 0; s < cluster_.num_memory_servers(); ++s) {
+    rdma::RpcRequest req;
+  req.service = rpc_service_;
+    req.op = kGc;
+    ctx.round_trips++;
+    rdma::RpcResponse resp =
+        co_await cluster_.fabric().Call(ctx.client_id(), s, std::move(req));
+    reclaimed += resp.arg0;
+  }
+  co_return reclaimed;
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,70 @@
+#ifndef NAMTREE_INDEX_COARSE_GRAINED_H_
+#define NAMTREE_INDEX_COARSE_GRAINED_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "index/partition.h"
+#include "index/server_tree.h"
+#include "nam/cluster.h"
+
+namespace namtree::index {
+
+/// Design 1 (paper §3): coarse-grained distribution + two-sided access.
+///
+/// The key space is partitioned (range- or hash-based) over the memory
+/// servers; each server builds a local B-link tree over its keys and
+/// executes index operations itself when compute servers ship them over as
+/// RPCs (SEND/RECV pairs into a shared receive queue). Concurrency control
+/// on the server is optimistic lock coupling (Listing 1/3).
+class CoarseGrainedIndex : public DistributedIndex {
+ public:
+  /// RPC opcodes of the coarse-grained protocol.
+  enum Op : uint16_t {
+    kLookup = 1,
+    kScan = 2,
+    kInsert = 3,
+    kDelete = 4,
+    kGc = 5,
+    kUpdate = 6,
+    kLookupAll = 7,
+  };
+
+  CoarseGrainedIndex(nam::Cluster& cluster, IndexConfig config);
+
+  Status BulkLoad(std::span<const btree::KV> sorted) override;
+
+  sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
+                                 btree::Key key) override;
+  sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
+                           btree::Key hi,
+                           std::vector<btree::KV>* out) override;
+  sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<uint64_t> LookupAll(nam::ClientContext& ctx, btree::Key key,
+                                std::vector<btree::Value>* out) override;
+  sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
+  sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
+
+  std::string name() const override { return "coarse-grained"; }
+  uint32_t page_size() const override { return config_.page_size; }
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  ServerTree& tree(uint32_t server) { return *trees_[server]; }
+
+ private:
+  sim::Task<> Handle(nam::MemoryServer& server, rdma::IncomingRpc rpc);
+
+  nam::Cluster& cluster_;
+  IndexConfig config_;
+  Partitioner partitioner_;
+  uint16_t rpc_service_;
+  std::vector<std::unique_ptr<ServerTree>> trees_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_COARSE_GRAINED_H_

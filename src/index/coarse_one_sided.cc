@@ -1,0 +1,276 @@
+#include "index/coarse_one_sided.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "btree/page.h"
+#include "index/tree_build.h"
+#include "rdma/memory_region.h"
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::KV;
+using btree::kInfinityKey;
+using btree::PageView;
+using btree::Value;
+
+CoarseOneSidedIndex::CoarseOneSidedIndex(nam::Cluster& cluster,
+                                         IndexConfig config)
+    : cluster_(cluster),
+      config_(config),
+      partitioner_(config.partition, cluster.num_memory_servers()),
+      catalog_slot_(cluster.AllocateCatalogSlot()) {}
+
+Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
+  partitioner_.FitBoundaries(sorted, config_.partition_weights);
+  const uint32_t servers = cluster_.num_memory_servers();
+
+  std::vector<std::vector<KV>> scattered;
+  std::vector<std::span<const KV>> slices(servers);
+  if (partitioner_.kind() == PartitionKind::kHash) {
+    scattered.resize(servers);
+    for (const KV& kv : sorted) {
+      scattered[partitioner_.ServerFor(kv.key)].push_back(kv);
+    }
+    for (uint32_t s = 0; s < servers; ++s) slices[s] = scattered[s];
+  } else {
+    size_t begin = 0;
+    for (uint32_t s = 0; s < servers; ++s) {
+      const Key upper = partitioner_.UpperBoundOf(s);
+      size_t end = begin;
+      while (end < sorted.size() && sorted[end].key < upper) end++;
+      slices[s] = sorted.subspan(begin, end - begin);
+      begin = end;
+    }
+  }
+
+  roots_.assign(servers, rdma::RemotePtr());
+  root_levels_.assign(servers, 0);
+  first_leaves_.assign(servers, rdma::RemotePtr());
+  for (uint32_t s = 0; s < servers; ++s) {
+    LeafLevel::BuildResult leaves;
+    Status status = LeafLevel::Build(cluster_.fabric(), slices[s], config_,
+                                     &leaves, static_cast<int32_t>(s));
+    if (!status.ok()) return status;
+    first_leaves_[s] = leaves.first;
+    status = BuildUpperLevels(cluster_.fabric(),
+                              std::move(leaves.leaf_refs), config_.page_size,
+                              config_.leaf_fill_percent,
+                              static_cast<int32_t>(s), &roots_[s],
+                              &root_levels_[s]);
+    if (!status.ok()) return status;
+    // Publish each partition root in this index's catalog slot.
+    cluster_.fabric().region(s)->WriteU64(
+        rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_),
+        roots_[s].raw());
+  }
+  return Status::OK();
+}
+
+sim::Task<rdma::RemotePtr> CoarseOneSidedIndex::DescendToLeafPtr(
+    RemoteOps& ops, uint32_t server, Key key) {
+  rdma::RemotePtr ptr = roots_[server];
+  if (root_levels_[server] == 0) co_return ptr;
+  uint8_t* buf = ops.ctx().page_a();
+  for (;;) {
+    co_await ops.ReadPageUnlocked(ptr, buf);
+    PageView view(buf, ops.page_size());
+    if (view.level() == 0) co_return ptr;  // stale root metadata
+    if (key > view.high_key() && view.right_sibling() != 0) {
+      ptr = rdma::RemotePtr(view.right_sibling());
+      continue;
+    }
+    const rdma::RemotePtr child(view.InnerChildFor(key));
+    if (view.level() == 1) co_return child;
+    ptr = child;
+  }
+}
+
+sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
+                                                    Key key) {
+  RemoteOps ops(ctx);
+  const uint32_t server = partitioner_.ServerFor(key);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+}
+
+sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
+                                              Key hi, std::vector<KV>* out) {
+  // Partition chains are per-server; visit every partition intersecting
+  // the range (all of them under hash partitioning, Table 2).
+  RemoteOps ops(ctx);
+  uint64_t found = 0;
+  std::vector<KV> merged;
+  const bool hash = partitioner_.kind() == PartitionKind::kHash;
+  for (uint32_t server : partitioner_.ServersFor(lo, hi)) {
+    std::vector<KV>* sink = out == nullptr ? nullptr : (hash ? &merged : out);
+    const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, lo);
+    found += co_await LeafLevel::ScanChain(ops, leaf, lo, hi, sink);
+  }
+  if (out != nullptr && hash) {
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const KV& a, const KV& b) { return a.key < b.key; });
+    out->insert(out->end(), merged.begin(), merged.end());
+  }
+  co_return found;
+}
+
+sim::Task<Status> CoarseOneSidedIndex::Insert(nam::ClientContext& ctx,
+                                              Key key, Value value) {
+  RemoteOps ops(ctx);
+  const uint32_t server = partitioner_.ServerFor(key);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  LeafLevel::SplitInfo split;
+  const Status status = co_await LeafLevel::InsertAt(
+      ops, leaf, key, value, &split, static_cast<int32_t>(server));
+  if (!status.ok()) co_return status;
+  if (split.split) {
+    co_await InstallSeparator(ops, server, 1, split.separator, leaf,
+                              split.right);
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> CoarseOneSidedIndex::Update(nam::ClientContext& ctx,
+                                              Key key, Value value) {
+  RemoteOps ops(ctx);
+  const uint32_t server = partitioner_.ServerFor(key);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
+}
+
+sim::Task<uint64_t> CoarseOneSidedIndex::LookupAll(nam::ClientContext& ctx,
+                                                   Key key,
+                                                   std::vector<Value>* out) {
+  RemoteOps ops(ctx);
+  const uint32_t server = partitioner_.ServerFor(key);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
+}
+
+sim::Task<Status> CoarseOneSidedIndex::Delete(nam::ClientContext& ctx,
+                                              Key key) {
+  RemoteOps ops(ctx);
+  const uint32_t server = partitioner_.ServerFor(key);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
+}
+
+sim::Task<uint64_t> CoarseOneSidedIndex::GarbageCollect(
+    nam::ClientContext& ctx) {
+  RemoteOps ops(ctx);
+  uint64_t reclaimed = 0;
+  for (uint32_t s = 0; s < cluster_.num_memory_servers(); ++s) {
+    reclaimed += co_await LeafLevel::CompactChain(ops, first_leaves_[s]);
+    if (config_.gc_merge_fill_percent > 0) {
+      // Page merges/unlinks are counted separately from entry reclaims.
+      (void)co_await LeafLevel::RebalanceChain(
+          ops, first_leaves_[s], config_.gc_merge_fill_percent);
+    }
+    co_await LeafLevel::RebuildHeadNodes(ops, first_leaves_[s],
+                                         config_.head_node_interval);
+  }
+  co_return reclaimed;
+}
+
+sim::Task<bool> CoarseOneSidedIndex::TryGrowRoot(RemoteOps& ops,
+                                                 uint32_t server,
+                                                 uint8_t new_level, Key sep,
+                                                 rdma::RemotePtr left,
+                                                 rdma::RemotePtr right) {
+  const rdma::RemotePtr new_root = co_await ops.AllocPage(server);
+  if (new_root.is_null()) co_return true;  // tree stays valid via chains
+  std::vector<uint8_t> image(ops.page_size());
+  PageView view(image.data(), ops.page_size());
+  view.InitInner(new_level, kInfinityKey, 0);
+  view.inner_keys()[0] = sep;
+  view.inner_children()[0] = left.raw();
+  view.inner_children()[1] = right.raw();
+  view.header().count = 1;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
+                              ops.page_size());
+  if (roots_[server] != left) co_return false;  // lost the catalog race
+  roots_[server] = new_root;
+  root_levels_[server] = new_level;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Write(
+      ops.ctx().client_id(),
+      rdma::RemotePtr::Make(
+          server, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
+      &new_root, 8);
+  co_return true;
+}
+
+sim::Task<void> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
+                                                      uint32_t server,
+                                                      uint8_t level, Key sep,
+                                                      rdma::RemotePtr left,
+                                                      rdma::RemotePtr right) {
+  uint8_t* buf = ops.ctx().page_a();
+  for (;;) {
+    if (root_levels_[server] < level) {
+      if (co_await TryGrowRoot(ops, server, level, sep, left, right)) {
+        co_return;
+      }
+      continue;
+    }
+    rdma::RemotePtr ptr = roots_[server];
+    bool restart = false;
+    for (;;) {
+      const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+      PageView view(buf, ops.page_size());
+      if (view.level() < level) {
+        restart = true;
+        break;
+      }
+      if (view.level() > level) {
+        if (sep > view.high_key() && view.right_sibling() != 0) {
+          ptr = rdma::RemotePtr(view.right_sibling());
+          continue;
+        }
+        ptr = rdma::RemotePtr(view.InnerChildFor(sep));
+        continue;
+      }
+      if (sep > view.high_key() && view.right_sibling() != 0) {
+        ptr = rdma::RemotePtr(view.right_sibling());
+        continue;
+      }
+      if (!co_await ops.TryLockPage(ptr, version)) {
+        ops.ctx().restarts++;
+        continue;
+      }
+      const uint64_t locked = btree::WithLockBit(version);
+      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+
+      if (view.InnerInsert(sep, right.raw())) {
+        co_await ops.WriteUnlockPage(ptr, buf);
+        co_return;
+      }
+      const rdma::RemotePtr new_right = co_await ops.AllocPage(server);
+      if (new_right.is_null()) {
+        co_await ops.UnlockPage(ptr);
+        co_return;  // separator stays uninstalled (B-link safe)
+      }
+      std::vector<uint8_t> rimage(ops.page_size());
+      PageView rview(rimage.data(), ops.page_size());
+      const Key promoted = view.SplitInnerInto(rview, new_right.raw());
+      PageView target = sep < promoted ? view : rview;
+      const bool ok = target.InnerInsert(sep, right.raw());
+      assert(ok);
+      (void)ok;
+      ops.ctx().round_trips++;
+      co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
+                                  rimage.data(), ops.page_size());
+      co_await ops.WriteUnlockPage(ptr, buf);
+      co_await InstallSeparator(ops, server, static_cast<uint8_t>(level + 1),
+                                promoted, ptr, new_right);
+      co_return;
+    }
+    if (restart) continue;
+  }
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,92 @@
+#ifndef NAMTREE_INDEX_COARSE_ONE_SIDED_H_
+#define NAMTREE_INDEX_COARSE_ONE_SIDED_H_
+
+#include <vector>
+
+#include "index/index.h"
+#include "index/leaf_level.h"
+#include "index/partition.h"
+#include "index/remote_ops.h"
+#include "nam/cluster.h"
+#include "rdma/remote_ptr.h"
+
+namespace namtree::index {
+
+/// Design 4: coarse-grained distribution + one-sided access — the fourth
+/// corner of the paper's §2.2 design matrix (distribution x RDMA
+/// primitives), which the paper discusses but does not implement.
+///
+/// The key space is range- or hash-partitioned exactly as in Design 1, but
+/// each partition's B-link tree is traversed and modified by the *clients*
+/// with one-sided verbs (the Design 2 protocol, confined to one server per
+/// operation). This isolates the two design axes experimentally:
+///
+///   vs. Design 1 (CG/2-sided): same data placement, no remote CPU — shows
+///       what the access primitive alone contributes;
+///   vs. Design 2 (FG/1-sided): same access protocol, partitioned
+///       placement — shows what the distribution alone contributes (e.g.
+///       under skew this design collapses like Design 1, because one
+///       server's NIC serves 80% of all one-sided reads).
+///
+/// Section 7's shared-nothing discussion maps onto this design directly:
+/// "use the coarse-grained index design to make indexes built locally per
+/// partition accessible via RDMA from other nodes".
+class CoarseOneSidedIndex : public DistributedIndex {
+ public:
+  CoarseOneSidedIndex(nam::Cluster& cluster, IndexConfig config);
+
+  Status BulkLoad(std::span<const btree::KV> sorted) override;
+
+  sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
+                                 btree::Key key) override;
+  sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
+                           btree::Key hi,
+                           std::vector<btree::KV>* out) override;
+  sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<uint64_t> LookupAll(nam::ClientContext& ctx, btree::Key key,
+                                std::vector<btree::Value>* out) override;
+  sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
+  sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
+
+  std::string name() const override { return "coarse-one-sided"; }
+  uint32_t page_size() const override { return config_.page_size; }
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  rdma::RemotePtr root_of(uint32_t server) const { return roots_[server]; }
+  uint8_t root_level_of(uint32_t server) const { return root_levels_[server]; }
+  rdma::RemotePtr first_leaf_of(uint32_t server) const {
+    return first_leaves_[server];
+  }
+
+ private:
+  /// One-sided descent through partition `server`'s inner levels to a leaf
+  /// candidate for `key` (Listing 2 confined to one server).
+  sim::Task<rdma::RemotePtr> DescendToLeafPtr(RemoteOps& ops, uint32_t server,
+                                              btree::Key key);
+
+  /// Installs a separator into partition `server`'s tree one-sided.
+  sim::Task<void> InstallSeparator(RemoteOps& ops, uint32_t server,
+                                   uint8_t level, btree::Key sep,
+                                   rdma::RemotePtr left,
+                                   rdma::RemotePtr right);
+
+  sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint32_t server,
+                              uint8_t new_level, btree::Key sep,
+                              rdma::RemotePtr left, rdma::RemotePtr right);
+
+  nam::Cluster& cluster_;
+  IndexConfig config_;
+  Partitioner partitioner_;
+  uint32_t catalog_slot_;
+  // Per-partition catalog state.
+  std::vector<rdma::RemotePtr> roots_;
+  std::vector<uint8_t> root_levels_;
+  std::vector<rdma::RemotePtr> first_leaves_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_COARSE_ONE_SIDED_H_

@@ -1,0 +1,305 @@
+#include "index/fine_grained.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "btree/page.h"
+#include "index/tree_build.h"
+#include "rdma/memory_region.h"
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::KV;
+using btree::kInfinityKey;
+using btree::PageView;
+using btree::Value;
+
+FineGrainedIndex::FineGrainedIndex(nam::Cluster& cluster, IndexConfig config)
+    : cluster_(cluster),
+      config_(config),
+      catalog_slot_(cluster.AllocateCatalogSlot()) {}
+
+Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
+  LeafLevel::BuildResult leaves;
+  Status status = LeafLevel::Build(cluster_.fabric(), sorted, config_,
+                                   &leaves);
+  if (!status.ok()) return status;
+  first_leaf_ = leaves.first;
+
+  status = BuildUpperLevels(cluster_.fabric(), std::move(leaves.leaf_refs),
+                            config_.page_size, config_.leaf_fill_percent,
+                            /*fixed_server=*/-1, &root_, &root_level_);
+  if (!status.ok()) return status;
+
+  // Publish the root in this index's catalog slot (server 0) for remote
+  // bootstrap.
+  cluster_.fabric().region(0)->WriteU64(
+      rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root_.raw());
+  return Status::OK();
+}
+
+NodeCache* FineGrainedIndex::CacheFor(uint32_t client_id) {
+  if (config_.client_cache_pages == 0) return nullptr;
+  auto it = caches_.find(client_id);
+  if (it == caches_.end()) {
+    it = caches_
+             .emplace(client_id, std::make_unique<NodeCache>(
+                                     config_.page_size,
+                                     config_.client_cache_pages,
+                                     config_.client_cache_ttl))
+             .first;
+  }
+  return it->second.get();
+}
+
+FineGrainedIndex::CacheStats FineGrainedIndex::GetCacheStats() const {
+  CacheStats stats;
+  for (const auto& [id, cache] : caches_) {
+    stats.hits += cache->hits();
+    stats.misses += cache->misses();
+    stats.expirations += cache->expirations();
+  }
+  return stats;
+}
+
+sim::Task<rdma::RemotePtr> FineGrainedIndex::DescendToLeafPtr(RemoteOps& ops,
+                                                              Key key) {
+  rdma::RemotePtr ptr = root_;
+  if (root_level_ == 0) co_return ptr;  // single-leaf tree
+  uint8_t* buf = ops.ctx().page_a();
+  NodeCache* cache = CacheFor(ops.ctx().client_id());
+  for (;;) {
+    // A.4 caching: inner-node images may come from the client cache; a
+    // stale image can only route us too far left, which the B-link chase
+    // at the next level (or leaf chain) corrects.
+    const uint8_t* image = nullptr;
+    if (cache != nullptr) {
+      image = cache->Get(ptr.raw(), ops.fabric().simulator().now());
+    }
+    if (image == nullptr) {
+      co_await ops.ReadPageUnlocked(ptr, buf);
+      image = buf;
+      if (cache != nullptr &&
+          PageView(buf, ops.page_size()).level() >= 1) {
+        cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
+      }
+    }
+    PageView view(const_cast<uint8_t*>(image), ops.page_size());
+    if (view.level() == 0) {
+      // Stale root metadata can land us on a leaf; hand it to the caller.
+      co_return ptr;
+    }
+    if (key > view.high_key() && view.right_sibling() != 0) {
+      ptr = rdma::RemotePtr(view.right_sibling());
+      continue;
+    }
+    const rdma::RemotePtr child(view.InnerChildFor(key));
+    if (view.level() == 1) co_return child;
+    ptr = child;
+  }
+}
+
+sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
+                                                 Key key) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+}
+
+sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
+                                           Key hi, std::vector<KV>* out) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, lo);
+  co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
+}
+
+sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
+                                           Value value) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  LeafLevel::SplitInfo split;
+  const Status status =
+      co_await LeafLevel::InsertAt(ops, leaf, key, value, &split);
+  if (!status.ok()) co_return status;
+  if (split.split) {
+    // The left page of the split is the page InsertAt actually modified;
+    // it may differ from `leaf` after chain chases, but the separator
+    // install only needs (sep, right).
+    co_await InstallSeparator(ops, 1, split.separator, leaf, split.right);
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> FineGrainedIndex::Update(nam::ClientContext& ctx, Key key,
+                                           Value value) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
+}
+
+sim::Task<uint64_t> FineGrainedIndex::LookupAll(nam::ClientContext& ctx,
+                                                Key key,
+                                                std::vector<Value>* out) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
+}
+
+sim::Task<Status> FineGrainedIndex::Delete(nam::ClientContext& ctx, Key key) {
+  RemoteOps ops(ctx);
+  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
+}
+
+sim::Task<bool> FineGrainedIndex::TryGrowRoot(RemoteOps& ops,
+                                              uint8_t new_level, Key sep,
+                                              rdma::RemotePtr left,
+                                              rdma::RemotePtr right) {
+  const rdma::RemotePtr new_root = co_await ops.AllocPageRoundRobin();
+  if (new_root.is_null()) co_return true;  // give up silently: tree still valid
+  std::vector<uint8_t> image(ops.page_size());
+  PageView view(image.data(), ops.page_size());
+  view.InitInner(new_level, kInfinityKey, 0);
+  view.inner_keys()[0] = sep;
+  view.inner_children()[0] = left.raw();
+  view.inner_children()[1] = right.raw();
+  view.header().count = 1;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
+                              ops.page_size());
+  // Publish through the catalog. The check-and-update happens atomically in
+  // virtual time (no awaits in between), mirroring a catalog-service CAS.
+  if (root_ != left) co_return false;  // somebody else grew the tree
+  root_ = new_root;
+  root_level_ = new_level;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Write(
+      ops.ctx().client_id(),
+      rdma::RemotePtr::Make(
+          0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
+      &new_root, 8);
+  co_return true;
+}
+
+sim::Task<void> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
+                                                   uint8_t level, Key sep,
+                                                   rdma::RemotePtr left,
+                                                   rdma::RemotePtr right) {
+  uint8_t* buf = ops.ctx().page_a();
+  for (;;) {
+    if (root_level_ < level) {
+      if (co_await TryGrowRoot(ops, level, sep, left, right)) co_return;
+      continue;
+    }
+    // Descend to the target level for `sep`.
+    rdma::RemotePtr ptr = root_;
+    bool restart = false;
+    for (;;) {
+      const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+      PageView view(buf, ops.page_size());
+      if (view.level() < level) {
+        // Stale root below the target level: re-check the catalog state.
+        restart = true;
+        break;
+      }
+      if (view.level() > level) {
+        if (sep > view.high_key() && view.right_sibling() != 0) {
+          ptr = rdma::RemotePtr(view.right_sibling());
+          continue;
+        }
+        ptr = rdma::RemotePtr(view.InnerChildFor(sep));
+        continue;
+      }
+      // At the target level: chase, then lock.
+      if (sep > view.high_key() && view.right_sibling() != 0) {
+        ptr = rdma::RemotePtr(view.right_sibling());
+        continue;
+      }
+      if (!co_await ops.TryLockPage(ptr, version)) {
+        ops.ctx().restarts++;
+        continue;  // re-read this node
+      }
+      const uint64_t locked = btree::WithLockBit(version);
+      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+
+      // Re-validate the range under the lock (version pinned by the CAS).
+      if (view.InnerInsert(sep, right.raw())) {
+        co_await ops.WriteUnlockPage(ptr, buf);
+        if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
+          cache->Invalidate(ptr.raw());
+        }
+        co_return;
+      }
+      // Full: split this inner node and recurse with the promoted key.
+      const rdma::RemotePtr new_right = co_await ops.AllocPageRoundRobin();
+      if (new_right.is_null()) {
+        co_await ops.UnlockPage(ptr);
+        co_return;  // out of memory; separator stays uninstalled (B-link safe)
+      }
+      std::vector<uint8_t> rimage(ops.page_size());
+      PageView rview(rimage.data(), ops.page_size());
+      const Key promoted = view.SplitInnerInto(rview, new_right.raw());
+      PageView target = sep < promoted ? view : rview;
+      const bool ok = target.InnerInsert(sep, right.raw());
+      assert(ok);
+      (void)ok;
+      ops.ctx().round_trips++;
+      co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
+                                  rimage.data(), ops.page_size());
+      co_await ops.WriteUnlockPage(ptr, buf);
+      if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
+        cache->Invalidate(ptr.raw());
+      }
+      co_await InstallSeparator(ops, static_cast<uint8_t>(level + 1),
+                                promoted, ptr, new_right);
+      co_return;
+    }
+    if (restart) continue;
+  }
+}
+
+sim::Task<uint64_t> FineGrainedIndex::GarbageCollect(nam::ClientContext& ctx) {
+  // The global epoch GC runs from a compute server using the same
+  // one-sided lock protocol as writers (§4.2): leaf compaction first, then
+  // head-node maintenance.
+  RemoteOps ops(ctx);
+  uint64_t reclaimed = co_await LeafLevel::CompactChain(ops, first_leaf_);
+  if (config_.gc_merge_fill_percent > 0) {
+    // Page merges/unlinks are counted separately from entry reclaims.
+    (void)co_await LeafLevel::RebalanceChain(ops, first_leaf_,
+                                             config_.gc_merge_fill_percent);
+  }
+  co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
+                                       config_.head_node_interval);
+  co_return reclaimed;
+}
+
+sim::Task<Status> FineGrainedIndex::BootstrapFromCatalog(
+    nam::ClientContext& ctx) {
+  RemoteOps ops(ctx);
+  uint64_t raw = 0;
+  ctx.round_trips++;
+  co_await cluster_.fabric().Read(
+      ctx.client_id(),
+      rdma::RemotePtr::Make(
+          0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
+      &raw, 8);
+  const rdma::RemotePtr root(raw);
+  if (root.is_null()) co_return Status::NotFound("catalog slot empty");
+  // Learn the root's level from its page header.
+  co_await ops.ReadPage(root, ctx.page_a());
+  PageView view(ctx.page_a(), ops.page_size());
+  root_ = root;
+  root_level_ = view.level();
+  co_return Status::OK();
+}
+
+sim::Task<Status> FineGrainedIndex::RebuildHeads(nam::ClientContext& ctx) {
+  RemoteOps ops(ctx);
+  co_return co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
+                                                 config_.head_node_interval);
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,106 @@
+#ifndef NAMTREE_INDEX_FINE_GRAINED_H_
+#define NAMTREE_INDEX_FINE_GRAINED_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+#include "index/leaf_level.h"
+#include "index/node_cache.h"
+#include "index/remote_ops.h"
+#include "nam/cluster.h"
+#include "rdma/remote_ptr.h"
+
+namespace namtree::index {
+
+/// Design 2 (paper §4): fine-grained distribution + one-sided access.
+///
+/// One global B-link tree whose nodes (inner and leaf) are scattered
+/// round-robin over all memory servers and connected by remote pointers.
+/// Compute servers traverse and modify the tree themselves using only
+/// one-sided verbs: READ for traversal, CAS to acquire node locks, WRITE +
+/// FETCH_AND_ADD to install modifications and release, FETCH_AND_ADD on the
+/// region cursor for RDMA_ALLOC. Head nodes on the leaf level prefetch
+/// ranges (§4.3); epoch GC and head rebuilds run from a compute server.
+class FineGrainedIndex : public DistributedIndex {
+ public:
+  FineGrainedIndex(nam::Cluster& cluster, IndexConfig config);
+
+  Status BulkLoad(std::span<const btree::KV> sorted) override;
+
+  sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
+                                 btree::Key key) override;
+  sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
+                           btree::Key hi,
+                           std::vector<btree::KV>* out) override;
+  sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<uint64_t> LookupAll(nam::ClientContext& ctx, btree::Key key,
+                                std::vector<btree::Value>* out) override;
+  sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
+  sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
+
+  std::string name() const override { return "fine-grained"; }
+  uint32_t page_size() const override { return config_.page_size; }
+
+  rdma::RemotePtr root() const { return root_; }
+  uint8_t root_level() const { return root_level_; }
+  rdma::RemotePtr first_leaf() const { return first_leaf_; }
+
+  /// Rebuilds head nodes (run by the epoch maintenance thread alongside
+  /// GarbageCollect; exposed separately for tests/benches).
+  sim::Task<Status> RebuildHeads(nam::ClientContext& ctx);
+
+  /// Re-reads the root pointer from the catalog slot on server 0 with an
+  /// RDMA READ — how a freshly connected compute server bootstraps (§4.2:
+  /// the root pointer lives in the database's catalog service). Also
+  /// refreshes the cached root level from the page header.
+  sim::Task<Status> BootstrapFromCatalog(nam::ClientContext& ctx);
+
+  /// The client's inner-node cache (Appendix A.4), or nullptr when caching
+  /// is disabled. Created lazily per client id.
+  NodeCache* CacheFor(uint32_t client_id);
+
+  /// Aggregate cache statistics over all clients.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t expirations = 0;
+  };
+  CacheStats GetCacheStats() const;
+
+ private:
+  /// Descends the inner levels one-sided (Listing 2) and returns the
+  /// remote pointer of a leaf candidate for `key` (leaf-chain chases are
+  /// handled by the leaf-level routines).
+  sim::Task<rdma::RemotePtr> DescendToLeafPtr(RemoteOps& ops,
+                                              btree::Key key);
+
+  /// Installs `sep` / `right` at inner `level` after a split of `left`.
+  sim::Task<void> InstallSeparator(RemoteOps& ops, uint8_t level,
+                                   btree::Key sep, rdma::RemotePtr left,
+                                   rdma::RemotePtr right);
+
+  /// Publishes a new root through the catalog slot on server 0.
+  sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint8_t new_level,
+                              btree::Key sep, rdma::RemotePtr left,
+                              rdma::RemotePtr right);
+
+  nam::Cluster& cluster_;
+  IndexConfig config_;
+  // Catalog state (paper: part of the database catalog service). The
+  // authoritative copy also lives in server 0's catalog slot for clients
+  // that bootstrap remotely.
+  rdma::RemotePtr root_;
+  uint8_t root_level_ = 0;
+  rdma::RemotePtr first_leaf_;
+  uint32_t catalog_slot_;
+  std::unordered_map<uint32_t, std::unique_ptr<NodeCache>> caches_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_FINE_GRAINED_H_

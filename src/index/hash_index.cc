@@ -1,0 +1,338 @@
+#include "index/hash_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "btree/types.h"
+#include "rdma/memory_region.h"
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::KV;
+using btree::Value;
+
+namespace {
+
+/// Host/client view over one 128-byte bucket image.
+struct BucketView {
+  explicit BucketView(uint8_t* data) : data_(data) {}
+
+  uint64_t version() const { return Read64(0); }
+  uint16_t count() const {
+    uint16_t v;
+    std::memcpy(&v, data_ + 8, 2);
+    return v;
+  }
+  void set_count(uint16_t v) { std::memcpy(data_ + 8, &v, 2); }
+
+  KV slot(uint32_t i) const {
+    KV kv;
+    std::memcpy(&kv, data_ + 16 + i * sizeof(KV), sizeof(KV));
+    return kv;
+  }
+  void set_slot(uint32_t i, KV kv) {
+    std::memcpy(data_ + 16 + i * sizeof(KV), &kv, sizeof(KV));
+  }
+
+  uint64_t overflow() const {
+    return Read64(16 + DistributedHashIndex::kSlotsPerBucket * sizeof(KV));
+  }
+  void set_overflow(uint64_t raw) {
+    std::memcpy(
+        data_ + 16 + DistributedHashIndex::kSlotsPerBucket * sizeof(KV),
+        &raw, 8);
+  }
+
+  void Init() { std::memset(data_, 0, DistributedHashIndex::kBucketBytes); }
+
+  /// Index of the first slot holding `key`, or -1.
+  int32_t Find(Key key) const {
+    for (uint32_t i = 0; i < count(); ++i) {
+      if (slot(i).key == key) return static_cast<int32_t>(i);
+    }
+    return -1;
+  }
+
+ private:
+  uint64_t Read64(uint32_t offset) const {
+    uint64_t v;
+    std::memcpy(&v, data_ + offset, 8);
+    return v;
+  }
+
+  uint8_t* data_;
+};
+
+}  // namespace
+
+DistributedHashIndex::DistributedHashIndex(nam::Cluster& cluster,
+                                           IndexConfig config,
+                                           double buckets_per_key)
+    : cluster_(cluster), config_(config), buckets_per_key_(buckets_per_key) {}
+
+uint64_t DistributedHashIndex::HashKey(Key key) {
+  uint64_t h = key * 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+rdma::RemotePtr DistributedHashIndex::HeadBucketFor(Key key) const {
+  const uint64_t h = HashKey(key);
+  const uint32_t servers = cluster_.num_memory_servers();
+  const uint32_t server = static_cast<uint32_t>(h % servers);
+  const uint64_t bucket = (h / servers) % buckets_per_server_;
+  return rdma::RemotePtr::Make(server,
+                               base_offsets_[server] + bucket * kBucketBytes);
+}
+
+Status DistributedHashIndex::BulkLoad(std::span<const KV> sorted) {
+  const uint32_t servers = cluster_.num_memory_servers();
+  buckets_per_server_ = std::max<uint64_t>(
+      16, static_cast<uint64_t>(buckets_per_key_ *
+                                static_cast<double>(sorted.size())) /
+              servers);
+  base_offsets_.assign(servers, 0);
+  for (uint32_t s = 0; s < servers; ++s) {
+    const rdma::RemotePtr base = cluster_.fabric().region(s)->AllocateLocal(
+        buckets_per_server_ * kBucketBytes);
+    if (base.is_null()) return Status::OutOfMemory("bucket arrays");
+    base_offsets_[s] = base.offset();
+    std::memset(cluster_.fabric().region(s)->at(base.offset()), 0,
+                buckets_per_server_ * kBucketBytes);
+  }
+
+  // Host-side scatter of the initial data, chaining overflows as needed.
+  for (const KV& kv : sorted) {
+    rdma::RemotePtr ptr = HeadBucketFor(kv.key);
+    for (;;) {
+      rdma::MemoryRegion* region = cluster_.fabric().region(ptr.server_id());
+      BucketView bucket(region->at(ptr.offset()));
+      if (bucket.count() < kSlotsPerBucket) {
+        bucket.set_slot(bucket.count(), kv);
+        bucket.set_count(bucket.count() + 1);
+        break;
+      }
+      if (bucket.overflow() != 0) {
+        ptr = rdma::RemotePtr(bucket.overflow());
+        continue;
+      }
+      const rdma::RemotePtr next = region->AllocateLocal(kBucketBytes);
+      if (next.is_null()) return Status::OutOfMemory("overflow bucket");
+      BucketView(region->at(next.offset())).Init();
+      bucket.set_overflow(next.raw());
+      ptr = next;
+    }
+  }
+  return Status::OK();
+}
+
+sim::Task<LookupResult> DistributedHashIndex::Lookup(nam::ClientContext& ctx,
+                                                     Key key) {
+  RemoteOps ops(ctx);
+  uint8_t* buf = ctx.page_a();
+  rdma::RemotePtr ptr = HeadBucketFor(key);
+  while (!ptr.is_null()) {
+    co_await ops.ReadPageUnlocked(ptr, buf);
+    BucketView bucket(buf);
+    const int32_t i = bucket.Find(key);
+    if (i >= 0) co_return LookupResult{true, bucket.slot(i).value};
+    ptr = rdma::RemotePtr(bucket.overflow());
+  }
+  co_return LookupResult{false, 0};
+}
+
+sim::Task<uint64_t> DistributedHashIndex::Scan(nam::ClientContext& ctx,
+                                               Key lo, Key hi,
+                                               std::vector<KV>* out) {
+  // Range queries are the tree designs' raison d'etre; a hash index simply
+  // cannot serve them (paper §8).
+  (void)ctx;
+  (void)lo;
+  (void)hi;
+  (void)out;
+  co_return 0;
+}
+
+sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
+                                               Key key, Value value) {
+  RemoteOps ops(ctx);
+  uint8_t* buf = ctx.page_a();
+  rdma::RemotePtr ptr = HeadBucketFor(key);
+  for (;;) {
+    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    BucketView bucket(buf);
+    if (bucket.count() >= kSlotsPerBucket && bucket.overflow() != 0) {
+      ptr = rdma::RemotePtr(bucket.overflow());
+      continue;
+    }
+    if (!co_await ops.TryLockPage(ptr, version)) {
+      ctx.restarts++;
+      continue;
+    }
+    const uint64_t locked = btree::WithLockBit(version);
+    std::memcpy(buf, &locked, 8);
+
+    if (bucket.count() < kSlotsPerBucket) {
+      bucket.set_slot(bucket.count(), KV{key, value});
+      bucket.set_count(bucket.count() + 1);
+      co_await ops.WriteUnlockPage(ptr, buf);
+      co_return Status::OK();
+    }
+    // Full tail bucket: chain a fresh overflow bucket holding the entry.
+    const rdma::RemotePtr next = co_await ops.AllocPage(ptr.server_id());
+    if (next.is_null()) {
+      co_await ops.UnlockPage(ptr);
+      co_return Status::OutOfMemory("overflow bucket");
+    }
+    std::vector<uint8_t> fresh(kBucketBytes, 0);
+    BucketView next_bucket(fresh.data());
+    next_bucket.set_slot(0, KV{key, value});
+    next_bucket.set_count(1);
+    ctx.round_trips++;
+    co_await ops.fabric().Write(ctx.client_id(), next, fresh.data(),
+                                kBucketBytes);
+    bucket.set_overflow(next.raw());
+    co_await ops.WriteUnlockPage(ptr, buf);
+    co_return Status::OK();
+  }
+}
+
+sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
+                                               Key key, Value value) {
+  RemoteOps ops(ctx);
+  uint8_t* buf = ctx.page_a();
+  rdma::RemotePtr ptr = HeadBucketFor(key);
+  while (!ptr.is_null()) {
+    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    BucketView bucket(buf);
+    const int32_t i = bucket.Find(key);
+    if (i < 0) {
+      ptr = rdma::RemotePtr(bucket.overflow());
+      continue;
+    }
+    if (!co_await ops.TryLockPage(ptr, version)) {
+      ctx.restarts++;
+      continue;  // re-read the same bucket
+    }
+    const uint64_t locked = btree::WithLockBit(version);
+    std::memcpy(buf, &locked, 8);
+    KV kv = bucket.slot(i);
+    kv.value = value;
+    bucket.set_slot(i, kv);
+    co_await ops.WriteUnlockPage(ptr, buf);
+    co_return Status::OK();
+  }
+  co_return Status::NotFound();
+}
+
+sim::Task<uint64_t> DistributedHashIndex::LookupAll(nam::ClientContext& ctx,
+                                                    Key key,
+                                                    std::vector<Value>* out) {
+  RemoteOps ops(ctx);
+  uint8_t* buf = ctx.page_a();
+  rdma::RemotePtr ptr = HeadBucketFor(key);
+  uint64_t found = 0;
+  while (!ptr.is_null()) {
+    co_await ops.ReadPageUnlocked(ptr, buf);
+    BucketView bucket(buf);
+    for (uint32_t i = 0; i < bucket.count(); ++i) {
+      if (bucket.slot(i).key == key) {
+        if (out != nullptr) out->push_back(bucket.slot(i).value);
+        found++;
+      }
+    }
+    ptr = rdma::RemotePtr(bucket.overflow());
+  }
+  co_return found;
+}
+
+sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
+                                               Key key) {
+  RemoteOps ops(ctx);
+  uint8_t* buf = ctx.page_a();
+  rdma::RemotePtr ptr = HeadBucketFor(key);
+  while (!ptr.is_null()) {
+    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    BucketView bucket(buf);
+    const int32_t i = bucket.Find(key);
+    if (i < 0) {
+      ptr = rdma::RemotePtr(bucket.overflow());
+      continue;
+    }
+    if (!co_await ops.TryLockPage(ptr, version)) {
+      ctx.restarts++;
+      continue;
+    }
+    const uint64_t locked = btree::WithLockBit(version);
+    std::memcpy(buf, &locked, 8);
+    // In-place removal: swap the last slot down (hash order is arbitrary).
+    bucket.set_slot(static_cast<uint32_t>(i),
+                    bucket.slot(bucket.count() - 1));
+    bucket.set_count(bucket.count() - 1);
+    co_await ops.WriteUnlockPage(ptr, buf);
+    co_return Status::OK();
+  }
+  co_return Status::NotFound();
+}
+
+sim::Task<uint64_t> DistributedHashIndex::GarbageCollect(
+    nam::ClientContext& ctx) {
+  (void)ctx;
+  co_return 0;  // deletes are physical; nothing to reclaim
+}
+
+DistributedHashIndex::Report DistributedHashIndex::ValidateStructure() const {
+  Report report;
+  const uint64_t chain_limit = 1'000'000;  // cycle guard
+  for (uint32_t s = 0; s < cluster_.num_memory_servers(); ++s) {
+    rdma::MemoryRegion* region = cluster_.fabric().region(s);
+    for (uint64_t b = 0; b < buckets_per_server_; ++b) {
+      rdma::RemotePtr ptr =
+          rdma::RemotePtr::Make(s, base_offsets_[s] + b * kBucketBytes);
+      report.head_buckets++;
+      uint64_t hops = 0;
+      bool head = true;
+      while (!ptr.is_null()) {
+        if (++hops > chain_limit) {
+          report.violations.push_back("overflow chain cycle at server " +
+                                      std::to_string(s) + " bucket " +
+                                      std::to_string(b));
+          break;
+        }
+        if (ptr.server_id() != s ||
+            !region->Contains(ptr.offset(), kBucketBytes)) {
+          report.violations.push_back("bad bucket pointer " + ptr.ToString());
+          break;
+        }
+        BucketView bucket(region->at(ptr.offset()));
+        if (!head) report.overflow_buckets++;
+        if (btree::IsLocked(bucket.version())) {
+          report.violations.push_back("leaked lock at " + ptr.ToString());
+        }
+        if (bucket.count() > kSlotsPerBucket) {
+          report.violations.push_back("count over capacity at " +
+                                      ptr.ToString());
+          break;
+        }
+        for (uint32_t i = 0; i < bucket.count(); ++i) {
+          report.entries++;
+          const rdma::RemotePtr home = HeadBucketFor(bucket.slot(i).key);
+          if (home.server_id() != s ||
+              home.offset() != base_offsets_[s] + b * kBucketBytes) {
+            report.violations.push_back("misplaced key " +
+                                        std::to_string(bucket.slot(i).key));
+          }
+        }
+        ptr = rdma::RemotePtr(bucket.overflow());
+        head = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,204 @@
+#include "index/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::KV;
+using btree::Value;
+
+HybridIndex::HybridIndex(nam::Cluster& cluster, IndexConfig config)
+    : cluster_(cluster),
+      config_(config),
+      partitioner_(PartitionKind::kRange, cluster.num_memory_servers()),
+      rpc_service_(cluster.AllocateRpcService()) {}
+
+Status HybridIndex::BulkLoad(std::span<const KV> sorted) {
+  if (config_.partition == PartitionKind::kHash) {
+    return Status::Unsupported(
+        "hybrid upper levels require range partitioning (the leaf chain is "
+        "globally sorted)");
+  }
+
+  // Build the global fine-grained leaf level first.
+  LeafLevel::BuildResult leaves;
+  Status status =
+      LeafLevel::Build(cluster_.fabric(), sorted, config_, &leaves);
+  if (!status.ok()) return status;
+  first_leaf_ = leaves.first;
+
+  // Partition the *leaves* by entry weight and align the routing
+  // boundaries with the chosen leaf fences so no partition starts in the
+  // middle of a leaf's range.
+  const uint32_t servers = cluster_.num_memory_servers();
+  std::vector<double> weights = config_.partition_weights;
+  if (weights.size() != servers) {
+    weights.assign(servers, 1.0 / servers);
+  }
+  double total = 0;
+  for (double w : weights) total += w;
+
+  const size_t num_leaves = leaves.leaf_refs.size();
+  std::vector<size_t> first_leaf_of(servers, num_leaves);
+  std::vector<Key> boundaries;
+  double cumulative = 0;
+  size_t begin = 0;
+  for (uint32_t s = 0; s < servers; ++s) {
+    first_leaf_of[s] = begin;
+    cumulative += weights[s] / total;
+    size_t end = (s + 1 == servers)
+                     ? num_leaves
+                     : std::min<size_t>(
+                           num_leaves,
+                           static_cast<size_t>(cumulative *
+                                               static_cast<double>(num_leaves)));
+    if (end <= begin && begin < num_leaves) end = begin + 1;  // non-empty
+    if (s + 1 < servers) {
+      boundaries.push_back(end < num_leaves ? leaves.leaf_refs[end].low
+                                            : btree::kInfinityKey);
+    }
+    begin = end;
+  }
+  partitioner_.SetBoundaries(std::move(boundaries));
+
+  // Build each server's upper levels over its slice of leaf children.
+  trees_.clear();
+  for (uint32_t s = 0; s < servers; ++s) {
+    nam::MemoryServer& server = cluster_.memory_server(s);
+    trees_.push_back(std::make_unique<ServerTree>(server, config_.page_size));
+    const size_t lo = first_leaf_of[s];
+    const size_t hi = (s + 1 == servers) ? num_leaves : first_leaf_of[s + 1];
+    std::span<const ServerTree::ChildRef> slice(leaves.leaf_refs.data() + lo,
+                                                hi - lo);
+    if (slice.empty()) {
+      // Give empty partitions a single sentinel child: the last leaf of the
+      // previous partition, so chain chases still find every key.
+      slice = std::span<const ServerTree::ChildRef>(
+          leaves.leaf_refs.data() + (lo == 0 ? 0 : lo - 1), 1);
+    }
+    status = trees_[s]->BuildOverChildren(slice, config_.leaf_fill_percent);
+    if (!status.ok()) return status;
+    server.RegisterHandler(
+        rpc_service_, [this](nam::MemoryServer& srv, rdma::IncomingRpc rpc) {
+          return Handle(srv, std::move(rpc));
+        });
+  }
+  return Status::OK();
+}
+
+sim::Task<> HybridIndex::Handle(nam::MemoryServer& server,
+                                rdma::IncomingRpc rpc) {
+  co_await sim::Delay(cluster_.simulator(), server.RequestOverhead());
+  ServerTree& tree = *trees_[server.server_id()];
+  rdma::RpcResponse resp;
+
+  switch (rpc.request.op) {
+    case kFindLeaf: {
+      resp.arg0 = co_await tree.FindLeafChild(rpc.request.arg0);
+      resp.status = static_cast<uint16_t>(StatusCode::kOk);
+      break;
+    }
+    case kInstallSep: {
+      const Status status = co_await tree.InstallChildSeparator(
+          rpc.request.arg0, rpc.request.arg1);
+      resp.status = static_cast<uint16_t>(status.code());
+      break;
+    }
+    default:
+      resp.status = static_cast<uint16_t>(StatusCode::kUnsupported);
+      break;
+  }
+
+  cluster_.fabric().Respond(server.server_id(), rpc, std::move(resp));
+}
+
+sim::Task<rdma::RemotePtr> HybridIndex::FindLeaf(nam::ClientContext& ctx,
+                                                 Key key) {
+  rdma::RpcRequest req;
+  req.service = rpc_service_;
+  req.op = kFindLeaf;
+  req.arg0 = key;
+  ctx.round_trips++;
+  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
+      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  co_return rdma::RemotePtr(resp.arg0);
+}
+
+sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
+                                            Key key) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  RemoteOps ops(ctx);
+  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+}
+
+sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
+                                      std::vector<KV>* out) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, lo);
+  RemoteOps ops(ctx);
+  // The leaf chain is global, so one traversal covers the whole range even
+  // across partition boundaries (§5.2).
+  co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
+}
+
+sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
+                                      Value value) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  RemoteOps ops(ctx);
+  LeafLevel::SplitInfo split;
+  const Status status =
+      co_await LeafLevel::InsertAt(ops, leaf, key, value, &split);
+  if (!status.ok()) co_return status;
+  if (split.split) {
+    // Announce the new leaf to the memory server owning the separator's
+    // range (§5.2): it installs the key into its upper levels itself.
+    rdma::RpcRequest req;
+  req.service = rpc_service_;
+    req.op = kInstallSep;
+    req.arg0 = split.separator;
+    req.arg1 = split.right.raw();
+    ctx.round_trips++;
+    co_await cluster_.fabric().Call(
+        ctx.client_id(), partitioner_.ServerFor(split.separator),
+        std::move(req));
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> HybridIndex::Update(nam::ClientContext& ctx, Key key,
+                                      Value value) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  RemoteOps ops(ctx);
+  co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
+}
+
+sim::Task<uint64_t> HybridIndex::LookupAll(nam::ClientContext& ctx, Key key,
+                                           std::vector<Value>* out) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  RemoteOps ops(ctx);
+  co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
+}
+
+sim::Task<Status> HybridIndex::Delete(nam::ClientContext& ctx, Key key) {
+  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  RemoteOps ops(ctx);
+  co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
+}
+
+sim::Task<uint64_t> HybridIndex::GarbageCollect(nam::ClientContext& ctx) {
+  // Global leaf GC from the compute server (one-sided; §5.2 notes it needs
+  // no synchronization with the servers' local upper-level maintenance).
+  RemoteOps ops(ctx);
+  uint64_t reclaimed = co_await LeafLevel::CompactChain(ops, first_leaf_);
+  if (config_.gc_merge_fill_percent > 0) {
+    // Page merges/unlinks are counted separately from entry reclaims.
+    (void)co_await LeafLevel::RebalanceChain(ops, first_leaf_,
+                                             config_.gc_merge_fill_percent);
+  }
+  co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
+                                       config_.head_node_interval);
+  co_return reclaimed;
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,74 @@
+#ifndef NAMTREE_INDEX_HYBRID_H_
+#define NAMTREE_INDEX_HYBRID_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "index/leaf_level.h"
+#include "index/partition.h"
+#include "index/remote_ops.h"
+#include "index/server_tree.h"
+#include "nam/cluster.h"
+
+namespace namtree::index {
+
+/// Design 3 (paper §5): hybrid scheme.
+///
+/// The upper levels (root + inner nodes) are range-partitioned across the
+/// memory servers and traversed by RPC (two-sided, low latency); the leaf
+/// level is one global fine-grained chain scattered round-robin over all
+/// servers and accessed one-sided (aggregated bandwidth, skew-immune).
+/// Lookups: one RPC that returns a leaf remote pointer, then RDMA READs.
+/// Inserts: RPC for the pointer, one-sided leaf insert; on a split an extra
+/// RPC installs the separator into the owning server's upper levels.
+class HybridIndex : public DistributedIndex {
+ public:
+  enum Op : uint16_t {
+    kFindLeaf = 1,
+    kInstallSep = 2,
+  };
+
+  HybridIndex(nam::Cluster& cluster, IndexConfig config);
+
+  Status BulkLoad(std::span<const btree::KV> sorted) override;
+
+  sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
+                                 btree::Key key) override;
+  sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
+                           btree::Key hi,
+                           std::vector<btree::KV>* out) override;
+  sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,
+                           btree::Value value) override;
+  sim::Task<uint64_t> LookupAll(nam::ClientContext& ctx, btree::Key key,
+                                std::vector<btree::Value>* out) override;
+  sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
+  sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
+
+  std::string name() const override { return "hybrid"; }
+  uint32_t page_size() const override { return config_.page_size; }
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  rdma::RemotePtr first_leaf() const { return first_leaf_; }
+  ServerTree& tree(uint32_t server) { return *trees_[server]; }
+
+ private:
+  sim::Task<> Handle(nam::MemoryServer& server, rdma::IncomingRpc rpc);
+
+  /// RPC to the owner of `key` returning a candidate leaf pointer.
+  sim::Task<rdma::RemotePtr> FindLeaf(nam::ClientContext& ctx,
+                                      btree::Key key);
+
+  nam::Cluster& cluster_;
+  IndexConfig config_;
+  Partitioner partitioner_;
+  uint16_t rpc_service_;
+  std::vector<std::unique_ptr<ServerTree>> trees_;
+  rdma::RemotePtr first_leaf_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_HYBRID_H_

@@ -1,0 +1,121 @@
+#ifndef NAMTREE_INDEX_INDEX_H_
+#define NAMTREE_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "btree/types.h"
+#include "common/status.h"
+#include "nam/cluster.h"
+#include "sim/task.h"
+
+namespace namtree::index {
+
+/// How the key space is assigned to memory servers in the coarse-grained
+/// and hybrid designs (paper §2.2 / Table 2).
+enum class PartitionKind {
+  kRange,
+  kHash,
+};
+
+/// Tuning knobs shared by all index designs.
+struct IndexConfig {
+  /// Index node (page) size in bytes; the paper's default is 1024 (Table 1).
+  uint32_t page_size = 1024;
+
+  /// Install a head node after every `head_node_interval` real leaves
+  /// (paper §4.3); 0 disables head nodes. Only meaningful for designs with
+  /// a fine-grained leaf level (FG, hybrid).
+  uint32_t head_node_interval = 16;
+
+  /// Partitioning scheme for the coarse-grained / hybrid upper levels.
+  PartitionKind partition = PartitionKind::kRange;
+
+  /// Fraction of the data assigned to each memory server under range
+  /// partitioning. Empty = uniform. The paper's attribute-value-skew setup
+  /// uses {0.80, 0.12, 0.05, 0.03} (§6.1).
+  std::vector<double> partition_weights;
+
+  /// Bulk-load fill factor of leaf pages, percent.
+  uint32_t leaf_fill_percent = 90;
+
+  /// Epoch rebalancing (paper §3.2/§4.2: GC "removing and re-balancing the
+  /// index in regular intervals"): during GarbageCollect of designs with a
+  /// one-sided leaf level, merge adjacent leaves whose combined live
+  /// entries fit within this percentage of a page (0 disables).
+  uint32_t gc_merge_fill_percent = 70;
+
+  /// Appendix A.4 extension: per-client cache of inner-node images used by
+  /// the fine-grained design to skip remote reads during traversal
+  /// (0 = disabled). Stale images are safe (B-link sibling chase recovers);
+  /// `client_cache_ttl` bounds the staleness window.
+  uint32_t client_cache_pages = 0;
+  SimTime client_cache_ttl = 2 * kMillisecond;
+};
+
+/// Outcome of a point query.
+struct LookupResult {
+  bool found = false;
+  btree::Value value = 0;
+};
+
+/// The common interface of the distributed index designs (the paper's
+/// Designs 1-3, the design-matrix completion, and the hash baseline). All
+/// data-path operations are coroutines running in simulated time on behalf
+/// of one compute-server client.
+class DistributedIndex {
+ public:
+  virtual ~DistributedIndex() = default;
+
+  /// Builds the index over `sorted` (ascending by key) at setup time
+  /// (outside simulated time). Must be called once, before any operation.
+  virtual Status BulkLoad(std::span<const btree::KV> sorted) = 0;
+
+  /// Point query: any live entry with `key` (workload A).
+  virtual sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
+                                         btree::Key key) = 0;
+
+  /// Range query over [lo, hi) (workload B). Appends hits to `out` when it
+  /// is non-null; returns the match count either way.
+  virtual sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
+                                   btree::Key hi,
+                                   std::vector<btree::KV>* out) = 0;
+
+  /// Inserts (key, value); duplicates allowed (workloads C/D).
+  virtual sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
+                                   btree::Value value) = 0;
+
+  /// Overwrites the value of the first live entry with `key` in place
+  /// (original YCSB's update operation). Returns NotFound when the key has
+  /// no live entry.
+  virtual sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,
+                                   btree::Value value) = 0;
+
+  /// Collects the values of *all* live entries with `key` (non-unique
+  /// secondary index semantics). Returns the number found.
+  virtual sim::Task<uint64_t> LookupAll(nam::ClientContext& ctx,
+                                        btree::Key key,
+                                        std::vector<btree::Value>* out) = 0;
+
+  /// Tombstones one live entry with `key` (removed later by epoch GC).
+  virtual sim::Task<Status> Delete(nam::ClientContext& ctx,
+                                   btree::Key key) = 0;
+
+  /// One epoch-GC pass: leaf compaction, and for designs with a one-sided
+  /// leaf level also rebalancing (merge underfull pages) and head-node
+  /// rebuilds. Runs as the design prescribes: on the memory servers for
+  /// CG, from a compute client for FG leaves. Returns reclaimed entries.
+  virtual sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) = 0;
+
+  /// Human-readable design name ("coarse-grained", ...).
+  virtual std::string name() const = 0;
+
+  /// Index page size (clients size their scratch buffers from this).
+  virtual uint32_t page_size() const = 0;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_INDEX_H_

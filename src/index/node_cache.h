@@ -1,0 +1,116 @@
+#ifndef NAMTREE_INDEX_NODE_CACHE_H_
+#define NAMTREE_INDEX_NODE_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace namtree::index {
+
+/// Client-side cache of (inner) index-node images, the Appendix A.4
+/// extension: compute servers keep copies of hot index nodes to skip remote
+/// reads during traversal.
+///
+/// Invalidation is epoch-based: an entry older than `ttl` is discarded on
+/// access (the appendix observes that precise invalidation is the hard
+/// problem; a TTL bounds the staleness window instead). Stale images are
+/// *safe* in a B-link tree — they can only route a traversal to a node
+/// whose key range has since shrunk, and the sibling chase recovers — so
+/// staleness costs extra hops, never correctness.
+///
+/// Eviction is LRU over a fixed page budget.
+class NodeCache {
+ public:
+  NodeCache(uint32_t page_size, size_t capacity_pages, SimTime ttl)
+      : page_size_(page_size), capacity_(capacity_pages), ttl_(ttl) {}
+
+  uint32_t page_size() const { return page_size_; }
+  size_t capacity() const { return capacity_; }
+  SimTime ttl() const { return ttl_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t expirations() const { return expirations_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Returns the cached image for `ptr_raw` (valid until the next cache
+  /// mutation) or nullptr on miss/expiry.
+  const uint8_t* Get(uint64_t ptr_raw, SimTime now) {
+    auto it = entries_.find(ptr_raw);
+    if (it == entries_.end()) {
+      misses_++;
+      return nullptr;
+    }
+    if (ttl_ > 0 && now - it->second.loaded_at > ttl_) {
+      expirations_++;
+      misses_++;
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+      return nullptr;
+    }
+    hits_++;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.image.data();
+  }
+
+  /// Inserts/overwrites the image for `ptr_raw`, evicting the LRU entry
+  /// when over budget.
+  void Put(uint64_t ptr_raw, const uint8_t* image, SimTime now) {
+    if (capacity_ == 0) return;
+    auto it = entries_.find(ptr_raw);
+    if (it != entries_.end()) {
+      std::memcpy(it->second.image.data(), image, page_size_);
+      it->second.loaded_at = now;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      const uint64_t victim = lru_.back();
+      lru_.pop_back();
+      entries_.erase(victim);
+    }
+    Entry entry;
+    entry.image.assign(image, image + page_size_);
+    entry.loaded_at = now;
+    lru_.push_front(ptr_raw);
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(ptr_raw, std::move(entry));
+  }
+
+  /// Drops one entry (e.g. after this client split that node itself).
+  void Invalidate(uint64_t ptr_raw) {
+    auto it = entries_.find(ptr_raw);
+    if (it == entries_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> image;
+    SimTime loaded_at = 0;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  uint32_t page_size_;
+  size_t capacity_;
+  SimTime ttl_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t expirations_ = 0;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_NODE_CACHE_H_

@@ -1,0 +1,90 @@
+#include "index/remote_ops.h"
+
+#include <cstring>
+
+#include "btree/types.h"
+
+namespace namtree::index {
+
+using btree::IsLocked;
+using btree::WithLockBit;
+
+sim::Task<void> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
+  ctx_->round_trips++;
+  co_await fabric().Read(ctx_->client_id(), ptr, buf, page_size());
+}
+
+sim::Task<uint64_t> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
+                                                uint8_t* buf) {
+  for (;;) {
+    co_await ReadPage(ptr, buf);
+    uint64_t version;
+    std::memcpy(&version, buf + btree::kVersionOffset, 8);
+    if (!IsLocked(version)) co_return version;
+    ctx_->lock_waits++;
+    co_await sim::Delay(fabric().simulator(), fabric().config().lock_retry_ns);
+  }
+}
+
+sim::Task<bool> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
+                                       uint64_t version) {
+  ctx_->round_trips++;
+  const uint64_t old = co_await fabric().CompareAndSwap(
+      ctx_->client_id(), ptr.Plus(btree::kVersionOffset), version,
+      WithLockBit(version));
+  co_return old == version;
+}
+
+sim::Task<uint64_t> RemoteOps::LockPage(rdma::RemotePtr ptr, uint8_t* buf) {
+  for (;;) {
+    const uint64_t version = co_await ReadPageUnlocked(ptr, buf);
+    if (co_await TryLockPage(ptr, version)) {
+      // Keep the local image consistent with the now-locked remote word so
+      // a later WriteUnlockPage does not transiently clear the lock bit.
+      const uint64_t locked = WithLockBit(version);
+      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+      co_return version;
+    }
+    ctx_->restarts++;
+  }
+}
+
+sim::Task<void> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
+                                           const uint8_t* buf) {
+#ifndef NDEBUG
+  uint64_t word;
+  std::memcpy(&word, buf + btree::kVersionOffset, 8);
+  assert(IsLocked(word) && "image must carry the lock bit until the FAA");
+#endif
+  ctx_->round_trips += 2;
+  co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+  co_await fabric().FetchAndAdd(ctx_->client_id(),
+                                ptr.Plus(btree::kVersionOffset), 1);
+}
+
+sim::Task<void> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
+  ctx_->round_trips++;
+  co_await fabric().FetchAndAdd(ctx_->client_id(),
+                                ptr.Plus(btree::kVersionOffset), 1);
+}
+
+sim::Task<rdma::RemotePtr> RemoteOps::AllocPage(uint32_t server) {
+  const rdma::RemotePtr cursor =
+      rdma::RemotePtr::Make(server, rdma::MemoryRegion::kAllocCursorOffset);
+  ctx_->round_trips++;
+  const uint64_t offset = co_await fabric().FetchAndAdd(
+      ctx_->client_id(), cursor, page_size());
+  if (offset + page_size() > fabric().region(server)->capacity()) {
+    co_return rdma::RemotePtr::Null();
+  }
+  co_return rdma::RemotePtr::Make(server, offset);
+}
+
+sim::Task<rdma::RemotePtr> RemoteOps::AllocPageRoundRobin() {
+  const uint32_t servers = fabric().num_memory_servers();
+  const uint32_t server = ctx_->alloc_rr % servers;
+  ctx_->alloc_rr++;
+  co_return co_await AllocPage(server);
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,70 @@
+#ifndef NAMTREE_INDEX_REMOTE_OPS_H_
+#define NAMTREE_INDEX_REMOTE_OPS_H_
+
+#include <cstdint>
+
+#include "btree/page.h"
+#include "nam/cluster.h"
+#include "rdma/fabric.h"
+#include "rdma/memory_region.h"
+#include "rdma/remote_ptr.h"
+#include "sim/task.h"
+
+namespace namtree::index {
+
+/// The one-sided page protocol of the fine-grained design (paper Listing 4):
+/// remote reads with a remote spinlock on the version word, lock upgrade via
+/// RDMA CAS, unlock-with-writeback via RDMA WRITE + FETCH_AND_ADD, and
+/// remote page allocation via FETCH_AND_ADD on the region's allocation
+/// cursor (RDMA_ALLOC).
+///
+/// A RemoteOps instance is a thin, per-client facade over the fabric; it
+/// charges every verb to `ctx` for round-trip accounting.
+class RemoteOps {
+ public:
+  explicit RemoteOps(nam::ClientContext& ctx) : ctx_(&ctx) {}
+
+  nam::ClientContext& ctx() { return *ctx_; }
+  rdma::Fabric& fabric() { return ctx_->fabric(); }
+  uint32_t page_size() const { return ctx_->page_size(); }
+
+  /// remote_read: one RDMA READ of a full page into `buf`.
+  sim::Task<void> ReadPage(rdma::RemotePtr ptr, uint8_t* buf);
+
+  /// remote_readLockOrRestart + remote_awaitNodeUnlocked: reads the page,
+  /// re-reading (remote spinlock) while the lock bit is set. Returns the
+  /// version word of the returned consistent image.
+  sim::Task<uint64_t> ReadPageUnlocked(rdma::RemotePtr ptr, uint8_t* buf);
+
+  /// remote_upgradeToWriteLockOrRestart: RDMA CAS(version -> version|1).
+  /// True when the lock was acquired.
+  sim::Task<bool> TryLockPage(rdma::RemotePtr ptr, uint64_t version);
+
+  /// Spin variant: read-unlocked + CAS until the lock is held. On return,
+  /// `buf` holds the locked image (its version word includes the lock bit)
+  /// and the pre-lock version word is returned.
+  sim::Task<uint64_t> LockPage(rdma::RemotePtr ptr, uint8_t* buf);
+
+  /// remote_writeUnlock: installs the modified local image (which must
+  /// still carry the lock bit) with an RDMA WRITE, then releases the lock
+  /// with FETCH_AND_ADD(+1), bumping the version.
+  sim::Task<void> WriteUnlockPage(rdma::RemotePtr ptr, const uint8_t* buf);
+
+  /// Releases a lock without content changes (FAA only).
+  sim::Task<void> UnlockPage(rdma::RemotePtr ptr);
+
+  /// RDMA_ALLOC on a specific server. Returns a null pointer when the
+  /// region is exhausted.
+  sim::Task<rdma::RemotePtr> AllocPage(uint32_t server);
+
+  /// RDMA_ALLOC scattering allocations over all memory servers round-robin
+  /// (keeps the fine-grained distribution property under splits).
+  sim::Task<rdma::RemotePtr> AllocPageRoundRobin();
+
+ private:
+  nam::ClientContext* ctx_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_REMOTE_OPS_H_

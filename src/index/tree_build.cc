@@ -1,0 +1,70 @@
+#include "index/tree_build.h"
+
+#include <algorithm>
+
+#include "btree/page.h"
+#include "btree/types.h"
+
+namespace namtree::index {
+
+using btree::kInfinityKey;
+using btree::PageView;
+
+Status BuildUpperLevels(rdma::Fabric& fabric,
+                        std::vector<ServerTree::ChildRef> level_nodes,
+                        uint32_t page_size, uint32_t fill_percent,
+                        int32_t fixed_server, rdma::RemotePtr* root,
+                        uint8_t* root_level) {
+  const uint32_t servers = fabric.num_memory_servers();
+  const uint32_t inner_fill = std::max<uint32_t>(
+      2, PageView::InnerKeyCapacity(page_size) * fill_percent / 100);
+
+  uint8_t level = 0;
+  uint32_t rr = 1;  // offset the round-robin so inner levels interleave
+  while (level_nodes.size() > 1) {
+    level++;
+    std::vector<ServerTree::ChildRef> upper;
+    size_t j = 0;
+    uint8_t* prev = nullptr;
+    while (j < level_nodes.size()) {
+      rdma::RemotePtr ptr;
+      if (fixed_server >= 0) {
+        ptr = fabric.region(static_cast<uint32_t>(fixed_server))
+                  ->AllocateLocal(page_size);
+      } else {
+        for (uint32_t attempt = 0; attempt < servers; ++attempt) {
+          ptr = fabric.region(rr % servers)->AllocateLocal(page_size);
+          rr++;
+          if (!ptr.is_null()) break;
+        }
+      }
+      if (ptr.is_null()) return Status::OutOfMemory("inner level build");
+      uint8_t* data = fabric.region(ptr.server_id())->at(ptr.offset());
+      PageView inner(data, page_size);
+      inner.InitInner(level, kInfinityKey, 0);
+      const size_t children =
+          std::min<size_t>(inner_fill + 1, level_nodes.size() - j);
+      inner.inner_children()[0] = level_nodes[j].raw_ptr;
+      for (size_t c = 1; c < children; ++c) {
+        inner.inner_keys()[c - 1] = level_nodes[j + c].low;
+        inner.inner_children()[c] = level_nodes[j + c].raw_ptr;
+      }
+      inner.header().count = static_cast<uint16_t>(children - 1);
+      if (prev != nullptr) {
+        PageView prev_view(prev, page_size);
+        prev_view.header().right_sibling = ptr.raw();
+        prev_view.header().high_key = level_nodes[j].low;
+      }
+      upper.push_back({level_nodes[j].low, ptr.raw()});
+      prev = data;
+      j += children;
+    }
+    level_nodes.swap(upper);
+  }
+
+  *root = rdma::RemotePtr(level_nodes[0].raw_ptr);
+  *root_level = level;
+  return Status::OK();
+}
+
+}  // namespace namtree::index

@@ -1,0 +1,26 @@
+#ifndef NAMTREE_INDEX_TREE_BUILD_H_
+#define NAMTREE_INDEX_TREE_BUILD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/server_tree.h"
+#include "rdma/fabric.h"
+#include "rdma/remote_ptr.h"
+
+namespace namtree::index {
+
+/// Builds the inner levels of a one-sided B-link tree over an already built
+/// leaf level at setup time (direct region writes). Inner nodes are
+/// scattered round-robin over all memory servers, or placed entirely on
+/// `fixed_server` when >= 0 (coarse-grained one-sided partitions).
+Status BuildUpperLevels(rdma::Fabric& fabric,
+                        std::vector<ServerTree::ChildRef> level_nodes,
+                        uint32_t page_size, uint32_t fill_percent,
+                        int32_t fixed_server, rdma::RemotePtr* root,
+                        uint8_t* root_level);
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_TREE_BUILD_H_

@@ -1,0 +1,105 @@
+#include "model/scalability.h"
+
+#include <cmath>
+
+namespace namtree::model {
+
+namespace {
+
+double LogBase(double x, double base) { return std::log(x) / std::log(base); }
+
+}  // namespace
+
+double ModelParams::HeightFineGrained() const {
+  return std::ceil(LogBase(Leaves(), Fanout()));
+}
+
+double ModelParams::HeightCoarseUniform() const {
+  return std::ceil(LogBase(Leaves() / num_servers, Fanout()));
+}
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFineGrained:
+      return "fine-grained";
+    case Scheme::kCoarseRange:
+      return "coarse-grained-range";
+    case Scheme::kCoarseHash:
+      return "coarse-grained-hash";
+  }
+  return "?";
+}
+
+const char* DistributionName(Distribution dist) {
+  return dist == Distribution::kUniform ? "uniform" : "skew";
+}
+
+double AvailableBandwidth(const ModelParams& p, Scheme scheme,
+                          Distribution dist) {
+  // Table 2 step (1): FG always farms requests over all servers thanks to
+  // the round-robin node placement; CG collapses to 1 x BW under
+  // attribute-value skew.
+  if (scheme == Scheme::kFineGrained || dist == Distribution::kUniform) {
+    return p.num_servers * p.bandwidth;
+  }
+  return p.bandwidth;
+}
+
+double PointQueryBytes(const ModelParams& p, Scheme scheme, Distribution dist,
+                       double z) {
+  const double P = p.page_size;
+  double height = 0;
+  switch (scheme) {
+    case Scheme::kFineGrained:
+      height = p.HeightFineGrained();
+      break;
+    case Scheme::kCoarseRange:
+    case Scheme::kCoarseHash:
+      height = dist == Distribution::kUniform ? p.HeightCoarseUniform()
+                                              : p.HeightCoarseSkew();
+      break;
+  }
+  // Table 2 step (2), point rows: H*P (uniform, sel = 1/L) or H*P + z*P
+  // (skew, sel = z/L).
+  if (dist == Distribution::kUniform) return height * P;
+  return height * P + z * P;
+}
+
+double RangeQueryBytes(const ModelParams& p, Scheme scheme, Distribution dist,
+                       double s, double z) {
+  const double P = p.page_size;
+  const double L = p.Leaves();
+  const double sel = dist == Distribution::kUniform ? s : s * z;
+  double traversal = 0;
+  switch (scheme) {
+    case Scheme::kFineGrained:
+      traversal = p.HeightFineGrained() * P;
+      break;
+    case Scheme::kCoarseRange:
+      traversal = (dist == Distribution::kUniform ? p.HeightCoarseUniform()
+                                                  : p.HeightCoarseSkew()) *
+                  P;
+      break;
+    case Scheme::kCoarseHash:
+      // Hash partitioning must traverse the index on all S servers.
+      traversal = (dist == Distribution::kUniform ? p.HeightCoarseUniform()
+                                                  : p.HeightCoarseSkew()) *
+                  P * p.num_servers;
+      break;
+  }
+  return traversal + sel * L * P;
+}
+
+double MaxThroughputPoint(const ModelParams& p, Scheme scheme,
+                          Distribution dist, double z) {
+  return AvailableBandwidth(p, scheme, dist) /
+         PointQueryBytes(p, scheme, dist, z);
+}
+
+double MaxThroughputRange(const ModelParams& p, Scheme scheme,
+                          Distribution dist, double s, double z) {
+  return AvailableBandwidth(p, scheme, dist) /
+         RangeQueryBytes(p, scheme, dist, s, z);
+}
+
+}  // namespace namtree::model

@@ -1,0 +1,77 @@
+#ifndef NAMTREE_MODEL_SCALABILITY_H_
+#define NAMTREE_MODEL_SCALABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace namtree::model {
+
+/// The symbols of the paper's scalability analysis (Table 1), initialised
+/// to the example column.
+struct ModelParams {
+  double num_servers = 4;        ///< S: # of memory servers
+  double bandwidth = 50e9;       ///< BW: bytes/s per memory server
+  double page_size = 1024;       ///< P: bytes per index node
+  double data_size = 100e6;      ///< D: # of tuples
+  double key_size = 8;           ///< K: bytes (same as value/pointer size)
+
+  /// M = P / (3K): fanout per index node (Table 1).
+  double Fanout() const { return page_size / (3.0 * key_size); }
+
+  /// L = D / M: number of leaf nodes.
+  double Leaves() const { return data_size / Fanout(); }
+
+  /// H_FG = ceil(log_M(L)): index height of the fine-grained (global)
+  /// index; also the skewed-case height of the coarse-grained index.
+  double HeightFineGrained() const;
+
+  /// H_CG(uniform) = ceil(log_M(L / S)).
+  double HeightCoarseUniform() const;
+
+  /// H_CG(skew) = H_FG (most leaves end up on one server).
+  double HeightCoarseSkew() const { return HeightFineGrained(); }
+};
+
+/// The index design / distribution-scheme axis of Table 2.
+enum class Scheme {
+  kFineGrained,   ///< FG, one-sided
+  kCoarseRange,   ///< CG two-sided, range partitioned
+  kCoarseHash,    ///< CG two-sided, hash partitioned
+};
+
+/// Workload distribution axis.
+enum class Distribution {
+  kUniform,
+  kSkew,
+};
+
+const char* SchemeName(Scheme scheme);
+const char* DistributionName(Distribution dist);
+
+/// Step (1) in Table 2: total effectively available aggregated bandwidth in
+/// bytes/s. Under skew the coarse-grained schemes collapse to one server's
+/// bandwidth.
+double AvailableBandwidth(const ModelParams& p, Scheme scheme,
+                          Distribution dist);
+
+/// Step (2): per-query bandwidth requirement of a point query, in bytes.
+/// `z` is the skew read-amplification factor (z leaf pages are read instead
+/// of one; the paper's example uses z = 10).
+double PointQueryBytes(const ModelParams& p, Scheme scheme, Distribution dist,
+                       double z);
+
+/// Step (2): per-query bandwidth requirement of a range query with
+/// selectivity `s` (fraction of leaves read); skewed workloads read
+/// s * z leaves.
+double RangeQueryBytes(const ModelParams& p, Scheme scheme, Distribution dist,
+                       double s, double z);
+
+/// Step (3): theoretical maximal throughput in queries/s (Figure 3).
+double MaxThroughputPoint(const ModelParams& p, Scheme scheme,
+                          Distribution dist, double z);
+double MaxThroughputRange(const ModelParams& p, Scheme scheme,
+                          Distribution dist, double s, double z);
+
+}  // namespace namtree::model
+
+#endif  // NAMTREE_MODEL_SCALABILITY_H_

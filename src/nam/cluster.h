@@ -1,0 +1,106 @@
+#ifndef NAMTREE_NAM_CLUSTER_H_
+#define NAMTREE_NAM_CLUSTER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "nam/memory_server.h"
+#include "rdma/fabric.h"
+#include "rdma/fabric_config.h"
+#include "sim/simulator.h"
+
+namespace namtree::nam {
+
+/// A complete simulated NAM deployment: the event simulator, the RDMA
+/// fabric, and `num_memory_servers` memory servers with registered regions.
+/// Compute clients are plain coroutines identified by a client id; create
+/// a `ClientContext` per client.
+class Cluster {
+ public:
+  Cluster(const rdma::FabricConfig& config, uint64_t region_bytes_per_server)
+      : fabric_(simulator_, config) {
+    for (uint32_t s = 0; s < config.num_memory_servers; ++s) {
+      memory_servers_.push_back(
+          std::make_unique<MemoryServer>(fabric_, s, region_bytes_per_server));
+    }
+  }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  rdma::Fabric& fabric() { return fabric_; }
+  const rdma::FabricConfig& config() const { return fabric_.config(); }
+
+  uint32_t num_memory_servers() const {
+    return static_cast<uint32_t>(memory_servers_.size());
+  }
+  MemoryServer& memory_server(uint32_t s) { return *memory_servers_[s]; }
+
+  /// Hands out a cluster-unique RPC service id (memory servers route
+  /// requests to the matching registered handler, so several RPC-based
+  /// indexes can share the cluster).
+  uint16_t AllocateRpcService() { return next_rpc_service_++; }
+
+  /// Hands out a cluster-unique catalog slot (per-server 8-byte metadata
+  /// word, e.g. a root pointer). Aborts when the catalog is full.
+  uint32_t AllocateCatalogSlot() {
+    const uint32_t slot = next_catalog_slot_++;
+    assert(slot < rdma::MemoryRegion::kCatalogSlots && "catalog exhausted");
+    return slot;
+  }
+
+ private:
+  sim::Simulator simulator_;
+  rdma::Fabric fabric_;
+  std::vector<std::unique_ptr<MemoryServer>> memory_servers_;
+  uint16_t next_rpc_service_ = 1;  // 0 = the single-service default
+  uint32_t next_catalog_slot_ = 0;
+};
+
+/// Per-client state for index operations issued from a compute server:
+/// scratch page buffers for one-sided reads, a private RNG, and verb/latency
+/// accounting.
+class ClientContext {
+ public:
+  ClientContext(uint32_t client_id, rdma::Fabric& fabric, uint32_t page_size,
+                uint64_t seed = 42)
+      : client_id_(client_id),
+        fabric_(&fabric),
+        rng_(seed ^ (0x5851F42D4C957F2Dull * (client_id + 1))),
+        page_buf_a_(page_size),
+        page_buf_b_(page_size) {}
+
+  uint32_t client_id() const { return client_id_; }
+  rdma::Fabric& fabric() { return *fabric_; }
+  Rng& rng() { return rng_; }
+
+  uint8_t* page_a() { return page_buf_a_.data(); }
+  uint8_t* page_b() { return page_buf_b_.data(); }
+  uint32_t page_size() const {
+    return static_cast<uint32_t>(page_buf_a_.size());
+  }
+
+  // ---- Per-client accounting (reset between measurement intervals) -------
+  uint64_t round_trips = 0;  ///< network round trips issued
+  uint64_t restarts = 0;     ///< optimistic protocol restarts
+  uint64_t lock_waits = 0;   ///< remote spinlock re-reads
+
+  /// Round-robin cursor for remote page allocation (fine-grained splits
+  /// scatter new nodes over all memory servers).
+  uint32_t alloc_rr = 0;
+
+ private:
+  uint32_t client_id_;
+  rdma::Fabric* fabric_;
+  Rng rng_;
+  std::vector<uint8_t> page_buf_a_;
+  std::vector<uint8_t> page_buf_b_;
+};
+
+}  // namespace namtree::nam
+
+#endif  // NAMTREE_NAM_CLUSTER_H_

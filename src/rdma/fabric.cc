@@ -1,0 +1,390 @@
+#include "rdma/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace namtree::rdma {
+
+namespace {
+
+// Modeled wire sizes of verb envelopes (request headers, acks).
+constexpr uint32_t kReadRequestBytes = 16;
+constexpr uint32_t kWriteHeaderBytes = 16;
+constexpr uint32_t kAtomicRequestBytes = 32;
+constexpr uint32_t kAtomicResponseBytes = 16;
+constexpr uint32_t kAckBytes = 8;
+
+}  // namespace
+
+Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
+    : simulator_(simulator), config_(config), jitter_rng_(config.jitter_seed) {
+  memory_servers_.reserve(config_.num_memory_servers);
+  for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
+    memory_servers_.emplace_back(simulator_,
+                                 config_.link_bandwidth_bytes_per_sec);
+  }
+  local_bus_.resize(config_.NumMemoryMachines());
+  for (auto& bus : local_bus_) {
+    bus = std::make_unique<sim::Link>(config_.local_bandwidth_bytes_per_sec);
+  }
+}
+
+void Fabric::RegisterRegion(uint32_t server_id, MemoryRegion* region) {
+  assert(server_id < memory_servers_.size());
+  memory_servers_[server_id].region = region;
+}
+
+void Fabric::SetNumClients(uint32_t n) {
+  num_clients_ = n;
+  const uint32_t machines =
+      (n + config_.clients_per_compute_machine - 1) /
+      config_.clients_per_compute_machine;
+  while (compute_machines_.size() < machines) {
+    compute_machines_.push_back(std::make_unique<ComputeEndpoint>(
+        config_.link_bandwidth_bytes_per_sec));
+  }
+}
+
+Fabric::ComputeEndpoint& Fabric::ComputeFor(uint32_t client) {
+  const uint32_t machine = ClientMachine(client);
+  while (compute_machines_.size() <= machine) {
+    compute_machines_.push_back(std::make_unique<ComputeEndpoint>(
+        config_.link_bandwidth_bytes_per_sec));
+  }
+  return *compute_machines_[machine];
+}
+
+uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
+  assert(!ptr.is_null());
+  MemoryServerEndpoint& ep = memory_servers_[ptr.server_id()];
+  assert(ep.region != nullptr && "verb against unregistered region");
+  assert(ep.region->Contains(ptr.offset(), len));
+  (void)len;
+  return ep.region->at(ptr.offset());
+}
+
+namespace {
+sim::Task<> SetEventTask(sim::Simulator& simulator, SimTime t,
+                         sim::SimEvent* event) {
+  co_await sim::DelayUntil(simulator, t);
+  event->Set();
+}
+}  // namespace
+
+void Fabric::SetEventAt(SimTime t, sim::SimEvent* event) {
+  sim::Spawn(simulator_, SetEventTask(simulator_, t, event));
+}
+
+sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
+                             uint32_t len) {
+  MemoryServerEndpoint& server = memory_servers_[src.server_id()];
+  uint8_t* remote = TargetAddress(src, len);
+
+  if (IsLocal(client, src.server_id())) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(src.server_id()));
+    const SimTime done = bus.ReserveTransfer(
+        simulator_.now() + config_.local_latency_ns, len);
+    co_await sim::DelayUntil(simulator_, done);
+    std::memcpy(dst, remote, len);
+    co_return;
+  }
+
+  ComputeEndpoint& compute = ComputeFor(client);
+  const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+  const SimTime t_req_out = compute.tx.ReserveTransfer(t_post,
+                                                       kReadRequestBytes);
+  const SimTime t_arrive = t_req_out + WireLatency();
+  const SimTime t_effect =
+      server.engine.ReserveOccupancy(
+          t_arrive, EngineCost(src.server_id(), config_.onesided_engine_ns));
+  server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
+
+  server.reads++;
+  co_await sim::DelayUntil(simulator_, t_effect);
+  std::memcpy(dst, remote, len);
+
+  const SimTime t_tx = server.tx.ReserveTransfer(t_effect, len);
+  const SimTime first_byte_at_client =
+      t_tx - server.tx.TransferDuration(len) + WireLatency();
+  const SimTime done = compute.rx.ReserveArrival(first_byte_at_client, len);
+  co_await sim::DelayUntil(simulator_, done);
+}
+
+sim::Task<void> Fabric::ReadBatch(uint32_t client,
+                                  std::vector<ReadRequest> requests) {
+  if (requests.empty()) co_return;
+
+  struct Pending {
+    SimTime effect;
+    SimTime done;
+    size_t index;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(requests.size());
+
+  ComputeEndpoint& compute = ComputeFor(client);
+  // One doorbell for the whole chain; only the final verb is signaled.
+  const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+  SimTime overall_done = t_post;
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ReadRequest& r = requests[i];
+    if (IsLocal(client, r.src.server_id())) {
+      sim::Link& bus = LocalBus(config_.MemoryServerMachine(r.src.server_id()));
+      const SimTime done = bus.ReserveTransfer(
+          simulator_.now() + config_.local_latency_ns, r.len);
+      pending.push_back({done, done, i});
+      overall_done = std::max(overall_done, done);
+      continue;
+    }
+    MemoryServerEndpoint& server = memory_servers_[r.src.server_id()];
+    const SimTime t_req_out =
+        compute.tx.ReserveTransfer(t_post, kReadRequestBytes);
+    const SimTime t_arrive = t_req_out + WireLatency();
+    const SimTime t_effect = server.engine.ReserveOccupancy(
+        t_arrive,
+        EngineCost(r.src.server_id(), config_.unsignaled_engine_ns));
+    server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
+    server.reads++;
+    const SimTime t_tx = server.tx.ReserveTransfer(t_effect, r.len);
+    const SimTime first_byte =
+        t_tx - server.tx.TransferDuration(r.len) + WireLatency();
+    const SimTime done = compute.rx.ReserveArrival(first_byte, r.len);
+    pending.push_back({t_effect, done, i});
+    overall_done = std::max(overall_done, done);
+  }
+
+  // Perform the memory effects in virtual-time order.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.effect < b.effect;
+                   });
+  for (const Pending& p : pending) {
+    co_await sim::DelayUntil(simulator_, p.effect);
+    const ReadRequest& r = requests[p.index];
+    std::memcpy(r.dst, TargetAddress(r.src, r.len), r.len);
+  }
+  co_await sim::DelayUntil(simulator_, overall_done);
+}
+
+sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
+                              uint32_t len) {
+  MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
+  uint8_t* remote = TargetAddress(dst, len);
+
+  if (IsLocal(client, dst.server_id())) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(dst.server_id()));
+    const SimTime done = bus.ReserveTransfer(
+        simulator_.now() + config_.local_latency_ns, len);
+    co_await sim::DelayUntil(simulator_, done);
+    std::memcpy(remote, src, len);
+    co_return;
+  }
+
+  ComputeEndpoint& compute = ComputeFor(client);
+  const uint32_t wire_bytes = len + kWriteHeaderBytes;
+  const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+  const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
+  const SimTime first_byte_at_server =
+      t_out - compute.tx.TransferDuration(wire_bytes) +
+      WireLatency();
+  const SimTime t_rx = server.rx.ReserveArrival(first_byte_at_server,
+                                                wire_bytes);
+  const SimTime t_effect =
+      server.engine.ReserveOccupancy(
+          t_rx, EngineCost(dst.server_id(), config_.onesided_engine_ns));
+
+  server.writes++;
+  co_await sim::DelayUntil(simulator_, t_effect);
+  std::memcpy(remote, src, len);
+
+  server.tx.ReserveTransfer(t_effect, kAckBytes);
+  const SimTime done = t_effect + WireLatency();
+  co_await sim::DelayUntil(simulator_, done);
+}
+
+sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
+                                           uint64_t expected,
+                                           uint64_t desired) {
+  MemoryServerEndpoint& server = memory_servers_[target.server_id()];
+  uint8_t* remote = TargetAddress(target, 8);
+
+  SimTime t_effect;
+  SimTime done;
+  if (IsLocal(client, target.server_id())) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(target.server_id()));
+    // Atomics still serialize through the NIC even locally (loopback) so
+    // that remote and local atomics remain mutually atomic; see §4.2.
+    t_effect = server.engine.ReserveOccupancy(
+        bus.ReserveTransfer(simulator_.now() + config_.local_latency_ns,
+                            kAtomicRequestBytes),
+        config_.atomic_engine_ns);
+    done = t_effect + config_.local_latency_ns;
+  } else {
+    ComputeEndpoint& compute = ComputeFor(client);
+    const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+    const SimTime t_out =
+        compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
+    const SimTime t_arrive = t_out + WireLatency();
+    server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
+    t_effect =
+        server.engine.ReserveOccupancy(t_arrive, config_.atomic_engine_ns);
+    server.tx.ReserveTransfer(t_effect, kAtomicResponseBytes);
+    done = compute.rx.ReserveArrival(t_effect + WireLatency(),
+                                     kAtomicResponseBytes);
+  }
+
+  server.atomics++;
+  co_await sim::DelayUntil(simulator_, t_effect);
+  uint64_t current;
+  std::memcpy(&current, remote, 8);
+  if (current == expected) {
+    std::memcpy(remote, &desired, 8);
+  }
+  co_await sim::DelayUntil(simulator_, done);
+  co_return current;
+}
+
+sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
+                                        uint64_t add) {
+  MemoryServerEndpoint& server = memory_servers_[target.server_id()];
+  uint8_t* remote = TargetAddress(target, 8);
+
+  SimTime t_effect;
+  SimTime done;
+  if (IsLocal(client, target.server_id())) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(target.server_id()));
+    t_effect = server.engine.ReserveOccupancy(
+        bus.ReserveTransfer(simulator_.now() + config_.local_latency_ns,
+                            kAtomicRequestBytes),
+        config_.atomic_engine_ns);
+    done = t_effect + config_.local_latency_ns;
+  } else {
+    ComputeEndpoint& compute = ComputeFor(client);
+    const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+    const SimTime t_out =
+        compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
+    const SimTime t_arrive = t_out + WireLatency();
+    server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
+    t_effect =
+        server.engine.ReserveOccupancy(t_arrive, config_.atomic_engine_ns);
+    server.tx.ReserveTransfer(t_effect, kAtomicResponseBytes);
+    done = compute.rx.ReserveArrival(t_effect + WireLatency(),
+                                     kAtomicResponseBytes);
+  }
+
+  server.atomics++;
+  co_await sim::DelayUntil(simulator_, t_effect);
+  uint64_t current;
+  std::memcpy(&current, remote, 8);
+  const uint64_t updated = current + add;
+  std::memcpy(remote, &updated, 8);
+  co_await sim::DelayUntil(simulator_, done);
+  co_return current;
+}
+
+sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
+                                    RpcRequest request) {
+  MemoryServerEndpoint& server = memory_servers_[server_id];
+  PendingCall pending(simulator_);
+  const uint32_t wire_bytes = request.WireBytes();
+
+  SimTime t_deliver;
+  if (IsLocal(client, server_id)) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
+    t_deliver = bus.ReserveTransfer(
+        simulator_.now() + config_.local_latency_ns, wire_bytes);
+  } else {
+    ComputeEndpoint& compute = ComputeFor(client);
+    const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+    const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
+    const SimTime t_arrive = t_out + WireLatency();
+    server.rx.ReserveArrival(t_arrive - 1, wire_bytes);
+    t_deliver = server.engine.ReserveOccupancy(
+        t_arrive, TwoSidedEngineCost(server_id, wire_bytes));
+  }
+
+  server.sends++;
+  co_await sim::DelayUntil(simulator_, t_deliver);
+  IncomingRpc incoming;
+  incoming.client_id = client;
+  incoming.request = std::move(request);
+  incoming.pending = &pending;
+  server.srq->Deliver(std::move(incoming));
+
+  co_await pending.done;
+  co_return std::move(pending.response);
+}
+
+void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
+                     RpcResponse response) {
+  MemoryServerEndpoint& server = memory_servers_[server_id];
+  const uint32_t wire_bytes = response.WireBytes();
+
+  SimTime done;
+  if (IsLocal(incoming.client_id, server_id)) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
+    done = bus.ReserveTransfer(simulator_.now() + config_.local_latency_ns,
+                               wire_bytes);
+  } else {
+    ComputeEndpoint& compute = ComputeFor(incoming.client_id);
+    // UD responses fragment into MTU-sized datagrams, each costing engine
+    // time on the sending NIC; RC sends the response as one message.
+    SimTime t_send = simulator_.now();
+    if (config_.rpc_transport ==
+        FabricConfig::RpcTransport::kUnreliableDatagram) {
+      t_send = server.engine.ReserveOccupancy(
+          t_send, TwoSidedEngineCost(server_id, wire_bytes));
+    }
+    const SimTime t_out = server.tx.ReserveTransfer(t_send, wire_bytes);
+    const SimTime first_byte = t_out - server.tx.TransferDuration(wire_bytes) +
+                               WireLatency();
+    done = compute.rx.ReserveArrival(first_byte, wire_bytes);
+  }
+
+  incoming.pending->response = std::move(response);
+  SetEventAt(done, &incoming.pending->done);
+}
+
+Fabric::ServerStats Fabric::server_stats(uint32_t server) const {
+  const MemoryServerEndpoint& ep = memory_servers_[server];
+  ServerStats stats;
+  stats.tx_bytes = ep.tx.total_bytes();
+  stats.rx_bytes = ep.rx.total_bytes();
+  stats.verbs = ep.engine.total_transfers();
+  stats.engine_busy = ep.engine.busy_time();
+  stats.reads = ep.reads;
+  stats.writes = ep.writes;
+  stats.atomics = ep.atomics;
+  stats.sends = ep.sends;
+  return stats;
+}
+
+uint64_t Fabric::TotalMemoryServerBytes() const {
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < memory_servers_.size(); ++s) {
+    const ServerStats stats = server_stats(s);
+    total += stats.tx_bytes + stats.rx_bytes;
+  }
+  return total;
+}
+
+void Fabric::ResetStats() {
+  for (auto& ep : memory_servers_) {
+    ep.tx.ResetStats();
+    ep.rx.ResetStats();
+    ep.engine.ResetStats();
+    ep.reads = 0;
+    ep.writes = 0;
+    ep.atomics = 0;
+    ep.sends = 0;
+  }
+  for (auto& ep : compute_machines_) {
+    ep->tx.ResetStats();
+    ep->rx.ResetStats();
+  }
+  for (auto& bus : local_bus_) bus->ResetStats();
+}
+
+}  // namespace namtree::rdma

@@ -1,0 +1,220 @@
+#ifndef NAMTREE_RDMA_FABRIC_H_
+#define NAMTREE_RDMA_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "rdma/fabric_config.h"
+#include "rdma/memory_region.h"
+#include "rdma/remote_ptr.h"
+#include "rdma/rpc.h"
+#include "sim/link.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace namtree::rdma {
+
+/// The simulated RDMA network connecting compute clients to memory servers.
+///
+/// All verbs perform their *real* memory effect (copy / compare-and-swap /
+/// fetch-and-add against the registered `MemoryRegion`) at the virtual time
+/// at which the target NIC would execute them, so concurrent protocols
+/// observe exactly the interleavings a real one-sided fabric produces
+/// (verb-atomic granularity, serialized by the target NIC engine).
+///
+/// Resources modeled per memory server: a NIC processing engine (serializes
+/// verb execution; occupancy depends on verb type, FabricConfig) and tx/rx
+/// links at FDR-4x port bandwidth. Compute machines contribute tx/rx links
+/// shared by their (default 40) clients. Co-located accesses (Appendix A.3)
+/// bypass the wire and use the machine-local memory bus instead.
+class Fabric {
+ public:
+  Fabric(sim::Simulator& simulator, const FabricConfig& config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  const FabricConfig& config() const { return config_; }
+
+  // ---- Registration / topology ------------------------------------------
+
+  /// Registers `region` as memory server `server_id`'s RDMA-visible memory.
+  void RegisterRegion(uint32_t server_id, MemoryRegion* region);
+
+  MemoryRegion* region(uint32_t server_id) {
+    return memory_servers_[server_id].region;
+  }
+  Srq& srq(uint32_t server_id) { return *memory_servers_[server_id].srq; }
+
+  uint32_t num_memory_servers() const { return config_.num_memory_servers; }
+
+  /// Informs the fabric how many closed-loop clients exist (sizes the
+  /// per-connection overhead term and the compute machine count).
+  void SetNumClients(uint32_t n);
+  uint32_t num_clients() const { return num_clients_; }
+
+  /// Compute machine hosting `client`.
+  uint32_t ClientMachine(uint32_t client) const {
+    return client / config_.clients_per_compute_machine;
+  }
+
+  /// True when `client` and memory server `server` share a machine and the
+  /// co-located fast path applies.
+  bool IsLocal(uint32_t client, uint32_t server) const {
+    return config_.colocate &&
+           ClientMachine(client) == config_.MemoryServerMachine(server);
+  }
+
+  // ---- One-sided verbs ----------------------------------------------------
+
+  /// RDMA READ: copies `len` bytes from remote memory into `dst`.
+  sim::Task<void> Read(uint32_t client, RemotePtr src, void* dst,
+                       uint32_t len);
+
+  struct ReadRequest {
+    RemotePtr src;
+    void* dst;
+    uint32_t len;
+  };
+
+  /// Selectively-signaled batch of READs (head-node prefetch, §4.3): all
+  /// reads are posted back-to-back with only the last one signaled, so the
+  /// per-verb engine cost is the cheap unsignaled one. Completes when the
+  /// last read has arrived.
+  sim::Task<void> ReadBatch(uint32_t client,
+                            std::vector<ReadRequest> requests);
+
+  /// RDMA WRITE: copies `len` bytes from `src` into remote memory.
+  sim::Task<void> Write(uint32_t client, RemotePtr dst, const void* src,
+                        uint32_t len);
+
+  /// RDMA compare-and-swap on an 8-byte remote word. Returns the previous
+  /// value (equal to `expected` iff the swap happened).
+  sim::Task<uint64_t> CompareAndSwap(uint32_t client, RemotePtr target,
+                                     uint64_t expected, uint64_t desired);
+
+  /// RDMA fetch-and-add on an 8-byte remote word. Returns the previous
+  /// value.
+  sim::Task<uint64_t> FetchAndAdd(uint32_t client, RemotePtr target,
+                                  uint64_t add);
+
+  // ---- Two-sided verbs (RPC) ----------------------------------------------
+
+  /// Sends `request` to `server` via SEND/RECV and suspends until the reply
+  /// SEND arrives.
+  sim::Task<RpcResponse> Call(uint32_t client, uint32_t server,
+                              RpcRequest request);
+
+  /// Called by a memory-server handler to reply to `incoming`. The caller
+  /// keeps running; the response is delivered in the background.
+  void Respond(uint32_t server, const IncomingRpc& incoming,
+               RpcResponse response);
+
+  // ---- Statistics ----------------------------------------------------------
+
+  struct ServerStats {
+    uint64_t tx_bytes = 0;
+    uint64_t rx_bytes = 0;
+    uint64_t verbs = 0;
+    SimTime engine_busy = 0;
+    // Per-verb breakdown (target-side).
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t atomics = 0;
+    uint64_t sends = 0;
+  };
+
+  ServerStats server_stats(uint32_t server) const;
+
+  /// Sum of tx+rx bytes over all memory servers since the last reset.
+  uint64_t TotalMemoryServerBytes() const;
+
+  /// Per-RPC service-time surcharge from connection bookkeeping
+  /// (`per_client_poll_ns` x connected clients).
+  SimTime PerRequestConnectionOverhead() const {
+    return static_cast<SimTime>(config_.per_client_poll_ns * num_clients_);
+  }
+
+  /// One wire traversal, with fault-injection jitter applied when enabled.
+  SimTime WireLatency() {
+    if (config_.latency_jitter <= 0) return config_.wire_latency_ns;
+    const double factor = 1.0 + config_.latency_jitter * jitter_rng_.NextDouble();
+    return static_cast<SimTime>(config_.wire_latency_ns * factor);
+  }
+
+  /// Straggler factor of memory server `s` (1.0 when none injected).
+  double ServerSlowdown(uint32_t server) const {
+    if (server < config_.server_slowdown.size()) {
+      return config_.server_slowdown[server];
+    }
+    return 1.0;
+  }
+
+  /// NIC engine occupancy at `server`, scaled for injected stragglers.
+  SimTime EngineCost(uint32_t server, SimTime base) const {
+    return static_cast<SimTime>(base * ServerSlowdown(server));
+  }
+
+  /// Engine occupancy of a two-sided message of `wire_bytes` at `server`:
+  /// one SEND for RC; ceil(bytes / MTU) cheaper datagrams for UD (§3.2 /
+  /// FaSST-style transport).
+  SimTime TwoSidedEngineCost(uint32_t server, uint32_t wire_bytes) const {
+    if (config_.rpc_transport ==
+        FabricConfig::RpcTransport::kUnreliableDatagram) {
+      const uint32_t fragments =
+          (wire_bytes + config_.ud_mtu - 1) / config_.ud_mtu;
+      return EngineCost(server, fragments * config_.ud_engine_ns);
+    }
+    return EngineCost(server, config_.twosided_engine_ns);
+  }
+
+  void ResetStats();
+
+ private:
+  struct MemoryServerEndpoint {
+    MemoryServerEndpoint(sim::Simulator& simulator, double bw)
+        : tx(bw), rx(bw), engine(bw), srq(new Srq(simulator)) {}
+    sim::Link tx;
+    sim::Link rx;
+    sim::Link engine;  // occupancy-only (ReserveOccupancy)
+    std::unique_ptr<Srq> srq;
+    MemoryRegion* region = nullptr;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t atomics = 0;
+    uint64_t sends = 0;
+  };
+
+  struct ComputeEndpoint {
+    explicit ComputeEndpoint(double bw) : tx(bw), rx(bw) {}
+    sim::Link tx;
+    sim::Link rx;
+  };
+
+  /// Ensures the compute machine endpoint for `client` exists; returns it.
+  ComputeEndpoint& ComputeFor(uint32_t client);
+
+  /// Machine-local bus for co-located transfers on memory machine `m`.
+  sim::Link& LocalBus(uint32_t machine) { return *local_bus_[machine]; }
+
+  /// Validates that [ptr, ptr+len) lies inside the registered region.
+  uint8_t* TargetAddress(RemotePtr ptr, uint32_t len);
+
+  /// Schedules `event->Set()` at virtual time `t`.
+  void SetEventAt(SimTime t, sim::SimEvent* event);
+
+  sim::Simulator& simulator_;
+  FabricConfig config_;
+  std::vector<MemoryServerEndpoint> memory_servers_;
+  std::vector<std::unique_ptr<ComputeEndpoint>> compute_machines_;
+  std::vector<std::unique_ptr<sim::Link>> local_bus_;
+  uint32_t num_clients_ = 0;
+  Rng jitter_rng_{0x9E3779B9};
+};
+
+}  // namespace namtree::rdma
+
+#endif  // NAMTREE_RDMA_FABRIC_H_

@@ -1,0 +1,123 @@
+#ifndef NAMTREE_RDMA_FABRIC_CONFIG_H_
+#define NAMTREE_RDMA_FABRIC_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace namtree::rdma {
+
+/// Cost model and topology of the simulated RDMA fabric.
+///
+/// Defaults are calibrated against the paper's testbed (Section 6 setup):
+/// 8 machines, dual-port Mellanox Connect-IB on InfiniBand FDR 4x, two Intel
+/// Xeon E5-2660v2 (10 cores each) per machine, 4 memory servers on 2
+/// physical machines (one NIC port per memory server), up to 6 compute
+/// machines with 40 closed-loop clients each. See DESIGN.md §2 for the
+/// substitution argument and EXPERIMENTS.md for the calibration targets.
+struct FabricConfig {
+  // ---- Topology ---------------------------------------------------------
+  uint32_t num_memory_servers = 4;
+  /// Memory servers per physical machine; the second server on a machine
+  /// pays the QPI penalty because the NIC hangs off socket 0 (paper §6.1).
+  uint32_t memory_servers_per_machine = 2;
+  /// Closed-loop client threads per compute machine (paper: 40).
+  uint32_t clients_per_compute_machine = 40;
+  /// Co-locate compute machine i with memory machine i (Appendix A.3).
+  bool colocate = false;
+
+  // ---- Network ----------------------------------------------------------
+  /// Per-port capacity. FDR 4x effective payload bandwidth ~6.8 GB/s.
+  double link_bandwidth_bytes_per_sec = 6.8e9;
+  /// One-way wire + switch latency.
+  SimTime wire_latency_ns = 1300;
+  /// Initiator-side cost of posting a signaled verb (WQE + doorbell + CQ
+  /// poll amortisation).
+  SimTime nic_post_ns = 300;
+
+  // ---- Target-NIC verb engine (one-sided) -------------------------------
+  /// Occupancy of the target NIC's processing engine per *signaled*
+  /// one-sided READ/WRITE (WQE fetch, QP state, PCIe DMA setup). This is
+  /// what caps fine-grained point-query throughput per server.
+  SimTime onesided_engine_ns = 1000;
+  /// Occupancy per *unsignaled* batched READ (selectively-signaled
+  /// prefetch via head nodes, §4.3): doorbell batching amortises most of
+  /// the per-verb cost.
+  SimTime unsignaled_engine_ns = 120;
+  /// Occupancy per RDMA atomic (CAS / FETCH_AND_ADD): a serialized
+  /// read-modify-write through the NIC-internal lock unit.
+  SimTime atomic_engine_ns = 1400;
+  /// Occupancy per incoming two-sided SEND (RC to a posted SRQ receive).
+  SimTime twosided_engine_ns = 400;
+
+  // ---- Memory-server CPU (two-sided RPC handling) -----------------------
+  /// RPC handler threads per memory server polling the SRQ.
+  uint32_t workers_per_server = 4;
+  /// Fixed handler cost per RPC: completion poll, dispatch, response post.
+  SimTime rpc_fixed_ns = 2500;
+  /// Handler cost to search one inner node (cache-cold binary search).
+  SimTime cpu_inner_node_ns = 1100;
+  /// Handler cost to search/scan one leaf node.
+  SimTime cpu_leaf_node_ns = 3000;
+  /// Extra handler cost for an insert (entry shift, lock handling).
+  SimTime cpu_insert_extra_ns = 2000;
+  /// Connection-state overhead added to each handled request per connected
+  /// client (QP/SRQ bookkeeping grows with fan-in). Produces the gentle
+  /// post-saturation decline of CG under very high load (Fig. 7a).
+  double per_client_poll_ns = 8.0;
+  /// Service-time multiplier for memory servers whose handler cores sit on
+  /// the far socket (NIC attached to socket 0; paper §6.1 discussion).
+  double qpi_penalty = 1.30;
+
+  // ---- Local (co-located) access path ------------------------------------
+  /// Base latency of a same-machine access that bypasses the wire.
+  SimTime local_latency_ns = 250;
+  /// Same-machine copy bandwidth (local memory bus).
+  double local_bandwidth_bytes_per_sec = 25e9;
+
+  // ---- Two-sided transport (paper §3.2 design decision) -------------------
+  /// The paper uses reliable connections (RC) with SRQs, in contrast to
+  /// FaSST's unreliable datagrams (UD). UD halves the per-message NIC cost
+  /// but is limited to one MTU per SEND, so large responses (range-query
+  /// results) fragment into multiple messages.
+  enum class RpcTransport { kReliableConnection, kUnreliableDatagram };
+  RpcTransport rpc_transport = RpcTransport::kReliableConnection;
+  /// UD datagram payload limit (fragmentation unit).
+  uint32_t ud_mtu = 4096;
+  /// Per-message engine occupancy when using UD.
+  SimTime ud_engine_ns = 200;
+
+  // ---- Fault injection -----------------------------------------------------
+  /// Multiplies every wire traversal by a random factor in
+  /// [1, 1 + latency_jitter] (deterministic per seed; 0 disables). Used to
+  /// stress protocol interleavings under pathological timing.
+  double latency_jitter = 0;
+  uint64_t jitter_seed = 0x9E3779B9;
+  /// Per-server slowdown multipliers applied to NIC engine occupancy and
+  /// handler CPU (straggler injection); empty = no slowdown.
+  std::vector<double> server_slowdown;
+
+  // ---- Client-side protocol knobs ----------------------------------------
+  /// Backoff before re-polling a locked remote node (remote spinlock).
+  SimTime lock_retry_ns = 1000;
+
+  // Derived helpers.
+  uint32_t NumMemoryMachines() const {
+    return (num_memory_servers + memory_servers_per_machine - 1) /
+           memory_servers_per_machine;
+  }
+  /// Physical machine hosting memory server `s`.
+  uint32_t MemoryServerMachine(uint32_t s) const {
+    return s / memory_servers_per_machine;
+  }
+  /// True if memory server `s` pays the QPI crossing penalty.
+  bool CrossesQpi(uint32_t s) const {
+    return memory_servers_per_machine > 1 &&
+           (s % memory_servers_per_machine) != 0;
+  }
+};
+
+}  // namespace namtree::rdma
+
+#endif  // NAMTREE_RDMA_FABRIC_CONFIG_H_

@@ -1,0 +1,126 @@
+#ifndef NAMTREE_RDMA_RPC_H_
+#define NAMTREE_RDMA_RPC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace namtree::rdma {
+
+/// A small RPC request shipped with a two-sided SEND. Index designs define
+/// their own opcodes; three scalar arguments cover the common cases (key,
+/// range bounds, pointers) and `payload` carries bulk arguments.
+struct RpcRequest {
+  /// Which registered handler serves this request (memory servers can host
+  /// several indexes / services at once).
+  uint16_t service = 0;
+  uint16_t op = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t arg2 = 0;
+  std::vector<uint64_t> payload;
+
+  /// Modeled wire size: header + scalar args + payload.
+  uint32_t WireBytes() const {
+    return 32 + static_cast<uint32_t>(payload.size()) * 8;
+  }
+};
+
+/// RPC response carried by the reply SEND.
+struct RpcResponse {
+  uint16_t status = 0;  ///< StatusCode cast to int by convention.
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  std::vector<uint64_t> payload;
+
+  uint32_t WireBytes() const {
+    return 24 + static_cast<uint32_t>(payload.size()) * 8;
+  }
+};
+
+/// Client-side bookkeeping for an in-flight RPC; lives in the caller's
+/// coroutine frame. The fabric fulfils it when the reply SEND arrives.
+struct PendingCall {
+  explicit PendingCall(sim::Simulator& simulator) : done(simulator) {}
+  RpcResponse response;
+  sim::SimEvent done;
+};
+
+/// An RPC delivered to a memory server's receive queue.
+struct IncomingRpc {
+  uint32_t client_id = 0;
+  RpcRequest request;
+  PendingCall* pending = nullptr;  // in-process completion shortcut
+};
+
+/// Shared receive queue (SRQ): the single request queue all clients of a
+/// memory server feed into (paper §3.2 uses SRQs so the number of receive
+/// queues does not grow with the number of clients). Worker coroutines
+/// block on `Recv()`; messages are handed to waiting workers FIFO.
+class Srq {
+ public:
+  explicit Srq(sim::Simulator& simulator) : simulator_(simulator) {}
+
+  Srq(const Srq&) = delete;
+  Srq& operator=(const Srq&) = delete;
+
+  /// Enqueues a message. If a worker is blocked in Recv(), the message is
+  /// handed to it directly (no steal window) and the worker is scheduled
+  /// at the current virtual time.
+  void Deliver(IncomingRpc msg) {
+    total_delivered_++;
+    if (!consumers_.empty()) {
+      auto [handle, slot] = consumers_.front();
+      consumers_.pop_front();
+      *slot = std::move(msg);
+      simulator_.ScheduleAt(simulator_.now(), handle);
+      return;
+    }
+    messages_.push_back(std::move(msg));
+  }
+
+  /// Awaitable receive; resumes with the oldest queued message. Fair: a
+  /// worker that suspended earlier gets the next message.
+  auto Recv() {
+    struct Awaiter {
+      Srq& srq;
+      IncomingRpc slot;
+
+      bool await_ready() {
+        // Only take a queued message directly if no worker is ahead of us.
+        if (!srq.messages_.empty() && srq.consumers_.empty()) {
+          slot = std::move(srq.messages_.front());
+          srq.messages_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        srq.consumers_.emplace_back(h, &slot);
+      }
+      IncomingRpc await_resume() { return std::move(slot); }
+    };
+    return Awaiter{*this, {}};
+  }
+
+  size_t depth() const { return messages_.size(); }
+  size_t idle_consumers() const { return consumers_.size(); }
+
+  /// Cumulative messages delivered (for load accounting).
+  uint64_t total_delivered() const { return total_delivered_; }
+
+ private:
+  sim::Simulator& simulator_;
+  std::deque<IncomingRpc> messages_;
+  std::deque<std::pair<std::coroutine_handle<>, IncomingRpc*>> consumers_;
+  uint64_t total_delivered_ = 0;
+};
+
+}  // namespace namtree::rdma
+
+#endif  // NAMTREE_RDMA_RPC_H_

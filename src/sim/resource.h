@@ -1,0 +1,98 @@
+#ifndef NAMTREE_SIM_RESOURCE_H_
+#define NAMTREE_SIM_RESOURCE_H_
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulator.h"
+
+namespace namtree::sim {
+
+/// A counting resource with a FIFO wait queue, used to model the worker
+/// threads of a memory server (two-sided RPC handling): at most `capacity`
+/// holders at a time; further acquirers queue in arrival order.
+///
+/// Usage inside a coroutine:
+///
+///   co_await pool.Acquire();
+///   ... occupy a worker across any number of awaits ...
+///   pool.Release();
+class WorkerPool {
+ public:
+  WorkerPool(Simulator& simulator, uint32_t capacity)
+      : simulator_(simulator), free_(capacity), capacity_(capacity) {}
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t in_use() const { return capacity_ - free_; }
+  size_t queue_depth() const { return waiters_.size(); }
+
+  /// Cumulative number of grants (requests admitted to a worker).
+  uint64_t total_grants() const { return total_grants_; }
+
+  /// Awaitable worker acquisition. Resumes immediately when a worker is
+  /// free; otherwise queues FIFO.
+  auto Acquire() {
+    struct Awaiter {
+      WorkerPool& pool;
+
+      bool await_ready() {
+        if (pool.free_ > 0) {
+          pool.free_--;
+          pool.total_grants_++;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        pool.waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Returns a worker. If a coroutine is queued it inherits the worker and
+  /// is resumed at the current virtual time.
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      total_grants_++;
+      simulator_.ScheduleAt(simulator_.now(), h);
+      return;
+    }
+    assert(free_ < capacity_);
+    free_++;
+  }
+
+ private:
+  Simulator& simulator_;
+  uint32_t free_;
+  uint32_t capacity_;
+  uint64_t total_grants_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII helper releasing a WorkerPool unit on scope exit. The unit must
+/// already be held by the current coroutine.
+class WorkerGuard {
+ public:
+  explicit WorkerGuard(WorkerPool& pool) : pool_(&pool) {}
+  WorkerGuard(const WorkerGuard&) = delete;
+  WorkerGuard& operator=(const WorkerGuard&) = delete;
+  ~WorkerGuard() {
+    if (pool_ != nullptr) pool_->Release();
+  }
+
+ private:
+  WorkerPool* pool_;
+};
+
+}  // namespace namtree::sim
+
+#endif  // NAMTREE_SIM_RESOURCE_H_

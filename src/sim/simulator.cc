@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace namtree::sim {
+
+void Simulator::ScheduleAt(SimTime t, std::coroutine_handle<> h) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, h});
+}
+
+SimTime Simulator::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    events_processed_++;
+    ev.handle.resume();
+  }
+  return now_;
+}
+
+bool Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    events_processed_++;
+    ev.handle.resume();
+  }
+  now_ = std::max(now_, std::min(deadline, now_));
+  if (queue_.empty()) return false;
+  now_ = deadline;
+  return true;
+}
+
+}  // namespace namtree::sim

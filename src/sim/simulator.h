@@ -1,0 +1,72 @@
+#ifndef NAMTREE_SIM_SIMULATOR_H_
+#define NAMTREE_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace namtree::sim {
+
+/// Deterministic discrete-event scheduler with a virtual nanosecond clock.
+///
+/// All concurrency in the simulated NAM cluster (client threads, memory
+/// server workers, NIC transfers) is expressed as C++20 coroutines that
+/// suspend on awaitables which schedule their resumption here. Events with
+/// equal timestamps fire in schedule order (a monotonically increasing
+/// sequence number breaks ties), so a given seed always yields the same
+/// execution — independent of host core count.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in nanoseconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute virtual time `t` (clamped to now).
+  void ScheduleAt(SimTime t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume `delta` nanoseconds from now.
+  void ScheduleAfter(SimTime delta, std::coroutine_handle<> h) {
+    ScheduleAt(now_ + delta, h);
+  }
+
+  /// Runs until the event queue is empty. Returns the final virtual time.
+  SimTime Run();
+
+  /// Runs events with timestamp <= `deadline`; afterwards `now() ==
+  /// min(deadline, drain time)`. Returns true if events remain queued.
+  bool RunUntil(SimTime deadline);
+
+  /// Total number of events processed so far (cheap progress/debug metric).
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of events currently queued.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace namtree::sim
+
+#endif  // NAMTREE_SIM_SIMULATOR_H_

@@ -1,0 +1,158 @@
+#ifndef NAMTREE_SIM_SYNC_H_
+#define NAMTREE_SIM_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace namtree::sim {
+
+/// Counting semaphore for coroutines in virtual time. FIFO wakeups.
+///
+///   co_await sem.Acquire();
+///   ...
+///   sem.Release();
+class Semaphore {
+ public:
+  Semaphore(Simulator& simulator, uint64_t initial)
+      : simulator_(simulator), count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  uint64_t available() const { return count_; }
+  size_t waiters() const { return waiters_.size(); }
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() {
+        if (sem.count_ > 0) {
+          sem.count_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Non-blocking acquire; true when a unit was taken.
+  bool TryAcquire() {
+    if (count_ == 0) return false;
+    count_--;
+    return true;
+  }
+
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // The released unit transfers directly to the waiter.
+      simulator_.ScheduleAt(simulator_.now(), h);
+      return;
+    }
+    count_++;
+  }
+
+ private:
+  Simulator& simulator_;
+  uint64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable barrier: the `parties`-th arriving coroutine releases everyone
+/// and the barrier resets for the next round (generation-counted).
+class Barrier {
+ public:
+  Barrier(Simulator& simulator, uint32_t parties)
+      : simulator_(simulator), parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  uint32_t parties() const { return parties_; }
+  uint64_t generation() const { return generation_; }
+
+  auto Arrive() {
+    struct Awaiter {
+      Barrier& barrier;
+      bool await_ready() {
+        if (barrier.arrived_ + 1 == barrier.parties_) {
+          // Last arriver: trip the barrier.
+          barrier.arrived_ = 0;
+          barrier.generation_++;
+          for (auto h : barrier.waiters_) {
+            barrier.simulator_.ScheduleAt(barrier.simulator_.now(), h);
+          }
+          barrier.waiters_.clear();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        barrier.arrived_++;
+        barrier.waiters_.push_back(h);
+      }
+      void await_resume() {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& simulator_;
+  uint32_t parties_;
+  uint32_t arrived_ = 0;
+  uint64_t generation_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Level-triggered gate: closed blocks awaiting coroutines, open passes
+/// them through (and releases current waiters). Unlike SimEvent it can be
+/// re-closed.
+class Gate {
+ public:
+  explicit Gate(Simulator& simulator, bool open = false)
+      : simulator_(simulator), open_(open) {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const { return open_; }
+
+  void Open() {
+    open_ = true;
+    for (auto h : waiters_) simulator_.ScheduleAt(simulator_.now(), h);
+    waiters_.clear();
+  }
+
+  void Close() { open_ = false; }
+
+  auto Wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& simulator_;
+  bool open_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace namtree::sim
+
+#endif  // NAMTREE_SIM_SYNC_H_

@@ -1,0 +1,133 @@
+#include "ycsb/runner.h"
+
+#include <memory>
+
+#include "sim/task.h"
+
+namespace namtree::ycsb {
+
+namespace {
+
+using index::DistributedIndex;
+using nam::ClientContext;
+
+struct SharedState {
+  SimTime warmup_end = 0;
+  SimTime deadline = 0;
+  RunResult result;
+};
+
+sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
+                       WorkloadGenerator& gen, ClientContext& ctx,
+                       SharedState& state) {
+  sim::Simulator& simulator = cluster.simulator();
+  while (simulator.now() < state.deadline) {
+    const Operation op = gen.Next(ctx.rng());
+    const SimTime start = simulator.now();
+    bool ok = true;
+    switch (op.type) {
+      case OpType::kPoint: {
+        (void)co_await index.Lookup(ctx, op.key);
+        break;
+      }
+      case OpType::kRange: {
+        (void)co_await index.Scan(ctx, op.key, op.hi, nullptr);
+        break;
+      }
+      case OpType::kInsert: {
+        ok = (co_await index.Insert(ctx, op.key, op.value)).ok();
+        break;
+      }
+      case OpType::kUpdate: {
+        ok = (co_await index.Update(ctx, op.key, op.value)).ok();
+        break;
+      }
+      case OpType::kDelete: {
+        ok = (co_await index.Delete(ctx, op.key)).ok();
+        break;
+      }
+    }
+    const SimTime end = simulator.now();
+    if (start >= state.warmup_end && end <= state.deadline) {
+      state.result.ops++;
+      state.result.latency.Add(static_cast<uint64_t>(end - start));
+      auto& per_type = state.result.per_type[static_cast<int>(op.type)];
+      per_type.count++;
+      per_type.latency.Add(static_cast<uint64_t>(end - start));
+      if (!ok) state.result.failed_ops++;
+    }
+  }
+}
+
+sim::Task<> GcLoop(nam::Cluster& cluster, DistributedIndex& index,
+                   ClientContext& ctx, SharedState& state,
+                   SimTime interval) {
+  sim::Simulator& simulator = cluster.simulator();
+  while (simulator.now() + interval < state.deadline) {
+    co_await sim::Delay(simulator, interval);
+    (void)co_await index.GarbageCollect(ctx);
+  }
+}
+
+sim::Task<> WarmupMarker(nam::Cluster& cluster, SharedState& state) {
+  co_await sim::DelayUntil(cluster.simulator(), state.warmup_end);
+  cluster.fabric().ResetStats();
+}
+
+}  // namespace
+
+RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
+                      uint64_t num_keys, const RunConfig& config) {
+  sim::Simulator& simulator = cluster.simulator();
+  cluster.fabric().SetNumClients(config.num_clients);
+
+  SharedState state;
+  state.warmup_end = simulator.now() + config.warmup;
+  state.deadline = state.warmup_end + config.duration;
+
+  WorkloadGenerator gen(config.mix, num_keys, config.dist, config.zipf_theta);
+
+  std::vector<std::unique_ptr<ClientContext>> contexts;
+  contexts.reserve(config.num_clients);
+  for (uint32_t c = 0; c < config.num_clients; ++c) {
+    contexts.push_back(std::make_unique<ClientContext>(
+        c, cluster.fabric(), index.page_size(), config.seed));
+  }
+
+  sim::Spawn(simulator, WarmupMarker(cluster, state));
+  for (uint32_t c = 0; c < config.num_clients; ++c) {
+    sim::Spawn(simulator,
+               ClientLoop(cluster, index, gen, *contexts[c], state));
+  }
+  if (config.gc_interval > 0) {
+    // The paper runs epoch GC in the background; model it from client 0's
+    // machine with a dedicated context.
+    contexts.push_back(std::make_unique<ClientContext>(
+        0, cluster.fabric(), index.page_size(), config.seed ^ 0x6C6CULL));
+    sim::Spawn(simulator, GcLoop(cluster, index, *contexts.back(), state,
+                                 config.gc_interval));
+  }
+
+  simulator.Run();
+
+  RunResult& result = state.result;
+  result.seconds = static_cast<double>(config.duration) / kSecond;
+  result.ops_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+                         : 0;
+  for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
+    const auto stats = cluster.fabric().server_stats(s);
+    result.per_server_bytes.push_back(stats.tx_bytes + stats.rx_bytes);
+    result.server_bytes += stats.tx_bytes + stats.rx_bytes;
+  }
+  result.gb_per_sec =
+      static_cast<double>(result.server_bytes) / result.seconds / 1e9;
+  for (const auto& ctx : contexts) {
+    result.round_trips += ctx->round_trips;
+    result.restarts += ctx->restarts;
+    result.lock_waits += ctx->lock_waits;
+  }
+  return result;
+}
+
+}  // namespace namtree::ycsb

@@ -1,0 +1,62 @@
+#ifndef NAMTREE_YCSB_RUNNER_H_
+#define NAMTREE_YCSB_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+#include "index/index.h"
+#include "nam/cluster.h"
+#include "ycsb/workload.h"
+
+namespace namtree::ycsb {
+
+/// Configuration of one closed-loop benchmark run (paper §6.1: every client
+/// waits for its operation to finish before issuing the next one).
+struct RunConfig {
+  uint32_t num_clients = 40;
+  /// Virtual warmup time before measurement starts.
+  SimTime warmup = 2 * kMillisecond;
+  /// Virtual measurement window.
+  SimTime duration = 50 * kMillisecond;
+  WorkloadMix mix = WorkloadA();
+  RequestDistribution dist = RequestDistribution::kUniform;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  /// Issue one GarbageCollect pass from client 0 every `gc_interval`
+  /// virtual ns (0 = no GC during the run).
+  SimTime gc_interval = 0;
+};
+
+/// Aggregated measurement of one run.
+struct RunResult {
+  uint64_t ops = 0;            ///< operations completed in the window
+  uint64_t failed_ops = 0;     ///< NotFound inserts/deletes etc.
+  double seconds = 0;          ///< window length in virtual seconds
+  double ops_per_sec = 0;
+  Histogram latency;           ///< per-op latency (ns), completed in window
+  uint64_t server_bytes = 0;   ///< memory-server tx+rx bytes in window
+  double gb_per_sec = 0;       ///< server_bytes / window (decimal GB)
+  std::vector<uint64_t> per_server_bytes;
+  uint64_t round_trips = 0;
+  uint64_t restarts = 0;
+  uint64_t lock_waits = 0;
+
+  /// Per-operation-type breakdown (indexed by OpType).
+  struct PerType {
+    uint64_t count = 0;
+    Histogram latency;
+  };
+  std::vector<PerType> per_type = std::vector<PerType>(kNumOpTypes);
+};
+
+/// Runs `config.mix` against `index` with `config.num_clients` closed-loop
+/// client coroutines in virtual time and returns the measured aggregate.
+/// `num_keys` must match the bulk-loaded dataset (GenerateDataset).
+RunResult RunWorkload(nam::Cluster& cluster, index::DistributedIndex& index,
+                      uint64_t num_keys, const RunConfig& config);
+
+}  // namespace namtree::ycsb
+
+#endif  // NAMTREE_YCSB_RUNNER_H_

@@ -1,0 +1,211 @@
+#include "ycsb/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/task.h"
+
+namespace namtree::ycsb {
+
+uint32_t Trace::num_clients() const {
+  uint32_t max_client = 0;
+  for (const TraceOp& top : ops_) {
+    max_client = std::max(max_client, top.client);
+  }
+  return ops_.empty() ? 0 : max_client + 1;
+}
+
+void Trace::Write(std::ostream& out) const {
+  out << "# namtree workload trace v1: <client> <op> <args...>\n";
+  for (const TraceOp& top : ops_) {
+    out << top.client << ' ';
+    switch (top.op.type) {
+      case OpType::kPoint:
+        out << "P " << top.op.key;
+        break;
+      case OpType::kRange:
+        out << "R " << top.op.key << ' ' << top.op.hi;
+        break;
+      case OpType::kInsert:
+        out << "I " << top.op.key << ' ' << top.op.value;
+        break;
+      case OpType::kUpdate:
+        out << "U " << top.op.key << ' ' << top.op.value;
+        break;
+      case OpType::kDelete:
+        out << "D " << top.op.key;
+        break;
+    }
+    out << '\n';
+  }
+}
+
+Status Trace::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  Write(out);
+  return out ? Status::OK() : Status::Corruption("short write to " + path);
+}
+
+Result<Trace> Trace::Read(std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    line_no++;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint32_t client = 0;
+    char kind = 0;
+    if (!(ls >> client >> kind)) {
+      return Status::Corruption("trace parse error at line " +
+                                std::to_string(line_no));
+    }
+    Operation op;
+    bool ok = true;
+    switch (kind) {
+      case 'P':
+        op.type = OpType::kPoint;
+        ok = static_cast<bool>(ls >> op.key);
+        break;
+      case 'R':
+        op.type = OpType::kRange;
+        ok = static_cast<bool>(ls >> op.key >> op.hi);
+        break;
+      case 'I':
+        op.type = OpType::kInsert;
+        ok = static_cast<bool>(ls >> op.key >> op.value);
+        break;
+      case 'U':
+        op.type = OpType::kUpdate;
+        ok = static_cast<bool>(ls >> op.key >> op.value);
+        break;
+      case 'D':
+        op.type = OpType::kDelete;
+        ok = static_cast<bool>(ls >> op.key);
+        break;
+      default:
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      return Status::Corruption("trace parse error at line " +
+                                std::to_string(line_no));
+    }
+    trace.Add(client, op);
+  }
+  return trace;
+}
+
+Result<Trace> Trace::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return Read(in);
+}
+
+Trace Trace::Generate(const WorkloadMix& mix, uint64_t num_keys,
+                      uint32_t clients, uint32_t ops_per_client,
+                      uint64_t seed, RequestDistribution dist) {
+  Trace trace;
+  WorkloadGenerator gen(mix, num_keys, dist);
+  for (uint32_t c = 0; c < clients; ++c) {
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (c + 1)));
+    for (uint32_t i = 0; i < ops_per_client; ++i) {
+      trace.Add(c, gen.Next(rng));
+    }
+  }
+  return trace;
+}
+
+namespace {
+
+struct ReplayState {
+  RunResult result;
+};
+
+sim::Task<> ReplayClient(nam::Cluster& cluster,
+                         index::DistributedIndex& index,
+                         nam::ClientContext& ctx,
+                         const std::vector<Operation>& ops,
+                         ReplayState& state) {
+  sim::Simulator& simulator = cluster.simulator();
+  for (const Operation& op : ops) {
+    const SimTime start = simulator.now();
+    bool ok = true;
+    switch (op.type) {
+      case OpType::kPoint:
+        (void)co_await index.Lookup(ctx, op.key);
+        break;
+      case OpType::kRange:
+        (void)co_await index.Scan(ctx, op.key, op.hi, nullptr);
+        break;
+      case OpType::kInsert:
+        ok = (co_await index.Insert(ctx, op.key, op.value)).ok();
+        break;
+      case OpType::kUpdate:
+        ok = (co_await index.Update(ctx, op.key, op.value)).ok();
+        break;
+      case OpType::kDelete:
+        ok = (co_await index.Delete(ctx, op.key)).ok();
+        break;
+    }
+    const SimTime end = simulator.now();
+    state.result.ops++;
+    state.result.latency.Add(static_cast<uint64_t>(end - start));
+    auto& per_type = state.result.per_type[static_cast<int>(op.type)];
+    per_type.count++;
+    per_type.latency.Add(static_cast<uint64_t>(end - start));
+    if (!ok) state.result.failed_ops++;
+  }
+}
+
+}  // namespace
+
+RunResult ReplayTrace(nam::Cluster& cluster, index::DistributedIndex& index,
+                      const Trace& trace) {
+  sim::Simulator& simulator = cluster.simulator();
+  const uint32_t clients = trace.num_clients();
+  cluster.fabric().SetNumClients(clients);
+  cluster.fabric().ResetStats();
+
+  std::vector<std::vector<Operation>> per_client(clients);
+  for (const TraceOp& top : trace.ops()) {
+    per_client[top.client].push_back(top.op);
+  }
+
+  ReplayState state;
+  std::vector<std::unique_ptr<nam::ClientContext>> ctxs;
+  const SimTime start_time = simulator.now();
+  for (uint32_t c = 0; c < clients; ++c) {
+    ctxs.push_back(std::make_unique<nam::ClientContext>(
+        c, cluster.fabric(), index.page_size(), c));
+    sim::Spawn(simulator,
+               ReplayClient(cluster, index, *ctxs[c], per_client[c], state));
+  }
+  simulator.Run();
+
+  RunResult& result = state.result;
+  result.seconds =
+      static_cast<double>(simulator.now() - start_time) / kSecond;
+  result.ops_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+                         : 0;
+  for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
+    const auto stats = cluster.fabric().server_stats(s);
+    result.per_server_bytes.push_back(stats.tx_bytes + stats.rx_bytes);
+    result.server_bytes += stats.tx_bytes + stats.rx_bytes;
+  }
+  result.gb_per_sec = result.seconds > 0
+                          ? static_cast<double>(result.server_bytes) /
+                                result.seconds / 1e9
+                          : 0;
+  for (const auto& ctx : ctxs) {
+    result.round_trips += ctx->round_trips;
+    result.restarts += ctx->restarts;
+    result.lock_waits += ctx->lock_waits;
+  }
+  return result;
+}
+
+}  // namespace namtree::ycsb

@@ -1,0 +1,70 @@
+#ifndef NAMTREE_YCSB_TRACE_H_
+#define NAMTREE_YCSB_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "nam/cluster.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+namespace namtree::ycsb {
+
+/// One operation of a recorded workload trace, tagged with the client that
+/// issued it so replays preserve per-client ordering (cross-client order is
+/// re-decided by the simulator, as in any real re-execution).
+struct TraceOp {
+  uint32_t client = 0;
+  Operation op;
+};
+
+/// A replayable workload trace. Traces make experiments shippable: record
+/// once, attach the file to a bug report or paper artefact, replay bit-for-
+/// bit on any machine (the simulator is deterministic).
+class Trace {
+ public:
+  Trace() = default;
+
+  void Add(uint32_t client, const Operation& op) {
+    ops_.push_back({client, op});
+  }
+
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  uint32_t num_clients() const;
+
+  /// Serialises to a line-oriented text format:
+  ///   `<client> P <key>` | `<client> R <lo> <hi>` |
+  ///   `<client> I <key> <value>` | `<client> U <key> <value>` |
+  ///   `<client> D <key>` | `<client> G`  (# starts a comment)
+  void Write(std::ostream& out) const;
+  Status Save(const std::string& path) const;
+
+  static Result<Trace> Read(std::istream& in);
+  static Result<Trace> Load(const std::string& path);
+
+  /// Generates a trace by drawing `ops_per_client` operations per client
+  /// from a workload mix (a seeded, shareable stand-in for a live run).
+  static Trace Generate(const WorkloadMix& mix, uint64_t num_keys,
+                        uint32_t clients, uint32_t ops_per_client,
+                        uint64_t seed,
+                        RequestDistribution dist = RequestDistribution::kUniform);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+/// Replays a trace against an index: each client coroutine issues its
+/// slice in order; the run measures the same aggregates as RunWorkload.
+/// Deterministic: the same trace and cluster state reproduce the same
+/// virtual-time execution exactly.
+RunResult ReplayTrace(nam::Cluster& cluster, index::DistributedIndex& index,
+                      const Trace& trace);
+
+}  // namespace namtree::ycsb
+
+#endif  // NAMTREE_YCSB_TRACE_H_

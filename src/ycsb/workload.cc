@@ -1,0 +1,137 @@
+#include "ycsb/workload.h"
+
+#include <algorithm>
+
+namespace namtree::ycsb {
+
+WorkloadMix WorkloadA() {
+  WorkloadMix mix;
+  mix.point = 1.0;
+  mix.name = "A";
+  return mix;
+}
+
+WorkloadMix WorkloadB(double sel) {
+  WorkloadMix mix;
+  mix.range = 1.0;
+  mix.range_selectivity = sel;
+  mix.name = "B";
+  return mix;
+}
+
+WorkloadMix WorkloadC() {
+  WorkloadMix mix;
+  mix.point = 0.95;
+  mix.insert = 0.05;
+  mix.name = "C";
+  return mix;
+}
+
+WorkloadMix WorkloadD() {
+  WorkloadMix mix;
+  mix.point = 0.50;
+  mix.insert = 0.50;
+  mix.name = "D";
+  return mix;
+}
+
+WorkloadMix OriginalYcsbA() {
+  WorkloadMix mix;
+  mix.point = 0.50;
+  mix.update = 0.50;
+  mix.name = "ycsb-a";
+  return mix;
+}
+
+WorkloadMix OriginalYcsbB() {
+  WorkloadMix mix;
+  mix.point = 0.95;
+  mix.update = 0.05;
+  mix.name = "ycsb-b";
+  return mix;
+}
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kPoint:
+      return "point";
+    case OpType::kRange:
+      return "range";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+std::vector<btree::KV> GenerateDataset(uint64_t num_keys) {
+  std::vector<btree::KV> data;
+  data.reserve(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    data.push_back(btree::KV{i * kKeyStride, i});
+  }
+  return data;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadMix& mix,
+                                     uint64_t num_keys,
+                                     RequestDistribution dist,
+                                     double zipf_theta)
+    : mix_(mix),
+      num_keys_(num_keys),
+      dist_(dist),
+      zipf_(std::max<uint64_t>(1, num_keys), zipf_theta) {}
+
+btree::Key WorkloadGenerator::DrawKeyIndex(Rng& rng) {
+  switch (dist_) {
+    case RequestDistribution::kUniform:
+      return rng.NextBelow(num_keys_);
+    case RequestDistribution::kZipfian:
+      // Scatter Zipf ranks over the key space so the hot keys are not all
+      // clustered at the low end (YCSB's "scrambled zipfian").
+      return FnvScramble(zipf_.Next(rng), num_keys_);
+    case RequestDistribution::kZipfianClustered:
+      return zipf_.Next(rng);
+  }
+  return 0;
+}
+
+Operation WorkloadGenerator::Next(Rng& rng) {
+  Operation op;
+  const double draw = rng.NextDouble();
+  const uint64_t idx = DrawKeyIndex(rng);
+  op.key = idx * kKeyStride;
+
+  if (draw < mix_.point) {
+    op.type = OpType::kPoint;
+  } else if (draw < mix_.point + mix_.range) {
+    op.type = OpType::kRange;
+    const btree::Key span = std::max<btree::Key>(
+        kKeyStride,
+        static_cast<btree::Key>(mix_.range_selectivity *
+                                static_cast<double>(domain())));
+    // Clamp so every range query touches the same number of keys.
+    if (op.key + span > domain()) {
+      op.key = domain() - span;
+    }
+    op.hi = op.key + span;
+  } else if (draw < mix_.point + mix_.range + mix_.insert) {
+    op.type = OpType::kInsert;
+    // New keys land in the gaps between dataset keys (monotonic data with
+    // stride leaves kKeyStride - 1 free slots per key).
+    op.key = idx * kKeyStride + 1 + rng.NextBelow(kKeyStride - 1);
+    op.value = rng.Next();
+  } else if (draw <
+             mix_.point + mix_.range + mix_.insert + mix_.update) {
+    op.type = OpType::kUpdate;
+    op.value = rng.Next();
+  } else {
+    op.type = OpType::kDelete;
+  }
+  return op;
+}
+
+}  // namespace namtree::ycsb

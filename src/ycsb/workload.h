@@ -1,0 +1,113 @@
+#ifndef NAMTREE_YCSB_WORKLOAD_H_
+#define NAMTREE_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/types.h"
+#include "common/random.h"
+
+namespace namtree::ycsb {
+
+/// Index operation kinds issued by the modified YCSB workloads (Table 3)
+/// plus the original YCSB update.
+enum class OpType {
+  kPoint = 0,
+  kRange,
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+constexpr int kNumOpTypes = 5;
+
+const char* OpTypeName(OpType type);
+
+/// An operation mix. Fractions must sum to 1.
+struct WorkloadMix {
+  double point = 0;
+  double range = 0;
+  double insert = 0;
+  double update = 0;
+  double remove = 0;
+  /// Selectivity of range queries as a fraction of the key domain
+  /// (paper: 0.001 / 0.01 / 0.1).
+  double range_selectivity = 0.001;
+
+  std::string name = "custom";
+};
+
+/// Workload A (Table 3): 100% point queries.
+WorkloadMix WorkloadA();
+/// Workload B: 100% range queries with selectivity `sel`.
+WorkloadMix WorkloadB(double sel);
+/// Workload C: 95% point queries, 5% inserts.
+WorkloadMix WorkloadC();
+/// Workload D: 50% point queries, 50% inserts.
+WorkloadMix WorkloadD();
+/// The *original* YCSB-A (50% reads, 50% in-place updates) — the paper
+/// replaced updates with inserts; both are supported.
+WorkloadMix OriginalYcsbA();
+/// The original YCSB-B (95% reads, 5% updates).
+WorkloadMix OriginalYcsbB();
+
+/// How clients pick requested keys (paper §6: "spreads lookups uniformly at
+/// random over the complete key space"; the original YCSB additionally
+/// supports Zipfian request skew, which we keep for the access-skew
+/// dimension).
+enum class RequestDistribution {
+  kUniform,
+  /// YCSB's scrambled Zipfian: hot keys scattered over the key space.
+  kZipfian,
+  /// Unscrambled Zipfian: rank r maps to the r-th smallest key, so the hot
+  /// set is *contiguous* — under range partitioning it lands on one server
+  /// (an access-skew analogue of the paper's attribute-value skew).
+  kZipfianClustered,
+};
+
+/// Spacing between consecutive dataset keys; gaps leave room for inserted
+/// keys without forcing duplicates.
+constexpr btree::Key kKeyStride = 8;
+
+/// The paper's data sets: monotonically increasing integer keys with
+/// key = i * kKeyStride and value = i (§6, "monotonically increasing
+/// integer keys and values").
+std::vector<btree::KV> GenerateDataset(uint64_t num_keys);
+
+/// One concrete operation.
+struct Operation {
+  OpType type = OpType::kPoint;
+  btree::Key key = 0;
+  btree::Key hi = 0;        // exclusive upper bound for ranges
+  btree::Value value = 0;   // payload for inserts
+};
+
+/// Draws operations according to a mix and a request distribution over a
+/// dataset of `num_keys` (as produced by GenerateDataset).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadMix& mix, uint64_t num_keys,
+                    RequestDistribution dist = RequestDistribution::kUniform,
+                    double zipf_theta = 0.99);
+
+  Operation Next(Rng& rng);
+
+  const WorkloadMix& mix() const { return mix_; }
+  uint64_t num_keys() const { return num_keys_; }
+
+  /// Domain size in key units (num_keys * kKeyStride).
+  btree::Key domain() const { return num_keys_ * kKeyStride; }
+
+ private:
+  btree::Key DrawKeyIndex(Rng& rng);
+
+  WorkloadMix mix_;
+  uint64_t num_keys_;
+  RequestDistribution dist_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace namtree::ycsb
+
+#endif  // NAMTREE_YCSB_WORKLOAD_H_

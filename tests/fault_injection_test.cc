@@ -1,0 +1,250 @@
+// Fault-injection tests: the protocols must stay correct (differential
+// checks + structural invariants) under pathological timing — heavy wire
+// jitter and straggler memory servers — and the UD transport option must
+// preserve RPC semantics while changing only costs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "index/inspector.h"
+#include "nam/cluster.h"
+#include "ycsb/runner.h"
+#include "ycsb/workload.h"
+
+namespace namtree::index {
+namespace {
+
+using btree::KV;
+using nam::Cluster;
+
+std::vector<KV> MakeData(uint64_t n) {
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < n; ++i) data.push_back({i * 2, i});
+  return data;
+}
+
+ycsb::WorkloadMix StressMix() {
+  ycsb::WorkloadMix mix;
+  mix.point = 0.30;
+  mix.range = 0.10;
+  mix.insert = 0.35;
+  mix.update = 0.10;
+  mix.remove = 0.15;
+  mix.range_selectivity = 0.01;
+  return mix;
+}
+
+struct StressOutcome {
+  uint64_t ops = 0;
+  uint64_t live_entries = 0;
+  bool sound = false;
+  std::string report;
+};
+
+template <typename Index>
+StressOutcome RunStress(const rdma::FabricConfig& fabric_config,
+                        uint64_t seed) {
+  Cluster cluster(fabric_config, 64 << 20);
+  IndexConfig config;
+  config.page_size = 256;
+  config.head_node_interval = 4;
+  Index index(cluster, config);
+  const uint64_t keys = 4000;
+  EXPECT_TRUE(index.BulkLoad(MakeData(keys)).ok());
+
+  ycsb::RunConfig run;
+  run.num_clients = 16;
+  run.warmup = 0;
+  run.duration = 25 * kMillisecond;
+  run.seed = seed;
+  run.gc_interval = 6 * kMillisecond;
+  run.mix = StressMix();
+  const auto result = ycsb::RunWorkload(cluster, index, keys, run);
+
+  const auto report = IndexInspector::Inspect(cluster.fabric(), index);
+  StressOutcome outcome;
+  outcome.ops = result.ops;
+  outcome.live_entries = report.live_entries;
+  outcome.sound = report.ok();
+  outcome.report = report.ToString();
+  return outcome;
+}
+
+class JitterTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Jitters, JitterTest,
+                         ::testing::Values(0.5, 2.0, 8.0));
+
+TEST_P(JitterTest, FineGrainedSurvivesWireJitter) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.latency_jitter = GetParam();
+  fc.jitter_seed = 0xABCDEF;
+  const auto outcome = RunStress<FineGrainedIndex>(fc, 11);
+  EXPECT_GT(outcome.ops, 100u);
+  EXPECT_TRUE(outcome.sound) << outcome.report;
+}
+
+TEST_P(JitterTest, HybridSurvivesWireJitter) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.latency_jitter = GetParam();
+  const auto outcome = RunStress<HybridIndex>(fc, 12);
+  EXPECT_GT(outcome.ops, 100u);
+  EXPECT_TRUE(outcome.sound) << outcome.report;
+}
+
+TEST(StragglerTest, ProtocolsSurviveASlowServer) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.server_slowdown = {1.0, 8.0, 1.0, 1.0};  // server 1 is 8x slower
+  {
+    const auto outcome = RunStress<FineGrainedIndex>(fc, 21);
+    EXPECT_TRUE(outcome.sound) << outcome.report;
+  }
+  {
+    const auto outcome = RunStress<CoarseGrainedIndex>(fc, 22);
+    EXPECT_TRUE(outcome.sound) << outcome.report;
+  }
+  {
+    const auto outcome = RunStress<HybridIndex>(fc, 23);
+    EXPECT_TRUE(outcome.sound) << outcome.report;
+  }
+}
+
+TEST(StragglerTest, StragglerHurtsCoarseGrainedThroughput) {
+  auto throughput = [](std::vector<double> slowdown) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 4;
+    fc.server_slowdown = std::move(slowdown);
+    Cluster cluster(fc, 64 << 20);
+    IndexConfig config;
+    CoarseGrainedIndex index(cluster, config);
+    const uint64_t keys = 50000;
+    EXPECT_TRUE(index.BulkLoad(ycsb::GenerateDataset(keys)).ok());
+    ycsb::RunConfig run;
+    run.num_clients = 64;
+    run.warmup = kMillisecond;
+    run.duration = 10 * kMillisecond;
+    return ycsb::RunWorkload(cluster, index, keys, run).ops_per_sec;
+  };
+  const double healthy = throughput({});
+  const double degraded = throughput({1.0, 10.0, 1.0, 1.0});
+  // A 10x straggler owns 1/4 of the key space: closed-loop throughput must
+  // drop noticeably but not collapse to the straggler alone.
+  EXPECT_LT(degraded, 0.8 * healthy);
+  EXPECT_GT(degraded, 0.1 * healthy);
+}
+
+TEST(TransportTest, UdRpcSemanticsMatchRc) {
+  for (auto transport :
+       {rdma::FabricConfig::RpcTransport::kReliableConnection,
+        rdma::FabricConfig::RpcTransport::kUnreliableDatagram}) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 4;
+    fc.rpc_transport = transport;
+    const auto outcome = RunStress<CoarseGrainedIndex>(fc, 31);
+    EXPECT_GT(outcome.ops, 100u);
+    EXPECT_TRUE(outcome.sound) << outcome.report;
+  }
+}
+
+TEST(TransportTest, UdIsCheaperForSmallMessagesCostlierForLarge) {
+  auto throughput = [](rdma::FabricConfig::RpcTransport transport,
+                       const ycsb::WorkloadMix& mix) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 4;
+    fc.rpc_transport = transport;
+    fc.workers_per_server = 64;  // expose the NIC, not the CPU
+    fc.rpc_fixed_ns = 200;
+    fc.cpu_inner_node_ns = 50;
+    fc.cpu_leaf_node_ns = 50;
+    fc.twosided_engine_ns = 800;  // make message processing the bottleneck
+    fc.ud_engine_ns = 200;
+    fc.ud_mtu = 1024;
+    Cluster cluster(fc, 64 << 20);
+    IndexConfig config;
+    CoarseGrainedIndex index(cluster, config);
+    const uint64_t keys = 100000;
+    EXPECT_TRUE(index.BulkLoad(ycsb::GenerateDataset(keys)).ok());
+    ycsb::RunConfig run;
+    run.num_clients = 256;
+    run.warmup = kMillisecond;
+    run.duration = 10 * kMillisecond;
+    run.mix = mix;
+    return ycsb::RunWorkload(cluster, index, keys, run).ops_per_sec;
+  };
+  using Transport = rdma::FabricConfig::RpcTransport;
+  // Small messages (point queries): UD's cheaper per-message cost wins.
+  EXPECT_GT(throughput(Transport::kUnreliableDatagram, ycsb::WorkloadA()),
+            throughput(Transport::kReliableConnection, ycsb::WorkloadA()));
+  // Large responses (range results) fragment under UD.
+  EXPECT_LT(
+      throughput(Transport::kUnreliableDatagram, ycsb::WorkloadB(0.01)),
+      throughput(Transport::kReliableConnection, ycsb::WorkloadB(0.01)));
+}
+
+}  // namespace
+}  // namespace namtree::index
+
+namespace namtree::index {
+namespace {
+
+// Region exhaustion: when RDMA_ALLOC runs dry, one-sided inserts must fail
+// cleanly with OutOfMemory and never corrupt the structure.
+TEST(ResourceExhaustionTest, FineGrainedInsertsFailCleanlyWhenRegionsFill) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  // Tiny regions: the bulk load fits, split headroom does not.
+  nam::Cluster cluster(fc, 96 * 1024);
+  IndexConfig config;
+  config.page_size = 256;
+  config.head_node_interval = 0;
+  FineGrainedIndex index(cluster, config);
+  std::vector<btree::KV> data;
+  for (uint64_t i = 0; i < 2500; ++i) data.push_back({i * 4, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  nam::ClientContext ctx(0, cluster.fabric(), config.page_size, 1);
+  struct Driver {
+    static sim::Task<> Go(FineGrainedIndex& index, nam::ClientContext& ctx,
+                          uint64_t* ok_count, uint64_t* oom_count) {
+      for (uint64_t k = 0; k < 10000; ++k) {
+        const Status s = co_await index.Insert(ctx, k * 4 + 1, k);
+        if (s.ok()) {
+          (*ok_count)++;
+        } else if (s.IsOutOfMemory()) {
+          (*oom_count)++;
+        } else {
+          ADD_FAILURE() << "unexpected status " << s.ToString();
+        }
+      }
+    }
+  };
+  uint64_t ok_count = 0;
+  uint64_t oom_count = 0;
+  sim::Spawn(cluster.simulator(), Driver::Go(index, ctx, &ok_count,
+                                             &oom_count));
+  cluster.simulator().Run();
+  EXPECT_GT(ok_count, 0u);
+  EXPECT_GT(oom_count, 0u) << "the region never filled; shrink it";
+
+  // The index remains structurally sound and fully readable.
+  const auto report = IndexInspector::Inspect(cluster.fabric(), index);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  struct Verify {
+    static sim::Task<> Go(FineGrainedIndex& index, nam::ClientContext& ctx,
+                          uint64_t expected_minimum) {
+      const uint64_t n =
+          co_await index.Scan(ctx, 0, btree::kInfinityKey, nullptr);
+      EXPECT_GE(n, expected_minimum);
+    }
+  };
+  sim::Spawn(cluster.simulator(), Verify::Go(index, ctx, 2500 + ok_count));
+  cluster.simulator().Run();
+}
+
+}  // namespace
+}  // namespace namtree::index

@@ -1,0 +1,136 @@
+// Tests for the Section 2.3 scalability model: Table 1 example values,
+// Table 2 formulas, and the qualitative findings behind Figure 3.
+
+#include <gtest/gtest.h>
+
+#include "model/scalability.h"
+
+namespace namtree::model {
+namespace {
+
+ModelParams PaperExample() { return ModelParams{}; }  // Table 1 defaults
+
+TEST(ModelParamsTest, Table1ExampleColumn) {
+  const ModelParams p = PaperExample();
+  EXPECT_DOUBLE_EQ(p.num_servers, 4);
+  EXPECT_DOUBLE_EQ(p.bandwidth, 50e9);
+  // M = P/(3K) ~ 42.67 (the paper rounds to 42).
+  EXPECT_NEAR(p.Fanout(), 42.67, 0.1);
+  // L = D/M ~ 2.34M (paper: "approx. 2.3M").
+  EXPECT_NEAR(p.Leaves(), 2.34e6, 5e4);
+  // H_FG = log_M(L) = 4 and H_CG(uniform) = log_M(L/S) = 4 (Table 1).
+  EXPECT_DOUBLE_EQ(p.HeightFineGrained(), 4);
+  EXPECT_DOUBLE_EQ(p.HeightCoarseUniform(), 4);
+  EXPECT_DOUBLE_EQ(p.HeightCoarseSkew(), 4);
+}
+
+TEST(ModelTest, AvailableBandwidthStep1) {
+  const ModelParams p = PaperExample();
+  // Uniform: S*BW for every scheme. Skew: FG keeps S*BW, CG collapses to BW.
+  for (Scheme s : {Scheme::kFineGrained, Scheme::kCoarseRange,
+                   Scheme::kCoarseHash}) {
+    EXPECT_DOUBLE_EQ(AvailableBandwidth(p, s, Distribution::kUniform),
+                     4 * 50e9);
+  }
+  EXPECT_DOUBLE_EQ(
+      AvailableBandwidth(p, Scheme::kFineGrained, Distribution::kSkew),
+      4 * 50e9);
+  EXPECT_DOUBLE_EQ(
+      AvailableBandwidth(p, Scheme::kCoarseRange, Distribution::kSkew), 50e9);
+  EXPECT_DOUBLE_EQ(
+      AvailableBandwidth(p, Scheme::kCoarseHash, Distribution::kSkew), 50e9);
+}
+
+TEST(ModelTest, PointQueryBytesStep2) {
+  const ModelParams p = PaperExample();
+  const double P = p.page_size;
+  // Uniform: H*P.
+  EXPECT_DOUBLE_EQ(
+      PointQueryBytes(p, Scheme::kFineGrained, Distribution::kUniform, 10),
+      4 * P);
+  EXPECT_DOUBLE_EQ(
+      PointQueryBytes(p, Scheme::kCoarseRange, Distribution::kUniform, 10),
+      4 * P);
+  // Skew: H*P + z*P.
+  EXPECT_DOUBLE_EQ(
+      PointQueryBytes(p, Scheme::kFineGrained, Distribution::kSkew, 10),
+      4 * P + 10 * P);
+  EXPECT_DOUBLE_EQ(
+      PointQueryBytes(p, Scheme::kCoarseHash, Distribution::kSkew, 10),
+      4 * P + 10 * P);
+}
+
+TEST(ModelTest, RangeQueryBytesStep2) {
+  const ModelParams p = PaperExample();
+  const double P = p.page_size;
+  const double L = p.Leaves();
+  const double s = 0.001;
+  EXPECT_DOUBLE_EQ(
+      RangeQueryBytes(p, Scheme::kFineGrained, Distribution::kUniform, s, 10),
+      4 * P + s * L * P);
+  // Hash: the traversal multiplies by S (query goes to all servers).
+  EXPECT_DOUBLE_EQ(
+      RangeQueryBytes(p, Scheme::kCoarseHash, Distribution::kUniform, s, 10),
+      4 * P * 4 + s * L * P);
+  // Skew: selectivity amplified by z.
+  EXPECT_DOUBLE_EQ(
+      RangeQueryBytes(p, Scheme::kCoarseRange, Distribution::kSkew, s, 10),
+      4 * P + 10 * s * L * P);
+}
+
+TEST(ModelTest, Figure3Findings) {
+  // The qualitative results of Figure 3 for range queries (sel=0.001,
+  // z=10): (a) all schemes scale under uniform; (b) under skew only FG
+  // keeps scaling; (c) CG-hash is below CG-range under uniform.
+  const double s = 0.001;
+  const double z = 10;
+
+  auto at = [&](double servers, Scheme scheme, Distribution dist) {
+    ModelParams p = PaperExample();
+    p.num_servers = servers;
+    return MaxThroughputRange(p, scheme, dist, s, z);
+  };
+
+  // (a) uniform scaling: 64 servers >> 2 servers for all schemes.
+  for (Scheme scheme : {Scheme::kFineGrained, Scheme::kCoarseRange,
+                        Scheme::kCoarseHash}) {
+    EXPECT_GT(at(64, scheme, Distribution::kUniform),
+              10 * at(2, scheme, Distribution::kUniform));
+  }
+  // (b) skew: FG scales ~linearly, CG stagnates at ~BW/query.
+  EXPECT_GT(at(64, Scheme::kFineGrained, Distribution::kSkew),
+            20 * at(2, Scheme::kFineGrained, Distribution::kSkew));
+  EXPECT_LT(at(64, Scheme::kCoarseRange, Distribution::kSkew),
+            1.10 * at(2, Scheme::kCoarseRange, Distribution::kSkew));
+  // (c) hash <= range under uniform (S traversals).
+  EXPECT_LT(at(16, Scheme::kCoarseHash, Distribution::kUniform),
+            at(16, Scheme::kCoarseRange, Distribution::kUniform));
+  // FG(skew) == FG(uniform at z-amplified selectivity) relationship: FG is
+  // workload-robust: its uniform and skew curves differ only by the z
+  // amplification, not by available bandwidth.
+  ModelParams p = PaperExample();
+  EXPECT_DOUBLE_EQ(
+      AvailableBandwidth(p, Scheme::kFineGrained, Distribution::kSkew),
+      AvailableBandwidth(p, Scheme::kFineGrained, Distribution::kUniform));
+}
+
+TEST(ModelTest, ThroughputIsBandwidthOverQueryBytes) {
+  const ModelParams p = PaperExample();
+  const double thr =
+      MaxThroughputPoint(p, Scheme::kCoarseRange, Distribution::kUniform, 10);
+  EXPECT_DOUBLE_EQ(
+      thr, (4 * 50e9) / PointQueryBytes(p, Scheme::kCoarseRange,
+                                        Distribution::kUniform, 10));
+}
+
+TEST(ModelTest, HeightsGrowWithData) {
+  ModelParams p = PaperExample();
+  p.data_size = 1e6;
+  const double h1 = p.HeightFineGrained();
+  p.data_size = 1e9;
+  const double h2 = p.HeightFineGrained();
+  EXPECT_GT(h2, h1);
+}
+
+}  // namespace
+}  // namespace namtree::model

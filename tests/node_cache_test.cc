@@ -1,0 +1,217 @@
+// Tests for the Appendix A.4 client-side node cache: LRU eviction, TTL
+// expiry, and correctness of the cached fine-grained index under
+// cache-invalidating writes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "index/fine_grained.h"
+#include "index/node_cache.h"
+#include "nam/cluster.h"
+
+namespace namtree::index {
+namespace {
+
+using btree::Key;
+using btree::KV;
+using nam::ClientContext;
+using nam::Cluster;
+using sim::Spawn;
+using sim::Task;
+
+TEST(NodeCacheTest, HitAfterPut) {
+  NodeCache cache(64, 4, 0);
+  std::vector<uint8_t> image(64, 0xAB);
+  EXPECT_EQ(cache.Get(1, 0), nullptr);
+  cache.Put(1, image.data(), 0);
+  const uint8_t* hit = cache.Get(1, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit[0], 0xAB);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(NodeCacheTest, LruEviction) {
+  NodeCache cache(8, 2, 0);
+  std::vector<uint8_t> image(8, 1);
+  cache.Put(1, image.data(), 0);
+  cache.Put(2, image.data(), 0);
+  EXPECT_NE(cache.Get(1, 0), nullptr);  // 1 becomes MRU
+  cache.Put(3, image.data(), 0);        // evicts 2
+  EXPECT_NE(cache.Get(1, 0), nullptr);
+  EXPECT_EQ(cache.Get(2, 0), nullptr);
+  EXPECT_NE(cache.Get(3, 0), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(NodeCacheTest, TtlExpiry) {
+  NodeCache cache(8, 4, 1000);
+  std::vector<uint8_t> image(8, 1);
+  cache.Put(1, image.data(), 0);
+  EXPECT_NE(cache.Get(1, 999), nullptr);
+  EXPECT_EQ(cache.Get(1, 1001), nullptr);
+  EXPECT_EQ(cache.expirations(), 1u);
+  // Re-put refreshes the epoch.
+  cache.Put(1, image.data(), 2000);
+  EXPECT_NE(cache.Get(1, 2500), nullptr);
+}
+
+TEST(NodeCacheTest, PutOverwritesInPlace) {
+  NodeCache cache(8, 2, 0);
+  std::vector<uint8_t> a(8, 1);
+  std::vector<uint8_t> b(8, 2);
+  cache.Put(1, a.data(), 0);
+  cache.Put(1, b.data(), 50);
+  const uint8_t* hit = cache.Get(1, 60);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit[0], 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NodeCacheTest, InvalidateDrops) {
+  NodeCache cache(8, 2, 0);
+  std::vector<uint8_t> image(8, 1);
+  cache.Put(1, image.data(), 0);
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Get(1, 0), nullptr);
+  cache.Invalidate(42);  // no-op
+}
+
+TEST(NodeCacheTest, ZeroCapacityDisables) {
+  NodeCache cache(8, 0, 0);
+  std::vector<uint8_t> image(8, 1);
+  cache.Put(1, image.data(), 0);
+  EXPECT_EQ(cache.Get(1, 0), nullptr);
+}
+
+// ---- Cached fine-grained index ----------------------------------------------
+
+Task<> LookupLoop(FineGrainedIndex& index, ClientContext& ctx, int rounds,
+                  uint64_t keys, uint64_t* found) {
+  for (int i = 0; i < rounds; ++i) {
+    const Key k = (ctx.rng().NextBelow(keys)) * 2;
+    const LookupResult r = co_await index.Lookup(ctx, k);
+    if (r.found) (*found)++;
+  }
+}
+
+TEST(CachedFineGrainedTest, CacheCutsRoundTripsWithoutMisses) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = kSecond;
+  FineGrainedIndex index(cluster, ic);
+  const uint64_t keys = 20000;
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < keys; ++i) data.push_back({i * 2, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  ClientContext ctx(0, cluster.fabric(), ic.page_size, 7);
+  uint64_t found = 0;
+  Spawn(cluster.simulator(), LookupLoop(index, ctx, 2000, keys, &found));
+  cluster.simulator().Run();
+  EXPECT_EQ(found, 2000u);
+
+  const auto stats = index.GetCacheStats();
+  EXPECT_GT(stats.hits, stats.misses)
+      << "a warmed cache must serve most inner reads";
+  // With all inner levels cached, steady-state lookups need ~1 read each.
+  EXPECT_LT(static_cast<double>(ctx.round_trips), 2000 * 2.2);
+}
+
+TEST(CachedFineGrainedTest, StaleCacheStaysCorrectUnderInserts) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.head_node_interval = 4;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = 10 * kSecond;  // effectively never expires
+  FineGrainedIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 3000; ++i) data.push_back({i * 4, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+  cluster.fabric().SetNumClients(3);
+
+  // Client 0 warms its cache.
+  ClientContext reader(0, cluster.fabric(), ic.page_size, 1);
+  uint64_t found = 0;
+  Spawn(cluster.simulator(), LookupLoop(index, reader, 500, 3000 * 2, &found));
+  cluster.simulator().Run();
+
+  // Clients 1 and 2 split lots of leaves (reader's cache is now stale).
+  struct Writer {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx, Key from,
+                     Key to) {
+      for (Key k = from; k < to; k += 4) {
+        EXPECT_TRUE((co_await index.Insert(ctx, k, k)).ok());
+      }
+    }
+  };
+  ClientContext w1(1, cluster.fabric(), ic.page_size, 2);
+  ClientContext w2(2, cluster.fabric(), ic.page_size, 3);
+  Spawn(cluster.simulator(), Writer::Go(index, w1, 1, 12000));
+  Spawn(cluster.simulator(), Writer::Go(index, w2, 2, 12000));
+  cluster.simulator().Run();
+
+  // Reader (stale cache) must still find every key, old and new.
+  struct Verify {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx,
+                     uint64_t* missing) {
+      for (Key k = 0; k < 12000; ++k) {
+        if (k % 4 == 3) continue;  // never inserted
+        const LookupResult r = co_await index.Lookup(ctx, k);
+        if (!r.found) (*missing)++;
+      }
+    }
+  };
+  uint64_t missing = 0;
+  Spawn(cluster.simulator(), Verify::Go(index, reader, &missing));
+  cluster.simulator().Run();
+  EXPECT_EQ(missing, 0u) << "stale cached routing lost keys";
+}
+
+TEST(CatalogBootstrapTest, FreshClientLearnsTheRootRemotely) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  FineGrainedIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back({i * 2, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+  const rdma::RemotePtr loaded_root = index.root();
+  const uint8_t loaded_level = index.root_level();
+
+  ClientContext ctx(0, cluster.fabric(), ic.page_size, 1);
+  struct Driver {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx,
+                     rdma::RemotePtr expected_root, uint8_t expected_level) {
+      EXPECT_TRUE((co_await index.BootstrapFromCatalog(ctx)).ok());
+      EXPECT_EQ(index.root().raw(), expected_root.raw());
+      EXPECT_EQ(index.root_level(), expected_level);
+      // Grow the root via splits; the catalog write keeps bootstrap fresh.
+      for (uint64_t k = 0; k < 5000; ++k) {
+        EXPECT_TRUE((co_await index.Insert(ctx, k * 2 + 1, k)).ok());
+      }
+      const rdma::RemotePtr grown = index.root();
+      EXPECT_TRUE((co_await index.BootstrapFromCatalog(ctx)).ok());
+      EXPECT_EQ(index.root().raw(), grown.raw());
+      const LookupResult r = co_await index.Lookup(ctx, 101);
+      EXPECT_TRUE(r.found);
+    }
+  };
+  Spawn(cluster.simulator(),
+        Driver::Go(index, ctx, loaded_root, loaded_level));
+  cluster.simulator().Run();
+}
+
+}  // namespace
+}  // namespace namtree::index

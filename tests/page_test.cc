@@ -1,0 +1,313 @@
+// Node-level tests of the shared page format: layout, leaf/inner
+// operations, tombstones, splits, and duplicate handling. Parameterized
+// over page sizes to sweep the layout math.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "btree/page.h"
+#include "btree/types.h"
+#include "common/random.h"
+
+namespace namtree::btree {
+namespace {
+
+class PageBuffer {
+ public:
+  explicit PageBuffer(uint32_t page_size) : data_(page_size) {}
+  PageView view() {
+    return PageView(data_.data(), static_cast<uint32_t>(data_.size()));
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+TEST(PageLayoutTest, HeaderIs32Bytes) {
+  EXPECT_EQ(sizeof(PageHeader), 32u);
+  EXPECT_EQ(kVersionOffset, 0u);
+}
+
+TEST(PageLayoutTest, CapacitiesForPaperPageSize) {
+  // P=1024: leaf (1024-32-64)/16 = 58, inner (1024-40)/16 = 61.
+  EXPECT_EQ(PageView::LeafCapacity(1024), 58u);
+  EXPECT_EQ(PageView::InnerKeyCapacity(1024), 61u);
+  EXPECT_EQ(PageView::HeadCapacity(1024), 124u);
+}
+
+class PageSizeTest : public ::testing::TestWithParam<uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageSizeTest,
+                         ::testing::Values(256u, 512u, 1024u, 2048u, 4096u,
+                                           8192u));
+
+TEST_P(PageSizeTest, LeafCapacityFitsTombstoneBitmap) {
+  const uint32_t cap = PageView::LeafCapacity(GetParam());
+  EXPECT_GT(cap, 0u);
+  EXPECT_LE(cap, PageView::kTombstoneBytes * 8);
+  // Entries must fit in the page.
+  EXPECT_LE(PageView::kHeaderBytes + PageView::kTombstoneBytes +
+                cap * sizeof(KV),
+            GetParam());
+}
+
+TEST_P(PageSizeTest, InnerLayoutFits) {
+  const uint32_t cap = PageView::InnerKeyCapacity(GetParam());
+  EXPECT_GT(cap, 0u);
+  EXPECT_LE(PageView::kHeaderBytes + 8u * cap + 8u * (cap + 1), GetParam());
+}
+
+TEST_P(PageSizeTest, LeafInsertKeepsSortedOrder) {
+  PageBuffer buf(GetParam());
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  Rng rng(7);
+  std::vector<Key> inserted;
+  while (leaf.count() < leaf.leaf_capacity()) {
+    const Key k = rng.NextBelow(10000);
+    ASSERT_TRUE(leaf.LeafInsert(k, k * 2));
+    inserted.push_back(k);
+  }
+  EXPECT_FALSE(leaf.LeafInsert(1, 1)) << "full leaf must reject";
+  for (uint32_t i = 1; i < leaf.count(); ++i) {
+    EXPECT_LE(leaf.leaf_entries()[i - 1].key, leaf.leaf_entries()[i].key);
+  }
+  for (Key k : inserted) {
+    const int32_t idx = leaf.LeafFindLive(k);
+    ASSERT_GE(idx, 0);
+    EXPECT_EQ(leaf.leaf_entries()[idx].key, k);
+  }
+}
+
+TEST(PageTest, LeafLowerBoundSemantics) {
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  for (Key k : {10, 20, 20, 30}) leaf.LeafInsert(k, k);
+  EXPECT_EQ(leaf.LeafLowerBound(5), 0u);
+  EXPECT_EQ(leaf.LeafLowerBound(10), 0u);
+  EXPECT_EQ(leaf.LeafLowerBound(15), 1u);
+  EXPECT_EQ(leaf.LeafLowerBound(20), 1u);
+  EXPECT_EQ(leaf.LeafLowerBound(21), 3u);
+  EXPECT_EQ(leaf.LeafLowerBound(30), 3u);
+  EXPECT_EQ(leaf.LeafLowerBound(31), 4u);
+}
+
+TEST(PageTest, TombstonesHideEntriesAndCompactRemovesThem) {
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  for (Key k = 0; k < 10; ++k) leaf.LeafInsert(k, k + 100);
+  EXPECT_TRUE(leaf.LeafMarkDeleted(3));
+  EXPECT_TRUE(leaf.LeafMarkDeleted(7));
+  EXPECT_EQ(leaf.LeafFindLive(3), -1);
+  EXPECT_EQ(leaf.LeafFindLive(7), -1);
+  EXPECT_GE(leaf.LeafFindLive(4), 0);
+  EXPECT_FALSE(leaf.LeafMarkDeleted(3)) << "double delete must miss";
+  EXPECT_EQ(leaf.LeafCompact(), 2u);
+  EXPECT_EQ(leaf.count(), 8u);
+  EXPECT_EQ(leaf.LeafFindLive(3), -1);
+  for (Key k : {0, 1, 2, 4, 5, 6, 8, 9}) {
+    const int32_t idx = leaf.LeafFindLive(k);
+    ASSERT_GE(idx, 0) << "key " << k;
+    EXPECT_EQ(leaf.leaf_entries()[idx].value, k + 100);
+  }
+}
+
+TEST(PageTest, TombstoneBitsFollowShiftedEntries) {
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  for (Key k : {10, 30, 50}) leaf.LeafInsert(k, k);
+  leaf.LeafMarkDeleted(30);
+  // Inserting 20 shifts 30 and 50 up; the tombstone must follow 30.
+  leaf.LeafInsert(20, 20);
+  EXPECT_EQ(leaf.LeafFindLive(30), -1);
+  EXPECT_GE(leaf.LeafFindLive(20), 0);
+  EXPECT_GE(leaf.LeafFindLive(50), 0);
+}
+
+TEST(PageTest, DuplicateOnlyFirstLiveIsDeleted) {
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  leaf.LeafInsert(5, 1);
+  leaf.LeafInsert(5, 2);
+  leaf.LeafInsert(5, 3);
+  EXPECT_TRUE(leaf.LeafMarkDeleted(5));
+  int32_t idx = leaf.LeafFindLive(5);
+  ASSERT_GE(idx, 0);
+  EXPECT_TRUE(leaf.LeafMarkDeleted(5));
+  EXPECT_TRUE(leaf.LeafMarkDeleted(5));
+  EXPECT_FALSE(leaf.LeafMarkDeleted(5));
+}
+
+TEST(PageTest, SplitLeafDistributesEntriesAndFixesFences) {
+  PageBuffer left_buf(1024);
+  PageBuffer right_buf(1024);
+  PageView left = left_buf.view();
+  left.InitLeaf(777, 0xABCD);
+  const uint32_t cap = left.leaf_capacity();
+  for (uint32_t i = 0; i < cap; ++i) left.LeafInsert(i * 2, i);
+
+  const Key sep = left.SplitLeafInto(right_buf.view(), 0x1111);
+  PageView right = right_buf.view();
+
+  EXPECT_EQ(left.count() + right.count(), cap);
+  EXPECT_EQ(left.high_key(), sep);
+  EXPECT_EQ(left.right_sibling(), 0x1111u);
+  EXPECT_EQ(right.high_key(), 777u);
+  EXPECT_EQ(right.right_sibling(), 0xABCDu);
+  EXPECT_EQ(right.leaf_entries()[0].key, sep);
+  // All left keys < sep, all right keys >= sep.
+  for (uint32_t i = 0; i < left.count(); ++i) {
+    EXPECT_LT(left.leaf_entries()[i].key, sep);
+  }
+  for (uint32_t i = 0; i < right.count(); ++i) {
+    EXPECT_GE(right.leaf_entries()[i].key, sep);
+  }
+}
+
+TEST(PageTest, SplitLeafCarriesTombstones) {
+  PageBuffer left_buf(1024);
+  PageBuffer right_buf(1024);
+  PageView left = left_buf.view();
+  left.InitLeaf(kInfinityKey, 0);
+  const uint32_t cap = left.leaf_capacity();
+  for (uint32_t i = 0; i < cap; ++i) left.LeafInsert(i, i);
+  left.LeafMarkDeleted(cap - 1);  // lands in the right half
+  left.LeafMarkDeleted(0);        // stays in the left half
+  left.SplitLeafInto(right_buf.view(), 0);
+  PageView right = right_buf.view();
+  EXPECT_EQ(left.LeafFindLive(0), -1);
+  EXPECT_EQ(right.LeafFindLive(cap - 1), -1);
+  EXPECT_GE(right.LeafFindLive(cap - 2), 0);
+}
+
+TEST(PageTest, InnerChildForUsesLowerBoundDescent) {
+  PageBuffer buf(1024);
+  PageView inner = buf.view();
+  inner.InitInner(1, kInfinityKey, 0);
+  // children: c0 | 10 | c1 | 20 | c2
+  inner.inner_children()[0] = 100;
+  inner.InnerInsert(10, 101);
+  inner.InnerInsert(20, 102);
+  EXPECT_EQ(inner.InnerChildFor(5), 100u);
+  EXPECT_EQ(inner.InnerChildFor(9), 100u);
+  // Lower-bound: a key equal to a separator descends LEFT of it.
+  EXPECT_EQ(inner.InnerChildFor(10), 100u);
+  EXPECT_EQ(inner.InnerChildFor(11), 101u);
+  EXPECT_EQ(inner.InnerChildFor(20), 101u);
+  EXPECT_EQ(inner.InnerChildFor(25), 102u);
+}
+
+TEST(PageTest, InnerInsertMaintainsSeparatorOrder) {
+  PageBuffer buf(1024);
+  PageView inner = buf.view();
+  inner.InitInner(1, kInfinityKey, 0);
+  inner.inner_children()[0] = 1;
+  Rng rng(3);
+  std::vector<Key> seps;
+  while (inner.count() < inner.inner_capacity()) {
+    const Key sep = rng.NextBelow(100000);
+    ASSERT_TRUE(inner.InnerInsert(sep, sep + 1));
+    seps.push_back(sep);
+  }
+  EXPECT_FALSE(inner.InnerInsert(1, 2));
+  for (uint32_t i = 1; i < inner.count(); ++i) {
+    EXPECT_LE(inner.inner_keys()[i - 1], inner.inner_keys()[i]);
+  }
+  // Each separator's right child must be the pointer inserted with it.
+  std::sort(seps.begin(), seps.end());
+  for (uint32_t i = 0; i < inner.count(); ++i) {
+    EXPECT_EQ(inner.inner_keys()[i], seps[i]);
+  }
+}
+
+TEST(PageTest, SplitInnerPromotesMiddleKey) {
+  PageBuffer left_buf(1024);
+  PageBuffer right_buf(1024);
+  PageView left = left_buf.view();
+  left.InitInner(2, 999999, 0xBEEF);
+  left.inner_children()[0] = 1000;
+  const uint32_t cap = left.inner_capacity();
+  for (uint32_t i = 0; i < cap; ++i) left.InnerInsert((i + 1) * 10, i + 1);
+
+  const Key promoted = left.SplitInnerInto(right_buf.view(), 0x2222);
+  PageView right = right_buf.view();
+
+  // The promoted key is in neither half.
+  for (uint32_t i = 0; i < left.count(); ++i) {
+    EXPECT_LT(left.inner_keys()[i], promoted);
+  }
+  for (uint32_t i = 0; i < right.count(); ++i) {
+    EXPECT_GT(right.inner_keys()[i], promoted);
+  }
+  EXPECT_EQ(left.count() + right.count() + 1, cap);
+  EXPECT_EQ(left.high_key(), promoted);
+  EXPECT_EQ(left.right_sibling(), 0x2222u);
+  EXPECT_EQ(right.high_key(), 999999u);
+  EXPECT_EQ(right.right_sibling(), 0xBEEFu);
+  EXPECT_EQ(right.level(), 2);
+  // Child counts: left has count+1 children, right has count+1 children.
+  EXPECT_EQ(right.inner_children()[0], cap / 2 + 1u);
+}
+
+TEST(PageTest, HeadNodeLayout) {
+  PageBuffer buf(1024);
+  PageView head = buf.view();
+  head.InitHead(0x42);
+  EXPECT_TRUE(head.is_head());
+  EXPECT_FALSE(head.is_leaf());
+  EXPECT_EQ(head.right_sibling(), 0x42u);
+  for (uint32_t i = 0; i < head.head_capacity(); ++i) {
+    head.head_ptrs()[i] = i + 1;
+  }
+  head.header().count = static_cast<uint16_t>(head.head_capacity());
+  EXPECT_EQ(head.head_ptrs()[head.head_capacity() - 1],
+            head.head_capacity());
+}
+
+// Property sweep: random insert/delete sequences against a reference
+// multimap, at node granularity.
+class LeafPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeafPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(LeafPropertyTest, MatchesReferenceModel) {
+  PageBuffer buf(512);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(kInfinityKey, 0);
+  std::multimap<Key, Value> reference;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 2000; ++step) {
+    const Key k = rng.NextBelow(40);
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      const Value v = rng.Next();
+      if (leaf.LeafInsert(k, v)) {
+        reference.emplace(k, v);
+      } else {
+        EXPECT_EQ(leaf.count(), leaf.leaf_capacity());
+        leaf.LeafCompact();
+        // Rebuild the reference without the tombstoned entries: compaction
+        // preserves exactly the live ones, which the model already tracks.
+      }
+    } else if (action < 0.75) {
+      const bool deleted = leaf.LeafMarkDeleted(k);
+      auto it = reference.find(k);
+      EXPECT_EQ(deleted, it != reference.end());
+      if (it != reference.end()) reference.erase(it);
+    } else {
+      const bool found = leaf.LeafFindLive(k) >= 0;
+      EXPECT_EQ(found, reference.count(k) > 0) << "key " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace namtree::btree

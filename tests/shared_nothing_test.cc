@@ -1,0 +1,139 @@
+// Tests for the §7 shared-nothing adaptation on real threads: routing,
+// mailbox RPC vs locality fast path, cross-partition scans, and correctness
+// under true hardware concurrency.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "btree/shared_nothing.h"
+#include "common/random.h"
+
+namespace namtree::btree {
+namespace {
+
+std::vector<KV> MakeData(uint64_t n) {
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < n; ++i) data.push_back({i * 2, i});
+  return data;
+}
+
+TEST(SharedNothingTest, RoutingCoversTheKeySpace) {
+  SharedNothingCluster cluster(4, 2, 256);
+  ASSERT_TRUE(cluster.BulkLoad(MakeData(10000)).ok());
+  // Partition ids ascend with keys and every node owns some range.
+  std::vector<uint32_t> hits(4, 0);
+  uint32_t previous = 0;
+  for (Key k = 0; k < 20000; k += 100) {
+    const uint32_t node = cluster.NodeFor(k);
+    ASSERT_LT(node, 4u);
+    EXPECT_GE(node, previous);
+    previous = node;
+    hits[node]++;
+  }
+  for (uint32_t h : hits) EXPECT_GT(h, 20u);
+}
+
+TEST(SharedNothingTest, BasicOperationsThroughTheMailbox) {
+  SharedNothingCluster cluster(4, 2, 256);
+  ASSERT_TRUE(cluster.BulkLoad(MakeData(5000)).ok());
+
+  auto hit = cluster.Lookup(4000);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 2000u);
+  EXPECT_FALSE(cluster.Lookup(4001).ok());
+
+  EXPECT_TRUE(cluster.Insert(4001, 99).ok());
+  EXPECT_EQ(cluster.Lookup(4001).value_or(0), 99u);
+  EXPECT_TRUE(cluster.Update(4001, 100).ok());
+  EXPECT_EQ(cluster.Lookup(4001).value_or(0), 100u);
+  EXPECT_TRUE(cluster.Delete(4001).ok());
+  EXPECT_FALSE(cluster.Lookup(4001).ok());
+  EXPECT_EQ(cluster.GarbageCollect(), 1u);
+}
+
+TEST(SharedNothingTest, CrossPartitionScan) {
+  SharedNothingCluster cluster(4, 2, 256);
+  const auto data = MakeData(8000);
+  ASSERT_TRUE(cluster.BulkLoad(data).ok());
+  std::vector<KV> out;
+  // A range spanning all four partitions.
+  const uint64_t n = cluster.Scan(1000, 15000, &out);
+  uint64_t expected = 0;
+  for (const KV& kv : data) {
+    if (kv.key >= 1000 && kv.key < 15000) expected++;
+  }
+  EXPECT_EQ(n, expected);
+  ASSERT_EQ(out.size(), expected);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const KV& a, const KV& b) {
+                               return a.key < b.key;
+                             }));
+}
+
+TEST(SharedNothingTest, LocalFastPathBypassesTheMailbox) {
+  SharedNothingCluster cluster(2, 1, 256);
+  ASSERT_TRUE(cluster.BulkLoad(MakeData(2000)).ok());
+  const uint64_t remote_before = cluster.remote_requests();
+
+  // Keys owned by node 0, issued from "node 0": no mailbox traffic.
+  for (Key k = 0; k < 100; k += 2) {
+    EXPECT_TRUE(cluster.Lookup(k, /*home_node=*/0).ok());
+  }
+  EXPECT_EQ(cluster.remote_requests(), remote_before);
+  EXPECT_GE(cluster.local_requests(), 50u);
+
+  // Same keys from "node 1": all go through node 0's mailbox.
+  for (Key k = 0; k < 100; k += 2) {
+    EXPECT_TRUE(cluster.Lookup(k, /*home_node=*/1).ok());
+  }
+  EXPECT_EQ(cluster.remote_requests(), remote_before + 50);
+}
+
+TEST(SharedNothingTest, ConcurrentClientsOnRealThreads) {
+  SharedNothingCluster cluster(4, 2, 256);
+  ASSERT_TRUE(cluster.BulkLoad(MakeData(20000)).ok());
+
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&cluster, &errors, t] {
+      Rng rng(t + 1);
+      const uint32_t home = t % 4;
+      for (int i = 0; i < 2000; ++i) {
+        const double a = rng.NextDouble();
+        const Key k = rng.NextBelow(40000);
+        if (a < 0.4) {
+          if (!cluster.Insert(k, k, home).ok()) errors.fetch_add(1);
+        } else if (a < 0.6) {
+          (void)cluster.Delete(k, home);
+        } else if (a < 0.9) {
+          (void)cluster.Lookup(k, home);
+        } else {
+          std::vector<KV> out;
+          cluster.Scan(k, k + 200, &out, home);
+          for (size_t j = 1; j < out.size(); ++j) {
+            if (out[j - 1].key > out[j].key) errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(errors.load(), 0u);
+
+  // Full scan is sorted and GC-able afterwards.
+  std::vector<KV> out;
+  const uint64_t total = cluster.Scan(0, kInfinityKey, &out);
+  EXPECT_EQ(total, out.size());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
+                             [](const KV& a, const KV& b) {
+                               return a.key < b.key;
+                             }));
+  cluster.GarbageCollect();
+}
+
+}  // namespace
+}  // namespace namtree::btree

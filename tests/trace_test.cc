@@ -1,0 +1,138 @@
+// Tests for workload trace record/replay: serialisation round trips,
+// malformed input handling, deterministic replay, and replay equivalence
+// across index designs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "index/coarse_grained.h"
+#include "index/fine_grained.h"
+#include "nam/cluster.h"
+#include "ycsb/trace.h"
+
+namespace namtree::ycsb {
+namespace {
+
+using index::IndexConfig;
+using nam::Cluster;
+
+TEST(TraceTest, TextRoundTrip) {
+  Trace trace;
+  Operation op;
+  op.type = OpType::kPoint;
+  op.key = 42;
+  trace.Add(0, op);
+  op.type = OpType::kRange;
+  op.key = 10;
+  op.hi = 99;
+  trace.Add(1, op);
+  op.type = OpType::kInsert;
+  op.key = 5;
+  op.value = 777;
+  trace.Add(2, op);
+  op.type = OpType::kUpdate;
+  op.key = 6;
+  op.value = 888;
+  trace.Add(0, op);
+  op.type = OpType::kDelete;
+  op.key = 7;
+  trace.Add(1, op);
+
+  std::stringstream buffer;
+  trace.Write(buffer);
+  auto loaded = Trace::Read(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Trace& t = loaded.value();
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.num_clients(), 3u);
+  EXPECT_EQ(t.ops()[0].op.type, OpType::kPoint);
+  EXPECT_EQ(t.ops()[0].op.key, 42u);
+  EXPECT_EQ(t.ops()[1].op.hi, 99u);
+  EXPECT_EQ(t.ops()[2].op.value, 777u);
+  EXPECT_EQ(t.ops()[3].client, 0u);
+  EXPECT_EQ(t.ops()[4].op.type, OpType::kDelete);
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  std::stringstream bad1("0 X 14\n");
+  EXPECT_FALSE(Trace::Read(bad1).ok());
+  std::stringstream bad2("0 R 14\n");  // missing hi
+  EXPECT_FALSE(Trace::Read(bad2).ok());
+  std::stringstream bad3("not-a-number P 14\n");
+  EXPECT_FALSE(Trace::Read(bad3).ok());
+  std::stringstream fine("# comment\n\n3 G? no\n");
+  EXPECT_FALSE(Trace::Read(fine).ok());
+}
+
+TEST(TraceTest, SaveAndLoadFile) {
+  Trace trace = Trace::Generate(WorkloadC(), 1000, 4, 25, 7);
+  const std::string path = "/tmp/namtree_trace_test.txt";
+  ASSERT_TRUE(trace.Save(path).ok());
+  auto loaded = Trace::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded.value().ops()[i].op.key, trace.ops()[i].op.key);
+  }
+  std::remove(path.c_str());
+  EXPECT_FALSE(Trace::Load(path).ok());
+}
+
+TEST(TraceTest, GenerateIsSeedDeterministic) {
+  const Trace a = Trace::Generate(WorkloadD(), 5000, 8, 50, 11);
+  const Trace b = Trace::Generate(WorkloadD(), 5000, 8, 50, 11);
+  const Trace c = Trace::Generate(WorkloadD(), 5000, 8, 50, 12);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    all_equal &= a.ops()[i].op.key == b.ops()[i].op.key;
+    differs_from_c |= a.ops()[i].op.key != c.ops()[i].op.key;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(TraceReplayTest, DeterministicReplay) {
+  const Trace trace = Trace::Generate(WorkloadC(), 10000, 8, 100, 3);
+  auto run = [&] {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 2;
+    Cluster cluster(fc, 64 << 20);
+    index::FineGrainedIndex index(cluster, IndexConfig{});
+    EXPECT_TRUE(index.BulkLoad(GenerateDataset(10000)).ok());
+    return ReplayTrace(cluster, index, trace);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_EQ(a.ops, trace.size());
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.server_bytes, b.server_bytes);
+  EXPECT_EQ(a.round_trips, b.round_trips);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(TraceReplayTest, PerTypeBreakdownMatchesTrace) {
+  const Trace trace = Trace::Generate(WorkloadD(), 5000, 4, 200, 5);
+  uint64_t points = 0;
+  uint64_t inserts = 0;
+  for (const TraceOp& top : trace.ops()) {
+    if (top.op.type == OpType::kPoint) points++;
+    if (top.op.type == OpType::kInsert) inserts++;
+  }
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  Cluster cluster(fc, 64 << 20);
+  index::CoarseGrainedIndex index(cluster, IndexConfig{});
+  ASSERT_TRUE(index.BulkLoad(GenerateDataset(5000)).ok());
+  const RunResult result = ReplayTrace(cluster, index, trace);
+  EXPECT_EQ(result.per_type[static_cast<int>(OpType::kPoint)].count, points);
+  EXPECT_EQ(result.per_type[static_cast<int>(OpType::kInsert)].count,
+            inserts);
+  EXPECT_EQ(result.failed_ops, 0u);
+}
+
+}  // namespace
+}  // namespace namtree::ycsb
