@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_client_cache.dir/ablate_client_cache.cc.o"
+  "CMakeFiles/ablate_client_cache.dir/ablate_client_cache.cc.o.d"
+  "ablate_client_cache"
+  "ablate_client_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_client_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_head_nodes.dir/ablate_head_nodes.cc.o"
+  "CMakeFiles/ablate_head_nodes.dir/ablate_head_nodes.cc.o.d"
+  "ablate_head_nodes"
+  "ablate_head_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_head_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

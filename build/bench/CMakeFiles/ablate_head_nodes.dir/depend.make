@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_head_nodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_page_size.dir/ablate_page_size.cc.o"
+  "CMakeFiles/ablate_page_size.dir/ablate_page_size.cc.o.d"
+  "ablate_page_size"
+  "ablate_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

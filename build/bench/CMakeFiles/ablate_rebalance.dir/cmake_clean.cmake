@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rebalance.dir/ablate_rebalance.cc.o"
+  "CMakeFiles/ablate_rebalance.dir/ablate_rebalance.cc.o.d"
+  "ablate_rebalance"
+  "ablate_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_request_skew.dir/ablate_request_skew.cc.o"
+  "CMakeFiles/ablate_request_skew.dir/ablate_request_skew.cc.o.d"
+  "ablate_request_skew"
+  "ablate_request_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_request_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

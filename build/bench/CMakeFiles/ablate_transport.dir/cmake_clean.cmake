@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_transport.dir/ablate_transport.cc.o"
+  "CMakeFiles/ablate_transport.dir/ablate_transport.cc.o.d"
+  "ablate_transport"
+  "ablate_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

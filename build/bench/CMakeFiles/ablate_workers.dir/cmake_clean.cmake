@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_workers.dir/ablate_workers.cc.o"
+  "CMakeFiles/ablate_workers.dir/ablate_workers.cc.o.d"
+  "ablate_workers"
+  "ablate_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

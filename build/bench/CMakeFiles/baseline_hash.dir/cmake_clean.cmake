@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_hash.dir/baseline_hash.cc.o"
+  "CMakeFiles/baseline_hash.dir/baseline_hash.cc.o.d"
+  "baseline_hash"
+  "baseline_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_matrix.dir/design_space_matrix.cc.o"
+  "CMakeFiles/design_space_matrix.dir/design_space_matrix.cc.o.d"
+  "design_space_matrix"
+  "design_space_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

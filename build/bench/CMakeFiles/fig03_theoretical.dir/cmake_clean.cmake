@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_theoretical.dir/fig03_theoretical.cc.o"
+  "CMakeFiles/fig03_theoretical.dir/fig03_theoretical.cc.o.d"
+  "fig03_theoretical"
+  "fig03_theoretical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_theoretical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

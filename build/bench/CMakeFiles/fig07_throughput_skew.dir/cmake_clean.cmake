@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_throughput_skew.dir/fig07_throughput_skew.cc.o"
+  "CMakeFiles/fig07_throughput_skew.dir/fig07_throughput_skew.cc.o.d"
+  "fig07_throughput_skew"
+  "fig07_throughput_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_throughput_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_throughput_uniform.dir/fig08_throughput_uniform.cc.o"
+  "CMakeFiles/fig08_throughput_uniform.dir/fig08_throughput_uniform.cc.o.d"
+  "fig08_throughput_uniform"
+  "fig08_throughput_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_throughput_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_network_util.dir/fig09_network_util.cc.o"
+  "CMakeFiles/fig09_network_util.dir/fig09_network_util.cc.o.d"
+  "fig09_network_util"
+  "fig09_network_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_network_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

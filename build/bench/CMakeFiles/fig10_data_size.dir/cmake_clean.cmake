@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_data_size.dir/fig10_data_size.cc.o"
+  "CMakeFiles/fig10_data_size.dir/fig10_data_size.cc.o.d"
+  "fig10_data_size"
+  "fig10_data_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_data_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_memory_servers.dir/fig11_memory_servers.cc.o"
+  "CMakeFiles/fig11_memory_servers.dir/fig11_memory_servers.cc.o.d"
+  "fig11_memory_servers"
+  "fig11_memory_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inserts.dir/fig12_inserts.cc.o"
+  "CMakeFiles/fig12_inserts.dir/fig12_inserts.cc.o.d"
+  "fig12_inserts"
+  "fig12_inserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_latency_skew.dir/fig13_latency_skew.cc.o"
+  "CMakeFiles/fig13_latency_skew.dir/fig13_latency_skew.cc.o.d"
+  "fig13_latency_skew"
+  "fig13_latency_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_latency_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_latency_uniform.dir/fig14_latency_uniform.cc.o"
+  "CMakeFiles/fig14_latency_uniform.dir/fig14_latency_uniform.cc.o.d"
+  "fig14_latency_uniform"
+  "fig14_latency_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_latency_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_colocation.dir/fig15_colocation.cc.o"
+  "CMakeFiles/fig15_colocation.dir/fig15_colocation.cc.o.d"
+  "fig15_colocation"
+  "fig15_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/namtree_bench_common.dir/bench_common.cc.o.d"
+  "libnamtree_bench_common.a"
+  "libnamtree_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

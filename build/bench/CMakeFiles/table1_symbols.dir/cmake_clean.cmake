@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_symbols.dir/table1_symbols.cc.o"
+  "CMakeFiles/table1_symbols.dir/table1_symbols.cc.o.d"
+  "table1_symbols"
+  "table1_symbols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_network_efficiency.dir/table_network_efficiency.cc.o"
+  "CMakeFiles/table_network_efficiency.dir/table_network_efficiency.cc.o.d"
+  "table_network_efficiency"
+  "table_network_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_network_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_fsck.dir/index_fsck.cpp.o"
+  "CMakeFiles/index_fsck.dir/index_fsck.cpp.o.d"
+  "index_fsck"
+  "index_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

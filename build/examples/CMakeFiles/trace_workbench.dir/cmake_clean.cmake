@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workbench.dir/trace_workbench.cpp.o"
+  "CMakeFiles/trace_workbench.dir/trace_workbench.cpp.o.d"
+  "trace_workbench"
+  "trace_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_tour.dir/ycsb_tour.cpp.o"
+  "CMakeFiles/ycsb_tour.dir/ycsb_tour.cpp.o.d"
+  "ycsb_tour"
+  "ycsb_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

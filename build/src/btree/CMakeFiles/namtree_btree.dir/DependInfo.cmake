@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/local_tree.cc" "src/btree/CMakeFiles/namtree_btree.dir/local_tree.cc.o" "gcc" "src/btree/CMakeFiles/namtree_btree.dir/local_tree.cc.o.d"
+  "/root/repo/src/btree/page.cc" "src/btree/CMakeFiles/namtree_btree.dir/page.cc.o" "gcc" "src/btree/CMakeFiles/namtree_btree.dir/page.cc.o.d"
+  "/root/repo/src/btree/shared_nothing.cc" "src/btree/CMakeFiles/namtree_btree.dir/shared_nothing.cc.o" "gcc" "src/btree/CMakeFiles/namtree_btree.dir/shared_nothing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/namtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_btree.dir/local_tree.cc.o"
+  "CMakeFiles/namtree_btree.dir/local_tree.cc.o.d"
+  "CMakeFiles/namtree_btree.dir/page.cc.o"
+  "CMakeFiles/namtree_btree.dir/page.cc.o.d"
+  "CMakeFiles/namtree_btree.dir/shared_nothing.cc.o"
+  "CMakeFiles/namtree_btree.dir/shared_nothing.cc.o.d"
+  "libnamtree_btree.a"
+  "libnamtree_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

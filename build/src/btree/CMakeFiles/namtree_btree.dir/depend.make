@@ -1,0 +1,2 @@
+# Empty dependencies file for namtree_btree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_common.dir/arg_parser.cc.o"
+  "CMakeFiles/namtree_common.dir/arg_parser.cc.o.d"
+  "CMakeFiles/namtree_common.dir/histogram.cc.o"
+  "CMakeFiles/namtree_common.dir/histogram.cc.o.d"
+  "CMakeFiles/namtree_common.dir/random.cc.o"
+  "CMakeFiles/namtree_common.dir/random.cc.o.d"
+  "CMakeFiles/namtree_common.dir/status.cc.o"
+  "CMakeFiles/namtree_common.dir/status.cc.o.d"
+  "CMakeFiles/namtree_common.dir/units.cc.o"
+  "CMakeFiles/namtree_common.dir/units.cc.o.d"
+  "libnamtree_common.a"
+  "libnamtree_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

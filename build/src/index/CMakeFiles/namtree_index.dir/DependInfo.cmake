@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/coarse_grained.cc" "src/index/CMakeFiles/namtree_index.dir/coarse_grained.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/coarse_grained.cc.o.d"
+  "/root/repo/src/index/coarse_one_sided.cc" "src/index/CMakeFiles/namtree_index.dir/coarse_one_sided.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/coarse_one_sided.cc.o.d"
+  "/root/repo/src/index/fine_grained.cc" "src/index/CMakeFiles/namtree_index.dir/fine_grained.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/fine_grained.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/index/CMakeFiles/namtree_index.dir/hash_index.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/hash_index.cc.o.d"
+  "/root/repo/src/index/hybrid.cc" "src/index/CMakeFiles/namtree_index.dir/hybrid.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/hybrid.cc.o.d"
+  "/root/repo/src/index/inspector.cc" "src/index/CMakeFiles/namtree_index.dir/inspector.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/inspector.cc.o.d"
+  "/root/repo/src/index/leaf_level.cc" "src/index/CMakeFiles/namtree_index.dir/leaf_level.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/leaf_level.cc.o.d"
+  "/root/repo/src/index/partition.cc" "src/index/CMakeFiles/namtree_index.dir/partition.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/partition.cc.o.d"
+  "/root/repo/src/index/remote_ops.cc" "src/index/CMakeFiles/namtree_index.dir/remote_ops.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/remote_ops.cc.o.d"
+  "/root/repo/src/index/server_tree.cc" "src/index/CMakeFiles/namtree_index.dir/server_tree.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/server_tree.cc.o.d"
+  "/root/repo/src/index/tree_build.cc" "src/index/CMakeFiles/namtree_index.dir/tree_build.cc.o" "gcc" "src/index/CMakeFiles/namtree_index.dir/tree_build.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/btree/CMakeFiles/namtree_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/namtree_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/namtree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/namtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

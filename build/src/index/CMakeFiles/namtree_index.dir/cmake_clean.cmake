@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_index.dir/coarse_grained.cc.o"
+  "CMakeFiles/namtree_index.dir/coarse_grained.cc.o.d"
+  "CMakeFiles/namtree_index.dir/coarse_one_sided.cc.o"
+  "CMakeFiles/namtree_index.dir/coarse_one_sided.cc.o.d"
+  "CMakeFiles/namtree_index.dir/fine_grained.cc.o"
+  "CMakeFiles/namtree_index.dir/fine_grained.cc.o.d"
+  "CMakeFiles/namtree_index.dir/hash_index.cc.o"
+  "CMakeFiles/namtree_index.dir/hash_index.cc.o.d"
+  "CMakeFiles/namtree_index.dir/hybrid.cc.o"
+  "CMakeFiles/namtree_index.dir/hybrid.cc.o.d"
+  "CMakeFiles/namtree_index.dir/inspector.cc.o"
+  "CMakeFiles/namtree_index.dir/inspector.cc.o.d"
+  "CMakeFiles/namtree_index.dir/leaf_level.cc.o"
+  "CMakeFiles/namtree_index.dir/leaf_level.cc.o.d"
+  "CMakeFiles/namtree_index.dir/partition.cc.o"
+  "CMakeFiles/namtree_index.dir/partition.cc.o.d"
+  "CMakeFiles/namtree_index.dir/remote_ops.cc.o"
+  "CMakeFiles/namtree_index.dir/remote_ops.cc.o.d"
+  "CMakeFiles/namtree_index.dir/server_tree.cc.o"
+  "CMakeFiles/namtree_index.dir/server_tree.cc.o.d"
+  "CMakeFiles/namtree_index.dir/tree_build.cc.o"
+  "CMakeFiles/namtree_index.dir/tree_build.cc.o.d"
+  "libnamtree_index.a"
+  "libnamtree_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_model.dir/scalability.cc.o"
+  "CMakeFiles/namtree_model.dir/scalability.cc.o.d"
+  "libnamtree_model.a"
+  "libnamtree_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for namtree_model.
+# This may be replaced when dependencies are built.

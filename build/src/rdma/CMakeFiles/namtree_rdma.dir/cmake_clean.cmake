@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_rdma.dir/fabric.cc.o"
+  "CMakeFiles/namtree_rdma.dir/fabric.cc.o.d"
+  "libnamtree_rdma.a"
+  "libnamtree_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

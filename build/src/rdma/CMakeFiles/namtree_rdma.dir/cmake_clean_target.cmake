@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnamtree_rdma.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_sim.dir/simulator.cc.o"
+  "CMakeFiles/namtree_sim.dir/simulator.cc.o.d"
+  "libnamtree_sim.a"
+  "libnamtree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namtree_ycsb.dir/runner.cc.o"
+  "CMakeFiles/namtree_ycsb.dir/runner.cc.o.d"
+  "CMakeFiles/namtree_ycsb.dir/trace.cc.o"
+  "CMakeFiles/namtree_ycsb.dir/trace.cc.o.d"
+  "CMakeFiles/namtree_ycsb.dir/workload.cc.o"
+  "CMakeFiles/namtree_ycsb.dir/workload.cc.o.d"
+  "libnamtree_ycsb.a"
+  "libnamtree_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namtree_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_index_test.dir/hash_index_test.cc.o"
+  "CMakeFiles/hash_index_test.dir/hash_index_test.cc.o.d"
+  "hash_index_test"
+  "hash_index_test.pdb"
+  "hash_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspector_test.dir/inspector_test.cc.o"
+  "CMakeFiles/inspector_test.dir/inspector_test.cc.o.d"
+  "inspector_test"
+  "inspector_test.pdb"
+  "inspector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

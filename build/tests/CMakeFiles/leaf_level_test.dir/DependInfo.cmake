@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/leaf_level_test.cc" "tests/CMakeFiles/leaf_level_test.dir/leaf_level_test.cc.o" "gcc" "tests/CMakeFiles/leaf_level_test.dir/leaf_level_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/namtree_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/namtree_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/namtree_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/namtree_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/namtree_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/namtree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/namtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

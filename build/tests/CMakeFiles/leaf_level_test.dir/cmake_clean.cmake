@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_level_test.dir/leaf_level_test.cc.o"
+  "CMakeFiles/leaf_level_test.dir/leaf_level_test.cc.o.d"
+  "leaf_level_test"
+  "leaf_level_test.pdb"
+  "leaf_level_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_level_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_tree_test.dir/local_tree_test.cc.o"
+  "CMakeFiles/local_tree_test.dir/local_tree_test.cc.o.d"
+  "local_tree_test"
+  "local_tree_test.pdb"
+  "local_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_index_test.dir/multi_index_test.cc.o"
+  "CMakeFiles/multi_index_test.dir/multi_index_test.cc.o.d"
+  "multi_index_test"
+  "multi_index_test.pdb"
+  "multi_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_cache_test.dir/node_cache_test.cc.o"
+  "CMakeFiles/node_cache_test.dir/node_cache_test.cc.o.d"
+  "node_cache_test"
+  "node_cache_test.pdb"
+  "node_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

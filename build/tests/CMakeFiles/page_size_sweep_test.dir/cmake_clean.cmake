@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_size_sweep_test.dir/page_size_sweep_test.cc.o"
+  "CMakeFiles/page_size_sweep_test.dir/page_size_sweep_test.cc.o.d"
+  "page_size_sweep_test"
+  "page_size_sweep_test.pdb"
+  "page_size_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_size_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

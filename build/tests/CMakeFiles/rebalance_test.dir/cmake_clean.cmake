@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalance_test.dir/rebalance_test.cc.o"
+  "CMakeFiles/rebalance_test.dir/rebalance_test.cc.o.d"
+  "rebalance_test"
+  "rebalance_test.pdb"
+  "rebalance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_ops_test.dir/remote_ops_test.cc.o"
+  "CMakeFiles/remote_ops_test.dir/remote_ops_test.cc.o.d"
+  "remote_ops_test"
+  "remote_ops_test.pdb"
+  "remote_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tree_test.dir/server_tree_test.cc.o"
+  "CMakeFiles/server_tree_test.dir/server_tree_test.cc.o.d"
+  "server_tree_test"
+  "server_tree_test.pdb"
+  "server_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_nothing_test.dir/shared_nothing_test.cc.o"
+  "CMakeFiles/shared_nothing_test.dir/shared_nothing_test.cc.o.d"
+  "shared_nothing_test"
+  "shared_nothing_test.pdb"
+  "shared_nothing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_nothing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

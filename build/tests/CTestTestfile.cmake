@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/page_test[1]_include.cmake")
+include("/root/repo/build/tests/local_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/server_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/leaf_level_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/node_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/inspector_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_index_test[1]_include.cmake")
+include("/root/repo/build/tests/rebalance_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_index_test[1]_include.cmake")
+include("/root/repo/build/tests/page_size_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_nothing_test[1]_include.cmake")
