@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Full static-analysis + sanitizer gate for the namtree repo.
+#
+# Runs, in order:
+#   1. repo lint          scripts/lint_namtree.py (zero findings enforced)
+#   2. format check       clang-format --dry-run (skipped when absent)
+#   3. clang-tidy         over src/ (skipped when absent)
+#   4. plain build        -Werror, full ctest
+#   5. asan+ubsan build   -Werror, full ctest
+#   6. tsan build         -Werror, full ctest
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip the tsan pass (the slowest stage)
+#
+# Build trees live under build-check/ so the gate never disturbs an
+# existing build/ directory.
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO"
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
+CTEST_PARALLEL="${CTEST_PARALLEL:-$(nproc)}"
+FAILED=0
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+run_suite() {
+  local name="$1"; shift
+  local dir="build-check/$name"
+  banner "build: $name"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNAMTREE_WERROR=ON "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  banner "ctest: $name"
+  ctest --test-dir "$dir" --output-on-failure -j "$CTEST_PARALLEL"
+}
+
+banner "lint: scripts/lint_namtree.py"
+python3 scripts/lint_namtree.py
+
+banner "format: clang-format"
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t SOURCES < <(git ls-files 'src/*.h' 'src/*.cc' 'tests/*.cc' \
+                                      'bench/*.cc')
+  clang-format --dry-run --Werror "${SOURCES[@]}"
+  echo "clang-format: clean (${#SOURCES[@]} files)"
+else
+  echo "clang-format not installed; skipping (CI runs it)"
+fi
+
+banner "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
+  TIDY_DIR=build-check/tidy
+  cmake -B "$TIDY_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t TIDY_SOURCES < <(git ls-files 'src/*.cc')
+  clang-tidy -p "$TIDY_DIR" --quiet "${TIDY_SOURCES[@]}" || FAILED=1
+else
+  echo "clang-tidy (with clang++) not installed; skipping (CI runs it)"
+fi
+
+run_suite plain
+run_suite asan-ubsan -DNAMTREE_SANITIZE="address;undefined"
+if [[ "$QUICK" == 0 ]]; then
+  # The OLC local tree's optimistic reads are by-design races (see
+  # tsan.supp); everything else must be race-free.
+  export TSAN_OPTIONS="suppressions=$REPO/tsan.supp ${TSAN_OPTIONS:-}"
+  run_suite tsan -DNAMTREE_SANITIZE="thread"
+else
+  banner "tsan skipped (--quick)"
+fi
+
+if [[ "$FAILED" != 0 ]]; then
+  banner "FAILED"
+  exit 1
+fi
+banner "ALL CHECKS PASSED"

@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Project-specific static lint for the namtree codebase.
+
+Generic tooling (-Wall, clang-tidy) cannot see the hazards that are specific
+to this repo's simulated-RDMA coroutine architecture, so this script scans
+`src/` for three of them:
+
+1. spawn-unsafe-params (error)
+   A `sim::Task` coroutine that is *detached* with `sim::Spawn(...)` keeps
+   running after the spawning statement finishes. Reference or pointer
+   parameters are captured into the coroutine frame, so they must outlive
+   the whole simulation, not just the call — a classic silent
+   use-after-free that ASan only catches if the exact interleaving occurs.
+   Suppress a finding whose lifetime has been audited with a comment on (or
+   directly above) the definition:
+       // namtree-lint: safe-coro-ref(<why the referents outlive the task>)
+
+2. blocking-primitive (error)
+   `std::mutex` / `std::condition_variable` / `std::thread` / `sleep_for`
+   block a *real* OS thread. Inside the discrete-event simulator one
+   blocked thread deadlocks the entire virtual world, so everything under
+   src/ must use the sim primitives (sim::Semaphore, sim::Gate, ...) —
+   except src/btree, which deliberately hosts the real-thread
+   shared-nothing baseline (paper §7).
+   Suppress with: // namtree-lint: real-threads-ok(<why>)
+
+3. task-not-coroutine (error)
+   A function returning `sim::Task` whose body contains no co_await /
+   co_return / co_yield is not a coroutine at all: it compiles (moving a
+   Task through), but it runs eagerly at call time instead of lazily at
+   await time, which silently breaks virtual-time ordering.
+
+With --verbose the script additionally *notes* every awaited Task coroutine
+taking reference/pointer parameters. These are not errors here: the repo
+convention is that a Task is co_await-ed immediately by its caller, whose
+frame keeps the referents alive. The spawn rule above polices exactly the
+case where that convention breaks down.
+
+Exit status: 0 when no errors, 1 when findings exist, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SUPPRESS_RE = re.compile(r"namtree-lint:\s*(safe-coro-ref|real-threads-ok)\(")
+
+# Directories (relative to src/) allowed to use real-thread primitives.
+REAL_THREAD_ALLOWED = {"btree"}
+
+BLOCKING_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|"
+    r"thread|jthread)\b|std::this_thread::sleep"
+)
+
+# A function definition returning sim::Task<...>. Captures the name and the
+# parameter list; the body is brace-matched from the match end.
+TASK_DEF_RE = re.compile(
+    r"(?:static\s+)?(?:sim::)?Task<[^;{}()]*>\s+"
+    r"(?P<name>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*"
+    r"\((?P<params>[^;{}]*?)\)\s*(?:const\s*)?(?:noexcept\s*)?\{",
+    re.DOTALL,
+)
+
+SPAWN_RE = re.compile(
+    r"\bSpawn\s*\(\s*[^,]+,\s*"
+    r"(?:[A-Za-z_][\w.\->:]*\.)?"  # optional object prefix: rig.  obj->
+    r"(?P<callee>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\("
+)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving newlines."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_brace_block(text, open_index):
+    """Returns the index one past the brace that closes text[open_index]."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def line_of(text, index):
+    return text.count("\n", 0, index) + 1
+
+
+def split_params(params):
+    """Splits a parameter list on top-level commas (angle-bracket aware)."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in params:
+        if ch in "<([":
+            depth += 1
+        elif ch in ">)]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def param_is_indirect(param):
+    """True when the parameter is passed by reference or pointer."""
+    return "&" in param or "*" in param
+
+
+def is_suppressed(raw_lines, line):
+    """Checks `line` and the line above it for a namtree-lint annotation."""
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(raw_lines):
+            if SUPPRESS_RE.search(raw_lines[candidate - 1]):
+                return True
+    return False
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+
+def collect_sources(root):
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                yield os.path.join(dirpath, name)
+
+
+def lint_tree(src_root, verbose):
+    findings = []
+    notes = []
+    task_defs = {}  # name -> list of (path, line, params, body)
+    spawned = {}  # callee name -> list of (path, line)
+
+    files = list(collect_sources(src_root))
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        clean = strip_comments_and_strings(raw)
+        rel = os.path.relpath(path, os.path.dirname(src_root))
+        subdir = os.path.relpath(path, src_root).split(os.sep)[0]
+
+        # Rule: blocking-primitive.
+        if subdir not in REAL_THREAD_ALLOWED:
+            for m in BLOCKING_RE.finditer(clean):
+                line = line_of(clean, m.start())
+                if is_suppressed(raw_lines, line):
+                    continue
+                findings.append(Finding(
+                    "blocking-primitive", rel, line,
+                    f"'{m.group(0)}' blocks a real OS thread inside the "
+                    "virtual-time simulator; use the sim:: primitives "
+                    "(or move the code to src/btree)"))
+
+        # Task definitions (for rules spawn-unsafe-params /
+        # task-not-coroutine and the advisory note).
+        for m in TASK_DEF_RE.finditer(clean):
+            name = m.group("name").split("::")[-1]
+            body_end = match_brace_block(clean, m.end() - 1)
+            body = clean[m.end():body_end]
+            line = line_of(clean, m.start())
+            params = split_params(m.group("params"))
+            task_defs.setdefault(name, []).append((rel, line, params, body))
+
+            if not re.search(r"\bco_(await|return|yield)\b", body):
+                findings.append(Finding(
+                    "task-not-coroutine", rel, line,
+                    f"'{name}' returns sim::Task but its body never "
+                    "co_awaits/co_returns; it runs eagerly at call time "
+                    "instead of lazily at await time"))
+            elif verbose:
+                indirect = [p for p in params if param_is_indirect(p)]
+                if indirect:
+                    notes.append(
+                        f"{rel}:{line}: note: [coro-indirect-param] "
+                        f"'{name}' takes {len(indirect)} reference/pointer "
+                        "parameter(s); fine only while every caller "
+                        "co_awaits it immediately")
+
+        # Spawn call sites.
+        for m in SPAWN_RE.finditer(clean):
+            callee = m.group("callee").split("::")[-1]
+            if callee == "Spawn":
+                continue
+            spawned.setdefault(callee, []).append(
+                (rel, line_of(clean, m.start())))
+
+    # Rule: spawn-unsafe-params — join spawn sites against definitions.
+    for callee, sites in sorted(spawned.items()):
+        for def_rel, def_line, params, _body in task_defs.get(callee, []):
+            indirect = [p for p in params if param_is_indirect(p)]
+            if not indirect:
+                continue
+            def_path = os.path.join(os.path.dirname(src_root), def_rel)
+            with open(def_path, encoding="utf-8") as f:
+                def_raw_lines = f.read().splitlines()
+            if is_suppressed(def_raw_lines, def_line):
+                continue
+            site = ", ".join(f"{p}:{l}" for p, l in sites[:3])
+            findings.append(Finding(
+                "spawn-unsafe-params", def_rel, def_line,
+                f"'{callee}' is detached with sim::Spawn ({site}) but takes "
+                f"reference/pointer parameter(s) ({'; '.join(indirect)}); "
+                "the frame outlives the call, so the referents can dangle. "
+                "Pass by value, or annotate the audited lifetime with "
+                "'// namtree-lint: safe-coro-ref(...)'"))
+
+    return findings, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", nargs="?", default=None,
+                        help="source tree to scan (default: <repo>/src)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print advisory notes")
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.abspath(args.root or os.path.join(repo, "src"))
+    if not os.path.isdir(src_root):
+        print(f"lint_namtree: no such directory: {src_root}", file=sys.stderr)
+        return 2
+
+    findings, notes = lint_tree(src_root, args.verbose)
+    for note in notes:
+        print(note)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_namtree: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_namtree: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

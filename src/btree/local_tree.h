@@ -126,7 +126,13 @@ class LocalBLinkTree {
   static uint64_t AwaitNodeUnlocked(PageView page);
   /// True if the node's version word still equals `version`.
   static bool CheckVersion(PageView page, uint64_t version) {
+#if !defined(__SANITIZE_THREAD__)
+    // Orders the speculative payload reads before the version re-load.
+    // TSan cannot instrument fences (GCC hard-errors under -Wtsan), so the
+    // sanitizer build relies on the acquire load alone; the OLC races it
+    // then reports are the by-design ones listed in tsan.supp.
     std::atomic_thread_fence(std::memory_order_acquire);
+#endif
     return VersionWord(page).load(std::memory_order_acquire) == version;
   }
   /// Tries to set the lock bit via CAS(version -> version|1).

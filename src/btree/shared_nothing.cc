@@ -13,8 +13,11 @@ SharedNothingCluster::SharedNothingCluster(uint32_t nodes,
     boundaries_.push_back(kInfinityKey);
   }
   for (auto& node : nodes_) {
+    // Capture the Node by value: the loop variable dies with this frame
+    // while the worker threads keep running.
+    Node* raw = node.get();
     for (uint32_t w = 0; w < workers_per_node; ++w) {
-      node->workers.emplace_back([this, &node] { WorkerMain(*node); });
+      node->workers.emplace_back([this, raw] { WorkerMain(*raw); });
     }
   }
 }

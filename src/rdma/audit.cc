@@ -1,0 +1,231 @@
+#include "rdma/audit.h"
+
+#include <cstring>
+
+namespace namtree::rdma {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kWriteWithoutLock:
+      return "WriteWithoutLock";
+    case ViolationKind::kUnlockWithoutLock:
+      return "UnlockWithoutLock";
+    case ViolationKind::kUnlockByNonHolder:
+      return "UnlockByNonHolder";
+    case ViolationKind::kVersionRegression:
+      return "VersionRegression";
+    case ViolationKind::kTornRead:
+      return "TornRead";
+  }
+  return "Unknown";
+}
+
+std::string Violation::Describe() const {
+  std::string s(ViolationKindName(kind));
+  s += " client=" + std::to_string(client);
+  s += " target=" + target.ToString();
+  s += " observed=" + std::to_string(observed);
+  s += " attempted=" + std::to_string(attempted);
+  s += " t=" + std::to_string(time);
+  return s;
+}
+
+VerbAuditor::WordState* VerbAuditor::FindWord(RemotePtr target) {
+  auto server_it = words_.find(target.server_id());
+  if (server_it == words_.end()) return nullptr;
+  auto word_it = server_it->second.find(target.offset());
+  if (word_it == server_it->second.end()) return nullptr;
+  return &word_it->second;
+}
+
+void VerbAuditor::Report(ViolationKind kind, uint32_t client,
+                         RemotePtr target, uint64_t observed,
+                         uint64_t attempted, SimTime now) {
+  Violation v;
+  v.kind = kind;
+  v.client = client;
+  v.target = target;
+  v.observed = observed;
+  v.attempted = attempted;
+  v.time = now;
+  violations_.push_back(std::move(v));
+}
+
+uint64_t VerbAuditor::OnWritePosted(uint32_t client, RemotePtr dst,
+                                    uint32_t len, SimTime now) {
+  (void)now;
+  if (!enabled_) return 0;
+  InflightWrite w;
+  w.client = client;
+  w.dst = dst;
+  w.len = len;
+  // Decide at post time whether the write is lock-protected: the protocol
+  // CASes the lock bit *before* posting the write-back, so any tracked word
+  // in range must already be locked by this client.
+  auto server_it = words_.find(dst.server_id());
+  if (server_it != words_.end()) {
+    const uint64_t lo = dst.offset();
+    const uint64_t hi = lo + len;
+    for (auto it = server_it->second.lower_bound(lo > 7 ? lo - 7 : 0);
+         it != server_it->second.end() && it->first < hi; ++it) {
+      if (it->first + 8 <= lo) continue;  // word ends before the range
+      if (!it->second.locked || it->second.holder != client) {
+        w.unprotected = true;
+        break;
+      }
+    }
+  }
+  const uint64_t ticket = next_ticket_++;
+  inflight_.emplace(ticket, w);
+  return ticket;
+}
+
+void VerbAuditor::OnWriteEffect(uint64_t ticket, const void* payload,
+                                SimTime now) {
+  if (ticket == 0) return;
+  auto it = inflight_.find(ticket);
+  if (it == inflight_.end()) return;
+  const InflightWrite w = it->second;
+  inflight_.erase(it);
+  if (!enabled_) return;
+
+  auto server_it = words_.find(w.dst.server_id());
+  if (server_it == words_.end()) return;
+  const uint64_t lo = w.dst.offset();
+  const uint64_t hi = lo + w.len;
+  for (auto word_it = server_it->second.lower_bound(lo);
+       word_it != server_it->second.end() && word_it->first + 8 <= hi;
+       ++word_it) {
+    WordState& state = word_it->second;
+    const RemotePtr word_ptr = RemotePtr::Make(w.dst.server_id(),
+                                               word_it->first);
+    uint64_t new_word;
+    std::memcpy(&new_word, static_cast<const uint8_t*>(payload) +
+                               (word_it->first - lo),
+                8);
+    if (!state.locked || state.holder != w.client) {
+      Report(ViolationKind::kWriteWithoutLock, w.client, word_ptr,
+             state.last_word, new_word, now);
+    }
+    if (VersionPart(new_word) < VersionPart(state.last_word)) {
+      Report(ViolationKind::kVersionRegression, w.client, word_ptr,
+             state.last_word, new_word, now);
+    }
+    // Mirror what the memcpy is about to install.
+    const bool was_locked = state.locked;
+    state.last_word = new_word;
+    state.locked = LockedWord(new_word);
+    if (state.locked && !was_locked) state.holder = w.client;
+  }
+}
+
+void VerbAuditor::OnReadEffect(uint32_t client, RemotePtr src, uint32_t len,
+                               SimTime now) {
+  if (!enabled_ || inflight_.empty()) return;
+  const uint64_t lo = src.offset();
+  const uint64_t hi = lo + len;
+  for (const auto& [ticket, w] : inflight_) {
+    (void)ticket;
+    if (!w.unprotected) continue;
+    if (w.dst.server_id() != src.server_id()) continue;
+    const uint64_t wlo = w.dst.offset();
+    const uint64_t whi = wlo + w.len;
+    if (wlo < hi && lo < whi) {
+      Report(ViolationKind::kTornRead, client, src, w.client, len, now);
+      return;  // one finding per read is enough
+    }
+  }
+}
+
+void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
+                              uint64_t expected, uint64_t desired,
+                              uint64_t observed, SimTime now) {
+  if (!enabled_) return;
+  const bool swapped = observed == expected;
+  const bool lock_acquire_shape =
+      !LockedWord(expected) && desired == (expected | 1ull);
+  WordState* state = FindWord(target);
+
+  if (state == nullptr) {
+    // Begin tracking on the first successful lock acquire; anything else on
+    // untracked memory (catalog installs, application CASes) is not ours.
+    if (swapped && lock_acquire_shape) {
+      WordState fresh;
+      fresh.locked = true;
+      fresh.holder = client;
+      fresh.last_word = desired;
+      words_[target.server_id()].emplace(target.offset(), fresh);
+    }
+    return;
+  }
+  if (!swapped) return;  // failed CAS has no memory effect
+
+  if (lock_acquire_shape && !state->locked) {
+    state->locked = true;
+    state->holder = client;
+    state->last_word = desired;
+    return;
+  }
+  // Any other successful CAS mutates a version word out of protocol; the
+  // one invariant we can still check is version monotonicity.
+  if (VersionPart(desired) < VersionPart(observed)) {
+    Report(ViolationKind::kVersionRegression, client, target, observed,
+           desired, now);
+  }
+  const bool was_locked = state->locked;
+  state->last_word = desired;
+  state->locked = LockedWord(desired);
+  if (state->locked && !was_locked) state->holder = client;
+}
+
+void VerbAuditor::OnFaaEffect(uint32_t client, RemotePtr target, uint64_t add,
+                              uint64_t prev, SimTime now) {
+  if (!enabled_) return;
+  WordState* state = FindWord(target);
+  if (state == nullptr) return;  // allocation cursors etc.
+
+  const uint64_t updated = prev + add;
+  if (!LockedWord(prev)) {
+    Report(ViolationKind::kUnlockWithoutLock, client, target, prev, add, now);
+  } else if (state->holder != client) {
+    Report(ViolationKind::kUnlockByNonHolder, client, target, prev, add, now);
+  }
+  if (VersionPart(updated) < VersionPart(prev)) {
+    Report(ViolationKind::kVersionRegression, client, target, prev, updated,
+           now);
+  }
+  state->last_word = updated;
+  state->locked = LockedWord(updated);
+}
+
+size_t VerbAuditor::CountOfKind(ViolationKind kind) const {
+  size_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.kind == kind) n++;
+  }
+  return n;
+}
+
+size_t VerbAuditor::tracked_words() const {
+  size_t n = 0;
+  for (const auto& [server, words] : words_) {
+    (void)server;
+    n += words.size();
+  }
+  return n;
+}
+
+Status VerbAuditor::CheckClean() const {
+  if (violations_.empty()) return Status::OK();
+  return Status::Corruption(
+      std::to_string(violations_.size()) +
+      " protocol violation(s); first: " + violations_.front().Describe());
+}
+
+void VerbAuditor::Reset() {
+  violations_.clear();
+  words_.clear();
+  inflight_.clear();
+}
+
+}  // namespace namtree::rdma

@@ -1,0 +1,164 @@
+#ifndef NAMTREE_RDMA_AUDIT_H_
+#define NAMTREE_RDMA_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "rdma/remote_ptr.h"
+
+namespace namtree::rdma {
+
+/// Protocol violations the auditor can flag. The one-sided page protocol
+/// (paper Listing 4) puts *all* correctness responsibility on the clients:
+/// nothing on the memory-server side stops a buggy client from publishing a
+/// torn page or releasing a lock it never took. The auditor polices exactly
+/// that discipline from inside the fabric, where every verb's memory effect
+/// is visible.
+enum class ViolationKind {
+  /// A WRITE covered a tracked version word whose lock the writer does not
+  /// hold. On real hardware this publishes a potentially torn page.
+  kWriteWithoutLock,
+  /// FETCH_AND_ADD on a version word whose lock bit is clear (double
+  /// unlock, or unlock of a never-locked page).
+  kUnlockWithoutLock,
+  /// FETCH_AND_ADD released a lock held by a *different* client.
+  kUnlockByNonHolder,
+  /// A verb moved a version word's version component backwards. Readers
+  /// using version validation would wrongly conclude nothing changed.
+  kVersionRegression,
+  /// A READ overlapped an in-flight unprotected WRITE to the same bytes.
+  /// With the lock discipline intact this cannot happen (the lock bit makes
+  /// readers discard and retry); it is the reader-side symptom of a
+  /// write-without-lock.
+  kTornRead,
+};
+
+/// Human-readable name for `kind` ("WriteWithoutLock", ...).
+const char* ViolationKindName(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  /// Offending client (for kTornRead: the reader).
+  uint32_t client = 0;
+  /// The version word involved (for kTornRead: the read's target).
+  RemotePtr target;
+  /// Kind-specific: the word value observed before the verb.
+  uint64_t observed = 0;
+  /// Kind-specific: the value the verb tried to install (or the FAA delta).
+  uint64_t attempted = 0;
+  /// Virtual time of the offending memory effect.
+  SimTime time = 0;
+
+  std::string Describe() const;
+};
+
+/// Records per-page protocol state and flags clients that break the
+/// one-sided lock/version discipline.
+///
+/// Tracking is behavioral: a remote 8-byte word becomes a *tracked version
+/// word* the first time a client lock-acquires it with the protocol's CAS
+/// shape (`CAS(word: v -> v|1)` with the lock bit clear in `v`). Until
+/// then, writes to that memory are unchecked — which is exactly right for
+/// bootstrap and fresh-page initialization, where pages are private to the
+/// allocating client and written without locks by design.
+///
+/// The fabric calls the `On*` hooks at verb post / memory-effect time; all
+/// checks run at the same virtual instant as the effect they police, so the
+/// verdicts are deterministic for a given seed.
+class VerbAuditor {
+ public:
+  VerbAuditor() = default;
+
+  VerbAuditor(const VerbAuditor&) = delete;
+  VerbAuditor& operator=(const VerbAuditor&) = delete;
+
+  /// Runtime kill-switch (the compile-time switch is NAMTREE_AUDIT). While
+  /// disabled, hooks neither check nor update state.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // ---- Hooks, called by the fabric ---------------------------------------
+
+  /// A WRITE was posted at virtual time `now`; its memory effect lands
+  /// later. Returns a ticket to pass to OnWriteEffect.
+  uint64_t OnWritePosted(uint32_t client, RemotePtr dst, uint32_t len,
+                         SimTime now);
+
+  /// The WRITE's payload is about to be installed (called *before* the
+  /// memcpy so pre-image values are still observable). Consumes the ticket.
+  void OnWriteEffect(uint64_t ticket, const void* payload, SimTime now);
+
+  /// A READ's memory effect (the copy-out) is happening now.
+  void OnReadEffect(uint32_t client, RemotePtr src, uint32_t len,
+                    SimTime now);
+
+  /// A CAS executed: `observed` is the pre-image (swap happened iff
+  /// observed == expected).
+  void OnCasEffect(uint32_t client, RemotePtr target, uint64_t expected,
+                   uint64_t desired, uint64_t observed, SimTime now);
+
+  /// A FETCH_AND_ADD executed: `prev` is the pre-image.
+  void OnFaaEffect(uint32_t client, RemotePtr target, uint64_t add,
+                   uint64_t prev, SimTime now);
+
+  // ---- Queries ------------------------------------------------------------
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t violation_count() const { return violations_.size(); }
+  size_t CountOfKind(ViolationKind kind) const;
+
+  /// Number of version words currently under protocol tracking.
+  size_t tracked_words() const;
+
+  /// OK when the log is empty, otherwise Corruption with a summary of the
+  /// first violation and the total count.
+  Status CheckClean() const;
+
+  /// Forgets all recorded violations (tracking state is kept).
+  void ClearViolations() { violations_.clear(); }
+
+  /// Drops all state: violations, tracked words, in-flight writes.
+  void Reset();
+
+ private:
+  struct WordState {
+    bool locked = false;
+    uint32_t holder = 0;    // valid while locked
+    uint64_t last_word = 0; // last value the auditor saw installed
+  };
+
+  struct InflightWrite {
+    uint32_t client = 0;
+    RemotePtr dst;
+    uint32_t len = 0;
+    /// True when the write covered >= 1 tracked word the writer did not
+    /// hold at post time — overlapping reads are torn-read suspects.
+    bool unprotected = false;
+  };
+
+  /// Tracked version words of one server, keyed by region offset (ordered,
+  /// so writes can range-query the words they cover).
+  using ServerWords = std::map<uint64_t, WordState>;
+
+  static bool LockedWord(uint64_t word) { return (word & 1ull) != 0; }
+  static uint64_t VersionPart(uint64_t word) { return word & ~1ull; }
+
+  WordState* FindWord(RemotePtr target);
+  void Report(ViolationKind kind, uint32_t client, RemotePtr target,
+              uint64_t observed, uint64_t attempted, SimTime now);
+
+  bool enabled_ = true;
+  std::unordered_map<uint32_t, ServerWords> words_;
+  std::unordered_map<uint64_t, InflightWrite> inflight_;
+  uint64_t next_ticket_ = 1;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace namtree::rdma
+
+#endif  // NAMTREE_RDMA_AUDIT_H_

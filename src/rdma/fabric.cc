@@ -19,6 +19,9 @@ constexpr uint32_t kAckBytes = 8;
 
 Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     : simulator_(simulator), config_(config), jitter_rng_(config.jitter_seed) {
+#if NAMTREE_AUDIT
+  auditor_ = std::make_unique<VerbAuditor>();
+#endif
   memory_servers_.reserve(config_.num_memory_servers);
   for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
     memory_servers_.emplace_back(simulator_,
@@ -64,18 +67,6 @@ uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
   return ep.region->at(ptr.offset());
 }
 
-namespace {
-sim::Task<> SetEventTask(sim::Simulator& simulator, SimTime t,
-                         sim::SimEvent* event) {
-  co_await sim::DelayUntil(simulator, t);
-  event->Set();
-}
-}  // namespace
-
-void Fabric::SetEventAt(SimTime t, sim::SimEvent* event) {
-  sim::Spawn(simulator_, SetEventTask(simulator_, t, event));
-}
-
 sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
                              uint32_t len) {
   MemoryServerEndpoint& server = memory_servers_[src.server_id()];
@@ -86,6 +77,7 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, len);
     co_await sim::DelayUntil(simulator_, done);
+    if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
     std::memcpy(dst, remote, len);
     co_return;
   }
@@ -102,6 +94,7 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
 
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
   std::memcpy(dst, remote, len);
 
   const SimTime t_tx = server.tx.ReserveTransfer(t_effect, len);
@@ -163,6 +156,9 @@ sim::Task<void> Fabric::ReadBatch(uint32_t client,
   for (const Pending& p : pending) {
     co_await sim::DelayUntil(simulator_, p.effect);
     const ReadRequest& r = requests[p.index];
+    if (auditor_) {
+      auditor_->OnReadEffect(client, r.src, r.len, simulator_.now());
+    }
     std::memcpy(r.dst, TargetAddress(r.src, r.len), r.len);
   }
   co_await sim::DelayUntil(simulator_, overall_done);
@@ -172,12 +168,16 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
                               uint32_t len) {
   MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
   uint8_t* remote = TargetAddress(dst, len);
+  const uint64_t audit_ticket =
+      auditor_ ? auditor_->OnWritePosted(client, dst, len, simulator_.now())
+               : 0;
 
   if (IsLocal(client, dst.server_id())) {
     sim::Link& bus = LocalBus(config_.MemoryServerMachine(dst.server_id()));
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, len);
     co_await sim::DelayUntil(simulator_, done);
+    if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
     std::memcpy(remote, src, len);
     co_return;
   }
@@ -197,6 +197,7 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
 
   server.writes++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
   std::memcpy(remote, src, len);
 
   server.tx.ReserveTransfer(t_effect, kAckBytes);
@@ -242,6 +243,10 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
   if (current == expected) {
     std::memcpy(remote, &desired, 8);
   }
+  if (auditor_) {
+    auditor_->OnCasEffect(client, target, expected, desired, current,
+                          simulator_.now());
+  }
   co_await sim::DelayUntil(simulator_, done);
   co_return current;
 }
@@ -280,6 +285,9 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
   std::memcpy(&current, remote, 8);
   const uint64_t updated = current + add;
   std::memcpy(remote, &updated, 8);
+  if (auditor_) {
+    auditor_->OnFaaEffect(client, target, add, current, simulator_.now());
+  }
   co_await sim::DelayUntil(simulator_, done);
   co_return current;
 }
@@ -314,6 +322,7 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
   server.srq->Deliver(std::move(incoming));
 
   co_await pending.done;
+  co_await sim::DelayUntil(simulator_, pending.deliver_at);
   co_return std::move(pending.response);
 }
 
@@ -344,7 +353,8 @@ void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
   }
 
   incoming.pending->response = std::move(response);
-  SetEventAt(done, &incoming.pending->done);
+  incoming.pending->deliver_at = done;
+  incoming.pending->done.Set();
 }
 
 Fabric::ServerStats Fabric::server_stats(uint32_t server) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "rdma/audit.h"
 #include "rdma/fabric_config.h"
 #include "rdma/memory_region.h"
 #include "rdma/remote_ptr.h"
@@ -113,6 +114,19 @@ class Fabric {
   void Respond(uint32_t server, const IncomingRpc& incoming,
                RpcResponse response);
 
+  // ---- Verb-protocol audit ------------------------------------------------
+
+  /// The protocol auditor watching this fabric's verbs, or nullptr when the
+  /// build compiled it out (-DNAMTREE_AUDIT=OFF; plain Release default).
+  VerbAuditor* auditor() { return auditor_.get(); }
+  const VerbAuditor* auditor() const { return auditor_.get(); }
+
+  /// OK when no protocol violations were recorded (or auditing is compiled
+  /// out), otherwise Corruption describing the first violation.
+  Status CheckAuditClean() const {
+    return auditor_ ? auditor_->CheckClean() : Status::OK();
+  }
+
   // ---- Statistics ----------------------------------------------------------
 
   struct ServerStats {
@@ -203,9 +217,6 @@ class Fabric {
   /// Validates that [ptr, ptr+len) lies inside the registered region.
   uint8_t* TargetAddress(RemotePtr ptr, uint32_t len);
 
-  /// Schedules `event->Set()` at virtual time `t`.
-  void SetEventAt(SimTime t, sim::SimEvent* event);
-
   sim::Simulator& simulator_;
   FabricConfig config_;
   std::vector<MemoryServerEndpoint> memory_servers_;
@@ -213,6 +224,7 @@ class Fabric {
   std::vector<std::unique_ptr<sim::Link>> local_bus_;
   uint32_t num_clients_ = 0;
   Rng jitter_rng_{0x9E3779B9};
+  std::unique_ptr<VerbAuditor> auditor_;
 };
 
 }  // namespace namtree::rdma

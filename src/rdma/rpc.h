@@ -44,10 +44,14 @@ struct RpcResponse {
 };
 
 /// Client-side bookkeeping for an in-flight RPC; lives in the caller's
-/// coroutine frame. The fabric fulfils it when the reply SEND arrives.
+/// coroutine frame. The fabric fulfils it when the handler responds: `done`
+/// fires immediately and `deliver_at` is the virtual time the reply SEND
+/// lands at the caller's NIC (the caller delays itself until then, which
+/// avoids detaching a helper coroutine per RPC just to set an event later).
 struct PendingCall {
   explicit PendingCall(sim::Simulator& simulator) : done(simulator) {}
   RpcResponse response;
+  SimTime deliver_at = 0;
   sim::SimEvent done;
 };
 

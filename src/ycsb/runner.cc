@@ -17,6 +17,7 @@ struct SharedState {
   RunResult result;
 };
 
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
                        WorkloadGenerator& gen, ClientContext& ctx,
                        SharedState& state) {
@@ -59,6 +60,7 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
   }
 }
 
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> GcLoop(nam::Cluster& cluster, DistributedIndex& index,
                    ClientContext& ctx, SharedState& state,
                    SimTime interval) {
@@ -69,6 +71,7 @@ sim::Task<> GcLoop(nam::Cluster& cluster, DistributedIndex& index,
   }
 }
 
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> WarmupMarker(nam::Cluster& cluster, SharedState& state) {
   co_await sim::DelayUntil(cluster.simulator(), state.warmup_end);
   cluster.fabric().ResetStats();

@@ -124,6 +124,7 @@ struct ReplayState {
   RunResult result;
 };
 
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> ReplayClient(nam::Cluster& cluster,
                          index::DistributedIndex& index,
                          nam::ClientContext& ctx,

@@ -63,6 +63,11 @@ StressOutcome RunStress(const rdma::FabricConfig& fabric_config,
   run.mix = StressMix();
   const auto result = ycsb::RunWorkload(cluster, index, keys, run);
 
+  // Pathological timing (jitter, stragglers) stresses protocol
+  // interleavings — exactly what the verb auditor is there to police.
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+
   const auto report = IndexInspector::Inspect(cluster.fabric(), index);
   StressOutcome outcome;
   outcome.ops = result.ops;

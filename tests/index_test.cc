@@ -88,6 +88,13 @@ struct TestRig {
     }
   }
 
+  ~TestRig() {
+    // Whatever the test did, the one-sided lock/version discipline must
+    // have been respected end to end.
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << cluster.fabric().CheckAuditClean().ToString();
+  }
+
   static rdma::FabricConfig MakeFabricConfig(uint32_t servers) {
     rdma::FabricConfig fc;
     fc.num_memory_servers = servers;

@@ -282,7 +282,7 @@ TEST(LocalTreeConcurrencyTest, ReadersDuringWrites) {
 
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, t] {
       Rng rng(t + 1);
       while (!stop.load(std::memory_order_relaxed)) {
         const Key k = rng.NextBelow(5000) * 2;

@@ -85,11 +85,14 @@ TEST(MultiIndexTest, TwoRpcIndexesShareTheWorkerPool) {
   }
   cluster.simulator().Run();
 
-  // Both structures stay sound.
+  // Both structures stay sound, and neither index tripped the fabric's
+  // verb-protocol auditor while interleaving on shared memory servers.
   const auto ra = IndexInspector::Inspect(cluster.fabric(), primary);
   EXPECT_TRUE(ra.ok()) << ra.ToString();
   const auto rb = IndexInspector::Inspect(cluster.fabric(), secondary);
   EXPECT_TRUE(rb.ok()) << rb.ToString();
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
 }
 
 TEST(MultiIndexTest, OneSidedIndexesGetDistinctCatalogSlots) {

@@ -94,6 +94,9 @@ TEST(RebalanceTest, DeleteHeavyChainShrinksAfterGc) {
   // 90% of the data is gone; the chain must shrink by at least 4x.
   EXPECT_LT(pages_after, pages_before / 4)
       << "before=" << pages_before << " after=" << pages_after;
+  // GC's page drains/merges must obey the lock/version discipline too.
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
 
   // Everything still correct afterwards.
   struct Verify {

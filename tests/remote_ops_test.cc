@@ -28,6 +28,12 @@ struct Rig {
     view.InitLeaf(btree::kInfinityKey, 0);
   }
 
+  ~Rig() {
+    // The Listing 4 primitives must never trip the verb-protocol auditor.
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << cluster.fabric().CheckAuditClean().ToString();
+  }
+
   static rdma::FabricConfig Config() {
     rdma::FabricConfig config;
     config.num_memory_servers = 2;

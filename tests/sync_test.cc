@@ -42,6 +42,59 @@ TEST(SemaphoreTest, TryAcquire) {
   EXPECT_TRUE(sem.TryAcquire());
 }
 
+Task<> AcquireTagged(Simulator& s, Semaphore& sem, int id, SimTime arrive,
+                     SimTime hold, std::vector<int>* order) {
+  co_await Delay(s, arrive);
+  co_await sem.Acquire();
+  order->push_back(id);
+  co_await Delay(s, hold);
+  sem.Release();
+}
+
+TEST(SemaphoreTest, WakeupOrderIsFifo) {
+  Simulator s;
+  Semaphore sem(s, 1);
+  std::vector<int> order;
+  // Stagger arrivals so the wait queue builds up in a known order while
+  // the first holder sleeps; each release must hand the unit to the
+  // longest-waiting coroutine, not the most recent or an arbitrary one.
+  Spawn(s, AcquireTagged(s, sem, 0, 0, 100, &order));
+  Spawn(s, AcquireTagged(s, sem, 1, 5, 10, &order));
+  Spawn(s, AcquireTagged(s, sem, 2, 4, 10, &order));
+  Spawn(s, AcquireTagged(s, sem, 3, 3, 10, &order));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+  EXPECT_EQ(sem.available(), 1u);
+  EXPECT_EQ(sem.waiters(), 0u);
+}
+
+Task<> TryAcquireProbe(Simulator& s, Semaphore& sem, SimTime at,
+                       std::vector<bool>* results) {
+  co_await Delay(s, at);
+  const bool got = sem.TryAcquire();
+  results->push_back(got);
+  if (got) sem.Release();
+}
+
+TEST(SemaphoreTest, TryAcquireCannotBargePastWaiters) {
+  Simulator s;
+  Semaphore sem(s, 1);
+  std::vector<int> order;
+  std::vector<bool> probes;
+  Spawn(s, AcquireTagged(s, sem, 0, 0, 100, &order));   // holds [0, 100)
+  Spawn(s, AcquireTagged(s, sem, 1, 10, 100, &order));  // queued at 10
+  // While the unit is held: TryAcquire must fail.
+  Spawn(s, TryAcquireProbe(s, sem, 50, &probes));
+  // Just after the release at t=100 the unit transfers *directly* to the
+  // queued waiter, so a TryAcquire at t=150 must still fail (no barging).
+  Spawn(s, TryAcquireProbe(s, sem, 150, &probes));
+  // After the last holder releases with an empty queue, it succeeds.
+  Spawn(s, TryAcquireProbe(s, sem, 250, &probes));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(probes, (std::vector<bool>{false, false, true}));
+}
+
 Task<> MeetAtBarrier(Simulator& s, Barrier& barrier, SimTime arrive_at,
                      std::vector<SimTime>* released) {
   co_await Delay(s, arrive_at);
