@@ -1,0 +1,107 @@
+// Crash-fault ablation (docs/fault_model.md): kill a growing fraction of
+// the closed-loop clients mid-run and measure what the survivors keep
+// delivering, how many orphaned locks get lease-stolen, and what the
+// failure surface looks like per status class. With zero crashed clients
+// the lease/deadline machinery is armed but idle, so the first row doubles
+// as the no-regression baseline for the healthy path.
+//
+//   ./build/bench/fault_crash_recovery [--keys=200000] [--clients=80]
+//                                      [--lease_us=100]
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+
+#include "index/fine_grained.h"
+#include "index/hybrid.h"
+#include "nam/cluster.h"
+
+using namespace namtree;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+namespace {
+
+struct Cell {
+  ycsb::RunResult result;
+  uint64_t dropped_verbs = 0;
+};
+
+template <typename Index>
+Cell RunCell(uint64_t keys, uint32_t clients, uint32_t crashed,
+             SimTime lease_ns, uint64_t seed) {
+  rdma::FabricConfig fc;
+  fc.lock_lease_ns = lease_ns;
+  fc.rpc_timeout_ns = 200 * kMicrosecond;
+  // Stagger the kills across the run: victim i dies after its
+  // (i+1)*150th verb, i.e. at different protocol depths. A closed-loop
+  // client sharing the fabric with ~80 peers issues a few hundred verbs
+  // per measured window, so every point fires inside the run.
+  for (uint32_t c = 0; c < crashed; ++c) {
+    fc.crash_points.push_back({c + 1, (c + 1) * 150ull});
+  }
+  const uint64_t region_bytes = (keys / 40 + 1024) * 1024ull * 3 +
+                                (16ull << 20);
+  nam::Cluster cluster(fc, region_bytes);
+  index::IndexConfig ic;
+  Index index(cluster, ic);
+  const auto data = ycsb::GenerateDataset(keys);
+  if (!index.BulkLoad(data).ok()) std::abort();
+
+  ycsb::RunConfig run;
+  run.num_clients = clients;
+  run.mix = ycsb::WorkloadD();  // 50% inserts: locks are actually held
+  run.warmup = 2 * kMillisecond;
+  run.duration = 20 * kMillisecond;
+  run.gc_interval = 5 * kMillisecond;
+  run.seed = seed;
+
+  Cell cell;
+  cell.result = ycsb::RunWorkload(cluster, index, keys, run);
+  cell.dropped_verbs = cluster.fabric().dropped_verbs();
+  return cell;
+}
+
+template <typename Index>
+void RunDesign(const char* label, uint64_t keys, uint32_t clients,
+               SimTime lease_ns) {
+  std::printf("\n# subplot: %s\n", label);
+  PrintRow({"crashed_clients", "dead_clients", "ops_per_s",
+            "failed_unavailable", "failed_timed_out", "lock_steals",
+            "backoff_rounds", "dropped_verbs"});
+  for (uint32_t crashed : {0u, 1u, 2u, 4u, 8u}) {
+    const Cell cell =
+        RunCell<Index>(keys, clients, crashed, lease_ns, 7 + crashed);
+    PrintRow({Num(crashed),
+              Num(static_cast<double>(cell.result.dead_clients)),
+              Num(cell.result.ops_per_sec),
+              Num(static_cast<double>(cell.result.failures.unavailable)),
+              Num(static_cast<double>(cell.result.failures.timed_out)),
+              Num(static_cast<double>(cell.result.lock_steals)),
+              Num(static_cast<double>(cell.result.backoff_rounds)),
+              Num(static_cast<double>(cell.dropped_verbs))});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 200000));
+  const uint32_t clients =
+      static_cast<uint32_t>(args.GetInt("clients", 80));
+  const SimTime lease_ns =
+      static_cast<SimTime>(args.GetInt("lease_us", 100)) * kMicrosecond;
+
+  namtree::bench::PrintPreamble(
+      "Ablation: crash faults and orphaned-lock recovery",
+      "Survivor throughput while 0..8 of the clients are killed mid-run",
+      Num(static_cast<double>(keys)) + " keys, " + Num(clients) +
+          " clients, workload D, lease " + Num(lease_ns / 1000.0) + "us");
+
+  RunDesign<index::FineGrainedIndex>("fine_grained", keys, clients,
+                                     lease_ns);
+  RunDesign<index::HybridIndex>("hybrid", keys, clients, lease_ns);
+  return 0;
+}

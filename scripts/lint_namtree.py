@@ -30,6 +30,17 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    Task through), but it runs eagerly at call time instead of lazily at
    await time, which silently breaks virtual-time ordering.
 
+4. unbounded-verb-retry (error)
+   An infinite loop (`for (;;)` / `while (true)`) that co_awaits fabric
+   verbs or RemoteOps primitives with no visible pacing or failure guard
+   spins forever when the remote side never changes — e.g. on a lock word
+   orphaned by a crashed holder — and hammers the simulated NIC at a fixed
+   rate while doing so. Retry loops around verbs must back off (sim::Delay
+   / the RemoteOps backoff), honour a deadline/lease, or check liveness
+   and failure statuses (`alive()`, `IsAborted`, `IsUnavailable`).
+   Suppress an audited loop with a comment on (or directly above) it:
+       // namtree-lint: bounded-loop(<why the loop terminates>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -44,7 +55,8 @@ import os
 import re
 import sys
 
-SUPPRESS_RE = re.compile(r"namtree-lint:\s*(safe-coro-ref|real-threads-ok)\(")
+SUPPRESS_RE = re.compile(
+    r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
@@ -67,6 +79,24 @@ SPAWN_RE = re.compile(
     r"\bSpawn\s*\(\s*[^,]+,\s*"
     r"(?:[A-Za-z_][\w.\->:]*\.)?"  # optional object prefix: rig.  obj->
     r"(?P<callee>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\("
+)
+
+INFINITE_LOOP_RE = re.compile(
+    r"\bfor\s*\(\s*;\s*;\s*\)|\bwhile\s*\(\s*(?:true|1)\s*\)"
+)
+
+# A co_await whose expression mentions a fabric verb or RemoteOps primitive.
+VERB_AWAIT_RE = re.compile(
+    r"\bco_await\b[^;]*?\b(?:Read(?:Page(?:Unlocked)?|Batch|ClientEpoch)?|"
+    r"Write(?:UnlockPage)?|CompareAndSwap|FetchAndAdd|Call|"
+    r"(?:Try)?LockPage|UnlockPage|AllocPage(?:RoundRobin)?)\s*\(",
+    re.DOTALL,
+)
+
+# Pacing / failure-guard evidence that bounds a verb retry loop.
+RETRY_GUARD_RE = re.compile(
+    r"\bDelay\s*\(|backoff|deadline|lease|\balive\s*\(|"
+    r"\bIsAborted\s*\(|\bIsUnavailable\s*\("
 )
 
 
@@ -228,6 +258,29 @@ def lint_tree(src_root, verbose):
                         f"'{name}' takes {len(indirect)} reference/pointer "
                         "parameter(s); fine only while every caller "
                         "co_awaits it immediately")
+
+        # Rule: unbounded-verb-retry.
+        for m in INFINITE_LOOP_RE.finditer(clean):
+            line = line_of(clean, m.start())
+            open_brace = clean.find("{", m.end())
+            # Skip braceless loop bodies and anything that isn't a loop
+            # header (e.g. `{` far away because the body is one statement).
+            if open_brace == -1 or clean[m.end():open_brace].strip():
+                continue
+            body = clean[open_brace:match_brace_block(clean, open_brace)]
+            if not VERB_AWAIT_RE.search(body):
+                continue
+            if RETRY_GUARD_RE.search(body):
+                continue
+            if is_suppressed(raw_lines, line):
+                continue
+            findings.append(Finding(
+                "unbounded-verb-retry", rel, line,
+                "infinite loop co_awaits fabric verbs with no backoff, "
+                "deadline/lease, or liveness/failure guard; it spins "
+                "forever on an orphaned lock word. Add backoff or a "
+                "bound, or annotate with "
+                "'// namtree-lint: bounded-loop(...)'"))
 
         # Spawn call sites.
         for m in SPAWN_RE.finditer(clean):

@@ -26,8 +26,19 @@ inline bool operator==(const KV& a, const KV& b) {
 
 // ---- Version/lock word helpers (paper §3.1: an 8-byte (version, lock-bit)
 // field per index node; bit 0 is the lock bit). ----------------------------
+//
+// Crash-fault layout extension: bits 48..63 carry the lock holder's client
+// id while the lock is held, so a waiter that suspects the holder crashed
+// can consult the fabric's client-liveness registry and CAS-steal the lock
+// (docs/fault_model.md). The unlock FETCH_AND_ADD(+1) leaves the holder
+// bits behind as harmless stale garbage in the *unlocked* word — they are
+// masked out of every version comparison and replaced wholesale by the
+// next acquire CAS. The version still advances by 2 per lock/unlock cycle.
 
 constexpr uint64_t kLockBit = 1ull;
+constexpr uint32_t kHolderShift = 48;
+constexpr uint64_t kHolderMask = 0xFFFFull << kHolderShift;
+constexpr uint64_t kVersionMask = ~(kLockBit | kHolderMask);
 
 inline bool IsLocked(uint64_t version_word) {
   return (version_word & kLockBit) != 0;
@@ -35,9 +46,25 @@ inline bool IsLocked(uint64_t version_word) {
 inline uint64_t WithLockBit(uint64_t version_word) {
   return version_word | kLockBit;
 }
-/// Version component only (lock bit masked out).
+/// Version component only (lock bit and holder bits masked out).
 inline uint64_t VersionOf(uint64_t version_word) {
-  return version_word & ~kLockBit;
+  return version_word & kVersionMask;
+}
+/// Client id recorded in a locked word (meaningless while unlocked).
+inline uint32_t HolderOf(uint64_t version_word) {
+  return static_cast<uint32_t>(version_word >> kHolderShift);
+}
+/// The locked word a client installs when acquiring: same version, lock bit
+/// set, holder bits naming the client (stale holder bits are overwritten).
+inline uint64_t MakeLockedWord(uint64_t version_word, uint32_t holder) {
+  return VersionOf(version_word) | kLockBit |
+         (static_cast<uint64_t>(holder & 0xFFFF) << kHolderShift);
+}
+/// The clean word a waiter CAS-installs when stealing an orphaned lock:
+/// holder cleared, lock clear, version advanced by one full cycle (+2) so
+/// optimistic readers of the orphan's image restart.
+inline uint64_t StolenUnlockWord(uint64_t locked_word) {
+  return VersionOf(locked_word) + 2;
 }
 
 }  // namespace namtree::btree

@@ -59,12 +59,20 @@ class Status {
   static Status Unsupported(std::string msg = "") {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  /// Rebuilds a Status from a wire-encoded code (RPC responses carry the
+  /// StatusCode as an integer; see rdma::RpcResponse::status).
+  static Status FromCode(StatusCode code, std::string msg = "") {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

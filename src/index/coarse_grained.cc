@@ -128,10 +128,15 @@ sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
-  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
-    co_return LookupResult{true, resp.arg0};
+  const auto code = static_cast<StatusCode>(resp.status);
+  if (code == StatusCode::kOk) {
+    co_return LookupResult{true, resp.arg0, Status::OK()};
   }
-  co_return LookupResult{false, 0};
+  if (code == StatusCode::kNotFound) {
+    co_return LookupResult{false, 0, Status::OK()};
+  }
+  // Transport-level failure (dead caller / RPC deadline exhausted).
+  co_return LookupResult{false, 0, Status::FromCode(code, "lookup rpc")};
 }
 
 sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
@@ -149,6 +154,9 @@ sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
     rdma::RpcResponse resp =
         co_await cluster_.fabric().Call(ctx.client_id(), server,
                                         std::move(req));
+    if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) {
+      break;  // transport failure: report the partial count
+    }
     found += resp.arg0;
     if (out != nullptr) {
       std::vector<KV>& sink = hash ? merged : *out;
@@ -177,8 +185,10 @@ sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
-  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
-    co_return Status::OK();
+  const auto code = static_cast<StatusCode>(resp.status);
+  if (code == StatusCode::kOk) co_return Status::OK();
+  if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
+    co_return Status::FromCode(code, "insert rpc");
   }
   co_return Status::Aborted("insert failed");
 }
@@ -193,8 +203,10 @@ sim::Task<Status> CoarseGrainedIndex::Update(nam::ClientContext& ctx, Key key,
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
-  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
-    co_return Status::OK();
+  const auto code = static_cast<StatusCode>(resp.status);
+  if (code == StatusCode::kOk) co_return Status::OK();
+  if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
+    co_return Status::FromCode(code, "update rpc");
   }
   co_return Status::NotFound();
 }
@@ -208,6 +220,7 @@ sim::Task<uint64_t> CoarseGrainedIndex::LookupAll(
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) co_return 0;
   if (out != nullptr) {
     out->insert(out->end(), resp.payload.begin(), resp.payload.end());
   }
@@ -223,8 +236,10 @@ sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
-  if (resp.status == static_cast<uint16_t>(StatusCode::kOk)) {
-    co_return Status::OK();
+  const auto code = static_cast<StatusCode>(resp.status);
+  if (code == StatusCode::kOk) co_return Status::OK();
+  if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
+    co_return Status::FromCode(code, "delete rpc");
   }
   co_return Status::NotFound();
 }
@@ -241,6 +256,7 @@ sim::Task<uint64_t> CoarseGrainedIndex::GarbageCollect(
     ctx.round_trips++;
     rdma::RpcResponse resp =
         co_await cluster_.fabric().Call(ctx.client_id(), s, std::move(req));
+    if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) break;
     reclaimed += resp.arg0;
   }
   co_return reclaimed;

@@ -74,8 +74,10 @@ sim::Task<rdma::RemotePtr> CoarseOneSidedIndex::DescendToLeafPtr(
   rdma::RemotePtr ptr = roots_[server];
   if (root_levels_[server] == 0) co_return ptr;
   uint8_t* buf = ops.ctx().page_a();
+  // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
   for (;;) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return rdma::RemotePtr::Null();
     PageView view(buf, ops.page_size());
     if (view.level() == 0) co_return ptr;  // stale root metadata
     if (key > view.high_key() && view.right_sibling() != 0) {
@@ -93,6 +95,9 @@ sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  if (leaf.is_null()) {
+    co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
+  }
   co_return co_await LeafLevel::SearchChain(ops, leaf, key);
 }
 
@@ -107,6 +112,7 @@ sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
   for (uint32_t server : partitioner_.ServersFor(lo, hi)) {
     std::vector<KV>* sink = out == nullptr ? nullptr : (hash ? &merged : out);
     const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, lo);
+    if (leaf.is_null()) break;  // dead client: report the partial count
     found += co_await LeafLevel::ScanChain(ops, leaf, lo, hi, sink);
   }
   if (out != nullptr && hash) {
@@ -122,13 +128,14 @@ sim::Task<Status> CoarseOneSidedIndex::Insert(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   LeafLevel::SplitInfo split;
   const Status status = co_await LeafLevel::InsertAt(
       ops, leaf, key, value, &split, static_cast<int32_t>(server));
   if (!status.ok()) co_return status;
   if (split.split) {
-    co_await InstallSeparator(ops, server, 1, split.separator, leaf,
-                              split.right);
+    co_return co_await InstallSeparator(ops, server, 1, split.separator,
+                                        leaf, split.right);
   }
   co_return Status::OK();
 }
@@ -138,6 +145,7 @@ sim::Task<Status> CoarseOneSidedIndex::Update(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
 }
 
@@ -147,6 +155,7 @@ sim::Task<uint64_t> CoarseOneSidedIndex::LookupAll(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
 }
 
@@ -155,6 +164,7 @@ sim::Task<Status> CoarseOneSidedIndex::Delete(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
 }
 
@@ -169,8 +179,8 @@ sim::Task<uint64_t> CoarseOneSidedIndex::GarbageCollect(
       (void)co_await LeafLevel::RebalanceChain(
           ops, first_leaves_[s], config_.gc_merge_fill_percent);
     }
-    co_await LeafLevel::RebuildHeadNodes(ops, first_leaves_[s],
-                                         config_.head_node_interval);
+    (void)co_await LeafLevel::RebuildHeadNodes(ops, first_leaves_[s],
+                                               config_.head_node_interval);
   }
   co_return reclaimed;
 }
@@ -192,6 +202,8 @@ sim::Task<bool> CoarseOneSidedIndex::TryGrowRoot(RemoteOps& ops,
   ops.ctx().round_trips++;
   co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
                               ops.page_size());
+  // A dropped root-image write must not be published: give up, tree valid.
+  if (!ops.alive()) co_return true;
   if (roots_[server] != left) co_return false;  // lost the catalog race
   roots_[server] = new_root;
   root_levels_[server] = new_level;
@@ -204,23 +216,28 @@ sim::Task<bool> CoarseOneSidedIndex::TryGrowRoot(RemoteOps& ops,
   co_return true;
 }
 
-sim::Task<void> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
-                                                      uint32_t server,
-                                                      uint8_t level, Key sep,
-                                                      rdma::RemotePtr left,
-                                                      rdma::RemotePtr right) {
+sim::Task<Status> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
+                                                        uint32_t server,
+                                                        uint8_t level, Key sep,
+                                                        rdma::RemotePtr left,
+                                                        rdma::RemotePtr right) {
   uint8_t* buf = ops.ctx().page_a();
+  // Bounded: every pass makes B-link progress or propagates a failure
+  // status. namtree-lint: bounded-loop(blink-restart)
   for (;;) {
     if (root_levels_[server] < level) {
       if (co_await TryGrowRoot(ops, server, level, sep, left, right)) {
-        co_return;
+        co_return ops.alive() ? Status::OK()
+                              : Status::Unavailable("client crashed");
       }
       continue;
     }
     rdma::RemotePtr ptr = roots_[server];
     bool restart = false;
+    // namtree-lint: bounded-loop(blink-descent)
     for (;;) {
-      const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return read.status;
       PageView view(buf, ops.page_size());
       if (view.level() < level) {
         restart = true;
@@ -238,21 +255,22 @@ sim::Task<void> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
         ptr = rdma::RemotePtr(view.right_sibling());
         continue;
       }
-      if (!co_await ops.TryLockPage(ptr, version)) {
+      const Status lock = co_await ops.TryLockPage(ptr, read.version);
+      if (!lock.ok()) {
+        if (!lock.IsAborted()) co_return lock;
         ops.ctx().restarts++;
-        continue;
+        continue;  // lost the CAS race: re-read this node
       }
-      const uint64_t locked = btree::WithLockBit(version);
-      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+      ops.StampLocked(buf, read.version);
 
       if (view.InnerInsert(sep, right.raw())) {
-        co_await ops.WriteUnlockPage(ptr, buf);
-        co_return;
+        co_return co_await ops.WriteUnlockPage(ptr, buf);
       }
       const rdma::RemotePtr new_right = co_await ops.AllocPage(server);
       if (new_right.is_null()) {
-        co_await ops.UnlockPage(ptr);
-        co_return;  // separator stays uninstalled (B-link safe)
+        if (!ops.alive()) co_return Status::Unavailable("client crashed");
+        (void)co_await ops.UnlockPage(ptr);
+        co_return Status::OK();  // separator uninstalled (B-link safe)
       }
       std::vector<uint8_t> rimage(ops.page_size());
       PageView rview(rimage.data(), ops.page_size());
@@ -264,10 +282,14 @@ sim::Task<void> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
       ops.ctx().round_trips++;
       co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
                                   rimage.data(), ops.page_size());
-      co_await ops.WriteUnlockPage(ptr, buf);
-      co_await InstallSeparator(ops, server, static_cast<uint8_t>(level + 1),
-                                promoted, ptr, new_right);
-      co_return;
+      // Crashing here orphans the lock on `ptr` (lease-steal reclaims it)
+      // and leaks the unpublished right node — both sound.
+      if (!ops.alive()) co_return Status::Unavailable("client crashed");
+      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      if (!wu.ok()) co_return wu;
+      co_return co_await InstallSeparator(ops, server,
+                                          static_cast<uint8_t>(level + 1),
+                                          promoted, ptr, new_right);
     }
     if (restart) continue;
   }

@@ -68,10 +68,12 @@ class CoarseOneSidedIndex : public DistributedIndex {
                                               btree::Key key);
 
   /// Installs a separator into partition `server`'s tree one-sided.
-  sim::Task<void> InstallSeparator(RemoteOps& ops, uint32_t server,
-                                   uint8_t level, btree::Key sep,
-                                   rdma::RemotePtr left,
-                                   rdma::RemotePtr right);
+  /// Unavailable means this client died mid-install; the partition's tree
+  /// stays valid via the B-link sibling chain.
+  sim::Task<Status> InstallSeparator(RemoteOps& ops, uint32_t server,
+                                     uint8_t level, btree::Key sep,
+                                     rdma::RemotePtr left,
+                                     rdma::RemotePtr right);
 
   sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint32_t server,
                               uint8_t new_level, btree::Key sep,

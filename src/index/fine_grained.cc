@@ -70,6 +70,7 @@ sim::Task<rdma::RemotePtr> FineGrainedIndex::DescendToLeafPtr(RemoteOps& ops,
   if (root_level_ == 0) co_return ptr;  // single-leaf tree
   uint8_t* buf = ops.ctx().page_a();
   NodeCache* cache = CacheFor(ops.ctx().client_id());
+  // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
   for (;;) {
     // A.4 caching: inner-node images may come from the client cache; a
     // stale image can only route us too far left, which the B-link chase
@@ -79,7 +80,8 @@ sim::Task<rdma::RemotePtr> FineGrainedIndex::DescendToLeafPtr(RemoteOps& ops,
       image = cache->Get(ptr.raw(), ops.fabric().simulator().now());
     }
     if (image == nullptr) {
-      co_await ops.ReadPageUnlocked(ptr, buf);
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return rdma::RemotePtr::Null();
       image = buf;
       if (cache != nullptr &&
           PageView(buf, ops.page_size()).level() >= 1) {
@@ -105,6 +107,9 @@ sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
                                                  Key key) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  if (leaf.is_null()) {
+    co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
+  }
   co_return co_await LeafLevel::SearchChain(ops, leaf, key);
 }
 
@@ -112,6 +117,7 @@ sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
                                            Key hi, std::vector<KV>* out) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, lo);
+  if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
 }
 
@@ -119,6 +125,7 @@ sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
                                            Value value) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   LeafLevel::SplitInfo split;
   const Status status =
       co_await LeafLevel::InsertAt(ops, leaf, key, value, &split);
@@ -127,7 +134,8 @@ sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
     // The left page of the split is the page InsertAt actually modified;
     // it may differ from `leaf` after chain chases, but the separator
     // install only needs (sep, right).
-    co_await InstallSeparator(ops, 1, split.separator, leaf, split.right);
+    co_return co_await InstallSeparator(ops, 1, split.separator, leaf,
+                                        split.right);
   }
   co_return Status::OK();
 }
@@ -136,6 +144,7 @@ sim::Task<Status> FineGrainedIndex::Update(nam::ClientContext& ctx, Key key,
                                            Value value) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
 }
 
@@ -144,12 +153,14 @@ sim::Task<uint64_t> FineGrainedIndex::LookupAll(nam::ClientContext& ctx,
                                                 std::vector<Value>* out) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
 }
 
 sim::Task<Status> FineGrainedIndex::Delete(nam::ClientContext& ctx, Key key) {
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
 }
 
@@ -169,6 +180,8 @@ sim::Task<bool> FineGrainedIndex::TryGrowRoot(RemoteOps& ops,
   ops.ctx().round_trips++;
   co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
                               ops.page_size());
+  // A dropped root-image write must not be published: give up, tree valid.
+  if (!ops.alive()) co_return true;
   // Publish through the catalog. The check-and-update happens atomically in
   // virtual time (no awaits in between), mirroring a catalog-service CAS.
   if (root_ != left) co_return false;  // somebody else grew the tree
@@ -183,21 +196,28 @@ sim::Task<bool> FineGrainedIndex::TryGrowRoot(RemoteOps& ops,
   co_return true;
 }
 
-sim::Task<void> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
-                                                   uint8_t level, Key sep,
-                                                   rdma::RemotePtr left,
-                                                   rdma::RemotePtr right) {
+sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
+                                                     uint8_t level, Key sep,
+                                                     rdma::RemotePtr left,
+                                                     rdma::RemotePtr right) {
   uint8_t* buf = ops.ctx().page_a();
+  // Bounded: every pass makes B-link progress or propagates a failure
+  // status. namtree-lint: bounded-loop(blink-restart)
   for (;;) {
     if (root_level_ < level) {
-      if (co_await TryGrowRoot(ops, level, sep, left, right)) co_return;
+      if (co_await TryGrowRoot(ops, level, sep, left, right)) {
+        co_return ops.alive() ? Status::OK()
+                              : Status::Unavailable("client crashed");
+      }
       continue;
     }
     // Descend to the target level for `sep`.
     rdma::RemotePtr ptr = root_;
     bool restart = false;
+    // namtree-lint: bounded-loop(blink-descent)
     for (;;) {
-      const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return read.status;
       PageView view(buf, ops.page_size());
       if (view.level() < level) {
         // Stale root below the target level: re-check the catalog state.
@@ -217,26 +237,29 @@ sim::Task<void> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
         ptr = rdma::RemotePtr(view.right_sibling());
         continue;
       }
-      if (!co_await ops.TryLockPage(ptr, version)) {
+      const Status lock = co_await ops.TryLockPage(ptr, read.version);
+      if (!lock.ok()) {
+        if (!lock.IsAborted()) co_return lock;
         ops.ctx().restarts++;
-        continue;  // re-read this node
+        continue;  // lost the CAS race: re-read this node
       }
-      const uint64_t locked = btree::WithLockBit(version);
-      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+      ops.StampLocked(buf, read.version);
 
       // Re-validate the range under the lock (version pinned by the CAS).
       if (view.InnerInsert(sep, right.raw())) {
-        co_await ops.WriteUnlockPage(ptr, buf);
+        const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+        if (!wu.ok()) co_return wu;
         if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
           cache->Invalidate(ptr.raw());
         }
-        co_return;
+        co_return Status::OK();
       }
       // Full: split this inner node and recurse with the promoted key.
       const rdma::RemotePtr new_right = co_await ops.AllocPageRoundRobin();
       if (new_right.is_null()) {
-        co_await ops.UnlockPage(ptr);
-        co_return;  // out of memory; separator stays uninstalled (B-link safe)
+        if (!ops.alive()) co_return Status::Unavailable("client crashed");
+        (void)co_await ops.UnlockPage(ptr);
+        co_return Status::OK();  // OOM; separator uninstalled (B-link safe)
       }
       std::vector<uint8_t> rimage(ops.page_size());
       PageView rview(rimage.data(), ops.page_size());
@@ -248,13 +271,16 @@ sim::Task<void> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
       ops.ctx().round_trips++;
       co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
                                   rimage.data(), ops.page_size());
-      co_await ops.WriteUnlockPage(ptr, buf);
+      // Crashing here orphans the lock on `ptr` (lease-steal reclaims it)
+      // and leaks the unpublished right node — both sound.
+      if (!ops.alive()) co_return Status::Unavailable("client crashed");
+      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      if (!wu.ok()) co_return wu;
       if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
         cache->Invalidate(ptr.raw());
       }
-      co_await InstallSeparator(ops, static_cast<uint8_t>(level + 1),
-                                promoted, ptr, new_right);
-      co_return;
+      co_return co_await InstallSeparator(
+          ops, static_cast<uint8_t>(level + 1), promoted, ptr, new_right);
     }
     if (restart) continue;
   }
@@ -271,8 +297,8 @@ sim::Task<uint64_t> FineGrainedIndex::GarbageCollect(nam::ClientContext& ctx) {
     (void)co_await LeafLevel::RebalanceChain(ops, first_leaf_,
                                              config_.gc_merge_fill_percent);
   }
-  co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
-                                       config_.head_node_interval);
+  (void)co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
+                                             config_.head_node_interval);
   co_return reclaimed;
 }
 
@@ -286,10 +312,12 @@ sim::Task<Status> FineGrainedIndex::BootstrapFromCatalog(
       rdma::RemotePtr::Make(
           0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
       &raw, 8);
+  if (!ops.alive()) co_return Status::Unavailable("client crashed");
   const rdma::RemotePtr root(raw);
   if (root.is_null()) co_return Status::NotFound("catalog slot empty");
   // Learn the root's level from its page header.
-  co_await ops.ReadPage(root, ctx.page_a());
+  const Status read = co_await ops.ReadPage(root, ctx.page_a());
+  if (!read.ok()) co_return read;
   PageView view(ctx.page_a(), ops.page_size());
   root_ = root;
   root_level_ = view.level();

@@ -80,9 +80,11 @@ class FineGrainedIndex : public DistributedIndex {
                                               btree::Key key);
 
   /// Installs `sep` / `right` at inner `level` after a split of `left`.
-  sim::Task<void> InstallSeparator(RemoteOps& ops, uint8_t level,
-                                   btree::Key sep, rdma::RemotePtr left,
-                                   rdma::RemotePtr right);
+  /// Unavailable means this client died mid-install; the tree stays valid
+  /// (B-link: the split is reachable via the left sibling pointer).
+  sim::Task<Status> InstallSeparator(RemoteOps& ops, uint8_t level,
+                                     btree::Key sep, rdma::RemotePtr left,
+                                     rdma::RemotePtr right);
 
   /// Publishes a new root through the catalog slot on server 0.
   sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint8_t new_level,

@@ -136,13 +136,16 @@ sim::Task<LookupResult> DistributedHashIndex::Lookup(nam::ClientContext& ctx,
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return LookupResult{false, 0, read.status};
     BucketView bucket(buf);
     const int32_t i = bucket.Find(key);
-    if (i >= 0) co_return LookupResult{true, bucket.slot(i).value};
+    if (i >= 0) {
+      co_return LookupResult{true, bucket.slot(i).value, Status::OK()};
+    }
     ptr = rdma::RemotePtr(bucket.overflow());
   }
-  co_return LookupResult{false, 0};
+  co_return LookupResult{false, 0, Status::OK()};
 }
 
 sim::Task<uint64_t> DistributedHashIndex::Scan(nam::ClientContext& ctx,
@@ -162,30 +165,34 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
+  // Bounded: chain hops terminate and lock retries back off / propagate
+  // failures. namtree-lint: bounded-loop(chain)
   for (;;) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     BucketView bucket(buf);
     if (bucket.count() >= kSlotsPerBucket && bucket.overflow() != 0) {
       ptr = rdma::RemotePtr(bucket.overflow());
       continue;
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, read.version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;
       ctx.restarts++;
       continue;
     }
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf, &locked, 8);
+    ops.StampLocked(buf, read.version);
 
     if (bucket.count() < kSlotsPerBucket) {
       bucket.set_slot(bucket.count(), KV{key, value});
       bucket.set_count(bucket.count() + 1);
-      co_await ops.WriteUnlockPage(ptr, buf);
-      co_return Status::OK();
+      co_return co_await ops.WriteUnlockPage(ptr, buf);
     }
     // Full tail bucket: chain a fresh overflow bucket holding the entry.
     const rdma::RemotePtr next = co_await ops.AllocPage(ptr.server_id());
     if (next.is_null()) {
-      co_await ops.UnlockPage(ptr);
+      if (!ops.alive()) co_return Status::Unavailable("client crashed");
+      (void)co_await ops.UnlockPage(ptr);
       co_return Status::OutOfMemory("overflow bucket");
     }
     std::vector<uint8_t> fresh(kBucketBytes, 0);
@@ -195,9 +202,11 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     ctx.round_trips++;
     co_await ops.fabric().Write(ctx.client_id(), next, fresh.data(),
                                 kBucketBytes);
+    // Crashing here orphans the bucket lock (lease-steal reclaims it) and
+    // leaks the unpublished overflow bucket — both sound.
+    if (!ops.alive()) co_return Status::Unavailable("client crashed");
     bucket.set_overflow(next.raw());
-    co_await ops.WriteUnlockPage(ptr, buf);
-    co_return Status::OK();
+    co_return co_await ops.WriteUnlockPage(ptr, buf);
   }
 }
 
@@ -207,24 +216,25 @@ sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
   while (!ptr.is_null()) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     BucketView bucket(buf);
     const int32_t i = bucket.Find(key);
     if (i < 0) {
       ptr = rdma::RemotePtr(bucket.overflow());
       continue;
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, read.version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;
       ctx.restarts++;
       continue;  // re-read the same bucket
     }
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf, &locked, 8);
+    ops.StampLocked(buf, read.version);
     KV kv = bucket.slot(i);
     kv.value = value;
     bucket.set_slot(i, kv);
-    co_await ops.WriteUnlockPage(ptr, buf);
-    co_return Status::OK();
+    co_return co_await ops.WriteUnlockPage(ptr, buf);
   }
   co_return Status::NotFound();
 }
@@ -237,7 +247,8 @@ sim::Task<uint64_t> DistributedHashIndex::LookupAll(nam::ClientContext& ctx,
   rdma::RemotePtr ptr = HeadBucketFor(key);
   uint64_t found = 0;
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) break;  // degraded: report the matches found so far
     BucketView bucket(buf);
     for (uint32_t i = 0; i < bucket.count(); ++i) {
       if (bucket.slot(i).key == key) {
@@ -256,25 +267,26 @@ sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
   while (!ptr.is_null()) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     BucketView bucket(buf);
     const int32_t i = bucket.Find(key);
     if (i < 0) {
       ptr = rdma::RemotePtr(bucket.overflow());
       continue;
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, read.version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;
       ctx.restarts++;
       continue;
     }
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf, &locked, 8);
+    ops.StampLocked(buf, read.version);
     // In-place removal: swap the last slot down (hash order is arbitrary).
     bucket.set_slot(static_cast<uint32_t>(i),
                     bucket.slot(bucket.count() - 1));
     bucket.set_count(bucket.count() - 1);
-    co_await ops.WriteUnlockPage(ptr, buf);
-    co_return Status::OK();
+    co_return co_await ops.WriteUnlockPage(ptr, buf);
   }
   co_return Status::NotFound();
 }

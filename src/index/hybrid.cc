@@ -114,8 +114,8 @@ sim::Task<> HybridIndex::Handle(nam::MemoryServer& server,
   cluster_.fabric().Respond(server.server_id(), rpc, std::move(resp));
 }
 
-sim::Task<rdma::RemotePtr> HybridIndex::FindLeaf(nam::ClientContext& ctx,
-                                                 Key key) {
+sim::Task<HybridIndex::FindLeafResult> HybridIndex::FindLeaf(
+    nam::ClientContext& ctx, Key key) {
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kFindLeaf;
@@ -123,67 +123,84 @@ sim::Task<rdma::RemotePtr> HybridIndex::FindLeaf(nam::ClientContext& ctx,
   ctx.round_trips++;
   rdma::RpcResponse resp = co_await cluster_.fabric().Call(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
-  co_return rdma::RemotePtr(resp.arg0);
+  const auto code = static_cast<StatusCode>(resp.status);
+  if (code != StatusCode::kOk) {
+    co_return FindLeafResult{Status::FromCode(code, "find-leaf rpc"),
+                             rdma::RemotePtr::Null()};
+  }
+  co_return FindLeafResult{Status::OK(), rdma::RemotePtr(resp.arg0)};
 }
 
 sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
                                             Key key) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  const FindLeafResult fl = co_await FindLeaf(ctx, key);
+  if (!fl.status.ok()) co_return LookupResult{false, 0, fl.status};
   RemoteOps ops(ctx);
-  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+  co_return co_await LeafLevel::SearchChain(ops, fl.leaf, key);
 }
 
 sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
                                       std::vector<KV>* out) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, lo);
+  const FindLeafResult fl = co_await FindLeaf(ctx, lo);
+  if (!fl.status.ok()) co_return 0;
   RemoteOps ops(ctx);
   // The leaf chain is global, so one traversal covers the whole range even
   // across partition boundaries (§5.2).
-  co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
+  co_return co_await LeafLevel::ScanChain(ops, fl.leaf, lo, hi, out);
 }
 
 sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
                                       Value value) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  const FindLeafResult fl = co_await FindLeaf(ctx, key);
+  if (!fl.status.ok()) co_return fl.status;
   RemoteOps ops(ctx);
   LeafLevel::SplitInfo split;
   const Status status =
-      co_await LeafLevel::InsertAt(ops, leaf, key, value, &split);
+      co_await LeafLevel::InsertAt(ops, fl.leaf, key, value, &split);
   if (!status.ok()) co_return status;
   if (split.split) {
     // Announce the new leaf to the memory server owning the separator's
     // range (§5.2): it installs the key into its upper levels itself.
     rdma::RpcRequest req;
-  req.service = rpc_service_;
+    req.service = rpc_service_;
     req.op = kInstallSep;
     req.arg0 = split.separator;
     req.arg1 = split.right.raw();
     ctx.round_trips++;
-    co_await cluster_.fabric().Call(
+    const rdma::RpcResponse resp = co_await cluster_.fabric().Call(
         ctx.client_id(), partitioner_.ServerFor(split.separator),
         std::move(req));
+    const auto code = static_cast<StatusCode>(resp.status);
+    if (code != StatusCode::kOk) {
+      // The inserted entry is live and reachable through the leaf chain;
+      // only the routing shortcut is missing until a retry installs it.
+      co_return Status::FromCode(code, "install-separator rpc");
+    }
   }
   co_return Status::OK();
 }
 
 sim::Task<Status> HybridIndex::Update(nam::ClientContext& ctx, Key key,
                                       Value value) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  const FindLeafResult fl = co_await FindLeaf(ctx, key);
+  if (!fl.status.ok()) co_return fl.status;
   RemoteOps ops(ctx);
-  co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
+  co_return co_await LeafLevel::UpdateAt(ops, fl.leaf, key, value);
 }
 
 sim::Task<uint64_t> HybridIndex::LookupAll(nam::ClientContext& ctx, Key key,
                                            std::vector<Value>* out) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  const FindLeafResult fl = co_await FindLeaf(ctx, key);
+  if (!fl.status.ok()) co_return 0;
   RemoteOps ops(ctx);
-  co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
+  co_return co_await LeafLevel::CollectAt(ops, fl.leaf, key, out);
 }
 
 sim::Task<Status> HybridIndex::Delete(nam::ClientContext& ctx, Key key) {
-  const rdma::RemotePtr leaf = co_await FindLeaf(ctx, key);
+  const FindLeafResult fl = co_await FindLeaf(ctx, key);
+  if (!fl.status.ok()) co_return fl.status;
   RemoteOps ops(ctx);
-  co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
+  co_return co_await LeafLevel::DeleteAt(ops, fl.leaf, key);
 }
 
 sim::Task<uint64_t> HybridIndex::GarbageCollect(nam::ClientContext& ctx) {
@@ -196,8 +213,8 @@ sim::Task<uint64_t> HybridIndex::GarbageCollect(nam::ClientContext& ctx) {
     (void)co_await LeafLevel::RebalanceChain(ops, first_leaf_,
                                              config_.gc_merge_fill_percent);
   }
-  co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
-                                       config_.head_node_interval);
+  (void)co_await LeafLevel::RebuildHeadNodes(ops, first_leaf_,
+                                             config_.head_node_interval);
   co_return reclaimed;
 }
 

@@ -55,11 +55,18 @@ class HybridIndex : public DistributedIndex {
   ServerTree& tree(uint32_t server) { return *trees_[server]; }
 
  private:
+  /// Outcome of the find-leaf RPC: OK with a candidate leaf pointer, or the
+  /// failure that ended the call (kUnavailable for a dead caller, kTimedOut
+  /// once the RPC deadline and its retries are exhausted).
+  struct FindLeafResult {
+    Status status;
+    rdma::RemotePtr leaf;
+  };
+
   sim::Task<> Handle(nam::MemoryServer& server, rdma::IncomingRpc rpc);
 
   /// RPC to the owner of `key` returning a candidate leaf pointer.
-  sim::Task<rdma::RemotePtr> FindLeaf(nam::ClientContext& ctx,
-                                      btree::Key key);
+  sim::Task<FindLeafResult> FindLeaf(nam::ClientContext& ctx, btree::Key key);
 
   nam::Cluster& cluster_;
   IndexConfig config_;

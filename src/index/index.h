@@ -55,10 +55,12 @@ struct IndexConfig {
   SimTime client_cache_ttl = 2 * kMillisecond;
 };
 
-/// Outcome of a point query.
+/// Outcome of a point query. `status` distinguishes a clean miss (OK,
+/// found=false) from a degraded-mode failure (kUnavailable / kTimedOut).
 struct LookupResult {
   bool found = false;
   btree::Value value = 0;
+  Status status;
 };
 
 /// The common interface of the distributed index designs (the paper's

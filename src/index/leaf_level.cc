@@ -112,23 +112,26 @@ sim::Task<LookupResult> LeafLevel::SearchChain(RemoteOps ops,
                                                Key key) {
   uint8_t* buf = ops.ctx().page_a();
   rdma::RemotePtr ptr = start;
+  // namtree-lint: bounded-loop(chain-chase: every step moves right along ascending fences and stops at the first fence above key; read failures exit)
   for (;;) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return LookupResult{false, 0, read.status};
     PageView view(buf, ops.page_size());
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
-      if (ptr.is_null()) co_return LookupResult{false, 0};
+      if (ptr.is_null()) co_return LookupResult{false, 0, Status::OK()};
       continue;
     }
     const int32_t idx = view.LeafFindLive(key);
     if (idx >= 0) {
-      co_return LookupResult{true, view.leaf_entries()[idx].value};
+      co_return LookupResult{true, view.leaf_entries()[idx].value,
+                             Status::OK()};
     }
     if (key >= view.high_key() && view.right_sibling() != 0) {
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
-    co_return LookupResult{false, 0};
+    co_return LookupResult{false, 0, Status::OK()};
   }
 }
 
@@ -170,7 +173,8 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
   std::vector<uint8_t> prefetch_buf;
 
   for (;;) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    // Degraded mode returns the partial count collected so far.
+    if (!(co_await ops.ReadPageUnlocked(ptr, buf)).ok()) co_return found;
     PageView view(buf, page_size);
 
     if (!view.is_head()) {
@@ -202,6 +206,7 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
     }
     ops.ctx().round_trips++;
     co_await ops.fabric().ReadBatch(ops.ctx().client_id(), std::move(reqs));
+    if (!ops.alive()) co_return found;  // batch dropped; images unspecified
 
     bool resumed_chain = false;
     for (uint32_t k = 0; k < n; ++k) {
@@ -210,7 +215,9 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
       if (IsLocked(leaf.version_word())) {
         // The prefetched image was mid-write: fall back to a fresh
         // spin-read of this page.
-        co_await ops.ReadPageUnlocked(rdma::RemotePtr(targets[k]), image);
+        const PageReadResult reread =
+            co_await ops.ReadPageUnlocked(rdma::RemotePtr(targets[k]), image);
+        if (!reread.ok()) co_return found;
         leaf = PageView(image, page_size);
       }
       if (leaf.is_head()) {  // stale pointer now naming a head: re-walk
@@ -254,7 +261,9 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
   split->split = false;
 
   for (;;) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
+    const uint64_t version = read.version;
     PageView view(buf, page_size);
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
@@ -265,29 +274,33 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;  // dead: no partial state
       ops.ctx().restarts++;
       continue;  // version moved: re-read and retry
     }
     // The CAS succeeded against the version of our image, so the image is
-    // the current content; stamp the lock bit into it.
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+    // the current content; stamp the locked word into it.
+    ops.StampLocked(buf, version);
 
     if (view.LeafInsert(key, value)) {
-      co_await ops.WriteUnlockPage(ptr, buf);
-      co_return Status::OK();
+      co_return co_await ops.WriteUnlockPage(ptr, buf);
     }
 
     // Split: allocate the right page round-robin (RDMA_ALLOC), install it
     // first (invisible until the left page is rewritten), then write the
-    // left page and release (Listing 4 remote_writeUnlock).
+    // left page and release (Listing 4 remote_writeUnlock). A crash at any
+    // point here is sound: an unpublished right page is an unreachable
+    // leak, and the orphaned left lock is lease-stolen (the image behind
+    // it is either the old or the fully split content — verbs are atomic).
     const rdma::RemotePtr right_ptr =
         alloc_server >= 0
             ? co_await ops.AllocPage(static_cast<uint32_t>(alloc_server))
             : co_await ops.AllocPageRoundRobin();
     if (right_ptr.is_null()) {
-      co_await ops.UnlockPage(ptr);
+      const Status unlock = co_await ops.UnlockPage(ptr);
+      if (!unlock.ok()) co_return unlock;
       co_return Status::OutOfMemory("leaf split");
     }
     uint8_t* rbuf = ops.ctx().page_b();
@@ -300,7 +313,9 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
     ops.ctx().round_trips++;
     co_await ops.fabric().Write(ops.ctx().client_id(), right_ptr, rbuf,
                                 page_size);
-    co_await ops.WriteUnlockPage(ptr, buf);
+    if (!ops.alive()) co_return Status::Unavailable("client crashed");
+    const Status unlock = co_await ops.WriteUnlockPage(ptr, buf);
+    if (!unlock.ok()) co_return unlock;
 
     split->split = true;
     split->separator = separator;
@@ -315,7 +330,8 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
   uint8_t* buf = ops.ctx().page_a();
   rdma::RemotePtr ptr = start;
   for (;;) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     PageView view(buf, page_size);
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
@@ -329,18 +345,19 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
       }
       co_return Status::NotFound();
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, read.version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;
       ops.ctx().restarts++;
       continue;
     }
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+    ops.StampLocked(buf, read.version);
     if (!view.LeafUpdateFirst(key, value)) {
-      co_await ops.UnlockPage(ptr);
+      const Status unlock = co_await ops.UnlockPage(ptr);
+      if (!unlock.ok()) co_return unlock;
       co_return Status::NotFound();  // defensive; CAS pinned the version
     }
-    co_await ops.WriteUnlockPage(ptr, buf);
-    co_return Status::OK();
+    co_return co_await ops.WriteUnlockPage(ptr, buf);
   }
 }
 
@@ -354,8 +371,9 @@ sim::Task<uint64_t> LeafLevel::CollectAt(RemoteOps ops, rdma::RemotePtr start,
   // Chasing stops at the first fence above `key`; epoch merges never
   // straddle a duplicate run, so a fence above `key` guarantees no copies
   // of the run live further right (absorbed or otherwise).
+  // namtree-lint: bounded-loop(chain-chase: every step moves right along ascending fences; read failures exit)
   for (;;) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!(co_await ops.ReadPageUnlocked(ptr, buf)).ok()) co_return found;
     PageView view(buf, page_size);
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
@@ -377,7 +395,8 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
   uint8_t* buf = ops.ctx().page_a();
   rdma::RemotePtr ptr = start;
   for (;;) {
-    const uint64_t version = co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     PageView view(buf, page_size);
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
@@ -391,20 +410,21 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
       }
       co_return Status::NotFound();
     }
-    if (!co_await ops.TryLockPage(ptr, version)) {
+    const Status lock = co_await ops.TryLockPage(ptr, read.version);
+    if (!lock.ok()) {
+      if (!lock.IsAborted()) co_return lock;
       ops.ctx().restarts++;
       continue;
     }
-    const uint64_t locked = btree::WithLockBit(version);
-    std::memcpy(buf + btree::kVersionOffset, &locked, 8);
+    ops.StampLocked(buf, read.version);
     if (!view.LeafMarkDeleted(key)) {
       // Entry vanished between read and lock? Impossible: CAS pinned the
       // version. Defensive anyway.
-      co_await ops.UnlockPage(ptr);
+      const Status unlock = co_await ops.UnlockPage(ptr);
+      if (!unlock.ok()) co_return unlock;
       co_return Status::NotFound();
     }
-    co_await ops.WriteUnlockPage(ptr, buf);
-    co_return Status::OK();
+    co_return co_await ops.WriteUnlockPage(ptr, buf);
   }
 }
 
@@ -415,7 +435,7 @@ sim::Task<uint64_t> LeafLevel::CompactChain(RemoteOps ops,
   rdma::RemotePtr ptr = first;
   uint64_t reclaimed = 0;
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!(co_await ops.ReadPageUnlocked(ptr, buf)).ok()) co_return reclaimed;
     PageView view(buf, page_size);
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
@@ -432,11 +452,11 @@ sim::Task<uint64_t> LeafLevel::CompactChain(RemoteOps ops,
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
-    (void)co_await ops.LockPage(ptr, buf);
+    if (!(co_await ops.LockPage(ptr, buf)).ok()) co_return reclaimed;
     PageView locked_view(buf, page_size);
     reclaimed += locked_view.LeafCompact();
     const rdma::RemotePtr next(locked_view.right_sibling());
-    co_await ops.WriteUnlockPage(ptr, buf);
+    if (!(co_await ops.WriteUnlockPage(ptr, buf)).ok()) co_return reclaimed;
     ptr = next;
   }
   co_return reclaimed;
@@ -455,7 +475,10 @@ sim::Task<uint64_t> LeafLevel::RebalanceChain(RemoteOps ops,
   rdma::RemotePtr ptr = first;
 
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, left_buf);
+    // A failed protocol step aborts the pass; epoch GC retries next epoch.
+    if (!(co_await ops.ReadPageUnlocked(ptr, left_buf)).ok()) {
+      co_return changed;
+    }
     PageView page(left_buf, page_size);
 
     if (page.is_head()) {
@@ -469,14 +492,16 @@ sim::Task<uint64_t> LeafLevel::RebalanceChain(RemoteOps ops,
       // we tracked (GC is single-threaded, so its sibling is stable).
       const rdma::RemotePtr next(page.right_sibling());
       if (!prev.is_null()) {
-        (void)co_await ops.LockPage(prev, right_buf);
+        if (!(co_await ops.LockPage(prev, right_buf)).ok()) co_return changed;
         PageView pv(right_buf, page_size);
         if (pv.right_sibling() == ptr.raw()) {
           pv.header().right_sibling = next.raw();
-          co_await ops.WriteUnlockPage(prev, right_buf);
+          if (!(co_await ops.WriteUnlockPage(prev, right_buf)).ok()) {
+            co_return changed;
+          }
           changed++;
         } else {
-          co_await ops.UnlockPage(prev);
+          if (!(co_await ops.UnlockPage(prev)).ok()) co_return changed;
           prev = rdma::RemotePtr();  // chain changed; re-anchor later
         }
       }
@@ -492,7 +517,9 @@ sim::Task<uint64_t> LeafLevel::RebalanceChain(RemoteOps ops,
     rdma::RemotePtr replacement;
     bool relinked = false;
     if (!next.is_null()) {
-      co_await ops.ReadPage(next, peek_buf.data());
+      if (!(co_await ops.ReadPage(next, peek_buf.data())).ok()) {
+        co_return changed;
+      }
       PageView peek(peek_buf.data(), page_size);
       if (peek.is_leaf() && !peek.is_drained() &&
           !btree::IsLocked(peek.version_word())) {
@@ -535,18 +562,23 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   uint8_t* right_buf = ops.ctx().page_b();
   *relinked = false;
 
-  (void)co_await ops.LockPage(left, left_buf);
+  // Any Unavailable below means *this* client died: no cleanup is possible
+  // (our verbs are dropped); orphaned locks are reclaimed by lease-steal.
+  if (!(co_await ops.LockPage(left, left_buf)).ok()) co_return false;
   PageView lv(left_buf, page_size);
   if (!lv.is_leaf() || lv.is_drained() ||
       lv.right_sibling() != right.raw()) {
-    co_await ops.UnlockPage(left);
+    (void)co_await ops.UnlockPage(left);
     co_return false;  // the chain moved under us
   }
-  (void)co_await ops.LockPage(right, right_buf);
+  if (!(co_await ops.LockPage(right, right_buf)).ok()) {
+    (void)co_await ops.UnlockPage(left);
+    co_return false;
+  }
   PageView rv(right_buf, page_size);
   if (!rv.is_leaf() || rv.is_drained()) {
-    co_await ops.UnlockPage(right);
-    co_await ops.UnlockPage(left);
+    (void)co_await ops.UnlockPage(right);
+    (void)co_await ops.UnlockPage(left);
     co_return false;
   }
 
@@ -558,8 +590,8 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
                         lv.leaf_entries()[ln - 1].key ==
                             rv.leaf_entries()[0].key;
   if (ln + rn > lv.leaf_capacity() || straddle) {
-    co_await ops.UnlockPage(right);
-    co_await ops.UnlockPage(left);
+    (void)co_await ops.UnlockPage(right);
+    (void)co_await ops.UnlockPage(left);
     co_return false;
   }
 
@@ -568,8 +600,8 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   // whole point).
   const rdma::RemotePtr fresh = co_await ops.AllocPageRoundRobin();
   if (fresh.is_null()) {
-    co_await ops.UnlockPage(right);
-    co_await ops.UnlockPage(left);
+    (void)co_await ops.UnlockPage(right);
+    (void)co_await ops.UnlockPage(left);
     co_return false;
   }
   std::vector<uint8_t> image(page_size);
@@ -582,6 +614,7 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   ops.ctx().round_trips++;
   co_await ops.fabric().Write(ops.ctx().client_id(), fresh, image.data(),
                               page_size);
+  if (!ops.alive()) co_return false;  // absorber unpublished: harmless leak
 
   // Publish right first (drained, rerouted to the absorber), then left:
   // any reader entering through either page converges on the absorber, and
@@ -590,26 +623,28 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   rv.header().high_key = 0;
   rv.header().flags |= btree::kDrainedFlag;
   rv.header().right_sibling = fresh.raw();
-  co_await ops.WriteUnlockPage(right, right_buf);
+  if (!(co_await ops.WriteUnlockPage(right, right_buf)).ok()) co_return false;
 
   lv.header().count = 0;
   lv.header().high_key = 0;
   lv.header().flags |= btree::kDrainedFlag;
   lv.header().right_sibling = fresh.raw();
-  co_await ops.WriteUnlockPage(left, left_buf);
+  if (!(co_await ops.WriteUnlockPage(left, left_buf)).ok()) co_return false;
 
   // Bypass the drained pair when the tracked predecessor still points at
   // the left page (failure is benign: the chain via the drained pages
   // still reaches the absorber, and a later epoch unlinks them).
   if (!prev.is_null()) {
-    (void)co_await ops.LockPage(prev, right_buf);
+    const PageReadResult plock = co_await ops.LockPage(prev, right_buf);
+    if (!plock.ok()) co_return false;
     PageView pv(right_buf, page_size);
     if (pv.right_sibling() == left.raw()) {
       pv.header().right_sibling = fresh.raw();
-      co_await ops.WriteUnlockPage(prev, right_buf);
-      *relinked = true;
+      if ((co_await ops.WriteUnlockPage(prev, right_buf)).ok()) {
+        *relinked = true;
+      }
     } else {
-      co_await ops.UnlockPage(prev);
+      (void)co_await ops.UnlockPage(prev);
     }
   }
 
@@ -629,7 +664,8 @@ sim::Task<Status> LeafLevel::RebuildHeadNodes(RemoteOps ops,
   std::vector<uint64_t> leaves;
   rdma::RemotePtr ptr = first;
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read.status;
     PageView view(buf, page_size);
     if (!view.is_head() && !view.is_drained()) leaves.push_back(ptr.raw());
     ptr = rdma::RemotePtr(view.right_sibling());
@@ -653,7 +689,10 @@ sim::Task<Status> LeafLevel::RebuildHeadNodes(RemoteOps ops,
            static_cast<size_t>(PageView::HeadCapacity(page_size))}));
       const rdma::RemotePtr head_ptr =
           co_await ops.AllocPage(rdma::RemotePtr(leaves[g]).server_id());
-      if (head_ptr.is_null()) co_return Status::OutOfMemory("head rebuild");
+      if (head_ptr.is_null()) {
+        if (!ops.alive()) co_return Status::Unavailable("client crashed");
+        co_return Status::OutOfMemory("head rebuild");
+      }
       uint8_t* hbuf = ops.ctx().page_b();
       PageView head(hbuf, page_size);
       head.InitHead(leaves[g]);
@@ -662,22 +701,31 @@ sim::Task<Status> LeafLevel::RebuildHeadNodes(RemoteOps ops,
       ops.ctx().round_trips++;
       co_await ops.fabric().Write(ops.ctx().client_id(), head_ptr, hbuf,
                                   page_size);
+      if (!ops.alive()) co_return Status::Unavailable("client crashed");
       desired = head_ptr.raw();
     }
 
-    (void)co_await ops.LockPage(leaf_ptr, buf);
+    const PageReadResult lock = co_await ops.LockPage(leaf_ptr, buf);
+    if (!lock.ok()) co_return lock.status;
     PageView pv(buf, page_size);
     const uint64_t sibling = pv.right_sibling();
     bool relink = sibling == desired ? false : sibling == leaves[i + 1];
     if (!relink && sibling != desired && sibling != 0) {
-      co_await ops.ReadPage(rdma::RemotePtr(sibling), probe_buf.data());
+      const Status probe =
+          co_await ops.ReadPage(rdma::RemotePtr(sibling), probe_buf.data());
+      if (!probe.ok()) {
+        (void)co_await ops.UnlockPage(leaf_ptr);
+        co_return probe;
+      }
       relink = PageView(probe_buf.data(), page_size).is_head();
     }
     if (relink) {
       pv.header().right_sibling = desired;
-      co_await ops.WriteUnlockPage(leaf_ptr, buf);
+      const Status wu = co_await ops.WriteUnlockPage(leaf_ptr, buf);
+      if (!wu.ok()) co_return wu;
     } else {
-      co_await ops.UnlockPage(leaf_ptr);
+      const Status ul = co_await ops.UnlockPage(leaf_ptr);
+      if (!ul.ok()) co_return ul;
     }
   }
   co_return Status::OK();
@@ -694,7 +742,8 @@ sim::Task<uint64_t> LeafLevel::CountChain(RemoteOps ops,
   uint64_t dead = 0;
   rdma::RemotePtr ptr = first;
   while (!ptr.is_null()) {
-    co_await ops.ReadPageUnlocked(ptr, buf);
+    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) break;  // degraded: report the pages counted so far
     PageView view(buf, page_size);
     pages++;
     if (!view.is_head()) {

@@ -1,5 +1,6 @@
 #include "index/remote_ops.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "btree/types.h"
@@ -7,50 +8,123 @@
 namespace namtree::index {
 
 using btree::IsLocked;
-using btree::WithLockBit;
 
-sim::Task<void> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
-  ctx_->round_trips++;
-  co_await fabric().Read(ctx_->client_id(), ptr, buf, page_size());
+void RemoteOps::StampLocked(uint8_t* buf, uint64_t version) {
+  const uint64_t locked = btree::MakeLockedWord(version, ctx_->client_id());
+  std::memcpy(buf + btree::kVersionOffset, &locked, 8);
 }
 
-sim::Task<uint64_t> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
-                                                uint8_t* buf) {
+sim::Task<Status> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
+  ctx_->round_trips++;
+  co_await fabric().Read(ctx_->client_id(), ptr, buf, page_size());
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
+}
+
+sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
+                                                      uint8_t* buf) {
+  const rdma::FabricConfig& cfg = fabric().config();
+  sim::Simulator& simulator = fabric().simulator();
+  // The exact locked word we have been watching, and since when. A change
+  // of the word (new holder or new cycle) restarts both the lease window
+  // and the backoff schedule.
+  uint64_t watched_word = 0;
+  SimTime locked_since = 0;
+  uint32_t backoff_round = 0;
+  // Bounded: each pass either returns, backs off (capped exponential), or
+  // lease-steals from a dead holder. namtree-lint: bounded-loop(backoff)
   for (;;) {
-    co_await ReadPage(ptr, buf);
-    uint64_t version;
-    std::memcpy(&version, buf + btree::kVersionOffset, 8);
-    if (!IsLocked(version)) co_return version;
+    const Status read = co_await ReadPage(ptr, buf);
+    if (!read.ok()) co_return PageReadResult{read, 0};
+    uint64_t word;
+    std::memcpy(&word, buf + btree::kVersionOffset, 8);
+    if (!IsLocked(word)) co_return PageReadResult{Status::OK(), word};
     ctx_->lock_waits++;
-    co_await sim::Delay(fabric().simulator(), fabric().config().lock_retry_ns);
+
+    if (word != watched_word) {
+      watched_word = word;
+      locked_since = simulator.now();
+      backoff_round = 0;
+    } else if (cfg.lock_lease_ns > 0 &&
+               simulator.now() - locked_since >= cfg.lock_lease_ns) {
+      // Lease expired on this exact locked word: consult the liveness
+      // registry. Readers steal too — otherwise a dead writer wedges every
+      // optimistic reader of the page forever.
+      const uint32_t holder = btree::HolderOf(word);
+      ctx_->round_trips++;
+      const bool holder_alive =
+          co_await fabric().ReadClientEpoch(ctx_->client_id(), holder);
+      if (!alive()) {
+        co_return PageReadResult{Status::Unavailable("client crashed"), 0};
+      }
+      if (!holder_alive) {
+        // CAS the orphan's locked word back to unlocked, one full version
+        // cycle ahead so the orphan's partial image never revalidates.
+        ctx_->round_trips++;
+        const uint64_t observed = co_await fabric().CompareAndSwap(
+            ctx_->client_id(), ptr.Plus(btree::kVersionOffset), word,
+            btree::StolenUnlockWord(word));
+        if (!alive()) {
+          co_return PageReadResult{Status::Unavailable("client crashed"), 0};
+        }
+        if (observed == word) ctx_->lock_steals++;
+        // Re-read immediately (we or a faster waiter just freed it).
+        watched_word = 0;
+        backoff_round = 0;
+        continue;
+      }
+      locked_since = simulator.now();  // holder is alive: renew the lease
+    }
+
+    // Capped exponential backoff with per-client jitter: the delay doubles
+    // per consecutive observation of the same locked word and is drawn
+    // uniformly from [base/2, base).
+    const uint64_t cap = std::max<uint64_t>(cfg.lock_retry_ns,
+                                            cfg.lock_backoff_max_ns);
+    uint64_t base = static_cast<uint64_t>(cfg.lock_retry_ns)
+                    << std::min<uint32_t>(backoff_round, 16);
+    base = std::min(std::max<uint64_t>(base, 1), cap);
+    const uint64_t half = base / 2;
+    const SimTime delay = static_cast<SimTime>(
+        half + static_cast<uint64_t>(ctx_->rng().NextDouble() *
+                                     static_cast<double>(base - half)));
+    ctx_->backoff_rounds++;
+    backoff_round++;
+    co_await sim::Delay(simulator, delay);
   }
 }
 
-sim::Task<bool> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
-                                       uint64_t version) {
+sim::Task<Status> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
+                                         uint64_t version) {
   ctx_->round_trips++;
   const uint64_t old = co_await fabric().CompareAndSwap(
       ctx_->client_id(), ptr.Plus(btree::kVersionOffset), version,
-      WithLockBit(version));
-  co_return old == version;
+      btree::MakeLockedWord(version, ctx_->client_id()));
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return old == version ? Status::OK() : Status::Aborted("lock CAS lost");
 }
 
-sim::Task<uint64_t> RemoteOps::LockPage(rdma::RemotePtr ptr, uint8_t* buf) {
+sim::Task<PageReadResult> RemoteOps::LockPage(rdma::RemotePtr ptr,
+                                              uint8_t* buf) {
+  // Bounded: ReadPageUnlocked backs off / steals, and every failure mode
+  // other than a lost CAS race propagates. namtree-lint: bounded-loop(cas)
   for (;;) {
-    const uint64_t version = co_await ReadPageUnlocked(ptr, buf);
-    if (co_await TryLockPage(ptr, version)) {
+    PageReadResult read = co_await ReadPageUnlocked(ptr, buf);
+    if (!read.ok()) co_return read;
+    const Status lock = co_await TryLockPage(ptr, read.version);
+    if (lock.ok()) {
       // Keep the local image consistent with the now-locked remote word so
       // a later WriteUnlockPage does not transiently clear the lock bit.
-      const uint64_t locked = WithLockBit(version);
-      std::memcpy(buf + btree::kVersionOffset, &locked, 8);
-      co_return version;
+      StampLocked(buf, read.version);
+      co_return read;
     }
+    if (!lock.IsAborted()) co_return PageReadResult{lock, 0};
     ctx_->restarts++;
   }
 }
 
-sim::Task<void> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
-                                           const uint8_t* buf) {
+sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
+                                             const uint8_t* buf) {
 #ifndef NDEBUG
   uint64_t word;
   std::memcpy(&word, buf + btree::kVersionOffset, 8);
@@ -58,14 +132,19 @@ sim::Task<void> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
 #endif
   ctx_->round_trips += 2;
   co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+  if (!alive()) co_return Status::Unavailable("client crashed");
   co_await fabric().FetchAndAdd(ctx_->client_id(),
                                 ptr.Plus(btree::kVersionOffset), 1);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
 }
 
-sim::Task<void> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
+sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
   ctx_->round_trips++;
   co_await fabric().FetchAndAdd(ctx_->client_id(),
                                 ptr.Plus(btree::kVersionOffset), 1);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
 }
 
 sim::Task<rdma::RemotePtr> RemoteOps::AllocPage(uint32_t server) {
@@ -74,6 +153,9 @@ sim::Task<rdma::RemotePtr> RemoteOps::AllocPage(uint32_t server) {
   ctx_->round_trips++;
   const uint64_t offset = co_await fabric().FetchAndAdd(
       ctx_->client_id(), cursor, page_size());
+  // A dead client's FAA is dropped and returns 0, which would alias the
+  // region header — treat it as an allocation failure.
+  if (!alive()) co_return rdma::RemotePtr::Null();
   if (offset + page_size() > fabric().region(server)->capacity()) {
     co_return rdma::RemotePtr::Null();
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "btree/page.h"
+#include "common/status.h"
 #include "nam/cluster.h"
 #include "rdma/fabric.h"
 #include "rdma/memory_region.h"
@@ -12,11 +13,30 @@
 
 namespace namtree::index {
 
+/// Outcome of a versioned page read: OK with the observed version word, or
+/// the error that ended the protocol (kUnavailable once this client is
+/// dead). Default-constructible on purpose — coroutine Task payloads must
+/// be (Result<T> is not).
+struct PageReadResult {
+  Status status;
+  uint64_t version = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// The one-sided page protocol of the fine-grained design (paper Listing 4):
 /// remote reads with a remote spinlock on the version word, lock upgrade via
 /// RDMA CAS, unlock-with-writeback via RDMA WRITE + FETCH_AND_ADD, and
 /// remote page allocation via FETCH_AND_ADD on the region's allocation
 /// cursor (RDMA_ALLOC).
+///
+/// Crash-fault behavior: every op surfaces Status::Unavailable as soon as
+/// the owning client is dead (its verbs are dropped by the fabric).
+/// Spinning on a locked word uses capped exponential backoff with
+/// per-client jitter, and — when FabricConfig::lock_lease_ns is set — a
+/// waiter that has watched the same locked word past the lease consults
+/// the fabric's liveness registry and CAS-steals the lock from a dead
+/// holder (docs/fault_model.md).
 ///
 /// A RemoteOps instance is a thin, per-client facade over the fabric; it
 /// charges every verb to `ctx` for round-trip accounting.
@@ -28,33 +48,46 @@ class RemoteOps {
   rdma::Fabric& fabric() { return ctx_->fabric(); }
   uint32_t page_size() const { return ctx_->page_size(); }
 
-  /// remote_read: one RDMA READ of a full page into `buf`.
-  sim::Task<void> ReadPage(rdma::RemotePtr ptr, uint8_t* buf);
+  /// True while the owning client has not been crash-injected away.
+  bool alive() const { return ctx_->fabric().ClientAlive(ctx_->client_id()); }
+
+  /// Stamps the local image's version word with the locked word this client
+  /// installs on acquire (lock bit + holder id). Call after a successful
+  /// TryLockPage so a later WriteUnlockPage does not transiently clear the
+  /// lock bit.
+  void StampLocked(uint8_t* buf, uint64_t version);
+
+  /// remote_read: one RDMA READ of a full page into `buf`. Unavailable when
+  /// this client is dead (buf is then unspecified).
+  sim::Task<Status> ReadPage(rdma::RemotePtr ptr, uint8_t* buf);
 
   /// remote_readLockOrRestart + remote_awaitNodeUnlocked: reads the page,
-  /// re-reading (remote spinlock) while the lock bit is set. Returns the
-  /// version word of the returned consistent image.
-  sim::Task<uint64_t> ReadPageUnlocked(rdma::RemotePtr ptr, uint8_t* buf);
+  /// re-reading (remote spinlock with backoff, lease-based steal) while the
+  /// lock bit is set. OK carries the raw version word of the returned
+  /// consistent image.
+  sim::Task<PageReadResult> ReadPageUnlocked(rdma::RemotePtr ptr,
+                                             uint8_t* buf);
 
-  /// remote_upgradeToWriteLockOrRestart: RDMA CAS(version -> version|1).
-  /// True when the lock was acquired.
-  sim::Task<bool> TryLockPage(rdma::RemotePtr ptr, uint64_t version);
+  /// remote_upgradeToWriteLockOrRestart: RDMA CAS installing the locked
+  /// word (holder-stamped). OK = lock acquired; Aborted = CAS lost the
+  /// race; Unavailable = this client is dead.
+  sim::Task<Status> TryLockPage(rdma::RemotePtr ptr, uint64_t version);
 
-  /// Spin variant: read-unlocked + CAS until the lock is held. On return,
-  /// `buf` holds the locked image (its version word includes the lock bit)
-  /// and the pre-lock version word is returned.
-  sim::Task<uint64_t> LockPage(rdma::RemotePtr ptr, uint8_t* buf);
+  /// Spin variant: read-unlocked + CAS until the lock is held or the
+  /// protocol fails. On OK, `buf` holds the locked image (StampLocked
+  /// applied) and `version` is the pre-lock version word.
+  sim::Task<PageReadResult> LockPage(rdma::RemotePtr ptr, uint8_t* buf);
 
   /// remote_writeUnlock: installs the modified local image (which must
   /// still carry the lock bit) with an RDMA WRITE, then releases the lock
   /// with FETCH_AND_ADD(+1), bumping the version.
-  sim::Task<void> WriteUnlockPage(rdma::RemotePtr ptr, const uint8_t* buf);
+  sim::Task<Status> WriteUnlockPage(rdma::RemotePtr ptr, const uint8_t* buf);
 
   /// Releases a lock without content changes (FAA only).
-  sim::Task<void> UnlockPage(rdma::RemotePtr ptr);
+  sim::Task<Status> UnlockPage(rdma::RemotePtr ptr);
 
   /// RDMA_ALLOC on a specific server. Returns a null pointer when the
-  /// region is exhausted.
+  /// region is exhausted or this client is dead.
   sim::Task<rdma::RemotePtr> AllocPage(uint32_t server);
 
   /// RDMA_ALLOC scattering allocations over all memory servers round-robin

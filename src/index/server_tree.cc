@@ -112,14 +112,15 @@ sim::Task<LookupResult> ServerTree::Lookup(Key key) {
       }
       const int32_t idx = view.LeafFindLive(key);
       if (idx >= 0) {
-        co_return LookupResult{true, view.leaf_entries()[idx].value};
+        co_return LookupResult{true, view.leaf_entries()[idx].value,
+                               Status::OK()};
       }
       if (key >= view.high_key() && view.right_sibling() != 0) {
         node = view.right_sibling();
         v = co_await AwaitUnlocked(node);
         continue;
       }
-      co_return LookupResult{false, 0};
+      co_return LookupResult{false, 0, Status::OK()};
     }
   }
 }

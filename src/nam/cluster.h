@@ -85,9 +85,11 @@ class ClientContext {
   }
 
   // ---- Per-client accounting (reset between measurement intervals) -------
-  uint64_t round_trips = 0;  ///< network round trips issued
-  uint64_t restarts = 0;     ///< optimistic protocol restarts
-  uint64_t lock_waits = 0;   ///< remote spinlock re-reads
+  uint64_t round_trips = 0;     ///< network round trips issued
+  uint64_t restarts = 0;        ///< optimistic protocol restarts
+  uint64_t lock_waits = 0;      ///< remote spinlock re-reads
+  uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
+  uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
 
   /// Round-robin cursor for remote page allocation (fine-grained splits
   /// scatter new nodes over all memory servers).

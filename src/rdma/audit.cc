@@ -16,6 +16,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "VersionRegression";
     case ViolationKind::kTornRead:
       return "TornRead";
+    case ViolationKind::kLockStealFromLiveHolder:
+      return "LockStealFromLiveHolder";
   }
   return "Unknown";
 }
@@ -142,8 +144,13 @@ void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
                               uint64_t observed, SimTime now) {
   if (!enabled_) return;
   const bool swapped = observed == expected;
-  const bool lock_acquire_shape =
-      !LockedWord(expected) && desired == (expected | 1ull);
+  // Acquire shape: an unlocked word becomes locked with the version
+  // unchanged. Covers both the raw `CAS(v -> v|1)` form and the
+  // holder-stamping `CAS(v -> MakeLockedWord(v, client))` form (the holder
+  // bits differ; VersionPart masks them out).
+  const bool lock_acquire_shape = !LockedWord(expected) &&
+                                  LockedWord(desired) &&
+                                  VersionPart(desired) == VersionPart(expected);
   WordState* state = FindWord(target);
 
   if (state == nullptr) {
@@ -164,6 +171,28 @@ void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
     state->locked = true;
     state->holder = client;
     state->last_word = desired;
+    return;
+  }
+  // Steal shape: a non-holder CASes a *locked* word back to unlocked. The
+  // crash-recovery protocol (docs/fault_model.md) sanctions this only when
+  // the holder is dead; against a live holder it races the holder's
+  // write-back and is flagged.
+  if (state->locked && LockedWord(expected) && !LockedWord(desired) &&
+      client != state->holder) {
+    const bool holder_dead =
+        liveness_probe_ && !liveness_probe_(state->holder);
+    if (holder_dead) {
+      lock_steals_++;
+    } else {
+      Report(ViolationKind::kLockStealFromLiveHolder, client, target,
+             observed, desired, now);
+    }
+    if (VersionPart(desired) < VersionPart(observed)) {
+      Report(ViolationKind::kVersionRegression, client, target, observed,
+             desired, now);
+    }
+    state->last_word = desired;
+    state->locked = false;
     return;
   }
   // Any other successful CAS mutates a version word out of protocol; the
@@ -196,6 +225,23 @@ void VerbAuditor::OnFaaEffect(uint32_t client, RemotePtr target, uint64_t add,
   }
   state->last_word = updated;
   state->locked = LockedWord(updated);
+}
+
+void VerbAuditor::DropWrite(uint64_t ticket) {
+  if (ticket == 0) return;
+  inflight_.erase(ticket);
+}
+
+std::vector<VerbAuditor::LockedWordInfo> VerbAuditor::LockedWords() const {
+  std::vector<LockedWordInfo> out;
+  for (const auto& [server, words] : words_) {
+    for (const auto& [offset, state] : words) {
+      if (!state.locked) continue;
+      out.push_back(LockedWordInfo{RemotePtr::Make(server, offset),
+                                   state.holder});
+    }
+  }
+  return out;
 }
 
 size_t VerbAuditor::CountOfKind(ViolationKind kind) const {

@@ -2,6 +2,7 @@
 #define NAMTREE_RDMA_AUDIT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -36,6 +37,11 @@ enum class ViolationKind {
   /// readers discard and retry); it is the reader-side symptom of a
   /// write-without-lock.
   kTornRead,
+  /// A CAS cleared a locked word held by a *live* client other than the
+  /// CASer. Stealing is sanctioned only against a crashed holder (the
+  /// lease/steal recovery of docs/fault_model.md); stealing from a live
+  /// holder races its write-back and can publish a torn page.
+  kLockStealFromLiveHolder,
 };
 
 /// Human-readable name for `kind` ("WriteWithoutLock", ...).
@@ -82,6 +88,14 @@ class VerbAuditor {
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Installs the client-liveness oracle used to adjudicate lock steals
+  /// (the fabric wires in its own crash registry). Without a probe every
+  /// steal is flagged as kLockStealFromLiveHolder — the conservative
+  /// default for hand-built test rigs.
+  void SetLivenessProbe(std::function<bool(uint32_t)> probe) {
+    liveness_probe_ = std::move(probe);
+  }
+
   // ---- Hooks, called by the fabric ---------------------------------------
 
   /// A WRITE was posted at virtual time `now`; its memory effect lands
@@ -106,7 +120,25 @@ class VerbAuditor {
   void OnFaaEffect(uint32_t client, RemotePtr target, uint64_t add,
                    uint64_t prev, SimTime now);
 
+  /// A posted WRITE was dropped in flight (its client crashed before the
+  /// memory effect). Consumes the ticket without applying any checks.
+  void DropWrite(uint64_t ticket);
+
   // ---- Queries ------------------------------------------------------------
+
+  /// A tracked version word that is currently locked, with its holder.
+  struct LockedWordInfo {
+    RemotePtr target;
+    uint32_t holder = 0;
+  };
+
+  /// All tracked words whose lock bit is currently set. Crash tests use
+  /// this to enumerate orphaned locks for recovery before inspecting the
+  /// tree at quiescence.
+  std::vector<LockedWordInfo> LockedWords() const;
+
+  /// Number of sanctioned lock steals (CAS-clear of a dead holder's lock).
+  uint64_t lock_steals() const { return lock_steals_; }
 
   const std::vector<Violation>& violations() const { return violations_; }
   size_t violation_count() const { return violations_.size(); }
@@ -145,17 +177,25 @@ class VerbAuditor {
   /// so writes can range-query the words they cover).
   using ServerWords = std::map<uint64_t, WordState>;
 
+  // Lock-word layout constants, duplicated from btree/types.h (the rdma
+  // layer deliberately does not depend on btree): bit 0 = lock bit, bits
+  // 48..63 = holder client id (stale garbage while unlocked), the rest is
+  // the version. Version comparisons must mask the holder bits.
   static bool LockedWord(uint64_t word) { return (word & 1ull) != 0; }
-  static uint64_t VersionPart(uint64_t word) { return word & ~1ull; }
+  static uint64_t VersionPart(uint64_t word) {
+    return word & ~(1ull | (0xFFFFull << 48));
+  }
 
   WordState* FindWord(RemotePtr target);
   void Report(ViolationKind kind, uint32_t client, RemotePtr target,
               uint64_t observed, uint64_t attempted, SimTime now);
 
   bool enabled_ = true;
+  std::function<bool(uint32_t)> liveness_probe_;
   std::unordered_map<uint32_t, ServerWords> words_;
   std::unordered_map<uint64_t, InflightWrite> inflight_;
   uint64_t next_ticket_ = 1;
+  uint64_t lock_steals_ = 0;
   std::vector<Violation> violations_;
 };
 

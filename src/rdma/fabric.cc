@@ -21,7 +21,13 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     : simulator_(simulator), config_(config), jitter_rng_(config.jitter_seed) {
 #if NAMTREE_AUDIT
   auditor_ = std::make_unique<VerbAuditor>();
+  auditor_->SetLivenessProbe(
+      [this](uint32_t client) { return ClientAlive(client); });
 #endif
+  for (const FabricConfig::CrashPoint& cp : config_.crash_points) {
+    auto [it, inserted] = crash_after_.emplace(cp.client, cp.after_verbs);
+    if (!inserted) it->second = std::min(it->second, cp.after_verbs);
+  }
   memory_servers_.reserve(config_.num_memory_servers);
   for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
     memory_servers_.emplace_back(simulator_,
@@ -58,6 +64,65 @@ Fabric::ComputeEndpoint& Fabric::ComputeFor(uint32_t client) {
   return *compute_machines_[machine];
 }
 
+void Fabric::KillClient(uint32_t client, SimTime at_time) {
+  const SimTime t = std::max(at_time, simulator_.now());
+  auto [it, inserted] = death_time_.emplace(client, t);
+  if (!inserted) it->second = std::min(it->second, t);
+}
+
+bool Fabric::CountVerbAndCheckAlive(uint32_t client) {
+  if (!ClientAlive(client)) return false;
+  const uint64_t issued = verbs_issued_[client]++;
+  auto it = crash_after_.find(client);
+  if (it != crash_after_.end() && issued >= it->second) {
+    // The crash point fires on this verb: the client dies while posting
+    // it, so the verb never leaves the local NIC.
+    KillClient(client, simulator_.now());
+    return false;
+  }
+  return true;
+}
+
+sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
+  if (!CountVerbAndCheckAlive(reader)) {
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return true;  // a dead reader learns nothing; callers re-check alive
+  }
+  constexpr uint32_t kEpochBytes = 8;
+  const uint32_t server_id = target % config_.num_memory_servers;
+  MemoryServerEndpoint& server = memory_servers_[server_id];
+
+  if (IsLocal(reader, server_id)) {
+    sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
+    const SimTime done = bus.ReserveTransfer(
+        simulator_.now() + config_.local_latency_ns, kEpochBytes);
+    co_await sim::DelayUntil(simulator_, done);
+    co_return ClientAlive(target);
+  }
+
+  ComputeEndpoint& compute = ComputeFor(reader);
+  const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+  const SimTime t_req_out = compute.tx.ReserveTransfer(t_post,
+                                                       kReadRequestBytes);
+  const SimTime t_arrive = t_req_out + WireLatency();
+  const SimTime t_effect = server.engine.ReserveOccupancy(
+      t_arrive, EngineCost(server_id, config_.onesided_engine_ns));
+  server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
+
+  server.reads++;
+  co_await sim::DelayUntil(simulator_, t_effect);
+  const bool alive = ClientAlive(target);
+
+  const SimTime t_tx = server.tx.ReserveTransfer(t_effect, kEpochBytes);
+  const SimTime first_byte_at_client =
+      t_tx - server.tx.TransferDuration(kEpochBytes) + WireLatency();
+  const SimTime done = compute.rx.ReserveArrival(first_byte_at_client,
+                                                 kEpochBytes);
+  co_await sim::DelayUntil(simulator_, done);
+  co_return alive;
+}
+
 uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
   assert(!ptr.is_null());
   MemoryServerEndpoint& ep = memory_servers_[ptr.server_id()];
@@ -69,6 +134,13 @@ uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
 
 sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
                              uint32_t len) {
+  if (!CountVerbAndCheckAlive(client)) {
+    // Dead client: the verb never leaves the NIC. Charging the post cost
+    // keeps virtual time moving for any coroutine still driving verbs.
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return;
+  }
   MemoryServerEndpoint& server = memory_servers_[src.server_id()];
   uint8_t* remote = TargetAddress(src, len);
 
@@ -77,6 +149,10 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, len);
     co_await sim::DelayUntil(simulator_, done);
+    if (!ClientAlive(client)) {
+      dropped_verbs_++;
+      co_return;
+    }
     if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
     std::memcpy(dst, remote, len);
     co_return;
@@ -94,6 +170,10 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
 
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (!ClientAlive(client)) {  // died with the verb in flight: drop it
+    dropped_verbs_++;
+    co_return;
+  }
   if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
   std::memcpy(dst, remote, len);
 
@@ -107,6 +187,12 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
 sim::Task<void> Fabric::ReadBatch(uint32_t client,
                                   std::vector<ReadRequest> requests) {
   if (requests.empty()) co_return;
+  // One doorbell, one crash-point tick for the whole chain.
+  if (!CountVerbAndCheckAlive(client)) {
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return;
+  }
 
   struct Pending {
     SimTime effect;
@@ -155,6 +241,10 @@ sim::Task<void> Fabric::ReadBatch(uint32_t client,
                    });
   for (const Pending& p : pending) {
     co_await sim::DelayUntil(simulator_, p.effect);
+    if (!ClientAlive(client)) {  // died mid-chain: remaining reads drop
+      dropped_verbs_++;
+      co_return;
+    }
     const ReadRequest& r = requests[p.index];
     if (auditor_) {
       auditor_->OnReadEffect(client, r.src, r.len, simulator_.now());
@@ -166,6 +256,11 @@ sim::Task<void> Fabric::ReadBatch(uint32_t client,
 
 sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
                               uint32_t len) {
+  if (!CountVerbAndCheckAlive(client)) {
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return;
+  }
   MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
   uint8_t* remote = TargetAddress(dst, len);
   const uint64_t audit_ticket =
@@ -177,6 +272,11 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, len);
     co_await sim::DelayUntil(simulator_, done);
+    if (!ClientAlive(client)) {
+      if (auditor_) auditor_->DropWrite(audit_ticket);
+      dropped_verbs_++;
+      co_return;
+    }
     if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
     std::memcpy(remote, src, len);
     co_return;
@@ -197,6 +297,11 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
 
   server.writes++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (!ClientAlive(client)) {  // verb-atomic drop: nothing lands
+    if (auditor_) auditor_->DropWrite(audit_ticket);
+    dropped_verbs_++;
+    co_return;
+  }
   if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
   std::memcpy(remote, src, len);
 
@@ -208,6 +313,11 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
 sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
                                            uint64_t expected,
                                            uint64_t desired) {
+  if (!CountVerbAndCheckAlive(client)) {
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return 0;  // meaningless to a dead caller; RemoteOps checks alive()
+  }
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -238,6 +348,10 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
 
   server.atomics++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (!ClientAlive(client)) {  // verb-atomic drop: no swap
+    dropped_verbs_++;
+    co_return 0;
+  }
   uint64_t current;
   std::memcpy(&current, remote, 8);
   if (current == expected) {
@@ -253,6 +367,11 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
 
 sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
                                         uint64_t add) {
+  if (!CountVerbAndCheckAlive(client)) {
+    dropped_verbs_++;
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return 0;
+  }
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -281,6 +400,10 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
 
   server.atomics++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (!ClientAlive(client)) {  // verb-atomic drop: no add
+    dropped_verbs_++;
+    co_return 0;
+  }
   uint64_t current;
   std::memcpy(&current, remote, 8);
   const uint64_t updated = current + add;
@@ -294,36 +417,77 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
 
 sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
                                     RpcRequest request) {
-  MemoryServerEndpoint& server = memory_servers_[server_id];
-  PendingCall pending(simulator_);
-  const uint32_t wire_bytes = request.WireBytes();
+  const uint32_t attempts =
+      config_.rpc_timeout_ns > 0 ? config_.rpc_max_retries + 1 : 1;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (!CountVerbAndCheckAlive(client)) {
+      dropped_verbs_++;
+      co_await sim::Delay(simulator_, config_.nic_post_ns);
+      RpcResponse dead;
+      dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+      co_return dead;
+    }
+    MemoryServerEndpoint& server = memory_servers_[server_id];
+    const uint32_t wire_bytes = request.WireBytes();
 
-  SimTime t_deliver;
-  if (IsLocal(client, server_id)) {
-    sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
-    t_deliver = bus.ReserveTransfer(
-        simulator_.now() + config_.local_latency_ns, wire_bytes);
-  } else {
-    ComputeEndpoint& compute = ComputeFor(client);
-    const SimTime t_post = simulator_.now() + config_.nic_post_ns;
-    const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
-    const SimTime t_arrive = t_out + WireLatency();
-    server.rx.ReserveArrival(t_arrive - 1, wire_bytes);
-    t_deliver = server.engine.ReserveOccupancy(
-        t_arrive, TwoSidedEngineCost(server_id, wire_bytes));
+    SimTime t_deliver;
+    if (IsLocal(client, server_id)) {
+      sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
+      t_deliver = bus.ReserveTransfer(
+          simulator_.now() + config_.local_latency_ns, wire_bytes);
+    } else {
+      ComputeEndpoint& compute = ComputeFor(client);
+      const SimTime t_post = simulator_.now() + config_.nic_post_ns;
+      const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
+      const SimTime t_arrive = t_out + WireLatency();
+      server.rx.ReserveArrival(t_arrive - 1, wire_bytes);
+      t_deliver = server.engine.ReserveOccupancy(
+          t_arrive, TwoSidedEngineCost(server_id, wire_bytes));
+    }
+
+    server.sends++;
+    co_await sim::DelayUntil(simulator_, t_deliver);
+    if (!ClientAlive(client)) {  // SEND dropped in flight
+      dropped_verbs_++;
+      RpcResponse dead;
+      dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+      co_return dead;
+    }
+
+    const uint64_t call_id = next_call_id_++;
+    PendingCall* pending =
+        pending_calls_
+            .emplace(call_id, std::make_unique<PendingCall>(simulator_))
+            .first->second.get();
+    IncomingRpc incoming;
+    incoming.client_id = client;
+    incoming.request = request;  // copied: a timeout resends it
+    incoming.call_id = call_id;
+    server.srq->Deliver(std::move(incoming));
+
+    const SimTime deadline = config_.rpc_timeout_ns > 0
+                                 ? simulator_.now() + config_.rpc_timeout_ns
+                                 : 0;
+    const bool completed = co_await pending->done.AwaitUntil(deadline);
+    if (!completed) {
+      // Abandon the call: the registry entry dies here, so a handler that
+      // responds later finds nothing (never a dangling caller frame).
+      pending_calls_.erase(call_id);
+      rpc_timeouts_++;
+      continue;
+    }
+    co_await sim::DelayUntil(simulator_, pending->deliver_at);
+    RpcResponse response = std::move(pending->response);
+    pending_calls_.erase(call_id);
+    if (!ClientAlive(client)) {
+      response = RpcResponse();
+      response.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+    }
+    co_return response;
   }
-
-  server.sends++;
-  co_await sim::DelayUntil(simulator_, t_deliver);
-  IncomingRpc incoming;
-  incoming.client_id = client;
-  incoming.request = std::move(request);
-  incoming.pending = &pending;
-  server.srq->Deliver(std::move(incoming));
-
-  co_await pending.done;
-  co_await sim::DelayUntil(simulator_, pending.deliver_at);
-  co_return std::move(pending.response);
+  RpcResponse timed_out;
+  timed_out.status = static_cast<uint16_t>(StatusCode::kTimedOut);
+  co_return timed_out;
 }
 
 void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
@@ -331,6 +495,8 @@ void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
   MemoryServerEndpoint& server = memory_servers_[server_id];
   const uint32_t wire_bytes = response.WireBytes();
 
+  // The reply SEND always pays its costs — the responding NIC cannot know
+  // the caller abandoned the call.
   SimTime done;
   if (IsLocal(incoming.client_id, server_id)) {
     sim::Link& bus = LocalBus(config_.MemoryServerMachine(server_id));
@@ -352,9 +518,15 @@ void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
     done = compute.rx.ReserveArrival(first_byte, wire_bytes);
   }
 
-  incoming.pending->response = std::move(response);
-  incoming.pending->deliver_at = done;
-  incoming.pending->done.Set();
+  auto it = pending_calls_.find(incoming.call_id);
+  if (it == pending_calls_.end()) {
+    dropped_responses_++;  // caller timed out or died; reply goes nowhere
+    return;
+  }
+  PendingCall& pending = *it->second;
+  pending.response = std::move(response);
+  pending.deliver_at = done;
+  pending.done.Set();
 }
 
 Fabric::ServerStats Fabric::server_stats(uint32_t server) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -69,6 +70,31 @@ class Fabric {
            ClientMachine(client) == config_.MemoryServerMachine(server);
   }
 
+  // ---- Crash-fault injection ---------------------------------------------
+
+  /// Kills `client` at virtual time `at_time` (0 or past = immediately).
+  /// From its death on, the client's in-flight verbs are dropped before
+  /// their memory effect and every verb it posts returns without effect;
+  /// callers observe this through `RemoteOps` as Status::Unavailable.
+  /// Deterministic alternative: FabricConfig::crash_points kills a client
+  /// after its Nth verb. Killing is idempotent; the earliest time wins.
+  void KillClient(uint32_t client, SimTime at_time = 0);
+
+  /// Client liveness at the current virtual time. This is the
+  /// fabric-maintained registry that waiters consult (via ReadClientEpoch)
+  /// before stealing an orphaned lock.
+  bool ClientAlive(uint32_t client) const {
+    auto it = death_time_.find(client);
+    return it == death_time_.end() || simulator_.now() < it->second;
+  }
+
+  /// One-sided READ of `target`'s liveness record from the registry page
+  /// hosted on memory server `target % num_memory_servers`. Charges the
+  /// full 8-byte READ cost shape (post, wire, engine, response) to
+  /// `reader` and returns the liveness snapshot taken at the verb's memory
+  /// effect. A dead reader learns nothing and gets `true`.
+  sim::Task<bool> ReadClientEpoch(uint32_t reader, uint32_t target);
+
   // ---- One-sided verbs ----------------------------------------------------
 
   /// RDMA READ: copies `len` bytes from remote memory into `dst`.
@@ -105,12 +131,17 @@ class Fabric {
   // ---- Two-sided verbs (RPC) ----------------------------------------------
 
   /// Sends `request` to `server` via SEND/RECV and suspends until the reply
-  /// SEND arrives.
+  /// SEND arrives. With FabricConfig::rpc_timeout_ns set, each attempt is
+  /// abandoned after the deadline and resent up to rpc_max_retries times;
+  /// exhaustion yields a response with status kTimedOut, and a dead caller
+  /// gets kUnavailable.
   sim::Task<RpcResponse> Call(uint32_t client, uint32_t server,
                               RpcRequest request);
 
   /// Called by a memory-server handler to reply to `incoming`. The caller
-  /// keeps running; the response is delivered in the background.
+  /// keeps running; the response is delivered in the background. A response
+  /// whose caller has abandoned the call (timeout / death) still pays the
+  /// send costs but is dropped.
   void Respond(uint32_t server, const IncomingRpc& incoming,
                RpcResponse response);
 
@@ -145,6 +176,18 @@ class Fabric {
 
   /// Sum of tx+rx bytes over all memory servers since the last reset.
   uint64_t TotalMemoryServerBytes() const;
+
+  /// Verbs issued by `client` so far (crash points key off this count).
+  uint64_t client_verbs(uint32_t client) const {
+    auto it = verbs_issued_.find(client);
+    return it == verbs_issued_.end() ? 0 : it->second;
+  }
+  /// Verbs dropped because their client was dead at post or effect time.
+  uint64_t dropped_verbs() const { return dropped_verbs_; }
+  /// RPC responses dropped because the caller had abandoned the call.
+  uint64_t dropped_responses() const { return dropped_responses_; }
+  /// RPC attempts abandoned at the deadline.
+  uint64_t rpc_timeouts() const { return rpc_timeouts_; }
 
   /// Per-RPC service-time surcharge from connection bookkeeping
   /// (`per_client_poll_ns` x connected clients).
@@ -217,6 +260,11 @@ class Fabric {
   /// Validates that [ptr, ptr+len) lies inside the registered region.
   uint8_t* TargetAddress(RemotePtr ptr, uint32_t len);
 
+  /// Counts one verb against `client` and evaluates its crash point.
+  /// Returns false when the client is (or just became) dead — the caller
+  /// must drop the verb without a memory effect.
+  bool CountVerbAndCheckAlive(uint32_t client);
+
   sim::Simulator& simulator_;
   FabricConfig config_;
   std::vector<MemoryServerEndpoint> memory_servers_;
@@ -225,6 +273,18 @@ class Fabric {
   uint32_t num_clients_ = 0;
   Rng jitter_rng_{0x9E3779B9};
   std::unique_ptr<VerbAuditor> auditor_;
+  // Crash-fault state: death times, per-client crash points (earliest
+  // after_verbs wins), verb counters, and the fabric-owned registry of
+  // in-flight RPCs (callers that time out abandon their entry; a late
+  // Respond then finds nothing instead of a dangling pointer).
+  std::unordered_map<uint32_t, SimTime> death_time_;
+  std::unordered_map<uint32_t, uint64_t> crash_after_;
+  std::unordered_map<uint32_t, uint64_t> verbs_issued_;
+  std::unordered_map<uint64_t, std::unique_ptr<PendingCall>> pending_calls_;
+  uint64_t next_call_id_ = 1;
+  uint64_t dropped_verbs_ = 0;
+  uint64_t dropped_responses_ = 0;
+  uint64_t rpc_timeouts_ = 0;
 };
 
 }  // namespace namtree::rdma

@@ -98,9 +98,40 @@ struct FabricConfig {
   /// handler CPU (straggler injection); empty = no slowdown.
   std::vector<double> server_slowdown;
 
+  /// Deterministic crash-point: kill `client` once it has issued
+  /// `after_verbs` verbs — the next verb (and everything after it) is
+  /// dropped in flight and returns without a memory effect, exactly as if
+  /// the compute process died between two verb postings. The verb counter
+  /// includes one-sided verbs, RPC send attempts, and liveness-registry
+  /// reads; a ReadBatch counts as one verb (one doorbell).
+  struct CrashPoint {
+    uint32_t client = 0;
+    uint64_t after_verbs = 0;
+  };
+  /// Crash schedule evaluated by the fabric (empty = no crash injection).
+  /// Multiple entries for one client take the earliest point.
+  std::vector<CrashPoint> crash_points;
+
   // ---- Client-side protocol knobs ----------------------------------------
-  /// Backoff before re-polling a locked remote node (remote spinlock).
+  /// Initial backoff before re-polling a locked remote node (remote
+  /// spinlock). Consecutive re-polls back off exponentially (with jitter)
+  /// up to `lock_backoff_max_ns`.
   SimTime lock_retry_ns = 1000;
+  /// Cap of the exponential lock backoff.
+  SimTime lock_backoff_max_ns = 8000;
+  /// Lock lease: once a waiter has watched the *same* locked word for this
+  /// long, it reads the holder's liveness from the fabric registry and, if
+  /// the holder is dead, CAS-steals the lock (docs/fault_model.md). 0
+  /// disables leases entirely — waiters then spin forever on an orphaned
+  /// lock, which preserves the exact pre-crash-layer behavior for healthy
+  /// runs. Crash-fault runs should set a lease.
+  SimTime lock_lease_ns = 0;
+  /// RPC deadline for Fabric::Call. 0 = wait forever (legacy behavior);
+  /// > 0 = each attempt is abandoned after this long, resent up to
+  /// `rpc_max_retries` times, and finally surfaced as kTimedOut.
+  SimTime rpc_timeout_ns = 0;
+  /// Resend attempts after the first RPC timeout (only with a timeout set).
+  uint32_t rpc_max_retries = 2;
 
   // Derived helpers.
   uint32_t NumMemoryMachines() const {

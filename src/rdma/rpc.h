@@ -43,23 +43,27 @@ struct RpcResponse {
   }
 };
 
-/// Client-side bookkeeping for an in-flight RPC; lives in the caller's
-/// coroutine frame. The fabric fulfils it when the handler responds: `done`
-/// fires immediately and `deliver_at` is the virtual time the reply SEND
-/// lands at the caller's NIC (the caller delays itself until then, which
-/// avoids detaching a helper coroutine per RPC just to set an event later).
+/// Client-side bookkeeping for an in-flight RPC, owned by the *fabric* (a
+/// call-id registry) rather than the caller's frame: a caller that times
+/// out abandons the call, and a handler that responds later must find
+/// either the registered entry or nothing — never a dangling pointer. The
+/// fabric fulfils it when the handler responds: `done` fires immediately
+/// and `deliver_at` is the virtual time the reply SEND lands at the
+/// caller's NIC (the caller delays itself until then).
 struct PendingCall {
   explicit PendingCall(sim::Simulator& simulator) : done(simulator) {}
   RpcResponse response;
   SimTime deliver_at = 0;
-  sim::SimEvent done;
+  sim::DeadlineEvent done;
 };
 
-/// An RPC delivered to a memory server's receive queue.
+/// An RPC delivered to a memory server's receive queue. `call_id` keys the
+/// fabric's pending-call registry; a response for an id no longer
+/// registered (the caller timed out) is charged and dropped.
 struct IncomingRpc {
   uint32_t client_id = 0;
   RpcRequest request;
-  PendingCall* pending = nullptr;  // in-process completion shortcut
+  uint64_t call_id = 0;
 };
 
 /// Shared receive queue (SRQ): the single request queue all clients of a

@@ -8,10 +8,22 @@ void Simulator::ScheduleAt(SimTime t, std::coroutine_handle<> h) {
   queue_.push(Event{std::max(t, now_), next_seq_++, h});
 }
 
+Simulator::CancelToken Simulator::ScheduleCancellableAt(
+    SimTime t, std::coroutine_handle<> h) {
+  CancelToken token = next_seq_;
+  queue_.push(Event{std::max(t, now_), next_seq_++, h});
+  return token;
+}
+
+void Simulator::Cancel(CancelToken token) { cancelled_.insert(token); }
+
 SimTime Simulator::Run() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    // A cancelled event is discarded without touching the clock: a disarmed
+    // far-future timer must not stretch the run's final virtual time.
+    if (cancelled_.erase(ev.seq) != 0) continue;
     now_ = ev.time;
     events_processed_++;
     ev.handle.resume();
@@ -23,6 +35,7 @@ bool Simulator::RunUntil(SimTime deadline) {
   while (!queue_.empty() && queue_.top().time <= deadline) {
     Event ev = queue_.top();
     queue_.pop();
+    if (cancelled_.erase(ev.seq) != 0) continue;
     now_ = ev.time;
     events_processed_++;
     ev.handle.resume();

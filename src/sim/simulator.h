@@ -4,6 +4,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
@@ -36,6 +37,19 @@ class Simulator {
     ScheduleAt(now_ + delta, h);
   }
 
+  /// Token identifying a cancellable scheduled resumption.
+  using CancelToken = uint64_t;
+
+  /// Like ScheduleAt, but returns a token that `Cancel` accepts. Used for
+  /// timers that may be disarmed before they fire (RPC deadlines).
+  CancelToken ScheduleCancellableAt(SimTime t, std::coroutine_handle<> h);
+
+  /// Disarms a pending cancellable resumption. The queued event is skipped
+  /// at pop time without advancing the clock or resuming the handle. Must
+  /// not be called for an event that has already fired (the token would
+  /// linger in the cancelled set forever).
+  void Cancel(CancelToken token);
+
   /// Runs until the event queue is empty. Returns the final virtual time.
   SimTime Run();
 
@@ -62,6 +76,7 @@ class Simulator {
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_set<uint64_t> cancelled_;  // seq numbers of disarmed events
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;

@@ -211,6 +211,70 @@ class SimEvent {
   std::vector<std::coroutine_handle<>> waiters_;
 };
 
+/// One-shot completion event with an optional deadline, for a single
+/// waiter. `AwaitUntil(deadline)` suspends until either `Set()` fires
+/// (resumes with true) or the absolute virtual deadline passes (resumes
+/// with false); a deadline of 0 waits forever. The timed-out waiter's
+/// frame may then be destroyed safely: a later `Set()` finds no waiter and
+/// only records the flag. Backs the RPC-timeout path (rdma::PendingCall).
+class DeadlineEvent {
+ public:
+  explicit DeadlineEvent(Simulator& simulator) : simulator_(simulator) {}
+
+  DeadlineEvent(const DeadlineEvent&) = delete;
+  DeadlineEvent& operator=(const DeadlineEvent&) = delete;
+
+  bool is_set() const { return set_; }
+
+  void Set() {
+    if (set_) return;
+    set_ = true;
+    if (waiter_) {
+      // The waiter is parked on its deadline timer; disarm it and resume
+      // the waiter now instead. Cancelling here (not in await_resume) keeps
+      // every armed timer matched by exactly one Cancel or one firing.
+      if (timer_armed_) {
+        simulator_.Cancel(timer_token_);
+        timer_armed_ = false;
+      }
+      simulator_.ScheduleAt(simulator_.now(), std::exchange(waiter_, {}));
+    }
+  }
+
+  /// Awaitable: true = Set() fired, false = deadline expired first.
+  auto AwaitUntil(SimTime deadline) {
+    struct Awaiter {
+      DeadlineEvent& ev;
+      SimTime deadline;
+
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!ev.waiter_ && "DeadlineEvent supports a single waiter");
+        ev.waiter_ = h;
+        if (deadline > 0) {
+          ev.timer_token_ = ev.simulator_.ScheduleCancellableAt(deadline, h);
+          ev.timer_armed_ = true;
+        }
+      }
+      bool await_resume() const noexcept {
+        // Reached via Set() (timer already disarmed there) or via the
+        // timer firing (the event was consumed by the pop — no Cancel).
+        ev.waiter_ = {};
+        ev.timer_armed_ = false;
+        return ev.set_;
+      }
+    };
+    return Awaiter{*this, deadline};
+  }
+
+ private:
+  Simulator& simulator_;
+  bool set_ = false;
+  bool timer_armed_ = false;
+  Simulator::CancelToken timer_token_ = 0;
+  std::coroutine_handle<> waiter_;
+};
+
 }  // namespace namtree::sim
 
 #endif  // NAMTREE_SIM_TASK_H_

@@ -23,12 +23,21 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
                        SharedState& state) {
   sim::Simulator& simulator = cluster.simulator();
   while (simulator.now() < state.deadline) {
+    // A crash-injected client issues no further operations; its in-flight
+    // verbs were dropped by the fabric.
+    if (!cluster.fabric().ClientAlive(ctx.client_id())) {
+      state.result.dead_clients++;
+      break;
+    }
     const Operation op = gen.Next(ctx.rng());
     const SimTime start = simulator.now();
-    bool ok = true;
+    OpResult op_result;
+    op_result.type = op.type;
     switch (op.type) {
       case OpType::kPoint: {
-        (void)co_await index.Lookup(ctx, op.key);
+        // A clean miss carries an OK status; only degraded-mode failures
+        // (kUnavailable/kTimedOut) count as failed operations.
+        op_result.status = (co_await index.Lookup(ctx, op.key)).status;
         break;
       }
       case OpType::kRange: {
@@ -36,26 +45,30 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
         break;
       }
       case OpType::kInsert: {
-        ok = (co_await index.Insert(ctx, op.key, op.value)).ok();
+        op_result.status = co_await index.Insert(ctx, op.key, op.value);
         break;
       }
       case OpType::kUpdate: {
-        ok = (co_await index.Update(ctx, op.key, op.value)).ok();
+        op_result.status = co_await index.Update(ctx, op.key, op.value);
         break;
       }
       case OpType::kDelete: {
-        ok = (co_await index.Delete(ctx, op.key)).ok();
+        op_result.status = co_await index.Delete(ctx, op.key);
         break;
       }
     }
     const SimTime end = simulator.now();
+    op_result.latency = end - start;
     if (start >= state.warmup_end && end <= state.deadline) {
       state.result.ops++;
-      state.result.latency.Add(static_cast<uint64_t>(end - start));
+      state.result.latency.Add(static_cast<uint64_t>(op_result.latency));
       auto& per_type = state.result.per_type[static_cast<int>(op.type)];
       per_type.count++;
-      per_type.latency.Add(static_cast<uint64_t>(end - start));
-      if (!ok) state.result.failed_ops++;
+      per_type.latency.Add(static_cast<uint64_t>(op_result.latency));
+      if (!op_result.status.ok()) {
+        state.result.failed_ops++;
+        state.result.failures.Count(op_result.status.code());
+      }
     }
   }
 }
@@ -129,6 +142,8 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
     result.round_trips += ctx->round_trips;
     result.restarts += ctx->restarts;
     result.lock_waits += ctx->lock_waits;
+    result.backoff_rounds += ctx->backoff_rounds;
+    result.lock_steals += ctx->lock_steals;
   }
   return result;
 }

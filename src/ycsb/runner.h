@@ -5,12 +5,20 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "index/index.h"
 #include "nam/cluster.h"
 #include "ycsb/workload.h"
 
 namespace namtree::ycsb {
+
+/// Outcome of one client operation as observed by the runner's closed loop.
+struct OpResult {
+  OpType type = OpType::kPoint;
+  Status status;
+  SimTime latency = 0;
+};
 
 /// Configuration of one closed-loop benchmark run (paper §6.1: every client
 /// waits for its operation to finish before issuing the next one).
@@ -42,6 +50,35 @@ struct RunResult {
   uint64_t round_trips = 0;
   uint64_t restarts = 0;
   uint64_t lock_waits = 0;
+  uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
+  uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
+  uint64_t dead_clients = 0;    ///< clients crash-injected away during the run
+
+  /// Failed operations bucketed by status class; `failed_ops == total()`.
+  struct FailureBreakdown {
+    uint64_t not_found = 0;
+    uint64_t unavailable = 0;
+    uint64_t timed_out = 0;
+    uint64_t out_of_memory = 0;
+    uint64_t aborted = 0;
+    uint64_t other = 0;
+
+    void Count(StatusCode code) {
+      switch (code) {
+        case StatusCode::kNotFound: not_found++; break;
+        case StatusCode::kUnavailable: unavailable++; break;
+        case StatusCode::kTimedOut: timed_out++; break;
+        case StatusCode::kOutOfMemory: out_of_memory++; break;
+        case StatusCode::kAborted: aborted++; break;
+        default: other++; break;
+      }
+    }
+    uint64_t total() const {
+      return not_found + unavailable + timed_out + out_of_memory + aborted +
+             other;
+    }
+  };
+  FailureBreakdown failures;
 
   /// Per-operation-type breakdown (indexed by OpType).
   struct PerType {

@@ -1,7 +1,12 @@
 // Fault-injection tests: the protocols must stay correct (differential
 // checks + structural invariants) under pathological timing — heavy wire
 // jitter and straggler memory servers — and the UD transport option must
-// preserve RPC semantics while changing only costs.
+// preserve RPC semantics while changing only costs. The second half
+// injects crash faults (FabricConfig::crash_points / Fabric::KillClient):
+// survivors must keep making progress, orphaned locks must be reclaimed
+// through the lease/steal protocol (docs/fault_model.md), RPCs must
+// respect their deadline, and the structure must inspect sound after a
+// recovery sweep.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +14,9 @@
 #include <vector>
 
 #include "index/inspector.h"
+#include "index/remote_ops.h"
 #include "nam/cluster.h"
+#include "rdma/audit.h"
 #include "ycsb/runner.h"
 #include "ycsb/workload.h"
 
@@ -249,6 +256,439 @@ TEST(ResourceExhaustionTest, FineGrainedInsertsFailCleanlyWhenRegionsFill) {
   };
   sim::Spawn(cluster.simulator(), Verify::Go(index, ctx, 2500 + ok_count));
   cluster.simulator().Run();
+}
+
+}  // namespace
+}  // namespace namtree::index
+
+// ---------------------------------------------------------------------------
+// Crash faults: clients are killed mid-protocol and the survivors must keep
+// going, reclaim the victims' orphaned locks, and leave a sound structure.
+// ---------------------------------------------------------------------------
+
+namespace namtree::index {
+namespace {
+
+using btree::KV;
+using nam::Cluster;
+
+struct CrashOutcome {
+  uint64_t ops = 0;
+  uint64_t dead_clients = 0;
+  uint64_t lock_steals = 0;  ///< across the run and the recovery sweep
+  bool sound = false;
+  std::string report;
+};
+
+// Mixed read/write stress with a crash schedule, followed by a recovery
+// sweep from a *surviving* client: full-keyspace lookups cross every
+// descent path (lease-stealing inner-node orphans on the way) and a scan +
+// GC pass walks the whole leaf chain (stealing leaf orphans). Only then do
+// we assert quiescent invariants — an orphaned lock bit is a soundness
+// violation the inspector reports.
+template <typename Index>
+CrashOutcome RunCrashStress(rdma::FabricConfig fc, uint64_t seed) {
+  fc.lock_lease_ns = 100 * kMicrosecond;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig config;
+  config.page_size = 256;
+  config.head_node_interval = 4;
+  Index index(cluster, config);
+  const uint64_t keys = 4000;
+  EXPECT_TRUE(index.BulkLoad(MakeData(keys)).ok());
+
+  ycsb::RunConfig run;
+  run.num_clients = 16;
+  run.warmup = 0;
+  run.duration = 25 * kMillisecond;
+  run.seed = seed;
+  run.gc_interval = 6 * kMillisecond;
+  run.mix = StressMix();
+  const auto result = ycsb::RunWorkload(cluster, index, keys, run);
+
+  nam::ClientContext rec(15, cluster.fabric(), config.page_size,
+                         seed ^ 0x5ECULL);
+  EXPECT_TRUE(cluster.fabric().ClientAlive(rec.client_id()))
+      << "the recovery client must not be on the crash schedule";
+  struct Recover {
+    static sim::Task<> Go(Index& index, nam::ClientContext& ctx,
+                          uint64_t max_key) {
+      for (uint64_t k = 0; k <= max_key; k += 2) {
+        (void)co_await index.Lookup(ctx, k);
+      }
+      (void)co_await index.Scan(ctx, 0, btree::kInfinityKey, nullptr);
+      (void)co_await index.GarbageCollect(ctx);
+    }
+  };
+  sim::Spawn(cluster.simulator(), Recover::Go(index, rec, 2 * keys));
+  cluster.simulator().Run();
+
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+  if (const auto* auditor = cluster.fabric().auditor()) {
+    EXPECT_TRUE(auditor->LockedWords().empty())
+        << "orphaned locks survived the recovery sweep";
+  }
+
+  const auto report = IndexInspector::Inspect(cluster.fabric(), index);
+  CrashOutcome outcome;
+  outcome.ops = result.ops;
+  outcome.dead_clients = result.dead_clients;
+  outcome.lock_steals = result.lock_steals + rec.lock_steals;
+  outcome.sound = report.ok();
+  outcome.report = report.ToString();
+  return outcome;
+}
+
+std::vector<rdma::FabricConfig::CrashPoint> CrashSchedule() {
+  // Kill three of the sixteen clients at very different protocol depths:
+  // mid-descent early on, mid-run, and deep into the run.
+  return {{1, 50}, {5, 500}, {9, 2000}};
+}
+
+TEST(CrashSweepTest, FineGrainedSurvivesClientCrashes) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  const auto healthy = RunCrashStress<FineGrainedIndex>(fc, 41);
+  EXPECT_EQ(healthy.dead_clients, 0u);
+  // A live holder is never robbed: leases only arm the steal path.
+  EXPECT_EQ(healthy.lock_steals, 0u);
+  EXPECT_TRUE(healthy.sound) << healthy.report;
+
+  fc.crash_points = CrashSchedule();
+  const auto crashed = RunCrashStress<FineGrainedIndex>(fc, 41);
+  EXPECT_EQ(crashed.dead_clients, 3u);
+  EXPECT_TRUE(crashed.sound) << crashed.report;
+  // Thirteen survivors keep the closed loop going; losing 3/16 clients
+  // (plus lease waits on their orphans) must not collapse throughput.
+  EXPECT_GE(crashed.ops, healthy.ops / 2);
+}
+
+TEST(CrashSweepTest, HybridSurvivesClientCrashes) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.rpc_timeout_ns = 200 * kMicrosecond;  // exercise the deadline registry
+  const auto healthy = RunCrashStress<HybridIndex>(fc, 42);
+  EXPECT_EQ(healthy.dead_clients, 0u);
+  EXPECT_EQ(healthy.lock_steals, 0u);
+  EXPECT_TRUE(healthy.sound) << healthy.report;
+
+  fc.crash_points = CrashSchedule();
+  const auto crashed = RunCrashStress<HybridIndex>(fc, 42);
+  EXPECT_EQ(crashed.dead_clients, 3u);
+  EXPECT_TRUE(crashed.sound) << crashed.report;
+  EXPECT_GE(crashed.ops, healthy.ops / 2);
+}
+
+// The targeted version of the sweep: a client dies while *holding* a leaf
+// lock and a waiter must lease-steal it, discard nothing (the holder's
+// unlock write was dropped in flight), and proceed.
+TEST(OrphanedLockTest, WaiterStealsLockFromDeadHolderAfterLease) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.lock_lease_ns = 20 * kMicrosecond;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(2);
+  constexpr uint32_t kPage = 256;
+  const rdma::RemotePtr ptr =
+      cluster.memory_server(0).region().AllocateLocal(kPage);
+  btree::PageView(cluster.memory_server(0).region().at(ptr.offset()), kPage)
+      .InitLeaf(btree::kInfinityKey, 0);
+  nam::ClientContext holder(0, cluster.fabric(), kPage, 1);
+  nam::ClientContext stealer(1, cluster.fabric(), kPage, 2);
+
+  struct Holder {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr,
+                          Status* unlock_status) {
+      uint8_t* buf = ops.ctx().page_a();
+      EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
+      // The compute process dies between acquiring the lock and writing
+      // back: the unlock WRITE + FAA are dropped in flight.
+      ops.fabric().KillClient(ops.ctx().client_id());
+      *unlock_status = co_await ops.WriteUnlockPage(ptr, buf);
+    }
+  };
+  struct Stealer {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr,
+                          Status* lock_status) {
+      // Let the holder win the lock first.
+      co_await sim::Delay(ops.fabric().simulator(), 5 * kMicrosecond);
+      uint8_t* buf = ops.ctx().page_a();
+      const PageReadResult lock = co_await ops.LockPage(ptr, buf);
+      *lock_status = lock.status;
+      if (lock.ok()) {
+        btree::PageView view(buf, kPage);
+        EXPECT_TRUE(view.LeafInsert(7, 7));
+        EXPECT_TRUE((co_await ops.WriteUnlockPage(ptr, buf)).ok());
+      }
+    }
+  };
+  Status unlock_status;
+  Status lock_status;
+  sim::Spawn(cluster.simulator(),
+             Holder::Go(RemoteOps(holder), ptr, &unlock_status));
+  sim::Spawn(cluster.simulator(),
+             Stealer::Go(RemoteOps(stealer), ptr, &lock_status));
+  cluster.simulator().Run();
+
+  EXPECT_TRUE(unlock_status.IsUnavailable()) << unlock_status.ToString();
+  EXPECT_TRUE(lock_status.ok()) << lock_status.ToString();
+  EXPECT_EQ(stealer.lock_steals, 1u);
+
+  // The page ends up unlocked with the stealer's insert applied.
+  btree::PageView view(
+      cluster.memory_server(0).region().at(ptr.offset()), kPage);
+  EXPECT_FALSE(btree::IsLocked(view.version_word()));
+  EXPECT_GE(view.LeafFindLive(7), 0);
+
+  // The steal is a *sanctioned* transition: the auditor saw the liveness
+  // probe and must not report a protocol violation.
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+  if (const auto* auditor = cluster.fabric().auditor()) {
+    EXPECT_EQ(auditor->lock_steals(), 1u);
+    EXPECT_TRUE(auditor->LockedWords().empty());
+  }
+}
+
+// Capped exponential backoff: a waiter spinning on a held lock re-polls a
+// bounded number of times instead of hammering the word at a fixed rate.
+TEST(BackoffTest, ExponentialBackoffBoundsSpinPolls) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.lock_retry_ns = 1000;
+  fc.lock_backoff_max_ns = 8000;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(2);
+  constexpr uint32_t kPage = 256;
+  const rdma::RemotePtr ptr =
+      cluster.memory_server(0).region().AllocateLocal(kPage);
+  btree::PageView(cluster.memory_server(0).region().at(ptr.offset()), kPage)
+      .InitLeaf(btree::kInfinityKey, 0);
+  nam::ClientContext holder(0, cluster.fabric(), kPage, 1);
+  nam::ClientContext reader(1, cluster.fabric(), kPage, 2);
+
+  struct Hold {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr, SimTime hold) {
+      uint8_t* buf = ops.ctx().page_a();
+      EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
+      co_await sim::Delay(ops.fabric().simulator(), hold);
+      EXPECT_TRUE((co_await ops.WriteUnlockPage(ptr, buf)).ok());
+    }
+  };
+  struct Observe {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr) {
+      co_await sim::Delay(ops.fabric().simulator(), 10 * kMicrosecond);
+      uint8_t* buf = ops.ctx().page_a();
+      EXPECT_TRUE((co_await ops.ReadPageUnlocked(ptr, buf)).ok());
+    }
+  };
+  sim::Spawn(cluster.simulator(),
+             Hold::Go(RemoteOps(holder), ptr, 100 * kMicrosecond));
+  sim::Spawn(cluster.simulator(), Observe::Go(RemoteOps(reader), ptr));
+  cluster.simulator().Run();
+
+  // ~90us of spinning at a capped [4us, 8us) cadence: far fewer re-polls
+  // than the ~90 a fixed 1us retry would issue, but more than a handful.
+  EXPECT_GT(reader.backoff_rounds, 3u);
+  EXPECT_GT(reader.lock_waits, 3u);
+  EXPECT_LT(reader.lock_waits, 60u);
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+}
+
+// Kill the writer after its k-th verb while it drives leaf splits: every
+// insert must end OK or Unavailable (never a torn state), and after a
+// recovery sweep the tree must inspect sound with all acknowledged
+// inserts still readable.
+class SplitCrashTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(VerbPoints, SplitCrashTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           12, 14, 17, 21, 26, 33, 50, 80));
+
+TEST_P(SplitCrashTest, FineGrainedInsertCrashLeavesRecoverableTree) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.lock_lease_ns = 30 * kMicrosecond;
+  fc.crash_points = {{0, GetParam()}};
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(2);
+  IndexConfig config;
+  config.page_size = 256;
+  config.head_node_interval = 0;
+  FineGrainedIndex index(cluster, config);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 20; ++i) data.push_back({i * 10, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  nam::ClientContext writer(0, cluster.fabric(), config.page_size, 1);
+  nam::ClientContext rec(1, cluster.fabric(), config.page_size, 2);
+
+  struct Writer {
+    static sim::Task<> Go(FineGrainedIndex& index, nam::ClientContext& ctx,
+                          uint64_t* acked) {
+      // Sequential keys past the bulk range force repeated splits of the
+      // rightmost leaf; the crash point lands in a different split phase
+      // for every parameter value.
+      for (uint64_t k = 0; k < 150; ++k) {
+        const Status s = co_await index.Insert(ctx, 1000 + k, k);
+        if (s.ok()) {
+          (*acked)++;
+        } else {
+          EXPECT_TRUE(s.IsUnavailable())
+              << "crash mid-insert must surface cleanly, got "
+              << s.ToString();
+        }
+      }
+    }
+  };
+  uint64_t acked = 0;
+  sim::Spawn(cluster.simulator(), Writer::Go(index, writer, &acked));
+  cluster.simulator().Run();
+  EXPECT_FALSE(cluster.fabric().ClientAlive(0));
+
+  struct Recover {
+    static sim::Task<> Go(FineGrainedIndex& index, nam::ClientContext& ctx,
+                          uint64_t min_live) {
+      // Lookups across both key ranges cross every descent path and
+      // lease-steal any orphaned inner or leaf lock the victim left.
+      for (uint64_t k = 0; k < 200; k += 5) {
+        (void)co_await index.Lookup(ctx, k);
+      }
+      for (uint64_t k = 1000; k < 1150; ++k) {
+        (void)co_await index.Lookup(ctx, k);
+      }
+      const uint64_t live =
+          co_await index.Scan(ctx, 0, btree::kInfinityKey, nullptr);
+      // Every acknowledged insert survives the crash (an unacknowledged
+      // one may too if it died after the entry write landed).
+      EXPECT_GE(live, min_live);
+      (void)co_await index.GarbageCollect(ctx);
+    }
+  };
+  sim::Spawn(cluster.simulator(), Recover::Go(index, rec, 20 + acked));
+  cluster.simulator().Run();
+
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+  if (const auto* auditor = cluster.fabric().auditor()) {
+    EXPECT_TRUE(auditor->LockedWords().empty())
+        << "orphaned locks survived the recovery sweep";
+  }
+  const auto report = IndexInspector::Inspect(cluster.fabric(), index);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+}  // namespace
+}  // namespace namtree::index
+
+// ---------------------------------------------------------------------------
+// RPC deadlines: Fabric::Call must abandon an attempt at the timeout,
+// resend up to rpc_max_retries times, and surface kTimedOut/kUnavailable.
+// ---------------------------------------------------------------------------
+
+namespace namtree::index {
+namespace {
+
+using nam::Cluster;
+
+struct DelayedEcho {
+  static sim::Task<> Handle(nam::MemoryServer& server, rdma::IncomingRpc rpc,
+                            SimTime delay) {
+    co_await sim::Delay(server.fabric().simulator(),
+                        server.RequestOverhead() + delay);
+    rdma::RpcResponse resp;
+    resp.status = static_cast<uint16_t>(StatusCode::kOk);
+    resp.arg0 = rpc.request.arg0 + 1;
+    server.fabric().Respond(server.server_id(), rpc, std::move(resp));
+  }
+};
+
+struct Caller {
+  static sim::Task<> Go(rdma::Fabric& fabric, uint16_t service,
+                        rdma::RpcResponse* out) {
+    rdma::RpcRequest req;
+    req.service = service;
+    req.arg0 = 41;
+    *out = co_await fabric.Call(0, 0, std::move(req));
+  }
+};
+
+TEST(RpcTimeoutTest, SlowFirstAttemptIsRetriedAndLateReplyDropped) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 1;
+  fc.rpc_timeout_ns = 50 * kMicrosecond;
+  fc.rpc_max_retries = 2;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(1);
+  const uint16_t service = cluster.AllocateRpcService();
+  uint64_t calls = 0;
+  cluster.memory_server(0).RegisterHandler(
+      service, [&calls](nam::MemoryServer& server, rdma::IncomingRpc rpc) {
+        // First attempt stalls past the deadline; the resend is served
+        // promptly. The stalled handler still responds eventually — into
+        // an abandoned call registration.
+        const SimTime delay =
+            calls++ == 0 ? 400 * kMicrosecond : kMicrosecond;
+        return DelayedEcho::Handle(server, std::move(rpc), delay);
+      });
+
+  rdma::RpcResponse out;
+  sim::Spawn(cluster.simulator(), Caller::Go(cluster.fabric(), service, &out));
+  cluster.simulator().Run();
+
+  EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kOk));
+  EXPECT_EQ(out.arg0, 42u);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 1u);
+  EXPECT_EQ(cluster.fabric().dropped_responses(), 1u)
+      << "the abandoned attempt's late reply must be charged and dropped";
+}
+
+TEST(RpcTimeoutTest, PersistentlySlowServiceSurfacesTimedOut) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 1;
+  fc.rpc_timeout_ns = 20 * kMicrosecond;
+  fc.rpc_max_retries = 2;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(1);
+  const uint16_t service = cluster.AllocateRpcService();
+  cluster.memory_server(0).RegisterHandler(
+      service, [](nam::MemoryServer& server, rdma::IncomingRpc rpc) {
+        return DelayedEcho::Handle(server, std::move(rpc),
+                                   300 * kMicrosecond);
+      });
+
+  rdma::RpcResponse out;
+  sim::Spawn(cluster.simulator(), Caller::Go(cluster.fabric(), service, &out));
+  cluster.simulator().Run();
+
+  EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kTimedOut));
+  // Initial attempt + rpc_max_retries resends, each abandoned.
+  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 3u);
+  EXPECT_EQ(cluster.fabric().dropped_responses(), 3u);
+}
+
+TEST(RpcTimeoutTest, DeadCallerGetsUnavailableWithoutRetrying) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 1;
+  fc.rpc_timeout_ns = 50 * kMicrosecond;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(1);
+  const uint16_t service = cluster.AllocateRpcService();
+  cluster.memory_server(0).RegisterHandler(
+      service, [](nam::MemoryServer& server, rdma::IncomingRpc rpc) {
+        return DelayedEcho::Handle(server, std::move(rpc), kMicrosecond);
+      });
+  cluster.fabric().KillClient(0);
+
+  rdma::RpcResponse out;
+  sim::Spawn(cluster.simulator(), Caller::Go(cluster.fabric(), service, &out));
+  cluster.simulator().Run();
+
+  EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kUnavailable));
+  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 0u);
 }
 
 }  // namespace

@@ -53,10 +53,10 @@ struct Rig {
 Task<> LockModifyUnlock(RemoteOps ops, rdma::RemotePtr ptr,
                         btree::Key key) {
   uint8_t* buf = ops.ctx().page_a();
-  (void)co_await ops.LockPage(ptr, buf);
+  EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
   PageView view(buf, Rig::kPage);
   EXPECT_TRUE(view.LeafInsert(key, key));
-  co_await ops.WriteUnlockPage(ptr, buf);
+  EXPECT_TRUE((co_await ops.WriteUnlockPage(ptr, buf)).ok());
 }
 
 TEST(RemoteOpsTest, ContendedLockSerializesWriters) {
@@ -87,14 +87,16 @@ Task<> ObserveSpin(RemoteOps ops, rdma::RemotePtr ptr, uint64_t* version) {
   // Let the holder's CAS land first so the read observes the locked word.
   co_await sim::Delay(ops.fabric().simulator(), 20 * kMicrosecond);
   uint8_t* buf = ops.ctx().page_a();
-  *version = co_await ops.ReadPageUnlocked(ptr, buf);
+  const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+  EXPECT_TRUE(read.ok());
+  *version = read.version;
 }
 
 Task<> HoldLock(RemoteOps ops, rdma::RemotePtr ptr, SimTime hold) {
   uint8_t* buf = ops.ctx().page_a();
-  (void)co_await ops.LockPage(ptr, buf);
+  EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
   co_await sim::Delay(ops.fabric().simulator(), hold);
-  co_await ops.WriteUnlockPage(ptr, buf);
+  EXPECT_TRUE((co_await ops.WriteUnlockPage(ptr, buf)).ok());
 }
 
 TEST(RemoteOpsTest, ReadersSpinWhileLocked) {
@@ -116,7 +118,7 @@ TEST(RemoteOpsTest, ReadersSpinWhileLocked) {
 
 Task<> TryLockOnce(RemoteOps ops, rdma::RemotePtr ptr, uint64_t version,
                    bool* won) {
-  *won = co_await ops.TryLockPage(ptr, version);
+  *won = (co_await ops.TryLockPage(ptr, version)).ok();
 }
 
 TEST(RemoteOpsTest, StaleVersionCasFails) {
