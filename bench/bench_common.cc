@@ -60,6 +60,7 @@ Experiment MakeExperiment(const ExperimentConfig& config) {
   if (config.workers_per_server > 0) {
     fabric_config.workers_per_server = config.workers_per_server;
   }
+  fabric_config.verb_chaining = config.verb_chaining;
 
   uint64_t region_bytes = config.region_bytes;
   if (region_bytes == 0) {
@@ -78,6 +79,8 @@ Experiment MakeExperiment(const ExperimentConfig& config) {
   index_config.page_size = config.page_size;
   index_config.head_node_interval = config.head_node_interval;
   index_config.partition = config.partition;
+  index_config.client_cache_pages = config.client_cache_pages;
+  index_config.client_cache_ttl = config.client_cache_ttl;
   if (config.skewed_data) {
     index_config.partition_weights = SkewWeights(config.num_memory_servers);
   }
@@ -234,6 +237,101 @@ std::string Num(double v) {
     std::snprintf(buf, sizeof(buf), "%.4g", v);
   }
   return buf;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Serialises `entries` (dotted key paths → literals) as one object,
+/// nesting on the first path segment and preserving first-seen order.
+std::string SerializeObject(
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    int indent) {
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, std::string>>>>
+      groups;
+  for (const auto& [key, literal] : entries) {
+    const size_t dot = key.find('.');
+    const std::string head = key.substr(0, dot);
+    const std::string rest =
+        dot == std::string::npos ? "" : key.substr(dot + 1);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == head; });
+    if (it == groups.end()) {
+      groups.push_back({head, {}});
+      it = groups.end() - 1;
+    }
+    it->second.push_back({rest, literal});
+  }
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out = "{\n";
+  for (size_t i = 0; i < groups.size(); ++i) {
+    out += pad + "  " + JsonQuote(groups[i].first) + ": ";
+    const auto& members = groups[i].second;
+    if (members.size() == 1 && members[0].first.empty()) {
+      out += members[0].second;
+    } else {
+      out += SerializeObject(members, indent + 2);
+    }
+    if (i + 1 < groups.size()) out += ",";
+    out += "\n";
+  }
+  out += pad + "}";
+  return out;
+}
+
+}  // namespace
+
+void JsonReport::Set(const std::string& key, double value) {
+  char buf[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+  }
+  entries_.emplace_back(key, buf);
+}
+
+void JsonReport::Set(const std::string& key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  entries_.emplace_back(key, buf);
+}
+
+void JsonReport::Set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, JsonQuote(value));
+}
+
+std::string JsonReport::ToString() const {
+  return SerializeObject(entries_, 0);
+}
+
+bool JsonReport::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = ToString() + "\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
+bool MaybeWriteJson(const ArgParser& args, const JsonReport& report) {
+  if (!args.Has("json")) return true;
+  return report.WriteTo(args.GetString("json", ""));
 }
 
 }  // namespace namtree::bench

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/arg_parser.h"
@@ -52,6 +53,12 @@ struct ExperimentConfig {
   bool colocate = false;
   uint64_t region_bytes = 0;  ///< 0 = sized automatically from num_keys
   uint32_t workers_per_server = 0;  ///< 0 = FabricConfig default
+  /// Doorbell-batched verb chains on the one-sided write paths
+  /// (FabricConfig::verb_chaining); false = individually signaled verbs.
+  bool verb_chaining = true;
+  /// Per-client inner-node cache (IndexConfig::client_cache_pages / _ttl).
+  uint32_t client_cache_pages = 0;
+  SimTime client_cache_ttl = 2 * kMillisecond;
 };
 
 /// The paper's §6.1 skewed placement, generalised to S servers:
@@ -94,6 +101,33 @@ void PrintPreamble(const std::string& figure, const std::string& title,
                    const std::string& note);
 void PrintRow(const std::vector<std::string>& cells);
 std::string Num(double v);
+
+/// Insertion-ordered JSON object for machine-readable bench output.
+/// Dotted keys nest: Set("chained.signaled_per_op", v) serialises as
+/// {"chained": {"signaled_per_op": v}}; top-level and nested keys keep
+/// first-insertion order.
+class JsonReport {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, const std::string& value);
+
+  std::string ToString() const;
+
+  /// Writes ToString() (plus a trailing newline) to `path`. Returns false
+  /// with a stderr note on I/O failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  /// Dotted key paths mapped to pre-rendered JSON literals, in insertion
+  /// order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Writes `report` to the file named by `--json <path>` when the flag is
+/// present (the standard machine-readable side channel of the TSV benches).
+/// Returns false only when the flag was given and the write failed.
+bool MaybeWriteJson(const ArgParser& args, const JsonReport& report);
 
 }  // namespace namtree::bench
 

@@ -41,6 +41,15 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    Suppress an audited loop with a comment on (or directly above) it:
        // namtree-lint: bounded-loop(<why the loop terminates>)
 
+5. unchained-writes (error)
+   Two consecutive co_awaited signaled write-class verbs (Write /
+   CompareAndSwap / FetchAndAdd) aimed at the same destination page ring
+   two doorbells and pay two NIC completions where one doorbell-batched
+   chain (Fabric::PostChain; see RemoteOps::WriteUnlockPage and
+   docs/batching.md) would do. Suppress an audited sequence with a comment
+   on (or directly above) either verb:
+       // namtree-lint: unchained-ok(<why chaining does not apply>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -56,7 +65,8 @@ import re
 import sys
 
 SUPPRESS_RE = re.compile(
-    r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop)\(")
+    r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop|"
+    r"unchained-ok)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
@@ -98,6 +108,11 @@ RETRY_GUARD_RE = re.compile(
     r"\bDelay\s*\(|backoff|deadline|lease|\balive\s*\(|"
     r"\bIsAborted\s*\(|\bIsUnavailable\s*\("
 )
+
+# A co_awaited signaled write-class fabric verb. The match ends at the
+# opening paren of the call so the argument list can be paren-matched.
+AWAITED_WRITE_RE = re.compile(
+    r"\bco_await\b[^;{}]*?\b(?:Write|CompareAndSwap|FetchAndAdd)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -148,6 +163,26 @@ def match_brace_block(text, open_index):
             if depth == 0:
                 return i + 1
     return len(text)
+
+
+def match_paren(text, open_index):
+    """Returns the index one past the paren that closes text[open_index]."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def dest_base(arg):
+    """Normalises a verb-destination expression to its base page pointer:
+    whitespace-insensitive, and `ptr.Plus(offset)` folds onto `ptr` (the
+    version-word sub-address of the same page)."""
+    return re.sub(r"\s+", "", arg).split(".Plus(")[0]
 
 
 def line_of(text, index):
@@ -281,6 +316,41 @@ def lint_tree(src_root, verbose):
                 "forever on an orphaned lock word. Add backoff or a "
                 "bound, or annotate with "
                 "'// namtree-lint: bounded-loop(...)'"))
+
+        # Rule: unchained-writes — two co_awaited signaled write-class
+        # verbs to the same destination, with nothing but trivial
+        # statements between them, belong in one PostChain.
+        awaited = []
+        for m in AWAITED_WRITE_RE.finditer(clean):
+            open_paren = m.end() - 1
+            close = match_paren(clean, open_paren)
+            args = split_params(clean[open_paren + 1:close - 1])
+            # Fabric verbs are (client, destination, ...): need both.
+            if len(args) < 2:
+                continue
+            awaited.append(
+                (m.start(), close, dest_base(args[1])))
+        for (a_start, a_end, a_dest), (b_start, _, b_dest) in zip(
+                awaited, awaited[1:]):
+            between = clean[a_end:b_start]
+            # Same statement run only: no new scope, at most the first
+            # verb's terminator plus one trivial statement in between.
+            if "{" in between or "}" in between or between.count(";") > 2:
+                continue
+            if not a_dest or a_dest != b_dest:
+                continue
+            line_a = line_of(clean, a_start)
+            line_b = line_of(clean, b_start)
+            if (is_suppressed(raw_lines, line_a)
+                    or is_suppressed(raw_lines, line_b)):
+                continue
+            findings.append(Finding(
+                "unchained-writes", rel, line_b,
+                "consecutive signaled write-class verbs to the same "
+                f"destination ('{a_dest}') ring two doorbells where one "
+                "doorbell-batched chain would do; post them via "
+                "Fabric::PostChain (cf. RemoteOps::WriteUnlockPage), or "
+                "annotate with '// namtree-lint: unchained-ok(...)'"))
 
         # Spawn call sites.
         for m in SPAWN_RE.finditer(clean):

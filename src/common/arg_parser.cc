@@ -14,10 +14,15 @@ ArgParser::ArgParser(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) continue;
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      values_[arg] = "true";
-    } else {
+    if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // `--key value`: the next token is the value unless it is itself a
+      // flag. Bare `--flag` (last token or followed by another flag) stays
+      // a boolean.
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
     }
   }
 }

@@ -7,7 +7,8 @@
 
 namespace namtree {
 
-/// Minimal `--key=value` / `--flag` command-line parser used by the bench
+/// Minimal `--key=value` / `--key value` / `--flag` command-line parser
+/// used by the bench
 /// and example binaries. Unknown keys are kept and can be enumerated so
 /// callers may reject typos. Values also fall back to environment variables
 /// named `NAMTREE_<UPPERCASE_KEY>` so whole bench sweeps can be re-scaled

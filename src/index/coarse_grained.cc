@@ -111,6 +111,50 @@ sim::Task<> CoarseGrainedIndex::Handle(nam::MemoryServer& server,
       resp.payload.assign(values.begin(), values.end());
       break;
     }
+    case kBatch: {
+      // Coalesced multi-op frame: triples of [opcode, key, value] in the
+      // request payload, pairs of [status, value] in the response. All ops
+      // execute under this one handler dispatch — the batch paid a single
+      // RequestOverhead above.
+      const std::vector<uint64_t>& in = rpc.request.payload;
+      resp.status = static_cast<uint16_t>(StatusCode::kOk);
+      resp.arg0 = in.size() / 3;
+      resp.payload.reserve((in.size() / 3) * 2);
+      for (size_t i = 0; i + 2 < in.size(); i += 3) {
+        const auto op = static_cast<uint16_t>(in[i]);
+        const Key key = in[i + 1];
+        const Value value = in[i + 2];
+        uint64_t op_status = static_cast<uint16_t>(StatusCode::kUnsupported);
+        uint64_t op_value = 0;
+        switch (op) {
+          case kLookup: {
+            const LookupResult result = co_await tree.Lookup(key);
+            op_status = result.found
+                            ? static_cast<uint16_t>(StatusCode::kOk)
+                            : static_cast<uint16_t>(StatusCode::kNotFound);
+            op_value = result.value;
+            break;
+          }
+          case kInsert:
+            op_status = static_cast<uint16_t>(
+                (co_await tree.Insert(key, value)).code());
+            break;
+          case kUpdate:
+            op_status = static_cast<uint16_t>(
+                (co_await tree.Update(key, value)).code());
+            break;
+          case kDelete:
+            op_status =
+                static_cast<uint16_t>((co_await tree.Delete(key)).code());
+            break;
+          default:
+            break;
+        }
+        resp.payload.push_back(op_status);
+        resp.payload.push_back(op_value);
+      }
+      break;
+    }
     default:
       resp.status = static_cast<uint16_t>(StatusCode::kUnsupported);
       break;
@@ -242,6 +286,71 @@ sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
     co_return Status::FromCode(code, "delete rpc");
   }
   co_return Status::NotFound();
+}
+
+sim::Task<void> CoarseGrainedIndex::RunBatch(nam::ClientContext& ctx,
+                                             std::span<const PointOp> ops,
+                                             PointOpResult* results) {
+  // Group ops by home server, preserving submission order inside a group,
+  // then ship one kBatch frame per server: n same-server ops cost one
+  // SEND/RECV round-trip and one server dispatch instead of n.
+  const uint32_t servers = cluster_.num_memory_servers();
+  std::vector<std::vector<size_t>> by_server(servers);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    results[i] = PointOpResult{};
+    by_server[partitioner_.ServerFor(ops[i].key)].push_back(i);
+  }
+
+  for (uint32_t s = 0; s < servers; ++s) {
+    const std::vector<size_t>& group = by_server[s];
+    if (group.empty()) continue;
+    rdma::RpcRequest req;
+    req.service = rpc_service_;
+    req.op = kBatch;
+    req.payload.reserve(group.size() * 3);
+    for (size_t idx : group) {
+      const PointOp& op = ops[idx];
+      uint16_t opcode = kLookup;
+      switch (op.kind) {
+        case PointOpKind::kLookup: opcode = kLookup; break;
+        case PointOpKind::kInsert: opcode = kInsert; break;
+        case PointOpKind::kUpdate: opcode = kUpdate; break;
+        case PointOpKind::kDelete: opcode = kDelete; break;
+      }
+      req.payload.push_back(opcode);
+      req.payload.push_back(op.key);
+      req.payload.push_back(op.value);
+    }
+    ctx.round_trips++;
+    rdma::RpcResponse resp =
+        co_await cluster_.fabric().Call(ctx.client_id(), s, std::move(req));
+    if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) {
+      // Transport failure: the whole group shares the frame's fate.
+      const auto code = static_cast<StatusCode>(resp.status);
+      for (size_t idx : group) {
+        results[idx].status = Status::FromCode(code, "batch rpc");
+      }
+      continue;
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
+      if (g * 2 + 1 >= resp.payload.size()) break;  // short frame: keep zeros
+      PointOpResult& r = results[group[g]];
+      const auto code = static_cast<StatusCode>(resp.payload[g * 2]);
+      const uint64_t value = resp.payload[g * 2 + 1];
+      if (ops[group[g]].kind == PointOpKind::kLookup) {
+        // A lookup miss is a clean OK/not-found, not an error.
+        r.found = code == StatusCode::kOk;
+        r.value = value;
+        r.status = (code == StatusCode::kOk || code == StatusCode::kNotFound)
+                       ? Status::OK()
+                       : Status::FromCode(code, "batch lookup");
+      } else {
+        r.status = code == StatusCode::kOk
+                       ? Status::OK()
+                       : Status::FromCode(code, "batch op");
+      }
+    }
+  }
 }
 
 sim::Task<uint64_t> CoarseGrainedIndex::GarbageCollect(

@@ -29,6 +29,10 @@ class CoarseGrainedIndex : public DistributedIndex {
     kGc = 5,
     kUpdate = 6,
     kLookupAll = 7,
+    /// Coalesced multi-op frame: the request payload carries 3 words per
+    /// point op [opcode, key, value]; the response carries 2 words per op
+    /// [status, value]. The whole frame pays one RequestOverhead.
+    kBatch = 8,
   };
 
   CoarseGrainedIndex(nam::Cluster& cluster, IndexConfig config);
@@ -48,6 +52,16 @@ class CoarseGrainedIndex : public DistributedIndex {
                                 std::vector<btree::Value>* out) override;
   sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
   sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
+
+  bool SupportsBatchedPointOps() const override { return true; }
+
+  /// Multi-op RPC coalescing (the two-sided analogue of doorbell
+  /// batching): groups `ops` by home server and ships each group as one
+  /// kBatch SEND, so n same-server ops pay one RPC round-trip and one
+  /// server dispatch instead of n.
+  sim::Task<void> RunBatch(nam::ClientContext& ctx,
+                           std::span<const PointOp> ops,
+                           PointOpResult* results) override;
 
   std::string name() const override { return "coarse-grained"; }
   uint32_t page_size() const override { return config_.page_size; }

@@ -279,13 +279,11 @@ sim::Task<Status> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
       const bool ok = target.InnerInsert(sep, right.raw());
       assert(ok);
       (void)ok;
-      ops.ctx().round_trips++;
-      co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
-                                  rimage.data(), ops.page_size());
-      // Crashing here orphans the lock on `ptr` (lease-steal reclaims it)
-      // and leaks the unpublished right node — both sound.
-      if (!ops.alive()) co_return Status::Unavailable("client crashed");
-      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      // One chained {right WRITE, left WRITE, unlock} publication; a crash
+      // drops the unexecuted tail, orphans the lock on `ptr` (lease-steal
+      // reclaims it) and leaks the unpublished right node — both sound.
+      const Status wu = co_await ops.WriteSiblingAndUnlockPage(
+          new_right, rimage.data(), ptr, buf);
       if (!wu.ok()) co_return wu;
       co_return co_await InstallSeparator(ops, server,
                                           static_cast<uint8_t>(level + 1),

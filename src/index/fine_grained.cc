@@ -214,8 +214,28 @@ sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
     // Descend to the target level for `sep`.
     rdma::RemotePtr ptr = root_;
     bool restart = false;
+    NodeCache* cache = CacheFor(ops.ctx().client_id());
     // namtree-lint: bounded-loop(blink-descent)
     for (;;) {
+      // A.4 caching on the install descent: hops *above* the target level
+      // may come from the client cache (a stale image only routes too far
+      // left, and the B-link chase corrects that). The target node itself
+      // always takes a fresh read — its version word seeds the lock CAS.
+      if (cache != nullptr) {
+        const uint8_t* image =
+            cache->Get(ptr.raw(), ops.fabric().simulator().now());
+        if (image != nullptr) {
+          PageView cview(const_cast<uint8_t*>(image), ops.page_size());
+          if (cview.level() > level) {
+            if (sep > cview.high_key() && cview.right_sibling() != 0) {
+              ptr = rdma::RemotePtr(cview.right_sibling());
+            } else {
+              ptr = rdma::RemotePtr(cview.InnerChildFor(sep));
+            }
+            continue;
+          }
+        }
+      }
       const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
       if (!read.ok()) co_return read.status;
       PageView view(buf, ops.page_size());
@@ -225,6 +245,9 @@ sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
         break;
       }
       if (view.level() > level) {
+        if (cache != nullptr) {
+          cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
+        }
         if (sep > view.high_key() && view.right_sibling() != 0) {
           ptr = rdma::RemotePtr(view.right_sibling());
           continue;
@@ -249,8 +272,15 @@ sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
       if (view.InnerInsert(sep, right.raw())) {
         const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
         if (!wu.ok()) co_return wu;
-        if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
-          cache->Invalidate(ptr.raw());
+        if (cache != nullptr) {
+          // Seed the cache with the image we just published, patched to
+          // the post-release version word: the next descent routes through
+          // this node with zero remote reads instead of re-reading it.
+          uint64_t word;
+          std::memcpy(&word, buf + btree::kVersionOffset, 8);
+          const uint64_t unlocked = btree::VersionOf(word) + 2;
+          std::memcpy(buf + btree::kVersionOffset, &unlocked, 8);
+          cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
         }
         co_return Status::OK();
       }
@@ -268,16 +298,22 @@ sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
       const bool ok = target.InnerInsert(sep, right.raw());
       assert(ok);
       (void)ok;
-      ops.ctx().round_trips++;
-      co_await ops.fabric().Write(ops.ctx().client_id(), new_right,
-                                  rimage.data(), ops.page_size());
-      // Crashing here orphans the lock on `ptr` (lease-steal reclaims it)
-      // and leaks the unpublished right node — both sound.
-      if (!ops.alive()) co_return Status::Unavailable("client crashed");
-      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      // One chained {right WRITE, left WRITE, unlock} publication; a crash
+      // drops the unexecuted tail, orphans the lock on `ptr` (lease-steal
+      // reclaims it) and leaks the unpublished right node — both sound.
+      const Status wu = co_await ops.WriteSiblingAndUnlockPage(
+          new_right, rimage.data(), ptr, buf);
       if (!wu.ok()) co_return wu;
-      if (NodeCache* cache = CacheFor(ops.ctx().client_id())) {
-        cache->Invalidate(ptr.raw());
+      if (cache != nullptr) {
+        // Seed both halves of the split with their freshly published
+        // images (left patched to the post-release version word).
+        uint64_t word;
+        std::memcpy(&word, buf + btree::kVersionOffset, 8);
+        const uint64_t unlocked = btree::VersionOf(word) + 2;
+        std::memcpy(buf + btree::kVersionOffset, &unlocked, 8);
+        const SimTime now = ops.fabric().simulator().now();
+        cache->Put(ptr.raw(), buf, now);
+        cache->Put(new_right.raw(), rimage.data(), now);
       }
       co_return co_await InstallSeparator(
           ops, static_cast<uint8_t>(level + 1), promoted, ptr, new_right);

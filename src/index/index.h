@@ -63,6 +63,31 @@ struct LookupResult {
   Status status;
 };
 
+/// Point-operation kinds that can ride in a coalesced multi-op batch
+/// (everything except range scans, which carry variable-size results).
+enum class PointOpKind : uint8_t {
+  kLookup,
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+/// One point operation inside a coalesced batch.
+struct PointOp {
+  PointOpKind kind = PointOpKind::kLookup;
+  btree::Key key = 0;
+  btree::Value value = 0;  ///< payload for kInsert / kUpdate
+};
+
+/// Per-op outcome of a coalesced batch. `found`/`value` are meaningful for
+/// kLookup only; `status` carries NotFound for a failed kUpdate / kDelete
+/// and transport errors for every kind.
+struct PointOpResult {
+  Status status;
+  bool found = false;
+  btree::Value value = 0;
+};
+
 /// The common interface of the distributed index designs (the paper's
 /// Designs 1-3, the design-matrix completion, and the hash baseline). All
 /// data-path operations are coroutines running in simulated time on behalf
@@ -110,6 +135,20 @@ class DistributedIndex {
   /// rebuilds. Runs as the design prescribes: on the memory servers for
   /// CG, from a compute client for FG leaves. Returns reclaimed entries.
   virtual sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) = 0;
+
+  /// True when RunBatch coalesces same-server point ops into multi-op RPC
+  /// frames (one SEND per server per batch) instead of the default
+  /// sequential fallback. RPC-based designs override this.
+  virtual bool SupportsBatchedPointOps() const { return false; }
+
+  /// Executes `ops` on behalf of one client and writes one PointOpResult
+  /// per op into `results` (which must have space for ops.size() entries).
+  /// The default runs the ops sequentially through the point-op virtuals —
+  /// correct for every design; RPC-based designs override it to coalesce
+  /// same-server ops into a single multi-op request frame.
+  virtual sim::Task<void> RunBatch(nam::ClientContext& ctx,
+                                   std::span<const PointOp> ops,
+                                   PointOpResult* results);
 
   /// Human-readable design name ("coarse-grained", ...).
   virtual std::string name() const = 0;

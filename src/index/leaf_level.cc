@@ -288,12 +288,13 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
       co_return co_await ops.WriteUnlockPage(ptr, buf);
     }
 
-    // Split: allocate the right page round-robin (RDMA_ALLOC), install it
-    // first (invisible until the left page is rewritten), then write the
-    // left page and release (Listing 4 remote_writeUnlock). A crash at any
-    // point here is sound: an unpublished right page is an unreachable
-    // leak, and the orphaned left lock is lease-stolen (the image behind
-    // it is either the old or the fully split content — verbs are atomic).
+    // Split: allocate the right page round-robin (RDMA_ALLOC), then
+    // publish {right page, left page, unlock} as one in-order verb chain
+    // (the right page lands before the left page points at it). A crash at
+    // any point here is sound: the chain's unexecuted tail drops
+    // atomically, an unpublished right page is an unreachable leak, and
+    // the orphaned left lock is lease-stolen (the image behind it is
+    // either the old or the fully split content — verbs are atomic).
     const rdma::RemotePtr right_ptr =
         alloc_server >= 0
             ? co_await ops.AllocPage(static_cast<uint32_t>(alloc_server))
@@ -310,11 +311,8 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
                                     : right.LeafInsert(key, value);
     assert(ok);
     (void)ok;
-    ops.ctx().round_trips++;
-    co_await ops.fabric().Write(ops.ctx().client_id(), right_ptr, rbuf,
-                                page_size);
-    if (!ops.alive()) co_return Status::Unavailable("client crashed");
-    const Status unlock = co_await ops.WriteUnlockPage(ptr, buf);
+    const Status unlock =
+        co_await ops.WriteSiblingAndUnlockPage(right_ptr, rbuf, ptr, buf);
     if (!unlock.ok()) co_return unlock;
 
     split->split = true;

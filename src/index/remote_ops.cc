@@ -125,16 +125,60 @@ sim::Task<PageReadResult> RemoteOps::LockPage(rdma::RemotePtr ptr,
 
 sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
                                              const uint8_t* buf) {
-#ifndef NDEBUG
   uint64_t word;
   std::memcpy(&word, buf + btree::kVersionOffset, 8);
-  assert(IsLocked(word) && "image must carry the lock bit until the FAA");
-#endif
-  ctx_->round_trips += 2;
-  co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+  assert(IsLocked(word) && "image must carry the lock bit until the release");
+  if (!fabric().config().verb_chaining) {
+    // Unchained fallback: individually signaled WRITE + FAA release,
+    // bit-identical to the pre-chain protocol (the FAA keeps the stale
+    // holder bits in the unlocked word; VersionOf masks them out).
+    ctx_->round_trips += 2;
+    // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+    co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    co_await fabric().FetchAndAdd(ctx_->client_id(),
+                                  ptr.Plus(btree::kVersionOffset), 1);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    co_return Status::OK();
+  }
+  // Doorbell-batched {page WRITE, unlock WRITE}: one doorbell, one
+  // completion. The unlock WRITE installs the next version with the holder
+  // bits cleared — the same version an FAA release reaches.
+  const uint64_t unlocked = btree::VersionOf(word) + 2;
+  ctx_->round_trips++;
+  std::vector<rdma::Fabric::ChainOp> chain;
+  chain.reserve(2);
+  chain.push_back(rdma::Fabric::ChainOp::Write(ptr, buf, page_size()));
+  chain.push_back(rdma::Fabric::ChainOp::Write(
+      ptr.Plus(btree::kVersionOffset), &unlocked, 8));
+  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
   if (!alive()) co_return Status::Unavailable("client crashed");
-  co_await fabric().FetchAndAdd(ctx_->client_id(),
-                                ptr.Plus(btree::kVersionOffset), 1);
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
+    rdma::RemotePtr sibling, const uint8_t* sibling_buf, rdma::RemotePtr ptr,
+    const uint8_t* buf) {
+  if (!fabric().config().verb_chaining) {
+    ctx_->round_trips++;
+    co_await fabric().Write(ctx_->client_id(), sibling, sibling_buf,
+                            page_size());
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    co_return co_await WriteUnlockPage(ptr, buf);  // unchained path
+  }
+  uint64_t word;
+  std::memcpy(&word, buf + btree::kVersionOffset, 8);
+  assert(IsLocked(word) && "image must carry the lock bit until the release");
+  const uint64_t unlocked = btree::VersionOf(word) + 2;
+  ctx_->round_trips++;
+  std::vector<rdma::Fabric::ChainOp> chain;
+  chain.reserve(3);
+  chain.push_back(
+      rdma::Fabric::ChainOp::Write(sibling, sibling_buf, page_size()));
+  chain.push_back(rdma::Fabric::ChainOp::Write(ptr, buf, page_size()));
+  chain.push_back(rdma::Fabric::ChainOp::Write(
+      ptr.Plus(btree::kVersionOffset), &unlocked, 8));
+  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }

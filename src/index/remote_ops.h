@@ -79,9 +79,23 @@ class RemoteOps {
   sim::Task<PageReadResult> LockPage(rdma::RemotePtr ptr, uint8_t* buf);
 
   /// remote_writeUnlock: installs the modified local image (which must
-  /// still carry the lock bit) with an RDMA WRITE, then releases the lock
-  /// with FETCH_AND_ADD(+1), bumping the version.
+  /// still carry the lock bit) and releases the lock, bumping the version.
+  /// With FabricConfig::verb_chaining (default) this is one doorbell-
+  /// batched {page WRITE, unlock WRITE} chain — one doorbell, one
+  /// completion; with chaining disabled it falls back to an individually
+  /// signaled RDMA WRITE followed by FETCH_AND_ADD(+1).
   sim::Task<Status> WriteUnlockPage(rdma::RemotePtr ptr, const uint8_t* buf);
+
+  /// B-link split publication with one doorbell: chains {new-sibling
+  /// WRITE, page WRITE, unlock WRITE}. Chain members take effect in
+  /// posting order, so a reader can never follow the freshly published
+  /// sibling pointer in `buf` to a not-yet-written `sibling` page. Falls
+  /// back to the signaled sibling WRITE + WriteUnlockPage sequence when
+  /// verb chaining is disabled.
+  sim::Task<Status> WriteSiblingAndUnlockPage(rdma::RemotePtr sibling,
+                                              const uint8_t* sibling_buf,
+                                              rdma::RemotePtr ptr,
+                                              const uint8_t* buf);
 
   /// Releases a lock without content changes (FAA only).
   sim::Task<Status> UnlockPage(rdma::RemotePtr ptr);

@@ -105,7 +105,22 @@ void VerbAuditor::OnWriteEffect(uint64_t ticket, const void* payload,
     std::memcpy(&new_word, static_cast<const uint8_t*>(payload) +
                                (word_it->first - lo),
                 8);
-    if (!state.locked || state.holder != w.client) {
+    // An exactly-word-sized WRITE that clears the lock bit is a WRITE-based
+    // lock release — the tail of a doorbell-batched {page WRITE, unlock
+    // WRITE} chain. Judge it by the unlock rules (so the sanctioned
+    // combined shape passes and a rogue release gets the precise verdict)
+    // instead of flagging it as a generic write-without-lock.
+    const bool unlock_shape =
+        w.len == 8 && word_it->first == lo && !LockedWord(new_word);
+    if (unlock_shape) {
+      if (!state.locked) {
+        Report(ViolationKind::kUnlockWithoutLock, w.client, word_ptr,
+               state.last_word, new_word, now);
+      } else if (state.holder != w.client) {
+        Report(ViolationKind::kUnlockByNonHolder, w.client, word_ptr,
+               state.last_word, new_word, now);
+      }
+    } else if (!state.locked || state.holder != w.client) {
       Report(ViolationKind::kWriteWithoutLock, w.client, word_ptr,
              state.last_word, new_word, now);
     }

@@ -24,10 +24,12 @@ enum class ViolationKind {
   /// A WRITE covered a tracked version word whose lock the writer does not
   /// hold. On real hardware this publishes a potentially torn page.
   kWriteWithoutLock,
-  /// FETCH_AND_ADD on a version word whose lock bit is clear (double
-  /// unlock, or unlock of a never-locked page).
+  /// A lock release (FETCH_AND_ADD, or the word-sized unlock WRITE at the
+  /// tail of a verb chain) on a version word whose lock bit is clear
+  /// (double unlock, or unlock of a never-locked page).
   kUnlockWithoutLock,
-  /// FETCH_AND_ADD released a lock held by a *different* client.
+  /// A lock release (FAA or chained unlock WRITE) of a lock held by a
+  /// *different* client.
   kUnlockByNonHolder,
   /// A verb moved a version word's version component backwards. Readers
   /// using version validation would wrongly conclude nothing changed.

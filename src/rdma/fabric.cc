@@ -89,6 +89,8 @@ sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return true;  // a dead reader learns nothing; callers re-check alive
   }
+  doorbells_++;
+  signaled_verbs_++;
   constexpr uint32_t kEpochBytes = 8;
   const uint32_t server_id = target % config_.num_memory_servers;
   MemoryServerEndpoint& server = memory_servers_[server_id];
@@ -141,6 +143,8 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
+  doorbells_++;
+  signaled_verbs_++;
   MemoryServerEndpoint& server = memory_servers_[src.server_id()];
   uint8_t* remote = TargetAddress(src, len);
 
@@ -184,74 +188,190 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   co_await sim::DelayUntil(simulator_, done);
 }
 
-sim::Task<void> Fabric::ReadBatch(uint32_t client,
-                                  std::vector<ReadRequest> requests) {
-  if (requests.empty()) co_return;
+sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
+  if (ops.empty()) co_return;
   // One doorbell, one crash-point tick for the whole chain.
   if (!CountVerbAndCheckAlive(client)) {
     dropped_verbs_++;
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
+  doorbells_++;
+  signaled_verbs_++;  // the tail carries the chain's only completion
+  unsignaled_verbs_ += ops.size() - 1;
+
+  // A READ-only chain (head-node prefetch) has independent members; any
+  // WRITE or CAS makes the chain ordered — each member's effect waits for
+  // its predecessor, as the initiating NIC streams WQEs in posting order.
+  bool ordered = false;
+  for (const ChainOp& op : ops) {
+    if (op.kind != ChainOp::Kind::kRead) ordered = true;
+  }
 
   struct Pending {
     SimTime effect;
-    SimTime done;
     size_t index;
+    uint64_t audit_ticket;
   };
   std::vector<Pending> pending;
-  pending.reserve(requests.size());
+  pending.reserve(ops.size());
 
   ComputeEndpoint& compute = ComputeFor(client);
   // One doorbell for the whole chain; only the final verb is signaled.
   const SimTime t_post = simulator_.now() + config_.nic_post_ns;
   SimTime overall_done = t_post;
+  SimTime prev_effect = 0;
 
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const ReadRequest& r = requests[i];
-    if (IsLocal(client, r.src.server_id())) {
-      sim::Link& bus = LocalBus(config_.MemoryServerMachine(r.src.server_id()));
-      const SimTime done = bus.ReserveTransfer(
-          simulator_.now() + config_.local_latency_ns, r.len);
-      pending.push_back({done, done, i});
-      overall_done = std::max(overall_done, done);
-      continue;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const ChainOp& op = ops[i];
+    const uint32_t sid = op.target.server_id();
+    MemoryServerEndpoint& server = memory_servers_[sid];
+    uint64_t ticket = 0;
+    if (op.kind == ChainOp::Kind::kWrite && auditor_) {
+      ticket =
+          auditor_->OnWritePosted(client, op.target, op.len, simulator_.now());
     }
-    MemoryServerEndpoint& server = memory_servers_[r.src.server_id()];
-    const SimTime t_req_out =
-        compute.tx.ReserveTransfer(t_post, kReadRequestBytes);
-    const SimTime t_arrive = t_req_out + WireLatency();
-    const SimTime t_effect = server.engine.ReserveOccupancy(
-        t_arrive,
-        EngineCost(r.src.server_id(), config_.unsignaled_engine_ns));
-    server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
-    server.reads++;
-    const SimTime t_tx = server.tx.ReserveTransfer(t_effect, r.len);
-    const SimTime first_byte =
-        t_tx - server.tx.TransferDuration(r.len) + WireLatency();
-    const SimTime done = compute.rx.ReserveArrival(first_byte, r.len);
-    pending.push_back({t_effect, done, i});
+
+    SimTime t_effect = 0;
+    SimTime done = 0;
+    if (IsLocal(client, sid)) {
+      sim::Link& bus = LocalBus(config_.MemoryServerMachine(sid));
+      SimTime start = simulator_.now() + config_.local_latency_ns;
+      if (ordered) start = std::max(start, prev_effect);
+      if (op.kind == ChainOp::Kind::kCas) {
+        // Atomics serialize through the NIC even locally (loopback) so
+        // that remote and local atomics remain mutually atomic; see §4.2.
+        t_effect = server.engine.ReserveOccupancy(
+            bus.ReserveTransfer(start, kAtomicRequestBytes),
+            config_.atomic_engine_ns);
+        done = t_effect + config_.local_latency_ns;
+      } else {
+        t_effect = bus.ReserveTransfer(start, op.len);
+        done = t_effect;
+      }
+    } else {
+      switch (op.kind) {
+        case ChainOp::Kind::kRead: {
+          const SimTime t_req_out =
+              compute.tx.ReserveTransfer(t_post, kReadRequestBytes);
+          SimTime t_arrive = t_req_out + WireLatency();
+          if (ordered) t_arrive = std::max(t_arrive, prev_effect);
+          t_effect = server.engine.ReserveOccupancy(
+              t_arrive, EngineCost(sid, config_.unsignaled_engine_ns));
+          server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
+          const SimTime t_tx = server.tx.ReserveTransfer(t_effect, op.len);
+          const SimTime first_byte =
+              t_tx - server.tx.TransferDuration(op.len) + WireLatency();
+          done = compute.rx.ReserveArrival(first_byte, op.len);
+          break;
+        }
+        case ChainOp::Kind::kWrite: {
+          const uint32_t wire_bytes = op.len + kWriteHeaderBytes;
+          const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
+          const SimTime first_byte_at_server =
+              t_out - compute.tx.TransferDuration(wire_bytes) + WireLatency();
+          SimTime t_rx =
+              server.rx.ReserveArrival(first_byte_at_server, wire_bytes);
+          if (ordered) t_rx = std::max(t_rx, prev_effect);
+          t_effect = server.engine.ReserveOccupancy(
+              t_rx, EngineCost(sid, config_.unsignaled_engine_ns));
+          // Only the signaled tail acks back to the initiator; the acks of
+          // the unsignaled members coalesce into it.
+          if (i + 1 == ops.size()) {
+            server.tx.ReserveTransfer(t_effect, kAckBytes);
+          }
+          done = t_effect + WireLatency();
+          break;
+        }
+        case ChainOp::Kind::kCas: {
+          const SimTime t_out =
+              compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
+          SimTime t_arrive = t_out + WireLatency();
+          if (ordered) t_arrive = std::max(t_arrive, prev_effect);
+          server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
+          t_effect = server.engine.ReserveOccupancy(t_arrive,
+                                                    config_.atomic_engine_ns);
+          server.tx.ReserveTransfer(t_effect, kAtomicResponseBytes);
+          done = compute.rx.ReserveArrival(t_effect + WireLatency(),
+                                           kAtomicResponseBytes);
+          break;
+        }
+      }
+    }
+    switch (op.kind) {
+      case ChainOp::Kind::kRead: server.reads++; break;
+      case ChainOp::Kind::kWrite: server.writes++; break;
+      case ChainOp::Kind::kCas: server.atomics++; break;
+    }
+    prev_effect = t_effect;
     overall_done = std::max(overall_done, done);
+    pending.push_back({t_effect, i, ticket});
   }
 
-  // Perform the memory effects in virtual-time order.
+  // Perform the memory effects in virtual-time order (equals posting order
+  // for ordered chains).
   std::stable_sort(pending.begin(), pending.end(),
                    [](const Pending& a, const Pending& b) {
                      return a.effect < b.effect;
                    });
-  for (const Pending& p : pending) {
+  for (size_t pi = 0; pi < pending.size(); ++pi) {
+    const Pending& p = pending[pi];
     co_await sim::DelayUntil(simulator_, p.effect);
-    if (!ClientAlive(client)) {  // died mid-chain: remaining reads drop
+    if (!ClientAlive(client)) {
+      // Died mid-chain: the not-yet-executed tail drops atomically.
+      if (auditor_) {
+        for (size_t pj = pi; pj < pending.size(); ++pj) {
+          if (ops[pending[pj].index].kind == ChainOp::Kind::kWrite) {
+            auditor_->DropWrite(pending[pj].audit_ticket);
+          }
+        }
+      }
       dropped_verbs_++;
       co_return;
     }
-    const ReadRequest& r = requests[p.index];
-    if (auditor_) {
-      auditor_->OnReadEffect(client, r.src, r.len, simulator_.now());
+    const ChainOp& op = ops[p.index];
+    switch (op.kind) {
+      case ChainOp::Kind::kRead: {
+        if (auditor_) {
+          auditor_->OnReadEffect(client, op.target, op.len, simulator_.now());
+        }
+        std::memcpy(op.dst, TargetAddress(op.target, op.len), op.len);
+        break;
+      }
+      case ChainOp::Kind::kWrite: {
+        if (auditor_) {
+          auditor_->OnWriteEffect(p.audit_ticket, op.src, simulator_.now());
+        }
+        std::memcpy(TargetAddress(op.target, op.len), op.src, op.len);
+        break;
+      }
+      case ChainOp::Kind::kCas: {
+        uint8_t* remote = TargetAddress(op.target, 8);
+        uint64_t current;
+        std::memcpy(&current, remote, 8);
+        if (current == op.expected) {
+          std::memcpy(remote, &op.desired, 8);
+        }
+        if (auditor_) {
+          auditor_->OnCasEffect(client, op.target, op.expected, op.desired,
+                                current, simulator_.now());
+        }
+        if (op.result != nullptr) *op.result = current;
+        break;
+      }
     }
-    std::memcpy(r.dst, TargetAddress(r.src, r.len), r.len);
   }
   co_await sim::DelayUntil(simulator_, overall_done);
+}
+
+sim::Task<void> Fabric::ReadBatch(uint32_t client,
+                                  std::vector<ReadRequest> requests) {
+  std::vector<ChainOp> ops;
+  ops.reserve(requests.size());
+  for (const ReadRequest& r : requests) {
+    ops.push_back(ChainOp::Read(r.src, r.dst, r.len));
+  }
+  co_await PostChain(client, std::move(ops));
 }
 
 sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
@@ -261,6 +381,8 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
+  doorbells_++;
+  signaled_verbs_++;
   MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
   uint8_t* remote = TargetAddress(dst, len);
   const uint64_t audit_ticket =
@@ -318,6 +440,8 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return 0;  // meaningless to a dead caller; RemoteOps checks alive()
   }
+  doorbells_++;
+  signaled_verbs_++;
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -372,6 +496,8 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return 0;
   }
+  doorbells_++;
+  signaled_verbs_++;
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -427,6 +553,8 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
       dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
       co_return dead;
     }
+    doorbells_++;
+    signaled_verbs_++;
     MemoryServerEndpoint& server = memory_servers_[server_id];
     const uint32_t wire_bytes = request.WireBytes();
 
@@ -567,6 +695,9 @@ void Fabric::ResetStats() {
     ep->rx.ResetStats();
   }
   for (auto& bus : local_bus_) bus->ResetStats();
+  signaled_verbs_ = 0;
+  unsignaled_verbs_ = 0;
+  doorbells_ = 0;
 }
 
 }  // namespace namtree::rdma

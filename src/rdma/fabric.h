@@ -107,10 +107,65 @@ class Fabric {
     uint32_t len;
   };
 
-  /// Selectively-signaled batch of READs (head-node prefetch, §4.3): all
-  /// reads are posted back-to-back with only the last one signaled, so the
-  /// per-verb engine cost is the cheap unsignaled one. Completes when the
-  /// last read has arrived.
+  /// One element of a doorbell-batched verb chain (PostChain).
+  struct ChainOp {
+    enum class Kind : uint8_t { kRead, kWrite, kCas };
+
+    Kind kind = Kind::kRead;
+    RemotePtr target;
+    void* dst = nullptr;        ///< READ destination buffer
+    const void* src = nullptr;  ///< WRITE source buffer
+    uint32_t len = 0;
+    uint64_t expected = 0;      ///< CAS compare value
+    uint64_t desired = 0;       ///< CAS swap value
+    uint64_t* result = nullptr; ///< CAS pre-image sink (optional)
+
+    static ChainOp Read(RemotePtr src, void* dst, uint32_t len) {
+      ChainOp op;
+      op.kind = Kind::kRead;
+      op.target = src;
+      op.dst = dst;
+      op.len = len;
+      return op;
+    }
+    static ChainOp Write(RemotePtr dst, const void* src, uint32_t len) {
+      ChainOp op;
+      op.kind = Kind::kWrite;
+      op.target = dst;
+      op.src = src;
+      op.len = len;
+      return op;
+    }
+    static ChainOp Cas(RemotePtr target, uint64_t expected, uint64_t desired,
+                       uint64_t* result = nullptr) {
+      ChainOp op;
+      op.kind = Kind::kCas;
+      op.target = target;
+      op.len = 8;
+      op.expected = expected;
+      op.desired = desired;
+      op.result = result;
+      return op;
+    }
+  };
+
+  /// Doorbell-batched chain of READ/WRITE/CAS verbs: all ops are posted
+  /// back-to-back with one doorbell and only the tail signaled, so each
+  /// member is charged the cheap unsignaled engine cost (atomics keep
+  /// their lock-unit cost). The whole chain counts as *one* verb against
+  /// the poster's crash point; a client that dies mid-chain loses the
+  /// not-yet-executed tail atomically.
+  ///
+  /// Ordering: a READ-only chain executes its members independently (the
+  /// selectively-signaled prefetch of §4.3). As soon as the chain contains
+  /// a WRITE or CAS, members take effect strictly in posting order — the
+  /// initiating NIC streams the WQEs sequentially — which is what makes
+  /// the {page WRITE, unlock WRITE} and split chains safe to combine.
+  /// Completes when the signaled tail's response has arrived.
+  sim::Task<void> PostChain(uint32_t client, std::vector<ChainOp> ops);
+
+  /// Selectively-signaled batch of READs (head-node prefetch, §4.3): a
+  /// READ-only PostChain. Completes when the last read has arrived.
   sim::Task<void> ReadBatch(uint32_t client,
                             std::vector<ReadRequest> requests);
 
@@ -184,6 +239,15 @@ class Fabric {
   }
   /// Verbs dropped because their client was dead at post or effect time.
   uint64_t dropped_verbs() const { return dropped_verbs_; }
+  /// Verbs posted with a signaled completion since the last ResetStats:
+  /// every standalone verb (READ/WRITE/CAS/FAA/SEND attempt) plus the
+  /// signaled tail of each chain. The CQ-event rate the paper's
+  /// scalability model treats as the binding resource.
+  uint64_t signaled_verbs() const { return signaled_verbs_; }
+  /// Chain members that rode a doorbell without their own completion.
+  uint64_t unsignaled_verbs() const { return unsignaled_verbs_; }
+  /// Doorbell rings: one per standalone verb, one per chain.
+  uint64_t doorbells() const { return doorbells_; }
   /// RPC responses dropped because the caller had abandoned the call.
   uint64_t dropped_responses() const { return dropped_responses_; }
   /// RPC attempts abandoned at the deadline.
@@ -285,6 +349,9 @@ class Fabric {
   uint64_t dropped_verbs_ = 0;
   uint64_t dropped_responses_ = 0;
   uint64_t rpc_timeouts_ = 0;
+  uint64_t signaled_verbs_ = 0;
+  uint64_t unsignaled_verbs_ = 0;
+  uint64_t doorbells_ = 0;
 };
 
 }  // namespace namtree::rdma

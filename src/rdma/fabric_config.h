@@ -41,9 +41,13 @@ struct FabricConfig {
   /// one-sided READ/WRITE (WQE fetch, QP state, PCIe DMA setup). This is
   /// what caps fine-grained point-query throughput per server.
   SimTime onesided_engine_ns = 1000;
-  /// Occupancy per *unsignaled* batched READ (selectively-signaled
-  /// prefetch via head nodes, §4.3): doorbell batching amortises most of
-  /// the per-verb cost.
+  /// Occupancy per *unsignaled* batched READ/WRITE inside a doorbell
+  /// chain (Fabric::PostChain; selectively-signaled prefetch via head
+  /// nodes, §4.3, and the write+unlock / split chains): doorbell batching
+  /// amortises most of the per-verb cost, so every chain member — the
+  /// signaled tail included — is charged this instead of
+  /// `onesided_engine_ns`. Chained atomics still pay `atomic_engine_ns`
+  /// (the NIC-internal lock unit serialises them regardless of signaling).
   SimTime unsignaled_engine_ns = 120;
   /// Occupancy per RDMA atomic (CAS / FETCH_AND_ADD): a serialized
   /// read-modify-write through the NIC-internal lock unit.
@@ -103,7 +107,10 @@ struct FabricConfig {
   /// dropped in flight and returns without a memory effect, exactly as if
   /// the compute process died between two verb postings. The verb counter
   /// includes one-sided verbs, RPC send attempts, and liveness-registry
-  /// reads; a ReadBatch counts as one verb (one doorbell).
+  /// reads; a PostChain (and therefore a ReadBatch) counts as one verb —
+  /// one doorbell. A client that dies while a chain is in flight loses the
+  /// not-yet-executed tail of the chain atomically: verbs whose effect
+  /// time has passed stay applied, everything after the death vanishes.
   struct CrashPoint {
     uint32_t client = 0;
     uint64_t after_verbs = 0;
@@ -113,6 +120,13 @@ struct FabricConfig {
   std::vector<CrashPoint> crash_points;
 
   // ---- Client-side protocol knobs ----------------------------------------
+  /// Doorbell-batched verb chains (Fabric::PostChain) on the hot write
+  /// paths: WriteUnlockPage collapses {page WRITE, unlock WRITE} into one
+  /// chain, and B-link splits chain {new-sibling WRITE, page WRITE,
+  /// unlock WRITE}. Disabling falls back to individually signaled verbs
+  /// (WRITE + FAA unlock), bit-identical to the pre-chain protocol.
+  /// READ-only chains (head-node prefetch) are unaffected by this knob.
+  bool verb_chaining = true;
   /// Initial backoff before re-polling a locked remote node (remote
   /// spinlock). Consecutive re-polls back off exponentially (with jitter)
   /// up to `lock_backoff_max_ns`.

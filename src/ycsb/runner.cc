@@ -1,6 +1,8 @@
 #include "ycsb/runner.h"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "sim/task.h"
 
@@ -17,16 +19,33 @@ struct SharedState {
   RunResult result;
 };
 
+/// Records one completed operation if it fell inside the measurement
+/// window (both loop shapes share these window semantics).
+void Account(SharedState& state, OpType type, const Status& status,
+             SimTime start, SimTime end) {
+  if (start < state.warmup_end || end > state.deadline) return;
+  state.result.ops++;
+  state.result.latency.Add(static_cast<uint64_t>(end - start));
+  auto& per_type = state.result.per_type[static_cast<int>(type)];
+  per_type.count++;
+  per_type.latency.Add(static_cast<uint64_t>(end - start));
+  if (!status.ok()) {
+    state.result.failed_ops++;
+    state.result.failures.Count(status.code());
+  }
+}
+
 // namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
                        WorkloadGenerator& gen, ClientContext& ctx,
-                       SharedState& state) {
+                       SharedState& state, bool primary_lane) {
   sim::Simulator& simulator = cluster.simulator();
   while (simulator.now() < state.deadline) {
     // A crash-injected client issues no further operations; its in-flight
-    // verbs were dropped by the fabric.
+    // verbs were dropped by the fabric. Only the first lane of a pipelined
+    // client reports the death, so `dead_clients` counts clients.
     if (!cluster.fabric().ClientAlive(ctx.client_id())) {
-      state.result.dead_clients++;
+      if (primary_lane) state.result.dead_clients++;
       break;
     }
     const Operation op = gen.Next(ctx.rng());
@@ -59,16 +78,66 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
     }
     const SimTime end = simulator.now();
     op_result.latency = end - start;
-    if (start >= state.warmup_end && end <= state.deadline) {
-      state.result.ops++;
-      state.result.latency.Add(static_cast<uint64_t>(op_result.latency));
-      auto& per_type = state.result.per_type[static_cast<int>(op.type)];
-      per_type.count++;
-      per_type.latency.Add(static_cast<uint64_t>(op_result.latency));
-      if (!op_result.status.ok()) {
-        state.result.failed_ops++;
-        state.result.failures.Count(op_result.status.code());
+    Account(state, op.type, op_result.status, start, end);
+  }
+}
+
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
+sim::Task<> BatchedClientLoop(nam::Cluster& cluster, DistributedIndex& index,
+                              WorkloadGenerator& gen, ClientContext& ctx,
+                              SharedState& state, uint32_t depth) {
+  sim::Simulator& simulator = cluster.simulator();
+  std::vector<index::PointOp> ops;
+  std::vector<OpType> types;
+  std::vector<index::PointOpResult> results;
+  while (simulator.now() < state.deadline) {
+    if (!cluster.fabric().ClientAlive(ctx.client_id())) {
+      state.result.dead_clients++;
+      break;
+    }
+    // Gather up to `depth` coalescable point ops. A range op flushes the
+    // gathered batch first and then runs by itself (scans carry variable-
+    // size results and do not ride in multi-op frames).
+    ops.clear();
+    types.clear();
+    Operation range_op;
+    bool have_range = false;
+    while (ops.size() < depth) {
+      const Operation op = gen.Next(ctx.rng());
+      if (op.type == OpType::kRange) {
+        range_op = op;
+        have_range = true;
+        break;
       }
+      index::PointOp p;
+      switch (op.type) {
+        case OpType::kPoint: p.kind = index::PointOpKind::kLookup; break;
+        case OpType::kInsert: p.kind = index::PointOpKind::kInsert; break;
+        case OpType::kUpdate: p.kind = index::PointOpKind::kUpdate; break;
+        case OpType::kDelete: p.kind = index::PointOpKind::kDelete; break;
+        case OpType::kRange: break;  // unreachable
+      }
+      p.key = op.key;
+      p.value = op.value;
+      ops.push_back(p);
+      types.push_back(op.type);
+    }
+    if (!ops.empty()) {
+      const SimTime start = simulator.now();
+      results.assign(ops.size(), index::PointOpResult{});
+      co_await index.RunBatch(ctx, ops, results.data());
+      const SimTime end = simulator.now();
+      // Closed-loop semantics per batch: every op in it observes the
+      // batch's end-to-end latency.
+      for (size_t i = 0; i < ops.size(); ++i) {
+        Account(state, types[i], results[i].status, start, end);
+      }
+    }
+    if (have_range) {
+      const SimTime start = simulator.now();
+      (void)co_await index.Scan(ctx, range_op.key, range_op.hi, nullptr);
+      const SimTime end = simulator.now();
+      Account(state, OpType::kRange, Status::OK(), start, end);
     }
   }
 }
@@ -111,9 +180,31 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
   }
 
   sim::Spawn(simulator, WarmupMarker(cluster, state));
+  const uint32_t depth = std::max<uint32_t>(1, config.pipeline_depth);
+  const bool batched = depth > 1 && index.SupportsBatchedPointOps();
   for (uint32_t c = 0; c < config.num_clients; ++c) {
+    if (batched) {
+      // RPC-based design: one loop per client that coalesces up to `depth`
+      // point ops into multi-op frames.
+      sim::Spawn(simulator, BatchedClientLoop(cluster, index, gen,
+                                              *contexts[c], state, depth));
+      continue;
+    }
     sim::Spawn(simulator,
-               ClientLoop(cluster, index, gen, *contexts[c], state));
+               ClientLoop(cluster, index, gen, *contexts[c], state,
+                          /*primary_lane=*/true));
+    // One-sided design with depth > 1: extra lanes share the client id
+    // (and therefore its fabric poller and lock-holder identity) but carry
+    // their own scratch buffers and rng stream, so `depth` independent
+    // operations overlap per client machine.
+    for (uint32_t lane = 1; lane < depth; ++lane) {
+      contexts.push_back(std::make_unique<ClientContext>(
+          c, cluster.fabric(), index.page_size(),
+          config.seed ^ (0x9E3779B97F4A7C15ull * lane)));
+      sim::Spawn(simulator,
+                 ClientLoop(cluster, index, gen, *contexts.back(), state,
+                            /*primary_lane=*/false));
+    }
   }
   if (config.gc_interval > 0) {
     // The paper runs epoch GC in the background; model it from client 0's

@@ -35,6 +35,14 @@ struct RunConfig {
   /// Issue one GarbageCollect pass from client 0 every `gc_interval`
   /// virtual ns (0 = no GC during the run).
   SimTime gc_interval = 0;
+  /// Outstanding operations per client coroutine. 1 (the default) is the
+  /// paper's closed loop: each client waits for its operation before
+  /// issuing the next. Depth d > 1 overlaps d independent ops per client:
+  /// designs that support batched point ops (RPC-based) gather up to d ops
+  /// and ship them as coalesced multi-op frames (one SEND per server per
+  /// batch); one-sided designs run d independent lanes per client so
+  /// lookups overlap on the wire.
+  uint32_t pipeline_depth = 1;
 };
 
 /// Aggregated measurement of one run.

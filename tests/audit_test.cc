@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "btree/types.h"
 #include "nam/cluster.h"
 #include "rdma/audit.h"
 #include "rdma/fabric.h"
@@ -193,6 +194,85 @@ TEST(AuditTest, TornReadDuringUnlockedWriteIsFlagged) {
       EXPECT_EQ(v.client, 2u);
     }
   }
+}
+
+/// The doorbell-batched release of RemoteOps::WriteUnlockPage, driven as a
+/// raw chain: CAS-lock, then one PostChain of {full-page WRITE carrying the
+/// locked word, 8-byte WRITE installing the clean +2 version}.
+Task<> ChainedCycle(Fabric& fabric, RemotePtr page, uint32_t client,
+                    uint64_t version, uint64_t payload) {
+  const uint64_t locked = btree::MakeLockedWord(version, client);
+  const uint64_t observed =
+      co_await fabric.CompareAndSwap(client, page, version, locked);
+  EXPECT_EQ(observed, version) << "unexpected lock contention";
+  std::vector<uint8_t> image(kPage, 0);
+  std::memcpy(image.data(), &locked, 8);
+  std::memcpy(image.data() + 8, &payload, 8);
+  const uint64_t unlocked = version + 2;
+  std::vector<Fabric::ChainOp> chain;
+  chain.push_back(Fabric::ChainOp::Write(page, image.data(), kPage));
+  chain.push_back(Fabric::ChainOp::Write(page, &unlocked, 8));
+  co_await fabric.PostChain(client, std::move(chain));
+}
+
+TEST(AuditTest, ChainedWriteUnlockShapePasses) {
+  // The combined {page WRITE, unlock WRITE} chain is the sanctioned release
+  // shape: the auditor must judge the word-sized lock-clearing tail by the
+  // unlock rules (holder, version bump) and report nothing.
+  Rig rig;
+  REQUIRE_AUDITOR(rig);
+  Spawn(rig.cluster.simulator(), rig.CleanCycle(0, 0xAA));
+  rig.cluster.simulator().Run();
+  for (int i = 0; i < 3; ++i) {
+    Spawn(rig.cluster.simulator(),
+          ChainedCycle(rig.fabric(), rig.page, 0, 2 + 2 * i, 0xB0 + i));
+    rig.cluster.simulator().Run();
+  }
+  EXPECT_EQ(rig.auditor()->violation_count(), 0u)
+      << rig.fabric().CheckAuditClean().ToString();
+  EXPECT_TRUE(rig.auditor()->LockedWords().empty());
+}
+
+Task<> RawWordWrite(Fabric& fabric, uint32_t client, RemotePtr dst,
+                    uint64_t word) {
+  co_await fabric.Write(client, dst, &word, 8);
+}
+
+TEST(AuditTest, UnlockShapedWriteWithoutLockIsFlagged) {
+  // The same word-sized lock-clearing WRITE outside a locked cycle — a torn
+  // or replayed chain tail hitting an unlocked word — still reports, with
+  // the precise unlock verdict rather than a generic write-without-lock.
+  Rig rig;
+  REQUIRE_AUDITOR(rig);
+  Spawn(rig.cluster.simulator(), rig.CleanCycle(0, 0xAA));
+  rig.cluster.simulator().Run();
+  ASSERT_EQ(rig.auditor()->violation_count(), 0u);
+
+  Spawn(rig.cluster.simulator(),
+        RawWordWrite(rig.fabric(), 1, rig.page, /*word=*/4));
+  rig.cluster.simulator().Run();
+
+  EXPECT_EQ(rig.auditor()->CountOfKind(ViolationKind::kUnlockWithoutLock),
+            1u);
+  EXPECT_EQ(rig.auditor()->violation_count(), 1u);
+}
+
+TEST(AuditTest, UnlockShapedWriteByNonHolderIsFlagged) {
+  // Client 1 holds the lock; client 2 posts the well-formed unlock WRITE.
+  Rig rig;
+  REQUIRE_AUDITOR(rig);
+  Spawn(rig.cluster.simulator(), rig.CleanCycle(0, 0xAA));
+  rig.cluster.simulator().Run();
+
+  Spawn(rig.cluster.simulator(),
+        RawCas(rig.fabric(), 1, rig.page, 2, btree::MakeLockedWord(2, 1)));
+  rig.cluster.simulator().Run();
+  Spawn(rig.cluster.simulator(),
+        RawWordWrite(rig.fabric(), 2, rig.page, /*word=*/4));
+  rig.cluster.simulator().Run();
+
+  EXPECT_EQ(rig.auditor()->CountOfKind(ViolationKind::kUnlockByNonHolder),
+            1u);
 }
 
 TEST(AuditTest, DisabledAuditorRecordsNothing) {

@@ -160,6 +160,14 @@ TEST(ArgParserTest, ParsesFlagsAndValues) {
   EXPECT_EQ(args.GetInt("missing", 7), 7);
 }
 
+TEST(ArgParserTest, ParsesSpaceSeparatedValues) {
+  const char* argv[] = {"prog", "--json", "out.json", "--skew", "--keys", "7"};
+  ArgParser args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetString("json", ""), "out.json");
+  EXPECT_TRUE(args.GetBool("skew", false));  // followed by a flag: boolean
+  EXPECT_EQ(args.GetInt("keys", 0), 7);      // last pair still consumed
+}
+
 TEST(ArgParserTest, EnvironmentFallback) {
   ::setenv("NAMTREE_TEST_KNOB", "99", 1);
   const char* argv[] = {"prog"};

@@ -580,6 +580,167 @@ TEST_P(SplitCrashTest, FineGrainedInsertCrashLeavesRecoverableTree) {
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
+// ---------------------------------------------------------------------------
+// Chain-boundary crashes: a client that dies while a doorbell-batched verb
+// chain is in flight loses the not-yet-executed tail atomically
+// (Fabric::PostChain drops it in one piece). Sweeping the kill time in
+// sub-effect steps across the whole posting window must only ever expose
+// the sanctioned intermediate states — never a torn one.
+// ---------------------------------------------------------------------------
+
+// The {page WRITE, unlock WRITE} chain of RemoteOps::WriteUnlockPage. Legal
+// terminal states of the remote page:
+//   untouched — died before the lock CAS landed: old image, version 0;
+//   orphaned  — died mid-protocol: lock bit still set (content old or new),
+//               reclaimable through the lease/steal path;
+//   complete  — the unlock tail executed, so the content WRITE posted ahead
+//               of it did too: new image, version = pre-lock + 2, holder
+//               bits clear.
+// "New content without the version bump" (a torn tail) must never appear.
+TEST(ChainCrashTest, WriteUnlockChainDropsTailAtomically) {
+  constexpr uint32_t kPage = 256;
+  bool saw_untouched = false, saw_orphan = false, saw_complete = false;
+  for (SimTime kill = 60; kill <= 21 * kMicrosecond; kill += 60) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 1;
+    Cluster cluster(fc, 1 << 20);
+    cluster.fabric().SetNumClients(1);
+    const rdma::RemotePtr ptr =
+        cluster.memory_server(0).region().AllocateLocal(kPage);
+    btree::PageView(cluster.memory_server(0).region().at(ptr.offset()), kPage)
+        .InitLeaf(btree::kInfinityKey, 0);
+    nam::ClientContext writer(0, cluster.fabric(), kPage, 1);
+    cluster.fabric().KillClient(0, kill);
+
+    struct Writer {
+      static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr) {
+        uint8_t* buf = ops.ctx().page_a();
+        const PageReadResult lock = co_await ops.LockPage(ptr, buf);
+        if (!lock.ok()) co_return;
+        btree::PageView view(buf, kPage);
+        EXPECT_TRUE(view.LeafInsert(7, 7));
+        (void)co_await ops.WriteUnlockPage(ptr, buf);
+      }
+    };
+    sim::Spawn(cluster.simulator(), Writer::Go(RemoteOps(writer), ptr));
+    cluster.simulator().Run();
+
+    btree::PageView view(cluster.memory_server(0).region().at(ptr.offset()),
+                         kPage);
+    const uint64_t word = view.version_word();
+    const bool has_insert = view.LeafFindLive(7) >= 0;
+    if (word == 0) {
+      saw_untouched = true;
+      EXPECT_FALSE(has_insert)
+          << "kill=" << kill << ": content landed without its version word";
+    } else if (btree::IsLocked(word)) {
+      saw_orphan = true;
+      EXPECT_EQ(btree::VersionOf(word), 0u);
+    } else {
+      saw_complete = true;
+      EXPECT_EQ(word, 2u)
+          << "kill=" << kill << ": unlock must install a clean +2 version";
+      EXPECT_TRUE(has_insert)
+          << "kill=" << kill
+          << ": unlock executed but the content WRITE chained before it "
+             "did not — the dropped tail was not atomic";
+    }
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << "kill=" << kill << ": "
+        << cluster.fabric().CheckAuditClean().ToString();
+    if (const auto* auditor = cluster.fabric().auditor()) {
+      EXPECT_EQ(auditor->LockedWords().empty(), !btree::IsLocked(word));
+    }
+  }
+  // The 60ns sweep step undercuts every inter-effect gap in the chain (the
+  // floor is unsignaled_engine_ns = 120ns), so the sweep must have caught
+  // the protocol in all three phases.
+  EXPECT_TRUE(saw_untouched);
+  EXPECT_TRUE(saw_orphan);
+  EXPECT_TRUE(saw_complete);
+}
+
+// The 3-op split chain {sibling WRITE, page WRITE, unlock WRITE} of
+// RemoteOps::WriteSiblingAndUnlockPage: chain members take effect in
+// posting order, so whenever the left page's freshly published sibling
+// pointer is visible, the sibling page it names must already be fully
+// written. A crash may leak an unpublished sibling (written but never
+// linked) or an orphaned lock — both recoverable — but never a published
+// pointer to an unwritten page.
+TEST(ChainCrashTest, SplitChainNeverPublishesUnwrittenSibling) {
+  constexpr uint32_t kPage = 256;
+  constexpr btree::Key kSep = 500;
+  bool saw_unpublished = false, saw_midchain = false, saw_complete = false;
+  for (SimTime kill = 60; kill <= 21 * kMicrosecond; kill += 60) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 1;
+    Cluster cluster(fc, 1 << 20);
+    cluster.fabric().SetNumClients(1);
+    rdma::MemoryRegion& region = cluster.memory_server(0).region();
+    const rdma::RemotePtr left = region.AllocateLocal(kPage);
+    const rdma::RemotePtr sib = region.AllocateLocal(kPage);
+    btree::PageView(region.at(left.offset()), kPage)
+        .InitLeaf(btree::kInfinityKey, 0);
+    nam::ClientContext writer(0, cluster.fabric(), kPage, 1);
+    cluster.fabric().KillClient(0, kill);
+
+    struct Writer {
+      static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr left,
+                            rdma::RemotePtr sib) {
+        uint8_t* buf = ops.ctx().page_a();
+        const PageReadResult lock = co_await ops.LockPage(left, buf);
+        if (!lock.ok()) co_return;
+        // A split by hand: fence the locked left page at kSep and hang the
+        // new right sibling (one live entry) off it.
+        btree::PageView view(buf, kPage);
+        view.header().high_key = kSep;
+        view.header().right_sibling = sib.raw();
+        std::vector<uint8_t> rimage(kPage, 0);
+        btree::PageView rview(rimage.data(), kPage);
+        rview.InitLeaf(btree::kInfinityKey, 0);
+        EXPECT_TRUE(rview.LeafInsert(700, 7));
+        (void)co_await ops.WriteSiblingAndUnlockPage(sib, rimage.data(), left,
+                                                     buf);
+      }
+    };
+    sim::Spawn(cluster.simulator(), Writer::Go(RemoteOps(writer), left, sib));
+    cluster.simulator().Run();
+
+    btree::PageView lview(region.at(left.offset()), kPage);
+    btree::PageView sview(region.at(sib.offset()), kPage);
+    const uint64_t word = lview.version_word();
+    const bool published = lview.right_sibling() == sib.raw();
+    // The sibling target starts zero-filled; the chained InitLeaf image is
+    // the only write that can install the infinity fence.
+    const bool sibling_written = sview.high_key() == btree::kInfinityKey;
+    if (published) {
+      // The load-bearing posting-order guarantee.
+      EXPECT_TRUE(sibling_written)
+          << "kill=" << kill
+          << ": left page links a sibling that was never written";
+      EXPECT_GE(sview.LeafFindLive(700), 0);
+      EXPECT_EQ(lview.high_key(), kSep);
+    }
+    const bool complete = !btree::IsLocked(word) && word != 0;
+    if (complete) {
+      saw_complete = true;
+      EXPECT_TRUE(published)
+          << "kill=" << kill << ": unlocked without publishing the split";
+      EXPECT_EQ(word, 2u);
+    } else if (sibling_written) {
+      saw_midchain = true;  // chain partially executed, tail dropped whole
+    } else {
+      saw_unpublished = true;  // nothing of the chain landed
+    }
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << "kill=" << kill << ": "
+        << cluster.fabric().CheckAuditClean().ToString();
+  }
+  EXPECT_TRUE(saw_unpublished);
+  EXPECT_TRUE(saw_midchain);
+  EXPECT_TRUE(saw_complete);
+}
+
 }  // namespace
 }  // namespace namtree::index
 

@@ -177,6 +177,110 @@ TEST(CachedFineGrainedTest, StaleCacheStaysCorrectUnderInserts) {
   EXPECT_EQ(missing, 0u) << "stale cached routing lost keys";
 }
 
+/// One stale-cache round: a reader warms its inner-node cache, a second
+/// client splits many leaves (publishing through the doorbell-batched
+/// write+unlock / split chains when `verb_chaining` is on), then the
+/// reader — still routing through its stale cached inner nodes — looks up
+/// every moved key. Returns how many it lost.
+uint64_t StaleReaderMisses(bool verb_chaining) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.verb_chaining = verb_chaining;
+  Cluster cluster(fc, 32 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 2048;
+  ic.client_cache_ttl = 10 * kSecond;  // effectively never expires
+  FineGrainedIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 2000; ++i) data.push_back({i * 4, i});
+  EXPECT_TRUE(index.BulkLoad(data).ok());
+  cluster.fabric().SetNumClients(2);
+
+  ClientContext reader(0, cluster.fabric(), ic.page_size, 1);
+  uint64_t found = 0;
+  Spawn(cluster.simulator(), LookupLoop(index, reader, 400, 2000 * 2, &found));
+  cluster.simulator().Run();
+
+  ClientContext writer(1, cluster.fabric(), ic.page_size, 2);
+  struct Writer {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx) {
+      for (Key k = 1; k < 8000; k += 2) {
+        EXPECT_TRUE((co_await index.Insert(ctx, k, k)).ok());
+      }
+    }
+  };
+  Spawn(cluster.simulator(), Writer::Go(index, writer));
+  cluster.simulator().Run();
+
+  struct Verify {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx,
+                     uint64_t* missing) {
+      for (Key k = 1; k < 8000; k += 2) {
+        const LookupResult r = co_await index.Lookup(ctx, k);
+        if (!r.found) (*missing)++;
+      }
+    }
+  };
+  uint64_t missing = 0;
+  Spawn(cluster.simulator(), Verify::Go(index, reader, &missing));
+  cluster.simulator().Run();
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+  return missing;
+}
+
+TEST(CachedFineGrainedTest, StaleCacheCatchesChainedLeafWrites) {
+  // A stale cached inner node routes the reader to a pre-split leaf; the
+  // version-checked leaf read plus the B-link chase must recover every key
+  // that a *chained* {write, unlock} publication moved — and behave
+  // identically with chaining disabled.
+  EXPECT_EQ(StaleReaderMisses(true), 0u)
+      << "a chained write+unlock slipped past the stale-cache version check";
+  EXPECT_EQ(StaleReaderMisses(false), 0u);
+}
+
+TEST(CachedFineGrainedTest, SplitSeedsWriterCacheWithPublishedParent) {
+  // The install path seeds the writer's own cache with the parent image it
+  // just published (patched to the post-release version word) instead of
+  // invalidating it: the next lookup through that parent must be served
+  // from cache and go straight to the correct new leaf — exactly one leaf
+  // READ, no parent re-read, no B-link detour.
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  Cluster cluster(fc, 16 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.head_node_interval = 0;
+  ic.client_cache_pages = 1024;
+  ic.client_cache_ttl = 0;  // no expiry
+  FineGrainedIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 60; ++i) data.push_back({i * 2, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+  ASSERT_EQ(index.root_level(), 1u) << "test assumes a single inner level";
+
+  ClientContext ctx(0, cluster.fabric(), ic.page_size, 1);
+  struct Driver {
+    static Task<> Go(FineGrainedIndex& index, ClientContext& ctx) {
+      // Right-edge appends split the rightmost leaf repeatedly; every
+      // separator install rewrites the root and seeds the cache with the
+      // fresh image.
+      for (uint64_t k = 0; k < 20; ++k) {
+        EXPECT_TRUE((co_await index.Insert(ctx, 120 + 2 * k, k)).ok());
+      }
+      const uint64_t before = ctx.round_trips;
+      const LookupResult r = co_await index.Lookup(ctx, 120 + 2 * 19);
+      EXPECT_TRUE(r.found);
+      EXPECT_EQ(ctx.round_trips - before, 1u)
+          << "stale or missing cached root: the lookup took a detour";
+    }
+  };
+  Spawn(cluster.simulator(), Driver::Go(index, ctx));
+  cluster.simulator().Run();
+  EXPECT_EQ(index.root_level(), 1u) << "root grew; the 1-read bound is void";
+}
+
 TEST(CatalogBootstrapTest, FreshClientLearnsTheRootRemotely) {
   rdma::FabricConfig fc;
   fc.num_memory_servers = 4;
