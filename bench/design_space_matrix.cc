@@ -12,7 +12,9 @@
 
 using namtree::bench::DesignKind;
 using namtree::bench::ExperimentConfig;
+using namtree::bench::JsonReport;
 using namtree::bench::MakeExperiment;
+using namtree::bench::MaybeWriteJson;
 using namtree::bench::Num;
 using namtree::bench::PrintRow;
 
@@ -30,26 +32,36 @@ int main(int argc, char** argv) {
 
   struct Cell {
     const char* label;
+    const char* json_key;
     namtree::ycsb::WorkloadMix mix;
     bool skew;
   };
   const Cell cells[] = {
-      {"point_uniform", namtree::ycsb::WorkloadA(), false},
-      {"point_skew", namtree::ycsb::WorkloadA(), true},
-      {"range_0.01_uniform", namtree::ycsb::WorkloadB(0.01), false},
-      {"range_0.01_skew", namtree::ycsb::WorkloadB(0.01), true},
-      {"insert_heavy_uniform", namtree::ycsb::WorkloadD(), false},
+      {"point_uniform", "point_uniform", namtree::ycsb::WorkloadA(), false},
+      {"point_skew", "point_skew", namtree::ycsb::WorkloadA(), true},
+      {"range_0.01_uniform", "range_1pct_uniform", namtree::ycsb::WorkloadB(0.01),
+       false},
+      {"range_0.01_skew", "range_1pct_skew", namtree::ycsb::WorkloadB(0.01),
+       true},
+      {"insert_heavy_uniform", "insert_heavy_uniform", namtree::ycsb::WorkloadD(),
+       false},
   };
 
   const struct {
     const char* label;
+    const char* json_key;
     DesignKind design;
   } designs[] = {
-      {"coarse/2-sided (D1)", DesignKind::kCoarse},
-      {"coarse/1-sided (D4)", DesignKind::kCoarseOneSided},
-      {"fine/1-sided   (D2)", DesignKind::kFine},
-      {"hybrid         (D3)", DesignKind::kHybrid},
+      {"coarse/2-sided (D1)", "coarse_grained", DesignKind::kCoarse},
+      {"coarse/1-sided (D4)", "coarse_one_sided", DesignKind::kCoarseOneSided},
+      {"fine/1-sided   (D2)", "fine_grained", DesignKind::kFine},
+      {"hybrid         (D3)", "hybrid", DesignKind::kHybrid},
   };
+
+  JsonReport report;
+  report.Set("bench", std::string("design_space_matrix"));
+  report.Set("config.keys", keys);
+  report.Set("config.clients", static_cast<uint64_t>(clients));
 
   PrintRow({"design", "point_unif", "point_skew", "range_unif", "range_skew",
             "insert_unif"});
@@ -67,9 +79,12 @@ int main(int argc, char** argv) {
       run.duration =
           namtree::bench::DurationFor(cell.mix, keys, run.num_clients);
       run.warmup = run.duration / 10;
-      row.push_back(Num(exp.Run(run).ops_per_sec));
+      const double ops_per_sec = exp.Run(run).ops_per_sec;
+      report.Set(std::string(d.json_key) + "." + cell.json_key, ops_per_sec);
+      row.push_back(Num(ops_per_sec));
     }
     PrintRow(row);
   }
+  if (!MaybeWriteJson(args, report)) return 1;
   return 0;
 }

@@ -50,6 +50,20 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    on (or directly above) either verb:
        // namtree-lint: unchained-ok(<why chaining does not apply>)
 
+6. hand-rolled-chase (error)
+   An `if`/`while` condition that consults both the fence key
+   (`high_key()`) and the right sibling (`right_sibling()`) is a
+   hand-rolled B-link chase decision. The inclusive/exclusive fence
+   contract is subtle (inner nodes cover their high key, leaves do not,
+   head/drained nodes chase through) and was historically re-derived —
+   inconsistently — at every descent site. The predicate now lives in
+   one place: `PageView::NeedsChase(key)` (src/btree/page.h), and whole
+   descend/chase loops belong in the shared traversal engine
+   (src/index/traversal.cc). Exempt: traversal.cc itself and the
+   bulk-load path (tree_build.cc). Suppress an audited site with a
+   comment on (or directly above) the condition:
+       // namtree-lint: chase-ok(<why NeedsChase does not apply>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -66,10 +80,18 @@ import sys
 
 SUPPRESS_RE = re.compile(
     r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop|"
-    r"unchained-ok)\(")
+    r"unchained-ok|chase-ok)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
+
+# Files allowed to spell out fence/sibling chase decisions inline: the
+# shared traversal engine owns the descend/chase state machine, and the
+# bulk loader wires sibling chains while building them.
+CHASE_ALLOWED_FILES = {"traversal.cc", "tree_build.cc"}
+
+# An if/while header; the condition is paren-matched from the match end.
+CHASE_COND_RE = re.compile(r"\b(?:if|while)\s*\(")
 
 BLOCKING_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|"
@@ -351,6 +373,29 @@ def lint_tree(src_root, verbose):
                 "doorbell-batched chain would do; post them via "
                 "Fabric::PostChain (cf. RemoteOps::WriteUnlockPage), or "
                 "annotate with '// namtree-lint: unchained-ok(...)'"))
+
+        # Rule: hand-rolled-chase — an if/while condition consulting both
+        # the fence key and the right sibling re-derives the B-link chase
+        # predicate inline instead of using PageView::NeedsChase (or the
+        # traversal engine's descent loop).
+        if os.path.basename(path) not in CHASE_ALLOWED_FILES:
+            for m in CHASE_COND_RE.finditer(clean):
+                open_paren = clean.find("(", m.start())
+                cond = clean[open_paren:match_paren(clean, open_paren)]
+                if "high_key" not in cond or "right_sibling" not in cond:
+                    continue
+                line = line_of(clean, m.start())
+                if is_suppressed(raw_lines, line):
+                    continue
+                findings.append(Finding(
+                    "hand-rolled-chase", rel, line,
+                    "condition consults both high_key() and "
+                    "right_sibling(): a hand-rolled B-link chase decision. "
+                    "Use PageView::NeedsChase(key) (src/btree/page.h) — or "
+                    "the traversal engine's descent — so the "
+                    "inclusive/exclusive fence contract stays in one "
+                    "place, or annotate with "
+                    "'// namtree-lint: chase-ok(...)'"))
 
         # Spawn call sites.
         for m in SPAWN_RE.finditer(clean):

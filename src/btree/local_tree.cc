@@ -167,7 +167,7 @@ Status LocalBLinkTree::Insert(Key key, Value value) {
     if (!TryUpgradeToWriteLock(view, version)) continue;
     // Under the lock the snapshot is stable; re-verify the range in case
     // the CAS admitted us to a page that split right before we read it.
-    if (key >= view.high_key() && view.right_sibling() != 0) {
+    if (view.NeedsChase(key)) {
       WriteUnlock(view);
       continue;
     }
@@ -209,7 +209,7 @@ uint64_t LocalBLinkTree::DescendToLevelLocked(uint8_t level, Key sep) {
           continue;  // re-try lock on the same node
         }
         // Locked; chase right if the separator now belongs further right.
-        while (sep > view.high_key() && view.right_sibling() != 0) {
+        while (view.NeedsChase(sep)) {
           const uint64_t next = view.right_sibling();
           WriteUnlock(view);
           node = next;

@@ -74,6 +74,41 @@ class PageView {
   uint64_t right_sibling() const { return header().right_sibling; }
   uint64_t version_word() const { return header().version_lock; }
 
+  // ---- Fence predicates ----------------------------------------------------
+  //
+  // The B-link fence contract is intentionally asymmetric:
+  //
+  //   inner: covers [low, high_key] INCLUSIVE. A key equal to a promoted
+  //          separator must descend into the LEFT subtree, because
+  //          straddling duplicates of the separator may live there
+  //          (InnerChildFor is a lower-bound descent; SplitLeafInto keeps
+  //          left-page duplicates equal to the fence). Chase only when
+  //          key > high_key.
+  //   leaf : covers [low, high_key) EXCLUSIVE *for termination*. Readers
+  //          first inspect this leaf's content (the left half of a split
+  //          may retain duplicates equal to its fence), then chase when
+  //          key >= high_key.
+  //   head : high_key == 0 and never covers a key; searches pass through
+  //          along the sibling chain. Drained leaves likewise have
+  //          high_key == 0 so every key chases right.
+  //
+  // A right-edge page (rightmost in its chain) has right_sibling == 0 and
+  // covers everything upward; NeedsChase is false there regardless of the
+  // fence.
+
+  /// True when `key` can be resolved at this page and the descent/search
+  /// must not move right. Exact complement of NeedsChase.
+  bool Covers(Key key) const { return !NeedsChase(key); }
+
+  /// True when the B-link search for `key` must follow right_sibling()
+  /// before using this page (inner: key > high_key; leaf/head/drained:
+  /// key >= high_key, evaluated after the page content was inspected).
+  bool NeedsChase(Key key) const {
+    if (right_sibling() == 0) return false;
+    const Key fence = high_key();
+    return header().level > 0 ? key > fence : key >= fence;
+  }
+
   // ---- Initialisation -----------------------------------------------------
 
   void InitLeaf(Key high_key, uint64_t right_sibling_raw);

@@ -1,8 +1,6 @@
 #include "index/coarse_one_sided.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstring>
 
 #include "btree/page.h"
 #include "index/tree_build.h"
@@ -12,8 +10,6 @@ namespace namtree::index {
 
 using btree::Key;
 using btree::KV;
-using btree::kInfinityKey;
-using btree::PageView;
 using btree::Value;
 
 CoarseOneSidedIndex::CoarseOneSidedIndex(nam::Cluster& cluster,
@@ -21,7 +17,22 @@ CoarseOneSidedIndex::CoarseOneSidedIndex(nam::Cluster& cluster,
     : cluster_(cluster),
       config_(config),
       partitioner_(config.partition, cluster.num_memory_servers()),
-      catalog_slot_(cluster.AllocateCatalogSlot()) {}
+      catalog_slot_(cluster.AllocateCatalogSlot()),
+      engine_(TraversalEngine::Options{
+          config.page_size,
+          config.client_cache_pages > 0
+              ? TraversalEngine::CacheMode::kInnerImages
+              : TraversalEngine::CacheMode::kNone,
+          config.client_cache_pages, config.client_cache_ttl}) {
+  // One engine tree per partition: splits allocate on the partition's
+  // server and the root is published in that server's catalog slot.
+  for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
+    engine_.AddTree(
+        static_cast<int32_t>(s),
+        rdma::RemotePtr::Make(
+            s, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)));
+  }
+}
 
 Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
   partitioner_.FitBoundaries(sorted, config_.partition_weights);
@@ -46,8 +57,6 @@ Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
     }
   }
 
-  roots_.assign(servers, rdma::RemotePtr());
-  root_levels_.assign(servers, 0);
   first_leaves_.assign(servers, rdma::RemotePtr());
   for (uint32_t s = 0; s < servers; ++s) {
     LeafLevel::BuildResult leaves;
@@ -55,46 +64,27 @@ Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
                                      &leaves, static_cast<int32_t>(s));
     if (!status.ok()) return status;
     first_leaves_[s] = leaves.first;
+    rdma::RemotePtr root;
+    uint8_t root_level = 0;
     status = BuildUpperLevels(cluster_.fabric(),
                               std::move(leaves.leaf_refs), config_.page_size,
                               config_.leaf_fill_percent,
-                              static_cast<int32_t>(s), &roots_[s],
-                              &root_levels_[s]);
+                              static_cast<int32_t>(s), &root, &root_level);
     if (!status.ok()) return status;
+    engine_.SetRoot(s, root, root_level);
     // Publish each partition root in this index's catalog slot.
     cluster_.fabric().region(s)->WriteU64(
-        rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_),
-        roots_[s].raw());
+        rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root.raw());
   }
   return Status::OK();
-}
-
-sim::Task<rdma::RemotePtr> CoarseOneSidedIndex::DescendToLeafPtr(
-    RemoteOps& ops, uint32_t server, Key key) {
-  rdma::RemotePtr ptr = roots_[server];
-  if (root_levels_[server] == 0) co_return ptr;
-  uint8_t* buf = ops.ctx().page_a();
-  // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
-  for (;;) {
-    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
-    if (!read.ok()) co_return rdma::RemotePtr::Null();
-    PageView view(buf, ops.page_size());
-    if (view.level() == 0) co_return ptr;  // stale root metadata
-    if (key > view.high_key() && view.right_sibling() != 0) {
-      ptr = rdma::RemotePtr(view.right_sibling());
-      continue;
-    }
-    const rdma::RemotePtr child(view.InnerChildFor(key));
-    if (view.level() == 1) co_return child;
-    ptr = child;
-  }
 }
 
 sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
                                                     Key key) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, server, key);
   if (leaf.is_null()) {
     co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
   }
@@ -111,7 +101,8 @@ sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
   const bool hash = partitioner_.kind() == PartitionKind::kHash;
   for (uint32_t server : partitioner_.ServersFor(lo, hi)) {
     std::vector<KV>* sink = out == nullptr ? nullptr : (hash ? &merged : out);
-    const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, lo);
+    const rdma::RemotePtr leaf =
+        co_await engine_.DescendToLeaf(ops, server, lo);
     if (leaf.is_null()) break;  // dead client: report the partial count
     found += co_await LeafLevel::ScanChain(ops, leaf, lo, hi, sink);
   }
@@ -127,15 +118,17 @@ sim::Task<Status> CoarseOneSidedIndex::Insert(nam::ClientContext& ctx,
                                               Key key, Value value) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, server, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   LeafLevel::SplitInfo split;
   const Status status = co_await LeafLevel::InsertAt(
       ops, leaf, key, value, &split, static_cast<int32_t>(server));
   if (!status.ok()) co_return status;
   if (split.split) {
-    co_return co_await InstallSeparator(ops, server, 1, split.separator,
-                                        leaf, split.right);
+    co_return co_await engine_.InstallSeparator(ops, server, 1,
+                                                split.separator, leaf,
+                                                split.right);
   }
   co_return Status::OK();
 }
@@ -144,7 +137,8 @@ sim::Task<Status> CoarseOneSidedIndex::Update(nam::ClientContext& ctx,
                                               Key key, Value value) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, server, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
 }
@@ -154,7 +148,8 @@ sim::Task<uint64_t> CoarseOneSidedIndex::LookupAll(nam::ClientContext& ctx,
                                                    std::vector<Value>* out) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, server, key);
   if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
 }
@@ -163,7 +158,8 @@ sim::Task<Status> CoarseOneSidedIndex::Delete(nam::ClientContext& ctx,
                                               Key key) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, server, key);
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, server, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
 }
@@ -183,114 +179,6 @@ sim::Task<uint64_t> CoarseOneSidedIndex::GarbageCollect(
                                                config_.head_node_interval);
   }
   co_return reclaimed;
-}
-
-sim::Task<bool> CoarseOneSidedIndex::TryGrowRoot(RemoteOps& ops,
-                                                 uint32_t server,
-                                                 uint8_t new_level, Key sep,
-                                                 rdma::RemotePtr left,
-                                                 rdma::RemotePtr right) {
-  const rdma::RemotePtr new_root = co_await ops.AllocPage(server);
-  if (new_root.is_null()) co_return true;  // tree stays valid via chains
-  std::vector<uint8_t> image(ops.page_size());
-  PageView view(image.data(), ops.page_size());
-  view.InitInner(new_level, kInfinityKey, 0);
-  view.inner_keys()[0] = sep;
-  view.inner_children()[0] = left.raw();
-  view.inner_children()[1] = right.raw();
-  view.header().count = 1;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
-                              ops.page_size());
-  // A dropped root-image write must not be published: give up, tree valid.
-  if (!ops.alive()) co_return true;
-  if (roots_[server] != left) co_return false;  // lost the catalog race
-  roots_[server] = new_root;
-  root_levels_[server] = new_level;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(
-      ops.ctx().client_id(),
-      rdma::RemotePtr::Make(
-          server, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
-      &new_root, 8);
-  co_return true;
-}
-
-sim::Task<Status> CoarseOneSidedIndex::InstallSeparator(RemoteOps& ops,
-                                                        uint32_t server,
-                                                        uint8_t level, Key sep,
-                                                        rdma::RemotePtr left,
-                                                        rdma::RemotePtr right) {
-  uint8_t* buf = ops.ctx().page_a();
-  // Bounded: every pass makes B-link progress or propagates a failure
-  // status. namtree-lint: bounded-loop(blink-restart)
-  for (;;) {
-    if (root_levels_[server] < level) {
-      if (co_await TryGrowRoot(ops, server, level, sep, left, right)) {
-        co_return ops.alive() ? Status::OK()
-                              : Status::Unavailable("client crashed");
-      }
-      continue;
-    }
-    rdma::RemotePtr ptr = roots_[server];
-    bool restart = false;
-    // namtree-lint: bounded-loop(blink-descent)
-    for (;;) {
-      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
-      if (!read.ok()) co_return read.status;
-      PageView view(buf, ops.page_size());
-      if (view.level() < level) {
-        restart = true;
-        break;
-      }
-      if (view.level() > level) {
-        if (sep > view.high_key() && view.right_sibling() != 0) {
-          ptr = rdma::RemotePtr(view.right_sibling());
-          continue;
-        }
-        ptr = rdma::RemotePtr(view.InnerChildFor(sep));
-        continue;
-      }
-      if (sep > view.high_key() && view.right_sibling() != 0) {
-        ptr = rdma::RemotePtr(view.right_sibling());
-        continue;
-      }
-      const Status lock = co_await ops.TryLockPage(ptr, read.version);
-      if (!lock.ok()) {
-        if (!lock.IsAborted()) co_return lock;
-        ops.ctx().restarts++;
-        continue;  // lost the CAS race: re-read this node
-      }
-      ops.StampLocked(buf, read.version);
-
-      if (view.InnerInsert(sep, right.raw())) {
-        co_return co_await ops.WriteUnlockPage(ptr, buf);
-      }
-      const rdma::RemotePtr new_right = co_await ops.AllocPage(server);
-      if (new_right.is_null()) {
-        if (!ops.alive()) co_return Status::Unavailable("client crashed");
-        (void)co_await ops.UnlockPage(ptr);
-        co_return Status::OK();  // separator uninstalled (B-link safe)
-      }
-      std::vector<uint8_t> rimage(ops.page_size());
-      PageView rview(rimage.data(), ops.page_size());
-      const Key promoted = view.SplitInnerInto(rview, new_right.raw());
-      PageView target = sep < promoted ? view : rview;
-      const bool ok = target.InnerInsert(sep, right.raw());
-      assert(ok);
-      (void)ok;
-      // One chained {right WRITE, left WRITE, unlock} publication; a crash
-      // drops the unexecuted tail, orphans the lock on `ptr` (lease-steal
-      // reclaims it) and leaks the unpublished right node — both sound.
-      const Status wu = co_await ops.WriteSiblingAndUnlockPage(
-          new_right, rimage.data(), ptr, buf);
-      if (!wu.ok()) co_return wu;
-      co_return co_await InstallSeparator(ops, server,
-                                          static_cast<uint8_t>(level + 1),
-                                          promoted, ptr, new_right);
-    }
-    if (restart) continue;
-  }
 }
 
 }  // namespace namtree::index

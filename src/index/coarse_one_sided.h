@@ -5,8 +5,10 @@
 
 #include "index/index.h"
 #include "index/leaf_level.h"
+#include "index/node_cache.h"
 #include "index/partition.h"
 #include "index/remote_ops.h"
+#include "index/traversal.h"
 #include "nam/cluster.h"
 #include "rdma/remote_ptr.h"
 
@@ -31,6 +33,11 @@ namespace namtree::index {
 /// Section 7's shared-nothing discussion maps onto this design directly:
 /// "use the coarse-grained index design to make indexes built locally per
 /// partition accessible via RDMA from other nodes".
+///
+/// The descent/lock/retry protocol lives in TraversalEngine
+/// (docs/traversal.md); this design is the policy triple {one tree per
+/// partition, fixed-server allocation, catalog slot on server s} + the
+/// same inner-image cache as the fine-grained design.
 class CoarseOneSidedIndex : public DistributedIndex {
  public:
   CoarseOneSidedIndex(nam::Cluster& cluster, IndexConfig config);
@@ -55,37 +62,32 @@ class CoarseOneSidedIndex : public DistributedIndex {
   uint32_t page_size() const override { return config_.page_size; }
 
   const Partitioner& partitioner() const { return partitioner_; }
-  rdma::RemotePtr root_of(uint32_t server) const { return roots_[server]; }
-  uint8_t root_level_of(uint32_t server) const { return root_levels_[server]; }
+  rdma::RemotePtr root_of(uint32_t server) const {
+    return engine_.root(server);
+  }
+  uint8_t root_level_of(uint32_t server) const {
+    return engine_.root_level(server);
+  }
   rdma::RemotePtr first_leaf_of(uint32_t server) const {
     return first_leaves_[server];
   }
 
+  /// The client's inner-node cache (shared with the fine-grained design
+  /// through the engine's cache policy), or nullptr when disabled.
+  NodeCache* CacheFor(uint32_t client_id) {
+    return engine_.CacheFor(client_id);
+  }
+
+  using CacheStats = TraversalEngine::CacheStats;
+  CacheStats GetCacheStats() const { return engine_.GetCacheStats(); }
+
  private:
-  /// One-sided descent through partition `server`'s inner levels to a leaf
-  /// candidate for `key` (Listing 2 confined to one server).
-  sim::Task<rdma::RemotePtr> DescendToLeafPtr(RemoteOps& ops, uint32_t server,
-                                              btree::Key key);
-
-  /// Installs a separator into partition `server`'s tree one-sided.
-  /// Unavailable means this client died mid-install; the partition's tree
-  /// stays valid via the B-link sibling chain.
-  sim::Task<Status> InstallSeparator(RemoteOps& ops, uint32_t server,
-                                     uint8_t level, btree::Key sep,
-                                     rdma::RemotePtr left,
-                                     rdma::RemotePtr right);
-
-  sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint32_t server,
-                              uint8_t new_level, btree::Key sep,
-                              rdma::RemotePtr left, rdma::RemotePtr right);
-
   nam::Cluster& cluster_;
   IndexConfig config_;
   Partitioner partitioner_;
   uint32_t catalog_slot_;
-  // Per-partition catalog state.
-  std::vector<rdma::RemotePtr> roots_;
-  std::vector<uint8_t> root_levels_;
+  // Tree id s in the engine is partition s's tree.
+  TraversalEngine engine_;
   std::vector<rdma::RemotePtr> first_leaves_;
 };
 

@@ -1,9 +1,5 @@
 #include "index/fine_grained.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cstring>
-
 #include "btree/page.h"
 #include "index/tree_build.h"
 #include "rdma/memory_region.h"
@@ -12,14 +8,22 @@ namespace namtree::index {
 
 using btree::Key;
 using btree::KV;
-using btree::kInfinityKey;
-using btree::PageView;
 using btree::Value;
 
 FineGrainedIndex::FineGrainedIndex(nam::Cluster& cluster, IndexConfig config)
     : cluster_(cluster),
       config_(config),
-      catalog_slot_(cluster.AllocateCatalogSlot()) {}
+      catalog_slot_(cluster.AllocateCatalogSlot()),
+      engine_(TraversalEngine::Options{
+          config.page_size,
+          config.client_cache_pages > 0
+              ? TraversalEngine::CacheMode::kInnerImages
+              : TraversalEngine::CacheMode::kNone,
+          config.client_cache_pages, config.client_cache_ttl}),
+      tree_(engine_.AddTree(
+          /*alloc_server=*/-1,
+          rdma::RemotePtr::Make(
+              0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)))) {}
 
 Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
   LeafLevel::BuildResult leaves;
@@ -28,85 +32,25 @@ Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
   if (!status.ok()) return status;
   first_leaf_ = leaves.first;
 
+  rdma::RemotePtr root;
+  uint8_t root_level = 0;
   status = BuildUpperLevels(cluster_.fabric(), std::move(leaves.leaf_refs),
                             config_.page_size, config_.leaf_fill_percent,
-                            /*fixed_server=*/-1, &root_, &root_level_);
+                            /*fixed_server=*/-1, &root, &root_level);
   if (!status.ok()) return status;
+  engine_.SetRoot(tree_, root, root_level);
 
   // Publish the root in this index's catalog slot (server 0) for remote
   // bootstrap.
   cluster_.fabric().region(0)->WriteU64(
-      rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root_.raw());
+      rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root.raw());
   return Status::OK();
-}
-
-NodeCache* FineGrainedIndex::CacheFor(uint32_t client_id) {
-  if (config_.client_cache_pages == 0) return nullptr;
-  auto it = caches_.find(client_id);
-  if (it == caches_.end()) {
-    it = caches_
-             .emplace(client_id, std::make_unique<NodeCache>(
-                                     config_.page_size,
-                                     config_.client_cache_pages,
-                                     config_.client_cache_ttl))
-             .first;
-  }
-  return it->second.get();
-}
-
-FineGrainedIndex::CacheStats FineGrainedIndex::GetCacheStats() const {
-  CacheStats stats;
-  for (const auto& [id, cache] : caches_) {
-    stats.hits += cache->hits();
-    stats.misses += cache->misses();
-    stats.expirations += cache->expirations();
-  }
-  return stats;
-}
-
-sim::Task<rdma::RemotePtr> FineGrainedIndex::DescendToLeafPtr(RemoteOps& ops,
-                                                              Key key) {
-  rdma::RemotePtr ptr = root_;
-  if (root_level_ == 0) co_return ptr;  // single-leaf tree
-  uint8_t* buf = ops.ctx().page_a();
-  NodeCache* cache = CacheFor(ops.ctx().client_id());
-  // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
-  for (;;) {
-    // A.4 caching: inner-node images may come from the client cache; a
-    // stale image can only route us too far left, which the B-link chase
-    // at the next level (or leaf chain) corrects.
-    const uint8_t* image = nullptr;
-    if (cache != nullptr) {
-      image = cache->Get(ptr.raw(), ops.fabric().simulator().now());
-    }
-    if (image == nullptr) {
-      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
-      if (!read.ok()) co_return rdma::RemotePtr::Null();
-      image = buf;
-      if (cache != nullptr &&
-          PageView(buf, ops.page_size()).level() >= 1) {
-        cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
-      }
-    }
-    PageView view(const_cast<uint8_t*>(image), ops.page_size());
-    if (view.level() == 0) {
-      // Stale root metadata can land us on a leaf; hand it to the caller.
-      co_return ptr;
-    }
-    if (key > view.high_key() && view.right_sibling() != 0) {
-      ptr = rdma::RemotePtr(view.right_sibling());
-      continue;
-    }
-    const rdma::RemotePtr child(view.InnerChildFor(key));
-    if (view.level() == 1) co_return child;
-    ptr = child;
-  }
 }
 
 sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
                                                  Key key) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) {
     co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
   }
@@ -116,7 +60,7 @@ sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
 sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
                                            Key hi, std::vector<KV>* out) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, lo);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, lo);
   if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
 }
@@ -124,7 +68,7 @@ sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
 sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
                                            Value value) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   LeafLevel::SplitInfo split;
   const Status status =
@@ -134,8 +78,9 @@ sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
     // The left page of the split is the page InsertAt actually modified;
     // it may differ from `leaf` after chain chases, but the separator
     // install only needs (sep, right).
-    co_return co_await InstallSeparator(ops, 1, split.separator, leaf,
-                                        split.right);
+    co_return co_await engine_.InstallSeparator(ops, tree_, 1,
+                                                split.separator, leaf,
+                                                split.right);
   }
   co_return Status::OK();
 }
@@ -143,7 +88,7 @@ sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
 sim::Task<Status> FineGrainedIndex::Update(nam::ClientContext& ctx, Key key,
                                            Value value) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::UpdateAt(ops, leaf, key, value);
 }
@@ -152,174 +97,16 @@ sim::Task<uint64_t> FineGrainedIndex::LookupAll(nam::ClientContext& ctx,
                                                 Key key,
                                                 std::vector<Value>* out) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return 0;
   co_return co_await LeafLevel::CollectAt(ops, leaf, key, out);
 }
 
 sim::Task<Status> FineGrainedIndex::Delete(nam::ClientContext& ctx, Key key) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await DescendToLeafPtr(ops, key);
+  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
   co_return co_await LeafLevel::DeleteAt(ops, leaf, key);
-}
-
-sim::Task<bool> FineGrainedIndex::TryGrowRoot(RemoteOps& ops,
-                                              uint8_t new_level, Key sep,
-                                              rdma::RemotePtr left,
-                                              rdma::RemotePtr right) {
-  const rdma::RemotePtr new_root = co_await ops.AllocPageRoundRobin();
-  if (new_root.is_null()) co_return true;  // give up silently: tree still valid
-  std::vector<uint8_t> image(ops.page_size());
-  PageView view(image.data(), ops.page_size());
-  view.InitInner(new_level, kInfinityKey, 0);
-  view.inner_keys()[0] = sep;
-  view.inner_children()[0] = left.raw();
-  view.inner_children()[1] = right.raw();
-  view.header().count = 1;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
-                              ops.page_size());
-  // A dropped root-image write must not be published: give up, tree valid.
-  if (!ops.alive()) co_return true;
-  // Publish through the catalog. The check-and-update happens atomically in
-  // virtual time (no awaits in between), mirroring a catalog-service CAS.
-  if (root_ != left) co_return false;  // somebody else grew the tree
-  root_ = new_root;
-  root_level_ = new_level;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(
-      ops.ctx().client_id(),
-      rdma::RemotePtr::Make(
-          0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
-      &new_root, 8);
-  co_return true;
-}
-
-sim::Task<Status> FineGrainedIndex::InstallSeparator(RemoteOps& ops,
-                                                     uint8_t level, Key sep,
-                                                     rdma::RemotePtr left,
-                                                     rdma::RemotePtr right) {
-  uint8_t* buf = ops.ctx().page_a();
-  // Bounded: every pass makes B-link progress or propagates a failure
-  // status. namtree-lint: bounded-loop(blink-restart)
-  for (;;) {
-    if (root_level_ < level) {
-      if (co_await TryGrowRoot(ops, level, sep, left, right)) {
-        co_return ops.alive() ? Status::OK()
-                              : Status::Unavailable("client crashed");
-      }
-      continue;
-    }
-    // Descend to the target level for `sep`.
-    rdma::RemotePtr ptr = root_;
-    bool restart = false;
-    NodeCache* cache = CacheFor(ops.ctx().client_id());
-    // namtree-lint: bounded-loop(blink-descent)
-    for (;;) {
-      // A.4 caching on the install descent: hops *above* the target level
-      // may come from the client cache (a stale image only routes too far
-      // left, and the B-link chase corrects that). The target node itself
-      // always takes a fresh read — its version word seeds the lock CAS.
-      if (cache != nullptr) {
-        const uint8_t* image =
-            cache->Get(ptr.raw(), ops.fabric().simulator().now());
-        if (image != nullptr) {
-          PageView cview(const_cast<uint8_t*>(image), ops.page_size());
-          if (cview.level() > level) {
-            if (sep > cview.high_key() && cview.right_sibling() != 0) {
-              ptr = rdma::RemotePtr(cview.right_sibling());
-            } else {
-              ptr = rdma::RemotePtr(cview.InnerChildFor(sep));
-            }
-            continue;
-          }
-        }
-      }
-      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
-      if (!read.ok()) co_return read.status;
-      PageView view(buf, ops.page_size());
-      if (view.level() < level) {
-        // Stale root below the target level: re-check the catalog state.
-        restart = true;
-        break;
-      }
-      if (view.level() > level) {
-        if (cache != nullptr) {
-          cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
-        }
-        if (sep > view.high_key() && view.right_sibling() != 0) {
-          ptr = rdma::RemotePtr(view.right_sibling());
-          continue;
-        }
-        ptr = rdma::RemotePtr(view.InnerChildFor(sep));
-        continue;
-      }
-      // At the target level: chase, then lock.
-      if (sep > view.high_key() && view.right_sibling() != 0) {
-        ptr = rdma::RemotePtr(view.right_sibling());
-        continue;
-      }
-      const Status lock = co_await ops.TryLockPage(ptr, read.version);
-      if (!lock.ok()) {
-        if (!lock.IsAborted()) co_return lock;
-        ops.ctx().restarts++;
-        continue;  // lost the CAS race: re-read this node
-      }
-      ops.StampLocked(buf, read.version);
-
-      // Re-validate the range under the lock (version pinned by the CAS).
-      if (view.InnerInsert(sep, right.raw())) {
-        const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
-        if (!wu.ok()) co_return wu;
-        if (cache != nullptr) {
-          // Seed the cache with the image we just published, patched to
-          // the post-release version word: the next descent routes through
-          // this node with zero remote reads instead of re-reading it.
-          uint64_t word;
-          std::memcpy(&word, buf + btree::kVersionOffset, 8);
-          const uint64_t unlocked = btree::VersionOf(word) + 2;
-          std::memcpy(buf + btree::kVersionOffset, &unlocked, 8);
-          cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
-        }
-        co_return Status::OK();
-      }
-      // Full: split this inner node and recurse with the promoted key.
-      const rdma::RemotePtr new_right = co_await ops.AllocPageRoundRobin();
-      if (new_right.is_null()) {
-        if (!ops.alive()) co_return Status::Unavailable("client crashed");
-        (void)co_await ops.UnlockPage(ptr);
-        co_return Status::OK();  // OOM; separator uninstalled (B-link safe)
-      }
-      std::vector<uint8_t> rimage(ops.page_size());
-      PageView rview(rimage.data(), ops.page_size());
-      const Key promoted = view.SplitInnerInto(rview, new_right.raw());
-      PageView target = sep < promoted ? view : rview;
-      const bool ok = target.InnerInsert(sep, right.raw());
-      assert(ok);
-      (void)ok;
-      // One chained {right WRITE, left WRITE, unlock} publication; a crash
-      // drops the unexecuted tail, orphans the lock on `ptr` (lease-steal
-      // reclaims it) and leaks the unpublished right node — both sound.
-      const Status wu = co_await ops.WriteSiblingAndUnlockPage(
-          new_right, rimage.data(), ptr, buf);
-      if (!wu.ok()) co_return wu;
-      if (cache != nullptr) {
-        // Seed both halves of the split with their freshly published
-        // images (left patched to the post-release version word).
-        uint64_t word;
-        std::memcpy(&word, buf + btree::kVersionOffset, 8);
-        const uint64_t unlocked = btree::VersionOf(word) + 2;
-        std::memcpy(buf + btree::kVersionOffset, &unlocked, 8);
-        const SimTime now = ops.fabric().simulator().now();
-        cache->Put(ptr.raw(), buf, now);
-        cache->Put(new_right.raw(), rimage.data(), now);
-      }
-      co_return co_await InstallSeparator(
-          ops, static_cast<uint8_t>(level + 1), promoted, ptr, new_right);
-    }
-    if (restart) continue;
-  }
 }
 
 sim::Task<uint64_t> FineGrainedIndex::GarbageCollect(nam::ClientContext& ctx) {
@@ -341,23 +128,7 @@ sim::Task<uint64_t> FineGrainedIndex::GarbageCollect(nam::ClientContext& ctx) {
 sim::Task<Status> FineGrainedIndex::BootstrapFromCatalog(
     nam::ClientContext& ctx) {
   RemoteOps ops(ctx);
-  uint64_t raw = 0;
-  ctx.round_trips++;
-  co_await cluster_.fabric().Read(
-      ctx.client_id(),
-      rdma::RemotePtr::Make(
-          0, rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_)),
-      &raw, 8);
-  if (!ops.alive()) co_return Status::Unavailable("client crashed");
-  const rdma::RemotePtr root(raw);
-  if (root.is_null()) co_return Status::NotFound("catalog slot empty");
-  // Learn the root's level from its page header.
-  const Status read = co_await ops.ReadPage(root, ctx.page_a());
-  if (!read.ok()) co_return read;
-  PageView view(ctx.page_a(), ops.page_size());
-  root_ = root;
-  root_level_ = view.level();
-  co_return Status::OK();
+  co_return co_await engine_.BootstrapFromCatalog(ops, tree_);
 }
 
 sim::Task<Status> FineGrainedIndex::RebuildHeads(nam::ClientContext& ctx) {

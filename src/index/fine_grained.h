@@ -1,14 +1,13 @@
 #ifndef NAMTREE_INDEX_FINE_GRAINED_H_
 #define NAMTREE_INDEX_FINE_GRAINED_H_
 
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "index/index.h"
 #include "index/leaf_level.h"
 #include "index/node_cache.h"
 #include "index/remote_ops.h"
+#include "index/traversal.h"
 #include "nam/cluster.h"
 #include "rdma/remote_ptr.h"
 
@@ -23,6 +22,10 @@ namespace namtree::index {
 /// FETCH_AND_ADD to install modifications and release, FETCH_AND_ADD on the
 /// region cursor for RDMA_ALLOC. Head nodes on the leaf level prefetch
 /// ranges (§4.3); epoch GC and head rebuilds run from a compute server.
+///
+/// The descent/lock/retry protocol itself lives in TraversalEngine
+/// (docs/traversal.md); this design is the policy triple {global tree,
+/// round-robin allocation, catalog slot on server 0} + inner-image cache.
 class FineGrainedIndex : public DistributedIndex {
  public:
   FineGrainedIndex(nam::Cluster& cluster, IndexConfig config);
@@ -46,8 +49,8 @@ class FineGrainedIndex : public DistributedIndex {
   std::string name() const override { return "fine-grained"; }
   uint32_t page_size() const override { return config_.page_size; }
 
-  rdma::RemotePtr root() const { return root_; }
-  uint8_t root_level() const { return root_level_; }
+  rdma::RemotePtr root() const { return engine_.root(tree_); }
+  uint8_t root_level() const { return engine_.root_level(tree_); }
   rdma::RemotePtr first_leaf() const { return first_leaf_; }
 
   /// Rebuilds head nodes (run by the epoch maintenance thread alongside
@@ -62,45 +65,21 @@ class FineGrainedIndex : public DistributedIndex {
 
   /// The client's inner-node cache (Appendix A.4), or nullptr when caching
   /// is disabled. Created lazily per client id.
-  NodeCache* CacheFor(uint32_t client_id);
+  NodeCache* CacheFor(uint32_t client_id) {
+    return engine_.CacheFor(client_id);
+  }
 
   /// Aggregate cache statistics over all clients.
-  struct CacheStats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t expirations = 0;
-  };
-  CacheStats GetCacheStats() const;
+  using CacheStats = TraversalEngine::CacheStats;
+  CacheStats GetCacheStats() const { return engine_.GetCacheStats(); }
 
  private:
-  /// Descends the inner levels one-sided (Listing 2) and returns the
-  /// remote pointer of a leaf candidate for `key` (leaf-chain chases are
-  /// handled by the leaf-level routines).
-  sim::Task<rdma::RemotePtr> DescendToLeafPtr(RemoteOps& ops,
-                                              btree::Key key);
-
-  /// Installs `sep` / `right` at inner `level` after a split of `left`.
-  /// Unavailable means this client died mid-install; the tree stays valid
-  /// (B-link: the split is reachable via the left sibling pointer).
-  sim::Task<Status> InstallSeparator(RemoteOps& ops, uint8_t level,
-                                     btree::Key sep, rdma::RemotePtr left,
-                                     rdma::RemotePtr right);
-
-  /// Publishes a new root through the catalog slot on server 0.
-  sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint8_t new_level,
-                              btree::Key sep, rdma::RemotePtr left,
-                              rdma::RemotePtr right);
-
   nam::Cluster& cluster_;
   IndexConfig config_;
-  // Catalog state (paper: part of the database catalog service). The
-  // authoritative copy also lives in server 0's catalog slot for clients
-  // that bootstrap remotely.
-  rdma::RemotePtr root_;
-  uint8_t root_level_ = 0;
-  rdma::RemotePtr first_leaf_;
   uint32_t catalog_slot_;
-  std::unordered_map<uint32_t, std::unique_ptr<NodeCache>> caches_;
+  TraversalEngine engine_;
+  uint32_t tree_;
+  rdma::RemotePtr first_leaf_;
 };
 
 }  // namespace namtree::index

@@ -1,7 +1,6 @@
 #include "index/hybrid.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace namtree::index {
 
@@ -13,7 +12,13 @@ HybridIndex::HybridIndex(nam::Cluster& cluster, IndexConfig config)
     : cluster_(cluster),
       config_(config),
       partitioner_(PartitionKind::kRange, cluster.num_memory_servers()),
-      rpc_service_(cluster.AllocateRpcService()) {}
+      rpc_service_(cluster.AllocateRpcService()),
+      engine_(TraversalEngine::Options{
+          config.page_size,
+          config.client_cache_pages > 0
+              ? TraversalEngine::CacheMode::kLeafRoutes
+              : TraversalEngine::CacheMode::kNone,
+          config.client_cache_pages, config.client_cache_ttl}) {}
 
 Status HybridIndex::BulkLoad(std::span<const KV> sorted) {
   if (config_.partition == PartitionKind::kHash) {
@@ -114,8 +119,8 @@ sim::Task<> HybridIndex::Handle(nam::MemoryServer& server,
   cluster_.fabric().Respond(server.server_id(), rpc, std::move(resp));
 }
 
-sim::Task<HybridIndex::FindLeafResult> HybridIndex::FindLeaf(
-    nam::ClientContext& ctx, Key key) {
+sim::Task<DescentResult> HybridIndex::ResolveLeaf(nam::ClientContext& ctx,
+                                                  Key key) {
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kFindLeaf;
@@ -125,24 +130,24 @@ sim::Task<HybridIndex::FindLeafResult> HybridIndex::FindLeaf(
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code != StatusCode::kOk) {
-    co_return FindLeafResult{Status::FromCode(code, "find-leaf rpc"),
-                             rdma::RemotePtr::Null()};
+    co_return DescentResult{Status::FromCode(code, "find-leaf rpc"),
+                            rdma::RemotePtr::Null()};
   }
-  co_return FindLeafResult{Status::OK(), rdma::RemotePtr(resp.arg0)};
+  co_return DescentResult{Status::OK(), rdma::RemotePtr(resp.arg0)};
 }
 
 sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
                                             Key key) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, key);
-  if (!fl.status.ok()) co_return LookupResult{false, 0, fl.status};
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
+  if (!fl.ok()) co_return LookupResult{false, 0, fl.status};
   RemoteOps ops(ctx);
   co_return co_await LeafLevel::SearchChain(ops, fl.leaf, key);
 }
 
 sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
                                       std::vector<KV>* out) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, lo);
-  if (!fl.status.ok()) co_return 0;
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, lo);
+  if (!fl.ok()) co_return 0;
   RemoteOps ops(ctx);
   // The leaf chain is global, so one traversal covers the whole range even
   // across partition boundaries (§5.2).
@@ -151,14 +156,18 @@ sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
 
 sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
                                       Value value) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, key);
-  if (!fl.status.ok()) co_return fl.status;
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
+  if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);
   LeafLevel::SplitInfo split;
   const Status status =
       co_await LeafLevel::InsertAt(ops, fl.leaf, key, value, &split);
   if (!status.ok()) co_return status;
   if (split.split) {
+    // This client just learned where keys at/above the separator live;
+    // seed its route cache before announcing the split.
+    engine_.SeedRoute(ctx, key,
+                      key >= split.separator ? split.right : fl.leaf);
     // Announce the new leaf to the memory server owning the separator's
     // range (§5.2): it installs the key into its upper levels itself.
     rdma::RpcRequest req;
@@ -182,23 +191,23 @@ sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
 
 sim::Task<Status> HybridIndex::Update(nam::ClientContext& ctx, Key key,
                                       Value value) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, key);
-  if (!fl.status.ok()) co_return fl.status;
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
+  if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);
   co_return co_await LeafLevel::UpdateAt(ops, fl.leaf, key, value);
 }
 
 sim::Task<uint64_t> HybridIndex::LookupAll(nam::ClientContext& ctx, Key key,
                                            std::vector<Value>* out) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, key);
-  if (!fl.status.ok()) co_return 0;
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
+  if (!fl.ok()) co_return 0;
   RemoteOps ops(ctx);
   co_return co_await LeafLevel::CollectAt(ops, fl.leaf, key, out);
 }
 
 sim::Task<Status> HybridIndex::Delete(nam::ClientContext& ctx, Key key) {
-  const FindLeafResult fl = co_await FindLeaf(ctx, key);
-  if (!fl.status.ok()) co_return fl.status;
+  const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
+  if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);
   co_return co_await LeafLevel::DeleteAt(ops, fl.leaf, key);
 }

@@ -6,9 +6,11 @@
 
 #include "index/index.h"
 #include "index/leaf_level.h"
+#include "index/node_cache.h"
 #include "index/partition.h"
 #include "index/remote_ops.h"
 #include "index/server_tree.h"
+#include "index/traversal.h"
 #include "nam/cluster.h"
 
 namespace namtree::index {
@@ -22,7 +24,14 @@ namespace namtree::index {
 /// Lookups: one RPC that returns a leaf remote pointer, then RDMA READs.
 /// Inserts: RPC for the pointer, one-sided leaf insert; on a split an extra
 /// RPC installs the separator into the owning server's upper levels.
-class HybridIndex : public DistributedIndex {
+///
+/// Leaf resolution goes through TraversalEngine's RPC root policy
+/// (docs/traversal.md): the engine fronts the find-leaf RPC with a
+/// per-client leaf-route cache (key -> leaf pointer). A stale route is
+/// B-link safe — leaf coverage only ever moves right (splits,
+/// drain-merges), so the leaf-chain chase recovers.
+class HybridIndex : public DistributedIndex,
+                    private TraversalEngine::LeafResolver {
  public:
   enum Op : uint16_t {
     kFindLeaf = 1,
@@ -54,24 +63,27 @@ class HybridIndex : public DistributedIndex {
   rdma::RemotePtr first_leaf() const { return first_leaf_; }
   ServerTree& tree(uint32_t server) { return *trees_[server]; }
 
- private:
-  /// Outcome of the find-leaf RPC: OK with a candidate leaf pointer, or the
-  /// failure that ended the call (kUnavailable for a dead caller, kTimedOut
-  /// once the RPC deadline and its retries are exhausted).
-  struct FindLeafResult {
-    Status status;
-    rdma::RemotePtr leaf;
-  };
+  /// The client's leaf-route cache, or nullptr when caching is disabled.
+  NodeCache* CacheFor(uint32_t client_id) {
+    return engine_.CacheFor(client_id);
+  }
 
+  using CacheStats = TraversalEngine::CacheStats;
+  CacheStats GetCacheStats() const { return engine_.GetCacheStats(); }
+
+ private:
   sim::Task<> Handle(nam::MemoryServer& server, rdma::IncomingRpc rpc);
 
-  /// RPC to the owner of `key` returning a candidate leaf pointer.
-  sim::Task<FindLeafResult> FindLeaf(nam::ClientContext& ctx, btree::Key key);
+  /// TraversalEngine::LeafResolver: the find-leaf RPC to the owner of
+  /// `key`, returning a candidate leaf pointer.
+  sim::Task<DescentResult> ResolveLeaf(nam::ClientContext& ctx,
+                                       btree::Key key) override;
 
   nam::Cluster& cluster_;
   IndexConfig config_;
   Partitioner partitioner_;
   uint16_t rpc_service_;
+  TraversalEngine engine_;
   std::vector<std::unique_ptr<ServerTree>> trees_;
   rdma::RemotePtr first_leaf_;
 };

@@ -47,9 +47,12 @@ struct IndexConfig {
   /// entries fit within this percentage of a page (0 disables).
   uint32_t gc_merge_fill_percent = 70;
 
-  /// Appendix A.4 extension: per-client cache of inner-node images used by
-  /// the fine-grained design to skip remote reads during traversal
-  /// (0 = disabled). Stale images are safe (B-link sibling chase recovers);
+  /// Appendix A.4 extension: per-client cache budget (entries) for the
+  /// traversal engine's cache policy (0 = disabled). The fine-grained and
+  /// coarse-one-sided designs cache inner-node images to skip remote reads
+  /// during descent; the hybrid design caches resolved leaf routes
+  /// (key -> leaf pointer) to skip find-leaf RPCs. Stale entries are safe
+  /// (the B-link sibling chase recovers — see docs/traversal.md);
   /// `client_cache_ttl` bounds the staleness window.
   uint32_t client_cache_pages = 0;
   SimTime client_cache_ttl = 2 * kMillisecond;

@@ -127,7 +127,7 @@ sim::Task<LookupResult> LeafLevel::SearchChain(RemoteOps ops,
       co_return LookupResult{true, view.leaf_entries()[idx].value,
                              Status::OK()};
     }
-    if (key >= view.high_key() && view.right_sibling() != 0) {
+    if (view.NeedsChase(key)) {
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
@@ -182,7 +182,8 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
       if (!view.is_drained()) {
         cursor = std::max(cursor, std::min(view.high_key(), hi));
       }
-      if (view.high_key() >= hi || view.right_sibling() == 0) co_return found;
+      if (view.right_sibling() == 0) co_return found;
+      if (view.high_key() >= hi) co_return found;
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
@@ -229,9 +230,8 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
       if (!leaf.is_drained()) {
         cursor = std::max(cursor, std::min(leaf.high_key(), hi));
       }
-      if (leaf.high_key() >= hi || leaf.right_sibling() == 0) {
-        co_return found;
-      }
+      if (leaf.right_sibling() == 0) co_return found;
+      if (leaf.high_key() >= hi) co_return found;
       const uint64_t expected_next =
           (k + 1 < n) ? targets[k + 1] : leaf.right_sibling();
       if (leaf.right_sibling() != expected_next) {
@@ -270,7 +270,7 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
       if (ptr.is_null()) co_return Status::Corruption("chain ends in a head");
       continue;
     }
-    if (key >= view.high_key() && view.right_sibling() != 0) {
+    if (view.NeedsChase(key)) {
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
@@ -337,7 +337,7 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
       continue;
     }
     if (view.LeafFindLive(key) < 0) {
-      if (key >= view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         ptr = rdma::RemotePtr(view.right_sibling());
         continue;
       }
@@ -379,7 +379,7 @@ sim::Task<uint64_t> LeafLevel::CollectAt(RemoteOps ops, rdma::RemotePtr start,
       continue;
     }
     found += view.LeafCollect(key, out);
-    if (key >= view.high_key() && view.right_sibling() != 0) {
+    if (view.NeedsChase(key)) {
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
@@ -402,7 +402,7 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
       continue;
     }
     if (view.LeafFindLive(key) < 0) {
-      if (key >= view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         ptr = rdma::RemotePtr(view.right_sibling());
         continue;
       }

@@ -115,7 +115,7 @@ sim::Task<LookupResult> ServerTree::Lookup(Key key) {
         co_return LookupResult{true, view.leaf_entries()[idx].value,
                                Status::OK()};
       }
-      if (key >= view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         node = view.right_sibling();
         v = co_await AwaitUnlocked(node);
         continue;
@@ -149,7 +149,8 @@ sim::Task<uint64_t> ServerTree::Scan(Key lo, Key hi,
         found++;
       }
     }
-    if (view.high_key() >= hi || view.right_sibling() == 0) co_return found;
+    if (view.right_sibling() == 0) co_return found;
+    if (view.high_key() >= hi) co_return found;
     node = view.right_sibling();
     v = co_await AwaitUnlocked(node);
   }
@@ -170,7 +171,7 @@ sim::Task<Status> ServerTree::Insert(Key key, Value value) {
         restart = true;
         break;
       }
-      if (key >= view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         node = view.right_sibling();
         v = co_await AwaitUnlocked(node);
         continue;
@@ -254,7 +255,7 @@ sim::Task<uint64_t> ServerTree::LookupAll(Key key,
       if (out != nullptr) {
         out->insert(out->end(), page_hits.begin(), page_hits.end());
       }
-      if (key >= view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         node = view.right_sibling();
         v = co_await AwaitUnlocked(node);
         continue;
@@ -322,7 +323,7 @@ sim::Task<uint64_t> ServerTree::FindLeafChild(Key key) {
         restart = true;
         break;
       }
-      if (key > view.high_key() && view.right_sibling() != 0) {
+      if (view.NeedsChase(key)) {
         // The bottom node split while we descended: chase right.
         node = view.right_sibling();
         v = co_await AwaitUnlocked(node);
@@ -360,7 +361,7 @@ sim::Task<uint64_t> ServerTree::DescendToLevelLocked(uint8_t level, Key sep) {
         // belongs further on (lock coupling along the chain).
         for (;;) {
           PageView cur = View(node);
-          if (sep > cur.high_key() && cur.right_sibling() != 0) {
+          if (cur.NeedsChase(sep)) {
             const uint64_t next = cur.right_sibling();
             Word(cur) = btree::VersionOf(Word(cur)) + 2;  // unlock
             node = next;

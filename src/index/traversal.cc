@@ -1,0 +1,320 @@
+#include "index/traversal.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace namtree::index {
+
+using btree::Key;
+using btree::kInfinityKey;
+using btree::PageView;
+
+uint32_t TraversalEngine::AddTree(int32_t alloc_server,
+                                  rdma::RemotePtr catalog_ptr) {
+  Tree tree;
+  tree.alloc_server = alloc_server;
+  tree.catalog_ptr = catalog_ptr;
+  trees_.push_back(tree);
+  return static_cast<uint32_t>(trees_.size() - 1);
+}
+
+void TraversalEngine::SetRoot(uint32_t tree, rdma::RemotePtr root,
+                              uint8_t root_level) {
+  trees_[tree].root = root;
+  trees_[tree].root_level = root_level;
+}
+
+NodeCache* TraversalEngine::CacheFor(uint32_t client_id) {
+  if (opts_.cache_mode == CacheMode::kNone || opts_.cache_pages == 0) {
+    return nullptr;
+  }
+  auto it = caches_.find(client_id);
+  if (it == caches_.end()) {
+    // Route entries are one 8-byte leaf pointer, not a page image.
+    const uint32_t entry_size =
+        opts_.cache_mode == CacheMode::kLeafRoutes ? 8 : opts_.page_size;
+    it = caches_
+             .emplace(client_id,
+                      std::make_unique<NodeCache>(entry_size,
+                                                  opts_.cache_pages,
+                                                  opts_.cache_ttl))
+             .first;
+  }
+  return it->second.get();
+}
+
+TraversalEngine::CacheStats TraversalEngine::GetCacheStats() const {
+  CacheStats stats;
+  for (const auto& [id, cache] : caches_) {
+    stats.hits += cache->hits();
+    stats.misses += cache->misses();
+    stats.expirations += cache->expirations();
+  }
+  return stats;
+}
+
+sim::Task<rdma::RemotePtr> TraversalEngine::AllocFor(RemoteOps& ops,
+                                                     const Tree& tree) {
+  if (tree.alloc_server >= 0) {
+    co_return co_await ops.AllocPage(
+        static_cast<uint32_t>(tree.alloc_server));
+  }
+  co_return co_await ops.AllocPageRoundRobin();
+}
+
+void TraversalEngine::SeedPublishedImage(NodeCache* cache,
+                                         rdma::RemotePtr ptr, uint8_t* buf,
+                                         SimTime now) {
+  // The local image still carries the locked word this client stamped;
+  // patch it to the post-release version (unlock adds 2) so the cached
+  // copy matches what the next remote read would observe.
+  uint64_t word;
+  std::memcpy(&word, buf + btree::kVersionOffset, 8);
+  const uint64_t unlocked = btree::VersionOf(word) + 2;
+  std::memcpy(buf + btree::kVersionOffset, &unlocked, 8);
+  cache->Put(ptr.raw(), buf, now);
+}
+
+sim::Task<rdma::RemotePtr> TraversalEngine::DescendToLeaf(RemoteOps& ops,
+                                                          uint32_t tree,
+                                                          Key key) {
+  rdma::RemotePtr ptr = trees_[tree].root;
+  if (trees_[tree].root_level == 0) co_return ptr;  // single-leaf tree
+  uint8_t* buf = ops.ctx().page_a();
+  NodeCache* cache = CacheFor(ops.ctx().client_id());
+  // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
+  for (;;) {
+    // A.4 caching: inner-node images may come from the client cache; a
+    // stale image can only route us too far left, which the B-link chase
+    // at the next level (or leaf chain) corrects.
+    const uint8_t* image = nullptr;
+    if (cache != nullptr) {
+      image = cache->Get(ptr.raw(), ops.fabric().simulator().now());
+    }
+    if (image == nullptr) {
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return rdma::RemotePtr::Null();
+      image = buf;
+      if (cache != nullptr && PageView(buf, ops.page_size()).level() >= 1) {
+        cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
+      }
+    }
+    PageView view(const_cast<uint8_t*>(image), ops.page_size());
+    if (view.level() == 0) {
+      // Stale root metadata can land us on a leaf; hand it to the caller.
+      co_return ptr;
+    }
+    if (view.NeedsChase(key)) {
+      ptr = rdma::RemotePtr(view.right_sibling());
+      continue;
+    }
+    const rdma::RemotePtr child(view.InnerChildFor(key));
+    if (view.level() == 1) co_return child;
+    ptr = child;
+  }
+}
+
+sim::Task<bool> TraversalEngine::TryGrowRoot(RemoteOps& ops, uint32_t tree,
+                                             uint8_t new_level, Key sep,
+                                             rdma::RemotePtr left,
+                                             rdma::RemotePtr right) {
+  const rdma::RemotePtr new_root = co_await AllocFor(ops, trees_[tree]);
+  if (new_root.is_null()) co_return true;  // give up silently: tree valid
+  std::vector<uint8_t> image(ops.page_size());
+  PageView view(image.data(), ops.page_size());
+  view.InitInner(new_level, kInfinityKey, 0);
+  view.inner_keys()[0] = sep;
+  view.inner_children()[0] = left.raw();
+  view.inner_children()[1] = right.raw();
+  view.header().count = 1;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
+                              ops.page_size());
+  // A dropped root-image write must not be published: give up, tree valid.
+  if (!ops.alive()) co_return true;
+  // Publish through the catalog. The check-and-update happens atomically in
+  // virtual time (no awaits in between), mirroring a catalog-service CAS.
+  if (trees_[tree].root != left) co_return false;  // somebody else grew it
+  trees_[tree].root = new_root;
+  trees_[tree].root_level = new_level;
+  if (!trees_[tree].catalog_ptr.is_null()) {
+    ops.ctx().round_trips++;
+    co_await ops.fabric().Write(ops.ctx().client_id(),
+                                trees_[tree].catalog_ptr, &new_root, 8);
+  }
+  co_return true;
+}
+
+sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
+                                                    uint32_t tree,
+                                                    uint8_t level, Key sep,
+                                                    rdma::RemotePtr left,
+                                                    rdma::RemotePtr right) {
+  uint8_t* buf = ops.ctx().page_a();
+  // Bounded: every pass makes B-link progress or propagates a failure
+  // status. namtree-lint: bounded-loop(blink-restart)
+  for (;;) {
+    if (trees_[tree].root_level < level) {
+      if (co_await TryGrowRoot(ops, tree, level, sep, left, right)) {
+        co_return ops.alive() ? Status::OK()
+                              : Status::Unavailable("client crashed");
+      }
+      continue;
+    }
+    // Descend to the target level for `sep`.
+    rdma::RemotePtr ptr = trees_[tree].root;
+    bool restart = false;
+    NodeCache* cache = CacheFor(ops.ctx().client_id());
+    // namtree-lint: bounded-loop(blink-descent)
+    for (;;) {
+      // A.4 caching on the install descent: hops *above* the target level
+      // may come from the client cache (a stale image only routes too far
+      // left, and the B-link chase corrects that). The target node itself
+      // always takes a fresh read — its version word seeds the lock CAS.
+      if (cache != nullptr) {
+        const uint8_t* image =
+            cache->Get(ptr.raw(), ops.fabric().simulator().now());
+        if (image != nullptr) {
+          PageView cview(const_cast<uint8_t*>(image), ops.page_size());
+          if (cview.level() > level) {
+            if (cview.NeedsChase(sep)) {
+              ptr = rdma::RemotePtr(cview.right_sibling());
+            } else {
+              ptr = rdma::RemotePtr(cview.InnerChildFor(sep));
+            }
+            continue;
+          }
+        }
+      }
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return read.status;
+      PageView view(buf, ops.page_size());
+      if (view.level() < level) {
+        // Stale root below the target level: re-check the catalog state.
+        restart = true;
+        break;
+      }
+      if (view.level() > level) {
+        if (cache != nullptr) {
+          cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
+        }
+        if (view.NeedsChase(sep)) {
+          ptr = rdma::RemotePtr(view.right_sibling());
+          continue;
+        }
+        ptr = rdma::RemotePtr(view.InnerChildFor(sep));
+        continue;
+      }
+      // At the target level: chase, then lock.
+      if (view.NeedsChase(sep)) {
+        ptr = rdma::RemotePtr(view.right_sibling());
+        continue;
+      }
+      const Status lock = co_await ops.TryLockPage(ptr, read.version);
+      if (!lock.ok()) {
+        if (!lock.IsAborted()) co_return lock;
+        ops.ctx().restarts++;
+        continue;  // lost the CAS race: re-read this node
+      }
+      ops.StampLocked(buf, read.version);
+
+      // Re-validate the range under the lock (version pinned by the CAS).
+      if (view.InnerInsert(sep, right.raw())) {
+        const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+        if (!wu.ok()) co_return wu;
+        if (cache != nullptr) {
+          // Seed the cache with the image we just published: the next
+          // descent routes through this node with zero remote reads.
+          SeedPublishedImage(cache, ptr, buf,
+                             ops.fabric().simulator().now());
+        }
+        co_return Status::OK();
+      }
+      // Full: split this inner node and recurse with the promoted key.
+      const rdma::RemotePtr new_right = co_await AllocFor(ops, trees_[tree]);
+      if (new_right.is_null()) {
+        if (!ops.alive()) co_return Status::Unavailable("client crashed");
+        (void)co_await ops.UnlockPage(ptr);
+        co_return Status::OK();  // OOM; separator uninstalled (B-link safe)
+      }
+      std::vector<uint8_t> rimage(ops.page_size());
+      PageView rview(rimage.data(), ops.page_size());
+      const Key promoted = view.SplitInnerInto(rview, new_right.raw());
+      PageView target = sep < promoted ? view : rview;
+      const bool ok = target.InnerInsert(sep, right.raw());
+      assert(ok);
+      (void)ok;
+      // One chained {right WRITE, left WRITE, unlock} publication; a crash
+      // drops the unexecuted tail, orphans the lock on `ptr` (lease-steal
+      // reclaims it) and leaks the unpublished right node — both sound.
+      const Status wu = co_await ops.WriteSiblingAndUnlockPage(
+          new_right, rimage.data(), ptr, buf);
+      if (!wu.ok()) co_return wu;
+      if (cache != nullptr) {
+        // Seed both halves of the split with their freshly published
+        // images (left patched to the post-release version word).
+        const SimTime now = ops.fabric().simulator().now();
+        SeedPublishedImage(cache, ptr, buf, now);
+        cache->Put(new_right.raw(), rimage.data(), now);
+      }
+      co_return co_await InstallSeparator(
+          ops, tree, static_cast<uint8_t>(level + 1), promoted, ptr,
+          new_right);
+    }
+    if (restart) continue;
+  }
+}
+
+sim::Task<Status> TraversalEngine::BootstrapFromCatalog(RemoteOps& ops,
+                                                        uint32_t tree) {
+  if (trees_[tree].catalog_ptr.is_null()) {
+    co_return Status::Unsupported("tree has no catalog slot");
+  }
+  uint64_t raw = 0;
+  ops.ctx().round_trips++;
+  co_await ops.fabric().Read(ops.ctx().client_id(), trees_[tree].catalog_ptr,
+                             &raw, 8);
+  if (!ops.alive()) co_return Status::Unavailable("client crashed");
+  const rdma::RemotePtr root(raw);
+  if (root.is_null()) co_return Status::NotFound("catalog slot empty");
+  // Learn the root's level from its page header.
+  const Status read = co_await ops.ReadPage(root, ops.ctx().page_a());
+  if (!read.ok()) co_return read;
+  PageView view(ops.ctx().page_a(), ops.page_size());
+  trees_[tree].root = root;
+  trees_[tree].root_level = view.level();
+  co_return Status::OK();
+}
+
+sim::Task<DescentResult> TraversalEngine::ResolveLeaf(nam::ClientContext& ctx,
+                                                      LeafResolver& resolver,
+                                                      Key key) {
+  NodeCache* cache = CacheFor(ctx.client_id());
+  if (cache != nullptr) {
+    const uint8_t* image =
+        cache->Get(key, ctx.fabric().simulator().now());
+    if (image != nullptr) {
+      uint64_t raw;
+      std::memcpy(&raw, image, 8);
+      co_return DescentResult{Status::OK(), rdma::RemotePtr(raw)};
+    }
+  }
+  DescentResult result = co_await resolver.ResolveLeaf(ctx, key);
+  if (result.ok() && cache != nullptr) {
+    const uint64_t raw = result.leaf.raw();
+    cache->Put(key, reinterpret_cast<const uint8_t*>(&raw),
+               ctx.fabric().simulator().now());
+  }
+  co_return result;
+}
+
+void TraversalEngine::SeedRoute(nam::ClientContext& ctx, Key key,
+                                rdma::RemotePtr leaf) {
+  NodeCache* cache = CacheFor(ctx.client_id());
+  if (cache == nullptr) return;
+  const uint64_t raw = leaf.raw();
+  cache->Put(key, reinterpret_cast<const uint8_t*>(&raw),
+             ctx.fabric().simulator().now());
+}
+
+}  // namespace namtree::index

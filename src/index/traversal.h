@@ -1,0 +1,188 @@
+#ifndef NAMTREE_INDEX_TRAVERSAL_H_
+#define NAMTREE_INDEX_TRAVERSAL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/page.h"
+#include "common/status.h"
+#include "index/node_cache.h"
+#include "index/remote_ops.h"
+#include "nam/cluster.h"
+#include "rdma/remote_ptr.h"
+#include "sim/task.h"
+
+namespace namtree::index {
+
+/// Outcome of resolving a starting leaf for a key. OK carries a candidate
+/// leaf pointer (leaf-chain chases are still the caller's job, via the
+/// LeafLevel routines); any other status ended the resolution (kUnavailable
+/// for a dead caller, kTimedOut once an RPC deadline is exhausted).
+struct DescentResult {
+  Status status;
+  rdma::RemotePtr leaf;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The shared one-sided B-link traversal engine: one implementation of the
+/// descend -> chase -> validate -> lock -> retry state machine that the
+/// paper's one-sided designs (FG, CG-one-sided) and the hybrid design's
+/// leaf resolution are built on. A design is a *policy triple* over this
+/// engine instead of its own copy of the protocol:
+///
+///   root policy  - which tree to start in and where its root lives. The
+///                  engine owns a table of trees: FG registers one global
+///                  tree (round-robin allocation, catalog slot on server
+///                  0); CG-one-sided registers one tree per partition
+///                  (fixed-server allocation, catalog slot on server s);
+///                  hybrid registers none and resolves leaves through a
+///                  LeafResolver RPC hook instead.
+///   cache policy - CacheMode: no cache, per-client inner-node image cache
+///                  (Appendix A.4; descents and separator installs consult
+///                  and seed it, splits seed both halves), or a per-client
+///                  leaf-route cache for RPC designs (key -> leaf pointer,
+///                  seeded from resolver results).
+///   lock policy  - the RemoteOps facade passed into every call: OLC
+///                  version validation, CAS lock acquire with capped
+///                  backoff and lease-based steal from dead holders, and
+///                  doorbell-chained {page WRITE, unlock} /
+///                  {sibling, page, unlock} publication.
+///
+/// Every fence decision goes through PageView::NeedsChase, which encodes
+/// the inclusive-inner / exclusive-leaf fence contract in one place.
+///
+/// Crash faults surface as Status::Unavailable (descents return a null
+/// leaf); the tree is valid at every step — B-link: a split is reachable
+/// via the left sibling pointer before its separator is installed, and an
+/// orphaned lock is lease-stolen.
+class TraversalEngine {
+ public:
+  enum class CacheMode {
+    kNone,
+    /// Cache full inner-node images keyed by remote pointer (one-sided
+    /// descents). Stale images only route too far left; the chase recovers.
+    kInnerImages,
+    /// Cache resolved leaf pointers keyed by the exact lookup key (RPC
+    /// designs). Stale routes only point too far left in the leaf chain
+    /// (leaf coverage moves right under splits and drain-merges, never
+    /// left), so the chain chase recovers.
+    kLeafRoutes,
+  };
+
+  struct Options {
+    uint32_t page_size = 0;
+    CacheMode cache_mode = CacheMode::kNone;
+    size_t cache_pages = 0;
+    SimTime cache_ttl = 0;
+  };
+
+  /// Aggregate per-client cache statistics.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t expirations = 0;
+  };
+
+  /// Root-policy hook for RPC designs: resolves a starting leaf for `key`
+  /// without a one-sided descent (hybrid: the find-leaf RPC to the
+  /// partition owner).
+  class LeafResolver {
+   public:
+    virtual ~LeafResolver() = default;
+    virtual sim::Task<DescentResult> ResolveLeaf(nam::ClientContext& ctx,
+                                                 btree::Key key) = 0;
+  };
+
+  explicit TraversalEngine(Options opts) : opts_(opts) {}
+
+  // ---- Root policy: the tree table ----------------------------------------
+
+  /// Registers a one-sided tree. `alloc_server` < 0 scatters split
+  /// allocations round-robin (fine-grained placement); >= 0 pins them to
+  /// one server (partitioned placement). `catalog_ptr` is where the root
+  /// pointer is published for remote bootstrap (null = unpublished).
+  /// Returns the tree id.
+  uint32_t AddTree(int32_t alloc_server, rdma::RemotePtr catalog_ptr);
+
+  /// Sets a tree's root after a bulk load (the catalog slot itself is
+  /// written by the loader at setup time).
+  void SetRoot(uint32_t tree, rdma::RemotePtr root, uint8_t root_level);
+
+  rdma::RemotePtr root(uint32_t tree) const { return trees_[tree].root; }
+  uint8_t root_level(uint32_t tree) const { return trees_[tree].root_level; }
+
+  // ---- One-sided descent ---------------------------------------------------
+
+  /// Descends tree `tree`'s inner levels one-sided (paper Listing 2) to a
+  /// leaf candidate for `key`, consulting/seeding the inner-image cache.
+  /// Null means this client died mid-descent.
+  sim::Task<rdma::RemotePtr> DescendToLeaf(RemoteOps& ops, uint32_t tree,
+                                           btree::Key key);
+
+  /// Installs separator `sep` / right child `right` at inner `level` of
+  /// tree `tree` after a split of `left`, growing the root through the
+  /// catalog when the tree is too short. Unavailable means this client
+  /// died mid-install; the tree stays valid via the sibling chain.
+  sim::Task<Status> InstallSeparator(RemoteOps& ops, uint32_t tree,
+                                     uint8_t level, btree::Key sep,
+                                     rdma::RemotePtr left,
+                                     rdma::RemotePtr right);
+
+  /// Re-reads tree `tree`'s root pointer from its catalog slot with an
+  /// RDMA READ — how a freshly connected compute server bootstraps (§4.2)
+  /// — and refreshes the root level from the page header.
+  sim::Task<Status> BootstrapFromCatalog(RemoteOps& ops, uint32_t tree);
+
+  // ---- RPC leaf resolution (hybrid root policy) ----------------------------
+
+  /// Resolves a starting leaf for `key` through `resolver`, consulting and
+  /// seeding the per-client leaf-route cache (CacheMode::kLeafRoutes).
+  sim::Task<DescentResult> ResolveLeaf(nam::ClientContext& ctx,
+                                       LeafResolver& resolver,
+                                       btree::Key key);
+
+  /// Seeds the route cache after a leaf split this client performed: keys
+  /// at or above the separator now live in `right`.
+  void SeedRoute(nam::ClientContext& ctx, btree::Key key,
+                 rdma::RemotePtr leaf);
+
+  // ---- Cache policy --------------------------------------------------------
+
+  /// The client's cache (inner images or leaf routes, per CacheMode), or
+  /// nullptr when caching is disabled. Created lazily per client id.
+  NodeCache* CacheFor(uint32_t client_id);
+
+  CacheStats GetCacheStats() const;
+
+ private:
+  struct Tree {
+    rdma::RemotePtr root;
+    uint8_t root_level = 0;
+    int32_t alloc_server = -1;
+    rdma::RemotePtr catalog_ptr;
+  };
+
+  /// RDMA_ALLOC following the tree's placement policy.
+  sim::Task<rdma::RemotePtr> AllocFor(RemoteOps& ops, const Tree& tree);
+
+  /// Publishes a grown root through the tree's catalog slot. True = done
+  /// (or gave up soundly); false = lost the race, caller re-examines.
+  sim::Task<bool> TryGrowRoot(RemoteOps& ops, uint32_t tree,
+                              uint8_t new_level, btree::Key sep,
+                              rdma::RemotePtr left, rdma::RemotePtr right);
+
+  /// Seeds `cache` with a just-published image, patched from the locked
+  /// word to the post-release version so later descents validate cleanly.
+  void SeedPublishedImage(NodeCache* cache, rdma::RemotePtr ptr,
+                          uint8_t* buf, SimTime now);
+
+  Options opts_;
+  std::vector<Tree> trees_;
+  std::unordered_map<uint32_t, std::unique_ptr<NodeCache>> caches_;
+};
+
+}  // namespace namtree::index
+
+#endif  // NAMTREE_INDEX_TRAVERSAL_H_

@@ -1,13 +1,17 @@
 // Tests for the Appendix A.4 client-side node cache: LRU eviction, TTL
-// expiry, and correctness of the cached fine-grained index under
-// cache-invalidating writes.
+// expiry, and correctness of the cached index designs under
+// cache-invalidating writes. The traversal engine gives every one-sided
+// design a cache policy (FG / CG1S: inner-node images; hybrid: leaf
+// routes), so each design gets its own hit-rate and staleness coverage.
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <vector>
 
+#include "index/coarse_one_sided.h"
 #include "index/fine_grained.h"
+#include "index/hybrid.h"
 #include "index/node_cache.h"
 #include "nam/cluster.h"
 
@@ -88,7 +92,7 @@ TEST(NodeCacheTest, ZeroCapacityDisables) {
 
 // ---- Cached fine-grained index ----------------------------------------------
 
-Task<> LookupLoop(FineGrainedIndex& index, ClientContext& ctx, int rounds,
+Task<> LookupLoop(DistributedIndex& index, ClientContext& ctx, int rounds,
                   uint64_t keys, uint64_t* found) {
   for (int i = 0; i < rounds; ++i) {
     const Key k = (ctx.rng().NextBelow(keys)) * 2;
@@ -279,6 +283,202 @@ TEST(CachedFineGrainedTest, SplitSeedsWriterCacheWithPublishedParent) {
   Spawn(cluster.simulator(), Driver::Go(index, ctx));
   cluster.simulator().Run();
   EXPECT_EQ(index.root_level(), 1u) << "root grew; the 1-read bound is void";
+}
+
+// ---- Cached coarse-one-sided index ------------------------------------------
+// CG1S shares the inner-image cache policy with FG through the traversal
+// engine; the difference is one cached tree per partition instead of one
+// global tree.
+
+TEST(CachedCoarseOneSidedTest, CacheServesInnerReadsAcrossPartitions) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = kSecond;
+  CoarseOneSidedIndex index(cluster, ic);
+  const uint64_t keys = 20000;
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < keys; ++i) data.push_back({i * 2, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  ClientContext ctx(0, cluster.fabric(), ic.page_size, 7);
+  uint64_t found = 0;
+  Spawn(cluster.simulator(), LookupLoop(index, ctx, 2000, keys, &found));
+  cluster.simulator().Run();
+  EXPECT_EQ(found, 2000u);
+
+  const auto stats = index.GetCacheStats();
+  EXPECT_GT(stats.hits, 0u) << "CG1S descents never hit the inner cache";
+  EXPECT_GT(stats.hits, stats.misses)
+      << "a warmed cache must serve most inner reads";
+  // With every partition's inner levels cached, steady-state lookups need
+  // ~1 leaf read each.
+  EXPECT_LT(static_cast<double>(ctx.round_trips), 2000 * 2.2);
+}
+
+TEST(CachedCoarseOneSidedTest, StaleCacheStaysCorrectUnderInserts) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = 10 * kSecond;  // effectively never expires
+  CoarseOneSidedIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 3000; ++i) data.push_back({i * 4, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+  cluster.fabric().SetNumClients(3);
+
+  // Client 0 warms its cache.
+  ClientContext reader(0, cluster.fabric(), ic.page_size, 1);
+  uint64_t found = 0;
+  Spawn(cluster.simulator(), LookupLoop(index, reader, 500, 3000 * 2, &found));
+  cluster.simulator().Run();
+
+  // Clients 1 and 2 split leaves in every partition (reader's cached
+  // inner images are now stale).
+  struct Writer {
+    static Task<> Go(CoarseOneSidedIndex& index, ClientContext& ctx, Key from,
+                     Key to) {
+      for (Key k = from; k < to; k += 4) {
+        EXPECT_TRUE((co_await index.Insert(ctx, k, k)).ok());
+      }
+    }
+  };
+  ClientContext w1(1, cluster.fabric(), ic.page_size, 2);
+  ClientContext w2(2, cluster.fabric(), ic.page_size, 3);
+  Spawn(cluster.simulator(), Writer::Go(index, w1, 1, 12000));
+  Spawn(cluster.simulator(), Writer::Go(index, w2, 2, 12000));
+  cluster.simulator().Run();
+
+  // Reader (stale cache) must still find every key, old and new.
+  struct Verify {
+    static Task<> Go(CoarseOneSidedIndex& index, ClientContext& ctx,
+                     uint64_t* missing) {
+      for (Key k = 0; k < 12000; ++k) {
+        if (k % 4 == 3) continue;  // never inserted
+        const LookupResult r = co_await index.Lookup(ctx, k);
+        if (!r.found) (*missing)++;
+      }
+    }
+  };
+  uint64_t missing = 0;
+  Spawn(cluster.simulator(), Verify::Go(index, reader, &missing));
+  cluster.simulator().Run();
+  EXPECT_EQ(missing, 0u) << "stale cached routing lost keys";
+  EXPECT_GT(index.GetCacheStats().hits, 0u);
+}
+
+// ---- Cached hybrid index ----------------------------------------------------
+// The hybrid design's cache policy stores resolved leaf ROUTES (lookup key
+// -> leaf pointer) instead of node images: a hit skips the find-leaf RPC
+// entirely. Stale routes are safe because leaf coverage only ever moves
+// right — the B-link chase recovers.
+
+TEST(CachedHybridTest, RouteCacheSkipsFindLeafRpcs) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = kSecond;
+  HybridIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back({i * 2, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  // A small hot set looked up repeatedly: after the first round every
+  // route is cached, so each further lookup is 1 leaf READ, 0 RPCs.
+  ClientContext ctx(0, cluster.fabric(), ic.page_size, 7);
+  struct Driver {
+    static Task<> Go(HybridIndex& index, ClientContext& ctx) {
+      for (int round = 0; round < 10; ++round) {
+        for (Key k = 0; k < 100; ++k) {
+          const LookupResult r = co_await index.Lookup(ctx, k * 2);
+          EXPECT_TRUE(r.found);
+        }
+      }
+    }
+  };
+  Spawn(cluster.simulator(), Driver::Go(index, ctx));
+  cluster.simulator().Run();
+
+  const auto stats = index.GetCacheStats();
+  EXPECT_EQ(stats.hits, 9u * 100u) << "every repeat lookup must hit a route";
+  EXPECT_EQ(stats.misses, 100u);
+  // Cold lookups pay RPC + leaf read; warm ones skip the RPC. The total
+  // must beat the all-RPC cost of 2 round trips per lookup.
+  EXPECT_LT(ctx.round_trips, 1000u * 2);
+  EXPECT_GE(ctx.round_trips, 1000u);
+}
+
+TEST(CachedHybridTest, StaleRoutesRecoverAfterSplits) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  Cluster cluster(fc, 32 << 20);
+  IndexConfig ic;
+  ic.page_size = 256;
+  ic.client_cache_pages = 4096;
+  ic.client_cache_ttl = 10 * kSecond;  // effectively never expires
+  HybridIndex index(cluster, ic);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 2000; ++i) data.push_back({i * 4, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+  cluster.fabric().SetNumClients(2);
+
+  // Reader caches a route for every live key.
+  ClientContext reader(0, cluster.fabric(), ic.page_size, 1);
+  struct Warm {
+    static Task<> Go(HybridIndex& index, ClientContext& ctx) {
+      for (Key k = 0; k < 2000 * 4; k += 4) {
+        const LookupResult r = co_await index.Lookup(ctx, k);
+        EXPECT_TRUE(r.found);
+      }
+    }
+  };
+  Spawn(cluster.simulator(), Warm::Go(index, reader));
+  cluster.simulator().Run();
+
+  // A writer splits most leaves; the reader's cached routes now point at
+  // pre-split leaves whose upper halves moved right.
+  ClientContext writer(1, cluster.fabric(), ic.page_size, 2);
+  struct Writer {
+    static Task<> Go(HybridIndex& index, ClientContext& ctx) {
+      for (Key k = 1; k < 8000; k += 2) {
+        EXPECT_TRUE((co_await index.Insert(ctx, k, k)).ok());
+      }
+    }
+  };
+  Spawn(cluster.simulator(), Writer::Go(index, writer));
+  cluster.simulator().Run();
+
+  // The reader re-reads every key through its stale routes: the B-link
+  // sibling chase must recover each one.
+  struct Verify {
+    static Task<> Go(HybridIndex& index, ClientContext& ctx,
+                     uint64_t* missing, uint64_t* route_hits) {
+      const uint64_t hits_before = index.GetCacheStats().hits;
+      for (Key k = 0; k < 8000; ++k) {
+        if (k % 4 == 2) continue;  // even but not a bulk-loaded multiple of 4
+        const LookupResult r = co_await index.Lookup(ctx, k);
+        if (!r.found) (*missing)++;
+      }
+      *route_hits = index.GetCacheStats().hits - hits_before;
+    }
+  };
+  uint64_t missing = 0;
+  uint64_t route_hits = 0;
+  Spawn(cluster.simulator(), Verify::Go(index, reader, &missing, &route_hits));
+  cluster.simulator().Run();
+  EXPECT_EQ(missing, 0u) << "a stale route lost keys";
+  EXPECT_GT(route_hits, 0u) << "the verify pass never exercised the cache";
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
 }
 
 TEST(CatalogBootstrapTest, FreshClientLearnsTheRootRemotely) {

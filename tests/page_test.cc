@@ -270,6 +270,115 @@ TEST(PageTest, HeadNodeLayout) {
             head.head_capacity());
 }
 
+// ---- Fence-predicate boundary regressions ---------------------------------
+// The inclusive/exclusive fence contract lives in PageView::NeedsChase
+// (page.h); every descent in the repo routes through it. These tests pin
+// the boundary cases that were historically re-derived inconsistently at
+// each hand-rolled chase site.
+
+TEST(FencePredicateTest, InnerCoversItsFenceKey) {
+  // Inner nodes cover [low, high_key] INCLUSIVE: a key equal to the fence
+  // is a separator-equal key, and lower-bound descent sends it LEFT so
+  // straddling duplicates stay reachable. Only key > fence chases.
+  PageBuffer buf(1024);
+  PageView inner = buf.view();
+  inner.InitInner(1, /*high_key=*/100, /*right_sibling=*/0x1234);
+  EXPECT_TRUE(inner.Covers(99));
+  EXPECT_TRUE(inner.Covers(100)) << "fence key itself descends here";
+  EXPECT_FALSE(inner.NeedsChase(100));
+  EXPECT_TRUE(inner.NeedsChase(101));
+  EXPECT_FALSE(inner.Covers(101));
+}
+
+TEST(FencePredicateTest, LeafChasesAtItsFenceKey) {
+  // Leaves cover [low, high_key) EXCLUSIVE: an entry equal to the fence
+  // lives in the right sibling (SplitLeafInto moves sep..* right), so
+  // key >= fence chases. Callers inspect leaf content BEFORE consulting
+  // NeedsChase, which keeps duplicate runs straddling the fence visible.
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(/*high_key=*/100, /*right_sibling=*/0x1234);
+  EXPECT_TRUE(leaf.Covers(99));
+  EXPECT_TRUE(leaf.NeedsChase(100)) << "fence key lives in the sibling";
+  EXPECT_FALSE(leaf.Covers(100));
+  EXPECT_TRUE(leaf.NeedsChase(101));
+}
+
+TEST(FencePredicateTest, SplitFencesAgreeWithPredicate) {
+  // After a real split, the separator must chase on the left half and be
+  // covered by the right half — for both node kinds.
+  PageBuffer left_buf(1024);
+  PageBuffer right_buf(1024);
+  PageView left = left_buf.view();
+  left.InitLeaf(kInfinityKey, 0);
+  for (uint32_t i = 0; i < left.leaf_capacity(); ++i) {
+    left.LeafInsert(i * 2, i);
+  }
+  const Key sep = left.SplitLeafInto(right_buf.view(), 0x2222);
+  PageView right = right_buf.view();
+  EXPECT_TRUE(left.NeedsChase(sep));
+  EXPECT_TRUE(left.Covers(sep - 1));
+  EXPECT_TRUE(right.Covers(sep));
+
+  PageBuffer ileft_buf(1024);
+  PageBuffer iright_buf(1024);
+  PageView ileft = ileft_buf.view();
+  ileft.InitInner(1, kInfinityKey, 0);
+  ileft.inner_children()[0] = 1;
+  for (uint32_t i = 0; i < ileft.inner_capacity(); ++i) {
+    ileft.InnerInsert((i + 1) * 10, i + 2);
+  }
+  const Key promoted = ileft.SplitInnerInto(iright_buf.view(), 0x3333);
+  PageView iright = iright_buf.view();
+  // Inner: the promoted key itself still descends on the LEFT half
+  // (inclusive fence); only keys above it chase.
+  EXPECT_TRUE(ileft.Covers(promoted));
+  EXPECT_TRUE(ileft.NeedsChase(promoted + 1));
+  EXPECT_TRUE(iright.Covers(promoted + 1));
+}
+
+TEST(FencePredicateTest, HeadNodeChasesThroughForEveryKey) {
+  // Head nodes carry high_key == 0 and exist only to route scans to the
+  // real chain; every key chases through to the right sibling.
+  PageBuffer buf(1024);
+  PageView head = buf.view();
+  head.InitHead(/*right_sibling=*/0x42);
+  EXPECT_TRUE(head.NeedsChase(0));
+  EXPECT_TRUE(head.NeedsChase(1));
+  EXPECT_TRUE(head.NeedsChase(kInfinityKey));
+  EXPECT_FALSE(head.Covers(7));
+}
+
+TEST(FencePredicateTest, DrainedLeafChasesThroughForEveryKey) {
+  // GC rebalancing drains a leaf by setting high_key = 0 while keeping
+  // the sibling link: the empty range [low, 0) covers nothing, so every
+  // descent passes through to the survivor on the right.
+  PageBuffer buf(1024);
+  PageView leaf = buf.view();
+  leaf.InitLeaf(/*high_key=*/0, /*right_sibling=*/0x55);
+  EXPECT_TRUE(leaf.NeedsChase(0));
+  EXPECT_TRUE(leaf.NeedsChase(kInfinityKey));
+}
+
+TEST(FencePredicateTest, RightmostPageNeverChases) {
+  // right_sibling == 0 terminates the chain: the rightmost page covers
+  // everything upward regardless of its fence, for both node kinds —
+  // even the kInfinityKey fence value itself.
+  PageBuffer leaf_buf(1024);
+  PageView leaf = leaf_buf.view();
+  leaf.InitLeaf(kInfinityKey, /*right_sibling=*/0);
+  EXPECT_FALSE(leaf.NeedsChase(kInfinityKey));
+  EXPECT_TRUE(leaf.Covers(kInfinityKey));
+
+  PageBuffer inner_buf(1024);
+  PageView inner = inner_buf.view();
+  inner.InitInner(1, /*high_key=*/100, /*right_sibling=*/0);
+  // Degenerate but defensive: no sibling means no chase even above the
+  // fence (a descent here inspects content instead of walking off chain).
+  EXPECT_FALSE(inner.NeedsChase(101));
+  EXPECT_TRUE(inner.Covers(kInfinityKey));
+}
+
 // Property sweep: random insert/delete sequences against a reference
 // multimap, at node granularity.
 class LeafPropertyTest : public ::testing::TestWithParam<uint64_t> {};
