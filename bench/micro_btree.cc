@@ -64,7 +64,7 @@ void BM_LocalTreeLookup(benchmark::State& state) {
   const uint64_t n = static_cast<uint64_t>(state.range(0));
   std::vector<KV> data;
   for (uint64_t i = 0; i < n; ++i) data.push_back({i * 2, i});
-  tree.BulkLoad(data);
+  (void)tree.BulkLoad(data);
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.Lookup(rng.NextBelow(n) * 2));
@@ -89,7 +89,7 @@ void BM_LocalTreeScan(benchmark::State& state) {
   const uint64_t n = 200000;
   std::vector<KV> data;
   for (uint64_t i = 0; i < n; ++i) data.push_back({i, i});
-  tree.BulkLoad(data);
+  (void)tree.BulkLoad(data);
   const uint64_t span = static_cast<uint64_t>(state.range(0));
   Rng rng(5);
   std::vector<KV> out;
@@ -109,7 +109,7 @@ void BM_SharedNothingLookup(benchmark::State& state) {
   SharedNothingCluster cluster(2, 1, 1024);
   std::vector<KV> data;
   for (uint64_t i = 0; i < 100000; ++i) data.push_back({i * 2, i});
-  cluster.BulkLoad(data);
+  (void)cluster.BulkLoad(data);
   Rng rng(9);
   for (auto _ : state) {
     const Key k = rng.NextBelow(100000) * 2;

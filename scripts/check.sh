@@ -9,8 +9,12 @@
 #   5. asan+ubsan build   -Werror, full ctest
 #   6. tsan build         -Werror, full ctest
 #
-# Usage: scripts/check.sh [--quick]
-#   --quick   skip the tsan pass (the slowest stage)
+# Usage: scripts/check.sh [--quick] [--explore N]
+#   --quick      skip the tsan pass (the slowest stage)
+#   --explore N  after the plain build, replay the differential and
+#                fault-injection suites under N schedule seeds
+#                (NAMTREE_SCHEDULE_SEED=1..N; see docs/simulator.md
+#                §Schedule exploration). Reports the first failing seed.
 #
 # Build trees live under build-check/ so the gate never disturbs an
 # existing build/ directory.
@@ -21,12 +25,24 @@ REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO"
 
 QUICK=0
+EXPLORE=0
+EXPECT_EXPLORE_N=0
 for arg in "$@"; do
+  if [[ "$EXPECT_EXPLORE_N" == 1 ]]; then
+    EXPLORE="$arg"
+    EXPECT_EXPLORE_N=0
+    continue
+  fi
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+    --explore) EXPECT_EXPLORE_N=1 ;;
+    --explore=*) EXPLORE="${arg#--explore=}" ;;
+    *) echo "usage: scripts/check.sh [--quick] [--explore N]" >&2; exit 2 ;;
   esac
 done
+if [[ "$EXPECT_EXPLORE_N" == 1 || ! "$EXPLORE" =~ ^[0-9]+$ ]]; then
+  echo "usage: scripts/check.sh [--quick] [--explore N]" >&2; exit 2
+fi
 
 CTEST_PARALLEL="${CTEST_PARALLEL:-$(nproc)}"
 FAILED=0
@@ -69,7 +85,36 @@ else
   echo "clang-tidy (with clang++) not installed; skipping (CI runs it)"
 fi
 
+# The suites replayed per schedule seed: every differential (model-vs-sim)
+# and fault-injection test — the workloads where an HB race or a
+# schedule-dependent protocol bug would surface as a kRemoteRace finding.
+EXPLORE_FILTER='Differential|Crash|Orphan|RpcTimeout|ResourceExhaustion'
+EXPLORE_FILTER+='|Straggler|Backoff|Jitter|Transport|ScheduleExplorer'
+
+explore_schedules() {
+  local dir="build-check/plain"
+  local seed
+  for ((seed = 1; seed <= EXPLORE; seed++)); do
+    banner "schedule seed $seed / $EXPLORE"
+    if ! NAMTREE_SCHEDULE_SEED="$seed" \
+         ctest --test-dir "$dir" --output-on-failure -j "$CTEST_PARALLEL" \
+               -R "$EXPLORE_FILTER"; then
+      echo "FAILING SCHEDULE SEED: $seed" >&2
+      echo "reproduce with:" >&2
+      echo "  NAMTREE_SCHEDULE_SEED=$seed ctest --test-dir $dir" \
+           "--output-on-failure -R '$EXPLORE_FILTER'" >&2
+      FAILED=1
+      return
+    fi
+  done
+  echo "schedule exploration clean: $EXPLORE seeds"
+}
+
 run_suite plain
+if [[ "$EXPLORE" -gt 0 ]]; then
+  banner "schedule exploration: $EXPLORE seeds over differential + fault suites"
+  explore_schedules
+fi
 run_suite asan-ubsan -DNAMTREE_SANITIZE="address;undefined"
 if [[ "$QUICK" == 0 ]]; then
   # The OLC local tree's optimistic reads are by-design races (see

@@ -64,6 +64,18 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    comment on (or directly above) the condition:
        // namtree-lint: chase-ok(<why NeedsChase does not apply>)
 
+7. discarded-status (error)
+   An expression statement that calls a function returning `Status` (or
+   `sim::Task<Status>`, via co_await) and ignores the result silently
+   swallows protocol failures — kUnavailable after a crash, kTimedOut
+   after retry exhaustion, Corruption from an audit sweep. The compiler
+   enforces most of this through `[[nodiscard]]` on Status itself; this
+   rule additionally catches the `(void)`-less discard in code paths built
+   with warnings relaxed, and keeps the policy visible in review. Cast to
+   void and annotate an audited drop with a comment on (or directly above)
+   the statement:
+       // namtree-lint: status-ok(<why the failure cannot matter here>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -80,7 +92,7 @@ import sys
 
 SUPPRESS_RE = re.compile(
     r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop|"
-    r"unchained-ok|chase-ok)\(")
+    r"unchained-ok|chase-ok|status-ok)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
@@ -135,6 +147,28 @@ RETRY_GUARD_RE = re.compile(
 # opening paren of the call so the argument list can be paren-matched.
 AWAITED_WRITE_RE = re.compile(
     r"\bco_await\b[^;{}]*?\b(?:Write|CompareAndSwap|FetchAndAdd)\s*\(")
+
+# A function returning Status or sim::Task<Status> (definition or member
+# declaration); the names feed the discarded-status rule.
+STATUS_FN_RE = re.compile(
+    r"(?:static\s+|virtual\s+)?"
+    r"(?:(?:sim::)?Task<\s*(?:common::)?Status\s*>|(?:common::)?Status)\s+"
+    r"(?P<name>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(")
+
+# The same name declared with a void-ish return anywhere in the tree makes
+# the call-site join ambiguous (the rule matches by unqualified name, not
+# by overload resolution); such names are skipped rather than risk flagging
+# a genuinely value-less call.
+VOID_FN_RE = re.compile(
+    r"(?:static\s+|virtual\s+)?(?:void|(?:sim::)?Task<\s*(?:void\s*)?>)\s+"
+    r"(?P<name>[A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*\(")
+
+# A call at statement position: the previous token ends a statement or
+# opens a block, optionally via co_await, with an optional object prefix.
+STATUS_CALL_RE = re.compile(
+    r"(?P<lead>[;{}])\s*(?P<await>co_await\s+)?"
+    r"(?:[A-Za-z_][\w]*(?:\.|->|::))*"
+    r"(?P<callee>[A-Za-z_]\w*)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -269,6 +303,9 @@ def lint_tree(src_root, verbose):
     notes = []
     task_defs = {}  # name -> list of (path, line, params, body)
     spawned = {}  # callee name -> list of (path, line)
+    status_fns = set()  # unqualified names returning Status / Task<Status>
+    void_fns = set()  # names with a void-ish overload: ambiguous, skipped
+    scanned = []  # (rel, raw_lines, clean) for the second pass
 
     files = list(collect_sources(src_root))
     for path in files:
@@ -278,6 +315,13 @@ def lint_tree(src_root, verbose):
         clean = strip_comments_and_strings(raw)
         rel = os.path.relpath(path, os.path.dirname(src_root))
         subdir = os.path.relpath(path, src_root).split(os.sep)[0]
+        scanned.append((rel, raw_lines, clean))
+
+        # Status-returning function names (for rule discarded-status).
+        for m in STATUS_FN_RE.finditer(clean):
+            status_fns.add(m.group("name").split("::")[-1])
+        for m in VOID_FN_RE.finditer(clean):
+            void_fns.add(m.group("name").split("::")[-1])
 
         # Rule: blocking-primitive.
         if subdir not in REAL_THREAD_ALLOWED:
@@ -404,6 +448,33 @@ def lint_tree(src_root, verbose):
                 continue
             spawned.setdefault(callee, []).append(
                 (rel, line_of(clean, m.start())))
+
+    # Rule: discarded-status — an expression statement calling a function
+    # known (by name, across the tree) to return Status / Task<Status>,
+    # with the result unused. A `(void)` cast naturally falls outside the
+    # statement-position pattern, so annotated drops stay quiet.
+    for rel, raw_lines, clean in scanned:
+        for m in STATUS_CALL_RE.finditer(clean):
+            callee = m.group("callee")
+            if callee not in status_fns or callee in void_fns:
+                continue
+            open_paren = clean.rfind("(", 0, m.end())
+            close = match_paren(clean, open_paren)
+            rest = clean[close:].lstrip()
+            if not rest.startswith(";"):
+                continue  # part of a larger expression: the value is used
+            line = line_of(clean, open_paren)
+            if is_suppressed(raw_lines, line):
+                continue
+            verb = ("co_await of a Task<Status> coroutine"
+                    if m.group("await") else "call")
+            findings.append(Finding(
+                "discarded-status", rel, line,
+                f"{verb} '{m.group('callee')}' returns Status but the "
+                "result is discarded, silently swallowing failures "
+                "(kUnavailable, kTimedOut, Corruption). Check it, or cast "
+                "to void and annotate with "
+                "'// namtree-lint: status-ok(...)'"))
 
     # Rule: spawn-unsafe-params — join spawn sites against definitions.
     for callee, sites in sorted(spawned.items()):

@@ -27,7 +27,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A cheap, copyable success/error value. OK status carries no allocation.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides protocol failures
+/// (kUnavailable after a crash, kTimedOut after retry exhaustion); cast to
+/// void and annotate with '// namtree-lint: status-ok(<why>)' when a drop
+/// is deliberate.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 

@@ -60,7 +60,7 @@ struct IndexConfig {
 
 /// Outcome of a point query. `status` distinguishes a clean miss (OK,
 /// found=false) from a degraded-mode failure (kUnavailable / kTimedOut).
-struct LookupResult {
+struct [[nodiscard]] LookupResult {
   bool found = false;
   btree::Value value = 0;
   Status status;

@@ -2,10 +2,12 @@
 #define NAMTREE_RDMA_AUDIT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,6 +46,13 @@ enum class ViolationKind {
   /// lease/steal recovery of docs/fault_model.md); stealing from a live
   /// holder races its write-back and can publish a torn page.
   kLockStealFromLiveHolder,
+  /// Two verbs touched overlapping bytes of a tracked page with neither
+  /// ordered before the other by happens-before (lock hand-offs, version
+  /// validation, chain order, RPC pairs, program order) nor arbitrated by
+  /// the version protocol itself. The finding's `detail` carries both
+  /// verbs' records (client, op, chain id, page, time). See
+  /// docs/static_analysis.md §Race detection.
+  kRemoteRace,
 };
 
 /// Human-readable name for `kind` ("WriteWithoutLock", ...).
@@ -51,7 +60,8 @@ const char* ViolationKindName(ViolationKind kind);
 
 struct Violation {
   ViolationKind kind;
-  /// Offending client (for kTornRead: the reader).
+  /// Offending client (for kTornRead: the reader; for kRemoteRace: the
+  /// later of the two racing verbs).
   uint32_t client = 0;
   /// The version word involved (for kTornRead: the read's target).
   RemotePtr target;
@@ -61,6 +71,11 @@ struct Violation {
   uint64_t attempted = 0;
   /// Virtual time of the offending memory effect.
   SimTime time = 0;
+  /// Kind-specific free-form context (for kRemoteRace: both verb records).
+  std::string detail;
+  /// Occurrence count: repeats of the same (kind, target) fold into the
+  /// first recorded instance instead of growing the log.
+  uint64_t occurrences = 1;
 
   std::string Describe() const;
 };
@@ -75,9 +90,25 @@ struct Violation {
 /// bootstrap and fresh-page initialization, where pages are private to the
 /// allocating client and written without locks by design.
 ///
+/// On top of the per-verb shape checks, the auditor maintains a
+/// happens-before order over verbs (sparse vector clocks per client, per
+/// memory-server RPC service point, and per tracked word) and reports any
+/// two overlapping accesses to a tracked page that are neither HB-ordered
+/// nor arbitrated by the version protocol as kRemoteRace. HB edges:
+///   - program order within one client (chained verbs included);
+///   - lock hand-off: a release (FAA, unlock WRITE, lock-clearing CAS)
+///     publishes the releaser's clock on the word; a successful
+///     lock-acquire CAS joins it;
+///   - version validation: a READ covering the version word joins the
+///     word's last release (observing the word implies that release
+///     completed);
+///   - sanctioned lock steal: the stealer joins the dead holder's clock;
+///   - RPC: a request delivery joins the caller's clock into the server's
+///     service clock, a consumed reply joins the service clock back.
+///
 /// The fabric calls the `On*` hooks at verb post / memory-effect time; all
 /// checks run at the same virtual instant as the effect they police, so the
-/// verdicts are deterministic for a given seed.
+/// verdicts are deterministic for a given (workload seed, schedule seed).
 class VerbAuditor {
  public:
   VerbAuditor() = default;
@@ -101,9 +132,10 @@ class VerbAuditor {
   // ---- Hooks, called by the fabric ---------------------------------------
 
   /// A WRITE was posted at virtual time `now`; its memory effect lands
-  /// later. Returns a ticket to pass to OnWriteEffect.
+  /// later. Returns a ticket to pass to OnWriteEffect. `chain` is the
+  /// doorbell-chain id for batched members (0 = standalone verb).
   uint64_t OnWritePosted(uint32_t client, RemotePtr dst, uint32_t len,
-                         SimTime now);
+                         SimTime now, uint64_t chain = 0);
 
   /// The WRITE's payload is about to be installed (called *before* the
   /// memcpy so pre-image values are still observable). Consumes the ticket.
@@ -111,12 +143,13 @@ class VerbAuditor {
 
   /// A READ's memory effect (the copy-out) is happening now.
   void OnReadEffect(uint32_t client, RemotePtr src, uint32_t len,
-                    SimTime now);
+                    SimTime now, uint64_t chain = 0);
 
   /// A CAS executed: `observed` is the pre-image (swap happened iff
   /// observed == expected).
   void OnCasEffect(uint32_t client, RemotePtr target, uint64_t expected,
-                   uint64_t desired, uint64_t observed, SimTime now);
+                   uint64_t desired, uint64_t observed, SimTime now,
+                   uint64_t chain = 0);
 
   /// A FETCH_AND_ADD executed: `prev` is the pre-image.
   void OnFaaEffect(uint32_t client, RemotePtr target, uint64_t add,
@@ -125,6 +158,14 @@ class VerbAuditor {
   /// A posted WRITE was dropped in flight (its client crashed before the
   /// memory effect). Consumes the ticket without applying any checks.
   void DropWrite(uint64_t ticket);
+
+  /// An RPC request from `client` was delivered to `server`'s receive
+  /// queue: the server's service clock joins the caller's.
+  void OnRpcRequest(uint32_t client, uint32_t server);
+
+  /// `client` consumed a reply from `server`: the caller's clock joins the
+  /// server's service clock.
+  void OnRpcReply(uint32_t client, uint32_t server);
 
   // ---- Queries ------------------------------------------------------------
 
@@ -142,9 +183,23 @@ class VerbAuditor {
   /// Number of sanctioned lock steals (CAS-clear of a dead holder's lock).
   uint64_t lock_steals() const { return lock_steals_; }
 
+  /// Distinct recorded violations (one per (kind, target), capped at
+  /// kMaxStoredViolations; repeats bump Violation::occurrences).
   const std::vector<Violation>& violations() const { return violations_; }
   size_t violation_count() const { return violations_.size(); }
+  /// Occurrences of `kind`, summed across its deduplicated records.
   size_t CountOfKind(ViolationKind kind) const;
+  /// Total occurrences across all records, including ones folded into an
+  /// existing record and ones dropped at the storage cap.
+  uint64_t total_violation_occurrences() const { return total_occurrences_; }
+  /// Occurrences dropped because kMaxStoredViolations distinct records
+  /// already existed (their (kind, target) was new, so nothing to fold
+  /// into).
+  uint64_t suppressed_violations() const { return suppressed_violations_; }
+
+  /// Cap on *distinct* stored violations: multi-seed exploration runs over
+  /// broken protocols must not grow memory without bound.
+  static constexpr size_t kMaxStoredViolations = 256;
 
   /// Number of version words currently under protocol tracking.
   size_t tracked_words() const;
@@ -154,22 +209,98 @@ class VerbAuditor {
   Status CheckClean() const;
 
   /// Forgets all recorded violations (tracking state is kept).
-  void ClearViolations() { violations_.clear(); }
+  void ClearViolations();
 
-  /// Drops all state: violations, tracked words, in-flight writes.
+  /// Drops all state: violations, tracked words, in-flight writes, clocks.
   void Reset();
 
+  // ---- Verb trace ---------------------------------------------------------
+
+  /// One verb memory effect, as retained in the replay trace ring.
+  struct VerbRecord {
+    uint32_t client = 0;
+    const char* op = "";
+    RemotePtr target;
+    uint32_t len = 0;
+    uint64_t chain = 0;
+    SimTime time = 0;
+
+    std::string Describe() const;
+  };
+
+  /// Ring buffer of the most recent verb effects (newest last). CI's
+  /// schedule-exploration job dumps this next to the failing seed so a
+  /// race report can be replayed and read without rerunning locally first.
+  const std::deque<VerbRecord>& trace() const { return trace_; }
+  /// Resizes the ring (0 disables tracing).
+  void set_trace_capacity(size_t n);
+  /// The trace, one record per line.
+  std::string DumpTrace() const;
+
  private:
+  /// Sparse vector clock over client ids. Entries default to 0.
+  class VectorClock {
+   public:
+    uint64_t Of(uint32_t client) const {
+      auto it = counts_.find(client);
+      return it == counts_.end() ? 0 : it->second;
+    }
+    void Tick(uint32_t client) { counts_[client]++; }
+    void Join(const VectorClock& other) {
+      for (const auto& [client, count] : other.counts_) {
+        uint64_t& mine = counts_[client];
+        if (count > mine) mine = count;
+      }
+    }
+    void Clear() { counts_.clear(); }
+
+   private:
+    std::unordered_map<uint32_t, uint64_t> counts_;
+  };
+
+  /// One remembered data access to a tracked page, with the issuer's
+  /// scalar clock at effect time — enough to evaluate happens-before
+  /// against any later access and to print a stack-of-record.
+  struct Access {
+    uint32_t client = 0;
+    uint64_t clock = 0;
+    uint64_t chain = 0;
+    RemotePtr at;
+    uint32_t len = 0;
+    SimTime time = 0;
+    const char* op = "";
+    /// Write: issued while holding the page lock. Read: covered the
+    /// version word (version-validated).
+    bool disciplined = false;
+
+    std::string Describe() const;
+  };
+
   struct WordState {
     bool locked = false;
-    uint32_t holder = 0;    // valid while locked
-    uint64_t last_word = 0; // last value the auditor saw installed
+    uint32_t holder = 0;     // valid while locked
+    uint64_t last_word = 0;  // last value the auditor saw installed
+    // ---- happens-before state ----
+    /// Clock of the last lock release; joined by acquirers and by
+    /// version-validated readers.
+    VectorClock release_vc;
+    /// Learned page span [word, word + extent): grown by accesses that
+    /// start at the word, so lock-elided accesses into the page body can
+    /// be associated with it.
+    uint64_t extent = 8;
+    bool has_last_write = false;
+    Access last_write;
+    /// Latest read per client, split by validation class. Bounded by the
+    /// client count; superseded in place.
+    std::unordered_map<uint32_t, Access> validated_reads;
+    std::unordered_map<uint32_t, Access> elided_reads;
   };
 
   struct InflightWrite {
     uint32_t client = 0;
     RemotePtr dst;
     uint32_t len = 0;
+    uint64_t chain = 0;
     /// True when the write covered >= 1 tracked word the writer did not
     /// hold at post time — overlapping reads are torn-read suspects.
     bool unprotected = false;
@@ -189,8 +320,37 @@ class VerbAuditor {
   }
 
   WordState* FindWord(RemotePtr target);
+
+  /// Advances `client`'s clock by one verb effect and returns the new
+  /// scalar value (the clock stamp of that effect).
+  uint64_t Tick(uint32_t client);
+  /// True when the remembered access is HB-ordered before `later_client`'s
+  /// current point (program order falls out: a client always covers its
+  /// own past stamps).
+  bool HappensBefore(const Access& earlier, uint32_t later_client);
+  /// Builds the access record for the verb effect happening now.
+  Access MakeAccess(uint32_t client, const char* op, RemotePtr at,
+                    uint32_t len, uint64_t chain, SimTime now);
+  /// Invokes fn(word_offset, state) for every tracked word of `server`
+  /// whose learned page span overlaps [lo, hi).
+  template <typename Fn>
+  void ForEachCoveredWord(uint32_t server, uint64_t lo, uint64_t hi,
+                          Fn&& fn);
+  /// HB race pass of a write effect against one covered word (called with
+  /// pre-mirror state). Stamps the write's discipline, reports unordered
+  /// overlaps, installs it as the word's last write, and retires reads
+  /// the write is ordered after.
+  void CheckWriteRaces(WordState& state, RemotePtr word_ptr,
+                       const Access& write, SimTime now);
+
   void Report(ViolationKind kind, uint32_t client, RemotePtr target,
               uint64_t observed, uint64_t attempted, SimTime now);
+  void ReportRace(const Access& earlier, const Access& later,
+                  RemotePtr word, SimTime now);
+  /// Deduplicating sink behind both Report flavors.
+  void Record(Violation v);
+  void RecordTrace(uint32_t client, const char* op, RemotePtr target,
+                   uint32_t len, uint64_t chain, SimTime now);
 
   bool enabled_ = true;
   std::function<bool(uint32_t)> liveness_probe_;
@@ -199,6 +359,14 @@ class VerbAuditor {
   uint64_t next_ticket_ = 1;
   uint64_t lock_steals_ = 0;
   std::vector<Violation> violations_;
+  /// (kind, target raw) -> index into violations_, for deduplication.
+  std::map<std::pair<int, uint64_t>, size_t> violation_index_;
+  uint64_t total_occurrences_ = 0;
+  uint64_t suppressed_violations_ = 0;
+  std::unordered_map<uint32_t, VectorClock> client_vc_;
+  std::unordered_map<uint32_t, VectorClock> server_vc_;
+  std::deque<VerbRecord> trace_;
+  size_t trace_capacity_ = 2048;
 };
 
 }  // namespace namtree::rdma

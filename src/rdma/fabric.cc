@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 namespace namtree::rdma {
@@ -15,10 +16,25 @@ constexpr uint32_t kAtomicRequestBytes = 32;
 constexpr uint32_t kAtomicResponseBytes = 16;
 constexpr uint32_t kAckBytes = 8;
 
+/// Suite-wide schedule-exploration override: NAMTREE_SCHEDULE_SEED replays
+/// every fabric built by the process under the given schedule seed without
+/// touching each construction site. An explicit FabricConfig::schedule_seed
+/// wins over the environment. Driven by `scripts/check.sh --explore N` and
+/// the CI schedule-exploration matrix.
+uint64_t EnvScheduleSeed() {
+  const char* value = std::getenv("NAMTREE_SCHEDULE_SEED");
+  return value == nullptr ? 0 : std::strtoull(value, nullptr, 10);
+}
+
 }  // namespace
 
 Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     : simulator_(simulator), config_(config), jitter_rng_(config.jitter_seed) {
+  if (config_.schedule_seed == 0) config_.schedule_seed = EnvScheduleSeed();
+  if (config_.schedule_seed != 0 || config_.schedule_jitter_ns != 0) {
+    simulator_.ConfigureSchedule(config_.schedule_seed,
+                                 config_.schedule_jitter_ns);
+  }
 #if NAMTREE_AUDIT
   auditor_ = std::make_unique<VerbAuditor>();
   auditor_->SetLivenessProbe(
@@ -199,6 +215,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
   doorbells_++;
   signaled_verbs_++;  // the tail carries the chain's only completion
   unsignaled_verbs_ += ops.size() - 1;
+  const uint64_t chain_id = next_chain_id_++;
 
   // A READ-only chain (head-node prefetch) has independent members; any
   // WRITE or CAS makes the chain ordered — each member's effect waits for
@@ -228,8 +245,8 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
     MemoryServerEndpoint& server = memory_servers_[sid];
     uint64_t ticket = 0;
     if (op.kind == ChainOp::Kind::kWrite && auditor_) {
-      ticket =
-          auditor_->OnWritePosted(client, op.target, op.len, simulator_.now());
+      ticket = auditor_->OnWritePosted(client, op.target, op.len,
+                                       simulator_.now(), chain_id);
     }
 
     SimTime t_effect = 0;
@@ -333,7 +350,8 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
     switch (op.kind) {
       case ChainOp::Kind::kRead: {
         if (auditor_) {
-          auditor_->OnReadEffect(client, op.target, op.len, simulator_.now());
+          auditor_->OnReadEffect(client, op.target, op.len, simulator_.now(),
+                                 chain_id);
         }
         std::memcpy(op.dst, TargetAddress(op.target, op.len), op.len);
         break;
@@ -354,7 +372,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
         }
         if (auditor_) {
           auditor_->OnCasEffect(client, op.target, op.expected, op.desired,
-                                current, simulator_.now());
+                                current, simulator_.now(), chain_id);
         }
         if (op.result != nullptr) *op.result = current;
         break;
@@ -592,6 +610,9 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     incoming.request = request;  // copied: a timeout resends it
     incoming.call_id = call_id;
     server.srq->Deliver(std::move(incoming));
+    // The delivered request orders everything the caller did so far before
+    // the handler's work (two-sided HB edge).
+    if (auditor_) auditor_->OnRpcRequest(client, server_id);
 
     const SimTime deadline = config_.rpc_timeout_ns > 0
                                  ? simulator_.now() + config_.rpc_timeout_ns
@@ -610,6 +631,10 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     if (!ClientAlive(client)) {
       response = RpcResponse();
       response.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+    } else if (auditor_) {
+      // The consumed reply closes the RPC pair: the handler's effects are
+      // now ordered before everything the caller does next.
+      auditor_->OnRpcReply(client, server_id);
     }
     co_return response;
   }

@@ -346,6 +346,9 @@ class Fabric {
   std::unordered_map<uint32_t, uint64_t> verbs_issued_;
   std::unordered_map<uint64_t, std::unique_ptr<PendingCall>> pending_calls_;
   uint64_t next_call_id_ = 1;
+  /// Doorbell-chain ids handed to the auditor so a race report can name the
+  /// chain both verbs rode in (0 = standalone verb).
+  uint64_t next_chain_id_ = 1;
   uint64_t dropped_verbs_ = 0;
   uint64_t dropped_responses_ = 0;
   uint64_t rpc_timeouts_ = 0;

@@ -102,6 +102,19 @@ struct FabricConfig {
   /// handler CPU (straggler injection); empty = no slowdown.
   std::vector<double> server_slowdown;
 
+  /// Schedule-exploration seed (sim::Simulator::ConfigureSchedule): 0 keeps
+  /// the legacy FIFO tie-break among equal-timestamp simulator events —
+  /// bit-identical to pre-exploration runs — while any other value
+  /// deterministically permutes it, selecting an alternate but equally
+  /// legal interleaving of the same workload. Driven by the
+  /// ScheduleExplorer / `scripts/check.sh --explore N`.
+  uint64_t schedule_seed = 0;
+  /// Bounded delay injection: every scheduled simulator event is delayed
+  /// by a seed-deterministic extra amount in [0, schedule_jitter_ns].
+  /// 0 disables. Unlike latency_jitter (which only stretches wire hops),
+  /// this perturbs *all* coroutine resumptions, including local ones.
+  SimTime schedule_jitter_ns = 0;
+
   /// Deterministic crash-point: kill `client` once it has issued
   /// `after_verbs` verbs — the next verb (and everything after it) is
   /// dropped in flight and returns without a memory effect, exactly as if

@@ -4,15 +4,50 @@
 
 namespace namtree::sim {
 
+namespace {
+
+/// splitmix64: a cheap, high-quality 64-bit mixer. Used to derive the
+/// per-event permutation keys and jitter amounts from (seed, seq) so every
+/// schedule is a pure function of the seed — portable across hosts and
+/// standard libraries.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Simulator::ConfigureSchedule(uint64_t seed, SimTime max_jitter_ns) {
+  schedule_seed_ = seed;
+  schedule_jitter_ns_ = max_jitter_ns;
+}
+
+uint64_t Simulator::TieBreak(uint64_t seq) const {
+  if (schedule_seed_ == 0) return seq;
+  return Mix64(seq ^ Mix64(schedule_seed_));
+}
+
+SimTime Simulator::JitterFor(uint64_t seq) const {
+  if (schedule_jitter_ns_ <= 0) return 0;
+  const uint64_t h = Mix64(seq * 0x632BE59BD9B4E019ull + schedule_seed_);
+  return static_cast<SimTime>(
+      h % static_cast<uint64_t>(schedule_jitter_ns_ + 1));
+}
+
 void Simulator::ScheduleAt(SimTime t, std::coroutine_handle<> h) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, h});
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{std::max(t, now_) + JitterFor(seq), TieBreak(seq), seq,
+                    h});
 }
 
 Simulator::CancelToken Simulator::ScheduleCancellableAt(
     SimTime t, std::coroutine_handle<> h) {
-  CancelToken token = next_seq_;
-  queue_.push(Event{std::max(t, now_), next_seq_++, h});
-  return token;
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{std::max(t, now_) + JitterFor(seq), TieBreak(seq), seq,
+                    h});
+  return seq;
 }
 
 void Simulator::Cancel(CancelToken token) { cancelled_.insert(token); }
@@ -44,6 +79,41 @@ bool Simulator::RunUntil(SimTime deadline) {
   if (queue_.empty()) return false;
   now_ = deadline;
   return true;
+}
+
+std::string ScheduleExplorer::Report::ToString() const {
+  std::string s = "explored " + std::to_string(seeds_run) + " seed(s): ";
+  if (clean()) return s + "all clean";
+  s += std::to_string(failing_seeds.size()) + " failing, first seed " +
+       std::to_string(first_failing_seed) + " (" + first_failure.ToString() +
+       "), replay " +
+       (replay_deterministic ? "deterministic" : "NOT deterministic");
+  return s;
+}
+
+ScheduleExplorer::Report ScheduleExplorer::Explore(const Options& options,
+                                                   const Body& body) {
+  Report report;
+  for (uint32_t i = 0; i < options.num_seeds; ++i) {
+    const uint64_t seed = options.base_seed + i;
+    const Status status = body(seed);
+    report.seeds_run++;
+    if (status.ok()) continue;
+    report.failing_seeds.push_back(seed);
+    if (report.failing_seeds.size() == 1) {
+      report.first_failing_seed = seed;
+      report.first_failure = status;
+    }
+    if (options.stop_at_first_failure) break;
+  }
+  if (!report.clean() && options.confirm_replay) {
+    // Ascending exploration already makes the reported seed minimal; the
+    // replay run proves the seed alone reproduces the failure.
+    const Status replay = body(report.first_failing_seed);
+    report.replay_deterministic =
+        !replay.ok() && replay.code() == report.first_failure.code();
+  }
+  return report;
 }
 
 }  // namespace namtree::sim

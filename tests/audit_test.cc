@@ -98,7 +98,10 @@ TEST(AuditTest, WriteWithoutLockIsFlagged) {
   rig.cluster.simulator().Run();
 
   EXPECT_EQ(rig.auditor()->CountOfKind(ViolationKind::kWriteWithoutLock), 1u);
-  EXPECT_EQ(rig.auditor()->violation_count(), 1u);
+  // The unlocked write also races the previous (disciplined) write-back:
+  // nothing orders client 1 after client 0's release.
+  EXPECT_EQ(rig.auditor()->CountOfKind(ViolationKind::kRemoteRace), 1u);
+  EXPECT_EQ(rig.auditor()->violation_count(), 2u);
   const Status status = rig.fabric().CheckAuditClean();
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
   EXPECT_NE(status.message().find("WriteWithoutLock"), std::string::npos)

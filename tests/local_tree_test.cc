@@ -89,7 +89,7 @@ TEST(LocalTreeTest, DuplicateKeysAllFindable) {
 
 TEST(LocalTreeTest, ScanRespectsBounds) {
   LocalBLinkTree tree(512);
-  for (Key k = 0; k < 300; ++k) tree.Insert(k * 10, k);
+  for (Key k = 0; k < 300; ++k) (void)tree.Insert(k * 10, k);
   std::vector<KV> out;
   EXPECT_EQ(tree.Scan(100, 200, &out), 10u);
   EXPECT_EQ(out.front().key, 100u);
@@ -102,35 +102,35 @@ TEST(LocalTreeTest, ScanRespectsBounds) {
 
 TEST(LocalTreeTest, UpdateInPlace) {
   LocalBLinkTree tree(512);
-  for (Key k = 0; k < 1000; ++k) tree.Insert(k * 2, k);
+  for (Key k = 0; k < 1000; ++k) (void)tree.Insert(k * 2, k);
   EXPECT_TRUE(tree.Update(100, 999).ok());
   EXPECT_EQ(tree.Lookup(100).value_or(0), 999u);
   EXPECT_TRUE(tree.Update(101, 1).IsNotFound());
   EXPECT_FALSE(tree.Lookup(101).ok()) << "failed update must not insert";
   // Updating a tombstoned key misses.
-  tree.Delete(100);
+  (void)tree.Delete(100);
   EXPECT_TRUE(tree.Update(100, 5).IsNotFound());
 }
 
 TEST(LocalTreeTest, LookupAllAcrossPageBoundaries) {
   LocalBLinkTree tree(256);  // leaf capacity 10
-  for (Key k = 0; k < 500; ++k) tree.Insert(k * 10, k);
-  for (uint64_t i = 0; i < 35; ++i) tree.Insert(2500, 7000 + i);
+  for (Key k = 0; k < 500; ++k) (void)tree.Insert(k * 10, k);
+  for (uint64_t i = 0; i < 35; ++i) (void)tree.Insert(2500, 7000 + i);
   std::vector<Value> values;
   EXPECT_EQ(tree.LookupAll(2500, &values), 36u);  // base entry + 35 dupes
   std::set<Value> unique(values.begin(), values.end());
   EXPECT_EQ(unique.size(), 36u);
   EXPECT_EQ(tree.LookupAll(2501, nullptr), 0u);
   // Deletes reduce the collected set one entry at a time.
-  tree.Delete(2500);
-  tree.Delete(2500);
+  (void)tree.Delete(2500);
+  (void)tree.Delete(2500);
   EXPECT_EQ(tree.LookupAll(2500, nullptr), 34u);
 }
 
 TEST(LocalTreeTest, DeleteThenGarbageCollect) {
   LocalBLinkTree tree(512);
   const uint64_t n = 5000;
-  for (Key k = 0; k < n; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < n; ++k) (void)tree.Insert(k, k);
   for (Key k = 0; k < n; k += 2) {
     ASSERT_TRUE(tree.Delete(k).ok());
   }
@@ -175,7 +175,7 @@ TEST(LocalTreeTest, BulkLoadMatchesIncrementalContent) {
 
 TEST(LocalTreeCursorTest, IteratesInOrderFromSeek) {
   LocalBLinkTree tree(256);
-  for (Key k = 0; k < 3000; ++k) tree.Insert(k * 3, k);
+  for (Key k = 0; k < 3000; ++k) (void)tree.Insert(k * 3, k);
   auto cursor = tree.Seek(1500);
   Key previous = 0;
   uint64_t seen = 0;
@@ -195,9 +195,9 @@ TEST(LocalTreeCursorTest, IteratesInOrderFromSeek) {
 
 TEST(LocalTreeCursorTest, SkipsTombstonesAndEmptyRegions) {
   LocalBLinkTree tree(256);
-  for (Key k = 0; k < 1000; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < 1000; ++k) (void)tree.Insert(k, k);
   // Tombstone a broad band in the middle (spanning many pages).
-  for (Key k = 200; k < 800; ++k) tree.Delete(k);
+  for (Key k = 200; k < 800; ++k) (void)tree.Delete(k);
   auto cursor = tree.Seek(150);
   std::vector<Key> keys;
   for (; cursor.Valid(); cursor.Next()) keys.push_back(cursor.key());
@@ -212,7 +212,7 @@ TEST(LocalTreeCursorTest, SkipsTombstonesAndEmptyRegions) {
 
 TEST(LocalTreeCursorTest, SeekPastEndIsInvalid) {
   LocalBLinkTree tree(256);
-  for (Key k = 0; k < 100; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < 100; ++k) (void)tree.Insert(k, k);
   EXPECT_FALSE(tree.Seek(1000).Valid());
   LocalBLinkTree empty(256);
   EXPECT_FALSE(empty.Seek(0).Valid());
@@ -276,7 +276,7 @@ TEST(LocalTreeConcurrencyTest, ParallelDisjointInserts) {
 
 TEST(LocalTreeConcurrencyTest, ReadersDuringWrites) {
   LocalBLinkTree tree(256);
-  for (Key k = 0; k < 10000; k += 2) tree.Insert(k, k);
+  for (Key k = 0; k < 10000; k += 2) (void)tree.Insert(k, k);
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> reader_errors{0};
 
@@ -298,7 +298,7 @@ TEST(LocalTreeConcurrencyTest, ReadersDuringWrites) {
     });
   }
   std::thread writer([&] {
-    for (Key k = 1; k < 10000; k += 2) tree.Insert(k, k);
+    for (Key k = 1; k < 10000; k += 2) (void)tree.Insert(k, k);
     stop.store(true);
   });
   writer.join();
@@ -312,7 +312,7 @@ TEST(LocalTreeConcurrencyTest, ReadersDuringWrites) {
 TEST(LocalTreeConcurrencyTest, ConcurrentUpdatesNeverTear) {
   LocalBLinkTree tree(256);
   const uint64_t n = 2000;
-  for (Key k = 0; k < n; ++k) tree.Insert(k, 0);
+  for (Key k = 0; k < n; ++k) (void)tree.Insert(k, 0);
   // Writers update disjoint value namespaces; readers must always observe
   // a value some writer actually wrote (no torn/garbage values).
   std::atomic<bool> stop{false};
@@ -323,7 +323,7 @@ TEST(LocalTreeConcurrencyTest, ConcurrentUpdatesNeverTear) {
       Rng rng(40 + t);
       for (int i = 0; i < 5000; ++i) {
         const Key k = rng.NextBelow(n);
-        tree.Update(k, (static_cast<Value>(t) << 32) | (i + 1));
+        (void)tree.Update(k, (static_cast<Value>(t) << 32) | (i + 1));
       }
     });
   }
@@ -352,7 +352,7 @@ TEST(LocalTreeConcurrencyTest, ConcurrentUpdatesNeverTear) {
 
 TEST(LocalTreeConcurrencyTest, MixedWorkloadKeepsInvariants) {
   LocalBLinkTree tree(256);
-  for (Key k = 0; k < 5000; ++k) tree.Insert(k * 4, k);
+  for (Key k = 0; k < 5000; ++k) (void)tree.Insert(k * 4, k);
   std::vector<std::thread> workers;
   std::atomic<uint64_t> inserted{0};
   for (int t = 0; t < 6; ++t) {
@@ -364,7 +364,7 @@ TEST(LocalTreeConcurrencyTest, MixedWorkloadKeepsInvariants) {
         if (a < 0.4) {
           if (tree.Insert(k, k).ok()) inserted.fetch_add(1);
         } else if (a < 0.6) {
-          tree.Delete(k);
+          (void)tree.Delete(k);
         } else if (a < 0.8) {
           tree.Lookup(k);
         } else {
