@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnavailable,     ///< Target server/queue pair is not reachable.
   kTimedOut,        ///< Simulated deadline exceeded.
   kUnsupported,     ///< Operation not supported by this index design.
+  // Appended after kUnsupported so wire-encoded codes (RpcResponse::status)
+  // stay stable across versions.
+  kResourceExhausted, ///< A bounded resource (replica stripe, quota) ran out.
 };
 
 /// Returns a human-readable name for `code` ("OK", "NotFound", ...).
@@ -63,6 +66,9 @@ class [[nodiscard]] Status {
   static Status Unsupported(std::string msg = "") {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   /// Rebuilds a Status from a wire-encoded code (RPC responses carry the
   /// StatusCode as an integer; see rdma::RpcResponse::status).
   static Status FromCode(StatusCode code, std::string msg = "") {
@@ -77,6 +83,9 @@ class [[nodiscard]] Status {
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

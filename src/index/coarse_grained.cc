@@ -51,6 +51,8 @@ Status CoarseGrainedIndex::BulkLoad(std::span<const KV> sorted) {
           return Handle(srv, std::move(rpc));
         });
   }
+  // Seed backup replicas from the bulk-loaded primaries (no-op at R=1).
+  cluster_.fabric().SyncReplicasFromPrimaries();
   return Status::OK();
 }
 
@@ -231,7 +233,8 @@ sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
       ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code == StatusCode::kOk) co_return Status::OK();
-  if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
+  if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut ||
+      code == StatusCode::kResourceExhausted) {
     co_return Status::FromCode(code, "insert rpc");
   }
   co_return Status::Aborted("insert failed");

@@ -76,6 +76,8 @@ Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
     cluster_.fabric().region(s)->WriteU64(
         rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root.raw());
   }
+  // Seed backup replicas from the bulk-loaded primaries (no-op at R=1).
+  cluster_.fabric().SyncReplicasFromPrimaries();
   return Status::OK();
 }
 

@@ -44,6 +44,8 @@ Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
   // bootstrap.
   cluster_.fabric().region(0)->WriteU64(
       rdma::MemoryRegion::CatalogSlotOffset(catalog_slot_), root.raw());
+  // Seed backup replicas from the bulk-loaded primaries (no-op at R=1).
+  cluster_.fabric().SyncReplicasFromPrimaries();
   return Status::OK();
 }
 

@@ -127,6 +127,8 @@ Status DistributedHashIndex::BulkLoad(std::span<const KV> sorted) {
       ptr = next;
     }
   }
+  // Seed backup replicas from the bulk-loaded primaries (no-op at R=1).
+  cluster_.fabric().SyncReplicasFromPrimaries();
   return Status::OK();
 }
 
@@ -186,15 +188,24 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     if (bucket.count() < kSlotsPerBucket) {
       bucket.set_slot(bucket.count(), KV{key, value});
       bucket.set_count(bucket.count() + 1);
-      co_return co_await ops.WriteUnlockPage(ptr, buf);
+      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      if (wu.IsAborted()) {
+        ctx.restarts++;  // primary died mid-publication: retry promoted
+        continue;
+      }
+      co_return wu;
     }
     // Full tail bucket: chain a fresh overflow bucket holding the entry.
-    const rdma::RemotePtr next = co_await ops.AllocPage(ptr.server_id());
-    if (next.is_null()) {
+    const AllocResult next_alloc = co_await ops.AllocPage(ptr.server_id());
+    if (!next_alloc.ok()) {
       if (!ops.alive()) co_return Status::Unavailable("client crashed");
       (void)co_await ops.UnlockPage(ptr);
-      co_return Status::OutOfMemory("overflow bucket");
+      if (next_alloc.status.IsOutOfMemory()) {
+        co_return Status::OutOfMemory("overflow bucket");
+      }
+      co_return next_alloc.status;
     }
+    const rdma::RemotePtr next = next_alloc.ptr;
     std::vector<uint8_t> fresh(kBucketBytes, 0);
     BucketView next_bucket(fresh.data());
     next_bucket.set_slot(0, KV{key, value});
@@ -206,7 +217,12 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     // leaks the unpublished overflow bucket — both sound.
     if (!ops.alive()) co_return Status::Unavailable("client crashed");
     bucket.set_overflow(next.raw());
-    co_return co_await ops.WriteUnlockPage(ptr, buf);
+    const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+    if (wu.IsAborted()) {
+      ctx.restarts++;  // overflow bucket leaks (unreachable); retry promoted
+      continue;
+    }
+    co_return wu;
   }
 }
 
@@ -234,7 +250,12 @@ sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
     KV kv = bucket.slot(i);
     kv.value = value;
     bucket.set_slot(i, kv);
-    co_return co_await ops.WriteUnlockPage(ptr, buf);
+    const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+    if (wu.IsAborted()) {
+      ctx.restarts++;  // primary died mid-publication: retry promoted
+      continue;
+    }
+    co_return wu;
   }
   co_return Status::NotFound();
 }
@@ -286,7 +307,12 @@ sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
     bucket.set_slot(static_cast<uint32_t>(i),
                     bucket.slot(bucket.count() - 1));
     bucket.set_count(bucket.count() - 1);
-    co_return co_await ops.WriteUnlockPage(ptr, buf);
+    const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+    if (wu.IsAborted()) {
+      ctx.restarts++;  // primary died mid-publication: retry promoted
+      continue;
+    }
+    co_return wu;
   }
   co_return Status::NotFound();
 }

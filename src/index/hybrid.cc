@@ -90,6 +90,8 @@ Status HybridIndex::BulkLoad(std::span<const KV> sorted) {
           return Handle(srv, std::move(rpc));
         });
   }
+  // Seed backup replicas from the bulk-loaded primaries (no-op at R=1).
+  cluster_.fabric().SyncReplicasFromPrimaries();
   return Status::OK();
 }
 

@@ -21,7 +21,7 @@ constexpr uint64_t kHopLimit = 100'000'000;  // cycle guard
 /// violation and returns false when the pointer is malformed.
 bool Resolve(rdma::Fabric& fabric, uint64_t raw, uint32_t page_size,
              IndexInspector::Report* report, PageView* out) {
-  const rdma::RemotePtr ptr(raw);
+  rdma::RemotePtr ptr(raw);
   if (ptr.is_null()) {
     report->violations.push_back("null pointer dereference");
     return false;
@@ -30,6 +30,17 @@ bool Resolve(rdma::Fabric& fabric, uint64_t raw, uint32_t page_size,
     report->violations.push_back("pointer to unknown server " +
                                  std::to_string(ptr.server_id()));
     return false;
+  }
+  // Under replication a dead primary is served by its first live replica;
+  // inspect the copy clients actually read after failover.
+  if (fabric.replicated() && !fabric.ServerAlive(ptr.server_id())) {
+    for (uint32_t r = 1; r < fabric.replication(); ++r) {
+      const rdma::RemotePtr rep = fabric.ReplicaPtr(ptr, r);
+      if (fabric.ServerAlive(rep.server_id())) {
+        ptr = rep;
+        break;
+      }
+    }
   }
   rdma::MemoryRegion* region = fabric.region(ptr.server_id());
   if (!region->Contains(ptr.offset(), page_size)) {

@@ -213,9 +213,12 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
     for (uint32_t k = 0; k < n; ++k) {
       uint8_t* image = prefetch_buf.data() + static_cast<size_t>(k) * page_size;
       PageView leaf(image, page_size);
-      if (IsLocked(leaf.version_word())) {
-        // The prefetched image was mid-write: fall back to a fresh
-        // spin-read of this page.
+      if (!ops.fabric().ServerAlive(rdma::RemotePtr(targets[k]).server_id()) ||
+          IsLocked(leaf.version_word())) {
+        // The prefetched image was mid-write, or its batch member was
+        // dropped by a dead target server and the buffer slot holds stale
+        // bytes from an earlier batch: fall back to a fresh spin-read,
+        // which fails over to a live replica under replication.
         const PageReadResult reread =
             co_await ops.ReadPageUnlocked(rdma::RemotePtr(targets[k]), image);
         if (!reread.ok()) co_return found;
@@ -285,7 +288,14 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
     ops.StampLocked(buf, version);
 
     if (view.LeafInsert(key, value)) {
-      co_return co_await ops.WriteUnlockPage(ptr, buf);
+      const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+      if (wu.IsAborted()) {
+        // The locked acting primary died mid-publication (R>1): the lock
+        // evaporated with the server; retry against the promoted replica.
+        ops.ctx().restarts++;
+        continue;
+      }
+      co_return wu;
     }
 
     // Split: allocate the right page round-robin (RDMA_ALLOC), then
@@ -295,15 +305,21 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
     // atomically, an unpublished right page is an unreachable leak, and
     // the orphaned left lock is lease-stolen (the image behind it is
     // either the old or the fully split content — verbs are atomic).
-    const rdma::RemotePtr right_ptr =
-        alloc_server >= 0
-            ? co_await ops.AllocPage(static_cast<uint32_t>(alloc_server))
-            : co_await ops.AllocPageRoundRobin();
-    if (right_ptr.is_null()) {
+    AllocResult alloc;
+    if (alloc_server >= 0) {
+      alloc = co_await ops.AllocPage(static_cast<uint32_t>(alloc_server));
+    } else {
+      alloc = co_await ops.AllocPageRoundRobin();
+    }
+    if (!alloc.ok()) {
       const Status unlock = co_await ops.UnlockPage(ptr);
       if (!unlock.ok()) co_return unlock;
-      co_return Status::OutOfMemory("leaf split");
+      if (alloc.status.IsOutOfMemory()) {
+        co_return Status::OutOfMemory("leaf split");
+      }
+      co_return alloc.status;  // dead allocation pool: surface it
     }
+    const rdma::RemotePtr right_ptr = alloc.ptr;
     uint8_t* rbuf = ops.ctx().page_b();
     PageView right(rbuf, page_size);
     const Key separator = view.SplitLeafInto(right, right_ptr.raw());
@@ -313,6 +329,13 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
     (void)ok;
     const Status unlock =
         co_await ops.WriteSiblingAndUnlockPage(right_ptr, rbuf, ptr, buf);
+    if (unlock.IsAborted()) {
+      // Locked primary died mid-split-publication: the promoted replica
+      // still shows the pre-split image. The allocated right page leaks
+      // (unreachable); retry the whole pass.
+      ops.ctx().restarts++;
+      continue;
+    }
     if (!unlock.ok()) co_return unlock;
 
     split->split = true;
@@ -355,7 +378,12 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
       if (!unlock.ok()) co_return unlock;
       co_return Status::NotFound();  // defensive; CAS pinned the version
     }
-    co_return co_await ops.WriteUnlockPage(ptr, buf);
+    const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+    if (wu.IsAborted()) {
+      ops.ctx().restarts++;  // primary died mid-publication: retry promoted
+      continue;
+    }
+    co_return wu;
   }
 }
 
@@ -422,7 +450,12 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
       if (!unlock.ok()) co_return unlock;
       co_return Status::NotFound();
     }
-    co_return co_await ops.WriteUnlockPage(ptr, buf);
+    const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+    if (wu.IsAborted()) {
+      ops.ctx().restarts++;  // primary died mid-publication: retry promoted
+      continue;
+    }
+    co_return wu;
   }
 }
 
@@ -596,12 +629,13 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   // Migrate both pages into a fresh round-robin page so repeated merges
   // do not collapse the chain's server scatter (the fine-grained design's
   // whole point).
-  const rdma::RemotePtr fresh = co_await ops.AllocPageRoundRobin();
-  if (fresh.is_null()) {
+  const AllocResult fresh_alloc = co_await ops.AllocPageRoundRobin();
+  if (!fresh_alloc.ok()) {
     (void)co_await ops.UnlockPage(right);
     (void)co_await ops.UnlockPage(left);
-    co_return false;
+    co_return false;  // merge abandoned; GC retries next epoch
   }
+  const rdma::RemotePtr fresh = fresh_alloc.ptr;
   std::vector<uint8_t> image(page_size);
   PageView nv(image.data(), page_size);
   nv.InitLeaf(rv.high_key(), rv.right_sibling());
@@ -609,10 +643,10 @@ sim::Task<bool> LeafLevel::TryMerge(RemoteOps ops, rdma::RemotePtr prev,
   for (uint32_t i = 0; i < ln; ++i) ne[i] = lv.leaf_entries()[i];
   for (uint32_t i = 0; i < rn; ++i) ne[ln + i] = rv.leaf_entries()[i];
   nv.header().count = static_cast<uint16_t>(ln + rn);
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(ops.ctx().client_id(), fresh, image.data(),
-                              page_size);
-  if (!ops.alive()) co_return false;  // absorber unpublished: harmless leak
+  // Fresh-page publication (primary + live backups under replication).
+  if (!(co_await ops.WriteFreshPage(fresh, image.data())).ok()) {
+    co_return false;  // absorber unpublished: harmless leak
+  }
 
   // Publish right first (drained, rerouted to the absorber), then left:
   // any reader entering through either page converges on the absorber, and
@@ -685,21 +719,23 @@ sim::Task<Status> LeafLevel::RebuildHeadNodes(RemoteOps ops,
       const uint32_t n = static_cast<uint32_t>(std::min<size_t>(
           {static_cast<size_t>(interval), leaves.size() - g,
            static_cast<size_t>(PageView::HeadCapacity(page_size))}));
-      const rdma::RemotePtr head_ptr =
+      const AllocResult head_alloc =
           co_await ops.AllocPage(rdma::RemotePtr(leaves[g]).server_id());
-      if (head_ptr.is_null()) {
-        if (!ops.alive()) co_return Status::Unavailable("client crashed");
-        co_return Status::OutOfMemory("head rebuild");
+      if (!head_alloc.ok()) {
+        if (head_alloc.status.IsOutOfMemory()) {
+          co_return Status::OutOfMemory("head rebuild");
+        }
+        co_return head_alloc.status;
       }
+      const rdma::RemotePtr head_ptr = head_alloc.ptr;
       uint8_t* hbuf = ops.ctx().page_b();
       PageView head(hbuf, page_size);
       head.InitHead(leaves[g]);
       for (uint32_t k = 0; k < n; ++k) head.head_ptrs()[k] = leaves[g + k];
       head.header().count = static_cast<uint16_t>(n);
-      ops.ctx().round_trips++;
-      co_await ops.fabric().Write(ops.ctx().client_id(), head_ptr, hbuf,
-                                  page_size);
-      if (!ops.alive()) co_return Status::Unavailable("client crashed");
+      // Fresh-page publication (primary + live backups under replication).
+      const Status published = co_await ops.WriteFreshPage(head_ptr, hbuf);
+      if (!published.ok()) co_return published;
       desired = head_ptr.raw();
     }
 

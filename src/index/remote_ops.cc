@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "btree/types.h"
 
@@ -9,16 +10,55 @@ namespace namtree::index {
 
 using btree::IsLocked;
 
+RouteResult RemoteOps::ActingPrimary(rdma::RemotePtr primary) const {
+  rdma::Fabric& fabric = ctx_->fabric();
+  for (uint32_t r = 0; r < fabric.replication(); ++r) {
+    const rdma::RemotePtr replica = fabric.ReplicaPtr(primary, r);
+    if (fabric.ServerAlive(replica.server_id())) {
+      return RouteResult{Status::OK(), replica};
+    }
+  }
+  return RouteResult{Status::Unavailable("all replicas dead"),
+                     rdma::RemotePtr::Null()};
+}
+
+RouteResult RemoteOps::LockedReplica(rdma::RemotePtr ptr) const {
+  auto it = ctx_->lock_routes.find(ptr.raw());
+  if (it != ctx_->lock_routes.end()) {
+    return RouteResult{Status::OK(), rdma::RemotePtr(it->second)};
+  }
+  return ActingPrimary(ptr);
+}
+
 void RemoteOps::StampLocked(uint8_t* buf, uint64_t version) {
   const uint64_t locked = btree::MakeLockedWord(version, ctx_->client_id());
   std::memcpy(buf + btree::kVersionOffset, &locked, 8);
 }
 
-sim::Task<Status> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
+sim::Task<Status> RemoteOps::ReadPageFrom(rdma::RemotePtr at, uint8_t* buf) {
   ctx_->round_trips++;
-  co_await fabric().Read(ctx_->client_id(), ptr, buf, page_size());
+  co_await fabric().Read(ctx_->client_id(), at, buf, page_size());
   if (!alive()) co_return Status::Unavailable("client crashed");
+  if (!fabric().ServerAlive(at.server_id())) {
+    co_return Status::Unavailable("memory server dead");
+  }
   co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
+  // Bounded: each pass either returns or permanently excludes a replica
+  // whose server died mid-read. namtree-lint: bounded-loop(failover)
+  for (;;) {
+    const RouteResult route = ActingPrimary(ptr);
+    if (!route.ok()) co_return route.status;
+    const Status read = co_await ReadPageFrom(route.ptr, buf);
+    if (read.ok()) co_return Status::OK();
+    if (!alive() || !fabric().replicated()) co_return read;
+    // The acting primary died with the READ in flight: promote the next
+    // live replica (ActingPrimary re-resolves past the dead server).
+    if (fabric().ServerAlive(route.ptr.server_id())) co_return read;
+    ctx_->restarts++;
+  }
 }
 
 sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
@@ -31,11 +71,28 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
   uint64_t watched_word = 0;
   SimTime locked_since = 0;
   uint32_t backoff_round = 0;
+  // Consecutive liveness-registry probes that failed because the registry
+  // host was dead; bounded like RPC retries so an unreachable registry
+  // cannot wedge the waiter forever.
+  uint32_t failed_probes = 0;
   // Bounded: each pass either returns, backs off (capped exponential), or
   // lease-steals from a dead holder. namtree-lint: bounded-loop(backoff)
   for (;;) {
-    const Status read = co_await ReadPage(ptr, buf);
-    if (!read.ok()) co_return PageReadResult{read, 0};
+    // Resolve the acting primary fresh each pass: the lock we watch (and
+    // would steal) lives on the replica actually serving reads.
+    const RouteResult route = ActingPrimary(ptr);
+    if (!route.ok()) co_return PageReadResult{route.status, 0};
+    const rdma::RemotePtr at = route.ptr;
+    const Status read = co_await ReadPageFrom(at, buf);
+    if (!read.ok()) {
+      if (alive() && fabric().replicated() &&
+          !fabric().ServerAlive(at.server_id())) {
+        // Mid-read server death: promote and retry.
+        ctx_->restarts++;
+        continue;
+      }
+      co_return PageReadResult{read, 0};
+    }
     uint64_t word;
     std::memcpy(&word, buf + btree::kVersionOffset, 8);
     if (!IsLocked(word)) co_return PageReadResult{Status::OK(), word};
@@ -52,28 +109,42 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
       // optimistic reader of the page forever.
       const uint32_t holder = btree::HolderOf(word);
       ctx_->round_trips++;
-      const bool holder_alive =
+      const rdma::EpochReadResult probe =
           co_await fabric().ReadClientEpoch(ctx_->client_id(), holder);
       if (!alive()) {
         co_return PageReadResult{Status::Unavailable("client crashed"), 0};
       }
-      if (!holder_alive) {
-        // CAS the orphan's locked word back to unlocked, one full version
-        // cycle ahead so the orphan's partial image never revalidates.
-        ctx_->round_trips++;
-        const uint64_t observed = co_await fabric().CompareAndSwap(
-            ctx_->client_id(), ptr.Plus(btree::kVersionOffset), word,
-            btree::StolenUnlockWord(word));
-        if (!alive()) {
-          co_return PageReadResult{Status::Unavailable("client crashed"), 0};
+      if (!probe.status.ok()) {
+        // The epoch-hosting server is dead. Bounded retry (the host's
+        // replica group may recover a route), then give up cleanly
+        // instead of spinning forever on the orphaned lock.
+        failed_probes++;
+        if (failed_probes > cfg.rpc_max_retries) {
+          co_return PageReadResult{
+              Status::Unavailable("liveness registry unreachable"), 0};
         }
-        if (observed == word) ctx_->lock_steals++;
-        // Re-read immediately (we or a faster waiter just freed it).
-        watched_word = 0;
-        backoff_round = 0;
-        continue;
+      } else {
+        failed_probes = 0;
+        if (!probe.alive) {
+          // CAS the orphan's locked word back to unlocked, one full
+          // version cycle ahead so the orphan's partial image never
+          // revalidates.
+          ctx_->round_trips++;
+          const uint64_t observed = co_await fabric().CompareAndSwap(
+              ctx_->client_id(), at.Plus(btree::kVersionOffset), word,
+              btree::StolenUnlockWord(word));
+          if (!alive()) {
+            co_return PageReadResult{Status::Unavailable("client crashed"),
+                                     0};
+          }
+          if (observed == word) ctx_->lock_steals++;
+          // Re-read immediately (we or a faster waiter just freed it).
+          watched_word = 0;
+          backoff_round = 0;
+          continue;
+        }
+        locked_since = simulator.now();  // holder is alive: renew the lease
       }
-      locked_since = simulator.now();  // holder is alive: renew the lease
     }
 
     // Capped exponential backoff with per-client jitter: the delay doubles
@@ -96,12 +167,27 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
 
 sim::Task<Status> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
                                          uint64_t version) {
+  const RouteResult route = ActingPrimary(ptr);
+  if (!route.ok()) co_return route.status;
   ctx_->round_trips++;
   const uint64_t old = co_await fabric().CompareAndSwap(
-      ctx_->client_id(), ptr.Plus(btree::kVersionOffset), version,
+      ctx_->client_id(), route.ptr.Plus(btree::kVersionOffset), version,
       btree::MakeLockedWord(version, ctx_->client_id()));
   if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return old == version ? Status::OK() : Status::Aborted("lock CAS lost");
+  if (!fabric().ServerAlive(route.ptr.server_id())) {
+    // The acting primary died mid-CAS. Whether the swap landed or not,
+    // that replica is gone — restart against the promoted one.
+    co_return fabric().replicated()
+        ? Status::Aborted("acting primary died during lock CAS")
+        : Status::Unavailable("memory server dead");
+  }
+  if (old != version) co_return Status::Aborted("lock CAS lost");
+  if (fabric().replicated()) {
+    // Remember which replica actually holds the lock so the release lands
+    // there even if further failovers change the acting primary.
+    ctx_->lock_routes[ptr.raw()] = route.ptr.raw();
+  }
+  co_return Status::OK();
 }
 
 sim::Task<PageReadResult> RemoteOps::LockPage(rdma::RemotePtr ptr,
@@ -128,31 +214,106 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
   uint64_t word;
   std::memcpy(&word, buf + btree::kVersionOffset, 8);
   assert(IsLocked(word) && "image must carry the lock bit until the release");
+  const RouteResult route = LockedReplica(ptr);
+  if (!route.ok()) {
+    ctx_->lock_routes.erase(ptr.raw());
+    co_return route.status;
+  }
+  const rdma::RemotePtr locked_at = route.ptr;
+  const uint32_t locked_server = locked_at.server_id();
+  if (!fabric().ServerAlive(locked_server)) {
+    // The lock evaporated with its server before we published anything:
+    // retry the whole op against the promoted replica.
+    ctx_->lock_routes.erase(ptr.raw());
+    co_return fabric().replicated()
+        ? Status::Aborted("locked primary died before publication")
+        : Status::Unavailable("memory server dead");
+  }
+  const uint64_t unlocked = btree::VersionOf(word) + 2;
+  // Backup images carry the clean post-release word: a locked backup word
+  // would wedge promotion forever (the holder is alive, so no waiter may
+  // steal it), and version-equality across replicas must imply
+  // content-equality.
+  std::vector<uint8_t> backup_img;
+  if (fabric().replicated()) {
+    backup_img.assign(buf, buf + page_size());
+    std::memcpy(backup_img.data() + btree::kVersionOffset, &unlocked, 8);
+  }
+
   if (!fabric().config().verb_chaining) {
     // Unchained fallback: individually signaled WRITE + FAA release,
     // bit-identical to the pre-chain protocol (the FAA keeps the stale
     // holder bits in the unlocked word; VersionOf masks them out).
     ctx_->round_trips += 2;
     // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
-    co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+    co_await fabric().Write(ctx_->client_id(), locked_at, buf, page_size());
     if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(locked_server)) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return fabric().replicated()
+          ? Status::Aborted("locked primary died during publication")
+          : Status::Unavailable("memory server dead");
+    }
+    for (uint32_t r = 0; fabric().replicated() && r < fabric().replication();
+         ++r) {
+      const rdma::RemotePtr rep = fabric().ReplicaPtr(ptr, r);
+      if (rep == locked_at || !fabric().ServerAlive(rep.server_id())) {
+        continue;
+      }
+      ctx_->round_trips++;
+      // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+      co_await fabric().Write(ctx_->client_id(), rep, backup_img.data(),
+                              page_size());
+      if (!alive()) co_return Status::Unavailable("client crashed");
+      if (!fabric().ServerAlive(locked_server)) {
+        ctx_->lock_routes.erase(ptr.raw());
+        co_return Status::Aborted("locked primary died during publication");
+      }
+    }
     co_await fabric().FetchAndAdd(ctx_->client_id(),
-                                  ptr.Plus(btree::kVersionOffset), 1);
+                                  locked_at.Plus(btree::kVersionOffset), 1);
+    ctx_->lock_routes.erase(ptr.raw());
     if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(locked_server)) {
+      co_return fabric().replicated()
+          ? Status::Aborted("locked primary died during publication")
+          : Status::Unavailable("memory server dead");
+    }
     co_return Status::OK();
   }
-  // Doorbell-batched {page WRITE, unlock WRITE}: one doorbell, one
-  // completion. The unlock WRITE installs the next version with the holder
-  // bits cleared — the same version an FAA release reaches.
-  const uint64_t unlocked = btree::VersionOf(word) + 2;
+  // Doorbell-batched {page WRITE, backup WRITEs, unlock WRITE}: one
+  // doorbell, one completion. The unlock WRITE installs the next version
+  // with the holder bits cleared — the same version an FAA release
+  // reaches. Backup WRITEs are fenced on the locked primary: once it dies
+  // a reader may already have promoted a backup, so a late backup WRITE
+  // must not clobber the promoted copy.
   ctx_->round_trips++;
   std::vector<rdma::Fabric::ChainOp> chain;
-  chain.reserve(2);
-  chain.push_back(rdma::Fabric::ChainOp::Write(ptr, buf, page_size()));
+  chain.reserve(1 + fabric().replication());
+  chain.push_back(
+      rdma::Fabric::ChainOp::Write(locked_at, buf, page_size()));
+  if (fabric().replicated()) {
+    for (uint32_t r = 0; r < fabric().replication(); ++r) {
+      const rdma::RemotePtr rep = fabric().ReplicaPtr(ptr, r);
+      if (rep == locked_at || !fabric().ServerAlive(rep.server_id())) {
+        continue;
+      }
+      rdma::Fabric::ChainOp op = rdma::Fabric::ChainOp::Write(
+          rep, backup_img.data(), page_size());
+      op.fence_server = static_cast<int32_t>(locked_server);
+      chain.push_back(op);
+    }
+  }
   chain.push_back(rdma::Fabric::ChainOp::Write(
-      ptr.Plus(btree::kVersionOffset), &unlocked, 8));
+      locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
   co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
+  ctx_->lock_routes.erase(ptr.raw());
   if (!alive()) co_return Status::Unavailable("client crashed");
+  if (!fabric().ServerAlive(locked_server)) {
+    co_return fabric().replicated()
+        ? Status::Aborted("locked primary died during publication")
+        : Status::Unavailable("memory server dead");
+  }
   co_return Status::OK();
 }
 
@@ -164,53 +325,190 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
     co_await fabric().Write(ctx_->client_id(), sibling, sibling_buf,
                             page_size());
     if (!alive()) co_return Status::Unavailable("client crashed");
+    for (uint32_t r = 1; fabric().replicated() && r < fabric().replication();
+         ++r) {
+      const rdma::RemotePtr rep = fabric().ReplicaPtr(sibling, r);
+      if (!fabric().ServerAlive(rep.server_id())) continue;
+      ctx_->round_trips++;
+      // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+      co_await fabric().Write(ctx_->client_id(), rep, sibling_buf,
+                              page_size());
+      if (!alive()) co_return Status::Unavailable("client crashed");
+    }
     co_return co_await WriteUnlockPage(ptr, buf);  // unchained path
   }
   uint64_t word;
   std::memcpy(&word, buf + btree::kVersionOffset, 8);
   assert(IsLocked(word) && "image must carry the lock bit until the release");
+  const RouteResult route = LockedReplica(ptr);
+  if (!route.ok()) {
+    ctx_->lock_routes.erase(ptr.raw());
+    co_return route.status;
+  }
+  const rdma::RemotePtr locked_at = route.ptr;
+  const uint32_t locked_server = locked_at.server_id();
+  if (!fabric().ServerAlive(locked_server)) {
+    ctx_->lock_routes.erase(ptr.raw());
+    co_return fabric().replicated()
+        ? Status::Aborted("locked primary died before publication")
+        : Status::Unavailable("memory server dead");
+  }
   const uint64_t unlocked = btree::VersionOf(word) + 2;
+  std::vector<uint8_t> backup_img;
+  if (fabric().replicated()) {
+    backup_img.assign(buf, buf + page_size());
+    std::memcpy(backup_img.data() + btree::kVersionOffset, &unlocked, 8);
+  }
   ctx_->round_trips++;
   std::vector<rdma::Fabric::ChainOp> chain;
-  chain.reserve(3);
+  chain.reserve(1 + 2 * fabric().replication());
   chain.push_back(
       rdma::Fabric::ChainOp::Write(sibling, sibling_buf, page_size()));
-  chain.push_back(rdma::Fabric::ChainOp::Write(ptr, buf, page_size()));
+  if (fabric().replicated()) {
+    // Sibling backups ride unfenced: the sibling is unreachable until the
+    // page WRITE below publishes the link, so an orphaned sibling replica
+    // (its chain cut by a mid-chain server death) is harmless garbage.
+    for (uint32_t r = 1; r < fabric().replication(); ++r) {
+      const rdma::RemotePtr rep = fabric().ReplicaPtr(sibling, r);
+      if (!fabric().ServerAlive(rep.server_id())) continue;
+      chain.push_back(rdma::Fabric::ChainOp::Write(rep, sibling_buf,
+                                                   page_size()));
+    }
+  }
+  chain.push_back(rdma::Fabric::ChainOp::Write(locked_at, buf, page_size()));
+  if (fabric().replicated()) {
+    for (uint32_t r = 0; r < fabric().replication(); ++r) {
+      const rdma::RemotePtr rep = fabric().ReplicaPtr(ptr, r);
+      if (rep == locked_at || !fabric().ServerAlive(rep.server_id())) {
+        continue;
+      }
+      rdma::Fabric::ChainOp op = rdma::Fabric::ChainOp::Write(
+          rep, backup_img.data(), page_size());
+      op.fence_server = static_cast<int32_t>(locked_server);
+      chain.push_back(op);
+    }
+  }
   chain.push_back(rdma::Fabric::ChainOp::Write(
-      ptr.Plus(btree::kVersionOffset), &unlocked, 8));
+      locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
+  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
+  ctx_->lock_routes.erase(ptr.raw());
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  if (!fabric().ServerAlive(locked_server)) {
+    co_return fabric().replicated()
+        ? Status::Aborted("locked primary died during publication")
+        : Status::Unavailable("memory server dead");
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
+  const RouteResult route = LockedReplica(ptr);
+  ctx_->lock_routes.erase(ptr.raw());
+  if (!route.ok()) co_return route.status;
+  if (fabric().replicated() &&
+      !fabric().ServerAlive(route.ptr.server_id())) {
+    // The lock evaporated with its server; the promoted replica carries a
+    // clean unlocked word (backups never store locked words).
+    co_return Status::OK();
+  }
+  ctx_->round_trips++;
+  co_await fabric().FetchAndAdd(ctx_->client_id(),
+                                route.ptr.Plus(btree::kVersionOffset), 1);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  if (!fabric().ServerAlive(route.ptr.server_id())) {
+    co_return fabric().replicated()
+        ? Status::OK()  // lock and server vanished together
+        : Status::Unavailable("memory server dead");
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
+                                            const uint8_t* buf) {
+  if (!fabric().replicated()) {
+    ctx_->round_trips++;
+    co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(ptr.server_id())) {
+      co_return Status::Unavailable("memory server dead");
+    }
+    co_return Status::OK();
+  }
+  // Primary + all live backups, unfenced: the page is unreachable until a
+  // later (fenced) publication links it, so partial replication after a
+  // mid-chain death is harmless.
+  ctx_->round_trips++;
+  std::vector<rdma::Fabric::ChainOp> chain;
+  chain.reserve(fabric().replication());
+  for (uint32_t r = 0; r < fabric().replication(); ++r) {
+    const rdma::RemotePtr rep = fabric().ReplicaPtr(ptr, r);
+    if (!fabric().ServerAlive(rep.server_id())) continue;
+    chain.push_back(rdma::Fabric::ChainOp::Write(rep, buf, page_size()));
+  }
+  if (chain.empty()) co_return Status::Unavailable("all replicas dead");
   co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
 
-sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
-  ctx_->round_trips++;
-  co_await fabric().FetchAndAdd(ctx_->client_id(),
-                                ptr.Plus(btree::kVersionOffset), 1);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
-}
-
-sim::Task<rdma::RemotePtr> RemoteOps::AllocPage(uint32_t server) {
+sim::Task<AllocResult> RemoteOps::AllocPage(uint32_t server) {
+  uint32_t target = server;
+  if (!fabric().ServerAlive(target)) {
+    if (!fabric().replicated()) {
+      co_return AllocResult{Status::Unavailable("memory server dead"),
+                            rdma::RemotePtr::Null()};
+    }
+    // A dead home server's allocations move to the next live server; the
+    // new page's replica group is the formula group of its actual host.
+    const uint32_t n = fabric().num_memory_servers();
+    bool found = false;
+    for (uint32_t i = 1; i < n; ++i) {
+      const uint32_t candidate = (server + i) % n;
+      if (fabric().ServerAlive(candidate)) {
+        target = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      co_return AllocResult{Status::Unavailable("all memory servers dead"),
+                            rdma::RemotePtr::Null()};
+    }
+  }
   const rdma::RemotePtr cursor =
-      rdma::RemotePtr::Make(server, rdma::MemoryRegion::kAllocCursorOffset);
+      rdma::RemotePtr::Make(target, rdma::MemoryRegion::kAllocCursorOffset);
   ctx_->round_trips++;
   const uint64_t offset = co_await fabric().FetchAndAdd(
       ctx_->client_id(), cursor, page_size());
   // A dead client's FAA is dropped and returns 0, which would alias the
   // region header — treat it as an allocation failure.
-  if (!alive()) co_return rdma::RemotePtr::Null();
-  if (offset + page_size() > fabric().region(server)->capacity()) {
-    co_return rdma::RemotePtr::Null();
+  if (!alive()) {
+    co_return AllocResult{Status::Unavailable("client crashed"),
+                          rdma::RemotePtr::Null()};
   }
-  co_return rdma::RemotePtr::Make(server, offset);
+  if (!fabric().ServerAlive(target)) {  // died mid-FAA: cursor never moved
+    co_return AllocResult{Status::Unavailable("memory server dead"),
+                          rdma::RemotePtr::Null()};
+  }
+  if (offset + page_size() > fabric().AllocLimit(target)) {
+    co_return AllocResult{Status::OutOfMemory("region exhausted"),
+                          rdma::RemotePtr::Null()};
+  }
+  co_return AllocResult{Status::OK(), rdma::RemotePtr::Make(target, offset)};
 }
 
-sim::Task<rdma::RemotePtr> RemoteOps::AllocPageRoundRobin() {
+sim::Task<AllocResult> RemoteOps::AllocPageRoundRobin() {
   const uint32_t servers = fabric().num_memory_servers();
-  const uint32_t server = ctx_->alloc_rr % servers;
-  ctx_->alloc_rr++;
-  co_return co_await AllocPage(server);
+  // Skip dead servers (bounded by the server count); exhaustion of the
+  // chosen live server still surfaces as OutOfMemory, as before.
+  for (uint32_t i = 0; i < servers; ++i) {
+    const uint32_t server = ctx_->alloc_rr % servers;
+    ctx_->alloc_rr++;
+    if (!fabric().ServerAlive(server)) continue;
+    co_return co_await AllocPage(server);
+  }
+  co_return AllocResult{Status::Unavailable("all memory servers dead"),
+                        rdma::RemotePtr::Null()};
 }
 
 }  // namespace namtree::index

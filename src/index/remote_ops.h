@@ -24,6 +24,29 @@ struct PageReadResult {
   bool ok() const { return status.ok(); }
 };
 
+/// Outcome of a remote page allocation: OK with the new page's (primary)
+/// address, kOutOfMemory when the target stripe is exhausted, kUnavailable
+/// when the client is dead or no live server can serve the allocation.
+/// Replaces the old null-pointer convention so callers can tell a full
+/// region from a dead one (the YCSB degraded-mode accounting depends on
+/// the distinction).
+struct AllocResult {
+  Status status;
+  rdma::RemotePtr ptr;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Which replica of a page currently acts as its primary (failover
+/// routing): rank 0 while the home server lives, the next live rank after
+/// its death. kUnavailable when the whole replica group is dead.
+struct RouteResult {
+  Status status;
+  rdma::RemotePtr ptr;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// The one-sided page protocol of the fine-grained design (paper Listing 4):
 /// remote reads with a remote spinlock on the version word, lock upgrade via
 /// RDMA CAS, unlock-with-writeback via RDMA WRITE + FETCH_AND_ADD, and
@@ -38,6 +61,17 @@ struct PageReadResult {
 /// the fabric's liveness registry and CAS-steals the lock from a dead
 /// holder (docs/fault_model.md).
 ///
+/// Memory-server fault behavior: all page addresses handed in are rank-0
+/// *primary* addresses. Under replication (FabricConfig::
+/// replication_factor > 1) every access resolves the page's acting primary
+/// — the first live replica in rank order — so a reader that hits a dead
+/// server deterministically promotes the next replica; disciplined writers
+/// publish primary + backups in one doorbell chain, with backup WRITEs
+/// fenced on the locked primary so a late backup never clobbers a promoted
+/// replica. At R=1 a dead server simply surfaces kUnavailable. A
+/// publication whose locked primary died mid-chain returns kAborted (only
+/// at R>1): the op retries against the promoted replica.
+///
 /// A RemoteOps instance is a thin, per-client facade over the fabric; it
 /// charges every verb to `ctx` for round-trip accounting.
 class RemoteOps {
@@ -51,14 +85,21 @@ class RemoteOps {
   /// True while the owning client has not been crash-injected away.
   bool alive() const { return ctx_->fabric().ClientAlive(ctx_->client_id()); }
 
+  /// First live replica of the page at `primary`, in rank order (rank 0 =
+  /// `primary` itself — the identity at R=1 and on the healthy path).
+  /// kUnavailable when every replica's server is dead.
+  RouteResult ActingPrimary(rdma::RemotePtr primary) const;
+
   /// Stamps the local image's version word with the locked word this client
   /// installs on acquire (lock bit + holder id). Call after a successful
   /// TryLockPage so a later WriteUnlockPage does not transiently clear the
   /// lock bit.
   void StampLocked(uint8_t* buf, uint64_t version);
 
-  /// remote_read: one RDMA READ of a full page into `buf`. Unavailable when
-  /// this client is dead (buf is then unspecified).
+  /// remote_read: one RDMA READ of a full page into `buf`, promoting to
+  /// the next live replica when the acting primary('s server) dies.
+  /// Unavailable when this client is dead or the whole replica group is
+  /// gone (buf is then unspecified).
   sim::Task<Status> ReadPage(rdma::RemotePtr ptr, uint8_t* buf);
 
   /// remote_readLockOrRestart + remote_awaitNodeUnlocked: reads the page,
@@ -69,8 +110,10 @@ class RemoteOps {
                                              uint8_t* buf);
 
   /// remote_upgradeToWriteLockOrRestart: RDMA CAS installing the locked
-  /// word (holder-stamped). OK = lock acquired; Aborted = CAS lost the
-  /// race; Unavailable = this client is dead.
+  /// word (holder-stamped) on the page's acting primary. OK = lock
+  /// acquired (the acting route is recorded in ctx().lock_routes under
+  /// replication); Aborted = CAS lost the race or the acting primary died
+  /// mid-CAS; Unavailable = this client is dead or no replica is left.
   sim::Task<Status> TryLockPage(rdma::RemotePtr ptr, uint64_t version);
 
   /// Spin variant: read-unlocked + CAS until the lock is held or the
@@ -83,7 +126,11 @@ class RemoteOps {
   /// With FabricConfig::verb_chaining (default) this is one doorbell-
   /// batched {page WRITE, unlock WRITE} chain — one doorbell, one
   /// completion; with chaining disabled it falls back to an individually
-  /// signaled RDMA WRITE followed by FETCH_AND_ADD(+1).
+  /// signaled RDMA WRITE followed by FETCH_AND_ADD(+1). Under replication
+  /// the chain grows backup-page WRITEs (clean unlocked word, fenced on
+  /// the locked primary) between the page WRITE and the unlock; a primary
+  /// that died mid-publication surfaces kAborted so the op retries against
+  /// the promoted replica.
   sim::Task<Status> WriteUnlockPage(rdma::RemotePtr ptr, const uint8_t* buf);
 
   /// B-link split publication with one doorbell: chains {new-sibling
@@ -91,24 +138,45 @@ class RemoteOps {
   /// posting order, so a reader can never follow the freshly published
   /// sibling pointer in `buf` to a not-yet-written `sibling` page. Falls
   /// back to the signaled sibling WRITE + WriteUnlockPage sequence when
-  /// verb chaining is disabled.
+  /// verb chaining is disabled. Under replication both pages' backups ride
+  /// the same chain (sibling backups unfenced — an orphaned sibling
+  /// replica is unreachable garbage; page backups fenced on the locked
+  /// primary).
   sim::Task<Status> WriteSiblingAndUnlockPage(rdma::RemotePtr sibling,
                                               const uint8_t* sibling_buf,
                                               rdma::RemotePtr ptr,
                                               const uint8_t* buf);
 
-  /// Releases a lock without content changes (FAA only).
+  /// Releases a lock without content changes (FAA only). A lock whose
+  /// holding server died has evaporated with the server: OK at R>1.
   sim::Task<Status> UnlockPage(rdma::RemotePtr ptr);
 
-  /// RDMA_ALLOC on a specific server. Returns a null pointer when the
-  /// region is exhausted or this client is dead.
-  sim::Task<rdma::RemotePtr> AllocPage(uint32_t server);
+  /// Publishes a freshly initialised, unlocked page image (grow-root
+  /// images, GC absorber pages, rebuilt head nodes) to the primary and —
+  /// under replication — all live backups, unfenced (the page is
+  /// unreachable until a later publication links it).
+  sim::Task<Status> WriteFreshPage(rdma::RemotePtr ptr, const uint8_t* buf);
 
-  /// RDMA_ALLOC scattering allocations over all memory servers round-robin
-  /// (keeps the fine-grained distribution property under splits).
-  sim::Task<rdma::RemotePtr> AllocPageRoundRobin();
+  /// RDMA_ALLOC on a specific server. Under replication a dead home
+  /// server's allocations move to the next live server; the stripe bound
+  /// surfaces kOutOfMemory and a dead fabric kUnavailable.
+  sim::Task<AllocResult> AllocPage(uint32_t server);
+
+  /// RDMA_ALLOC scattering allocations over all *live* memory servers
+  /// round-robin (keeps the fine-grained distribution property under
+  /// splits).
+  sim::Task<AllocResult> AllocPageRoundRobin();
 
  private:
+  /// One full-page READ from exactly `at` (no failover), with liveness
+  /// checks. Unavailable covers both a dead client and `at`'s server dying
+  /// mid-read — ReadPage/ReadPageUnlocked disambiguate via ServerAlive.
+  sim::Task<Status> ReadPageFrom(rdma::RemotePtr at, uint8_t* buf);
+
+  /// The replica this client locked for primary address `ptr`: the
+  /// recorded lock route when one exists, else the current acting primary.
+  RouteResult LockedReplica(rdma::RemotePtr ptr) const;
+
   nam::ClientContext* ctx_;
 };
 

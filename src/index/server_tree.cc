@@ -35,7 +35,7 @@ bool ServerTree::IsLocalPage(uint64_t raw) const {
 
 uint64_t ServerTree::AllocatePage() {
   const rdma::RemotePtr ptr = server_.region().AllocateLocal(page_size_);
-  assert(!ptr.is_null() && "memory server region exhausted");
+  if (ptr.is_null()) return 0;  // region exhausted: caller surfaces it
   return ptr.raw();
 }
 
@@ -192,6 +192,10 @@ sim::Task<Status> ServerTree::Insert(Key key, Value value) {
 
     // Split while holding the leaf lock (Listing 1 propagation).
     const uint64_t right_raw = AllocatePage();
+    if (right_raw == 0) {
+      Word(view) = v + 2;  // release the leaf lock, nothing changed
+      co_return Status::ResourceExhausted("leaf split");
+    }
     PageView right = View(right_raw);
     const Key separator = view.SplitLeafInto(right, right_raw);
     const bool ok = key < separator ? view.LeafInsert(key, value)
@@ -201,9 +205,11 @@ sim::Task<Status> ServerTree::Insert(Key key, Value value) {
     co_await Cpu(config.cpu_insert_extra_ns);  // split work
     Word(view) = v + 2;
 
-    co_await InstallSeparator(static_cast<uint8_t>(bottom_level_ + 1),
-                              separator, node, right_raw);
-    co_return Status::OK();
+    // The insert itself took effect (the key is in the left or right half,
+    // reachable via the sibling chain); a failed propagation still reports
+    // the exhausted region to the caller.
+    co_return co_await InstallSeparator(
+        static_cast<uint8_t>(bottom_level_ + 1), separator, node, right_raw);
   }
 }
 
@@ -337,8 +343,8 @@ sim::Task<uint64_t> ServerTree::FindLeafChild(Key key) {
 sim::Task<Status> ServerTree::InstallChildSeparator(Key sep,
                                                     uint64_t child_raw) {
   assert(remote_leaves_);
-  co_await InstallSeparator(bottom_level_, sep, /*left_raw=*/0, child_raw);
-  co_return Status::OK();
+  co_return co_await InstallSeparator(bottom_level_, sep, /*left_raw=*/0,
+                                      child_raw);
 }
 
 sim::Task<uint64_t> ServerTree::DescendToLevelLocked(uint8_t level, Key sep) {
@@ -402,10 +408,12 @@ sim::Task<uint64_t> ServerTree::DescendToLevelLocked(uint8_t level, Key sep) {
   }
 }
 
-bool ServerTree::TryGrowRoot(uint8_t new_level, Key sep, uint64_t left_raw,
-                             uint64_t right_raw) {
-  if (root_raw_ != left_raw) return false;
+ServerTree::GrowResult ServerTree::TryGrowRoot(uint8_t new_level, Key sep,
+                                               uint64_t left_raw,
+                                               uint64_t right_raw) {
+  if (root_raw_ != left_raw) return GrowResult::kLostRace;
   const uint64_t new_root = AllocatePage();
+  if (new_root == 0) return GrowResult::kExhausted;
   PageView view = View(new_root);
   view.InitInner(new_level, kInfinityKey, 0);
   view.inner_keys()[0] = sep;
@@ -414,19 +422,23 @@ bool ServerTree::TryGrowRoot(uint8_t new_level, Key sep, uint64_t left_raw,
   view.header().count = 1;
   root_raw_ = new_root;
   root_level_ = new_level;
-  return true;
+  return GrowResult::kDone;
 }
 
-sim::Task<void> ServerTree::InstallSeparator(uint8_t level, Key sep,
-                                             uint64_t left_raw,
-                                             uint64_t right_raw) {
+sim::Task<Status> ServerTree::InstallSeparator(uint8_t level, Key sep,
+                                               uint64_t left_raw,
+                                               uint64_t right_raw) {
   const auto& config = server_.fabric().config();
   for (;;) {
     if (root_level_ < level) {
       // Only possible when the split node was the root (left_raw known).
       assert(left_raw != 0);
-      if (TryGrowRoot(level, sep, left_raw, right_raw)) co_return;
-      continue;
+      const GrowResult grew = TryGrowRoot(level, sep, left_raw, right_raw);
+      if (grew == GrowResult::kDone) co_return Status::OK();
+      if (grew == GrowResult::kExhausted) {
+        co_return Status::ResourceExhausted("root growth");
+      }
+      continue;  // lost the race: some other handler grew the root
     }
     const uint64_t parent = co_await DescendToLevelLocked(level, sep);
     if (parent == 0) continue;
@@ -435,9 +447,15 @@ sim::Task<void> ServerTree::InstallSeparator(uint8_t level, Key sep,
     const uint64_t locked_word = Word(view);
     if (view.InnerInsert(sep, right_raw)) {
       Word(view) = btree::VersionOf(locked_word) + 2;
-      co_return;
+      co_return Status::OK();
     }
     const uint64_t new_raw = AllocatePage();
+    if (new_raw == 0) {
+      // Release the held parent lock before surfacing exhaustion: the
+      // separator stays uninstalled but the chain below remains navigable.
+      Word(view) = btree::VersionOf(locked_word) + 2;
+      co_return Status::ResourceExhausted("inner split");
+    }
     PageView right = View(new_raw);
     const Key promoted = view.SplitInnerInto(right, new_raw);
     PageView target = sep < promoted ? view : right;
@@ -445,9 +463,8 @@ sim::Task<void> ServerTree::InstallSeparator(uint8_t level, Key sep,
     assert(ok);
     (void)ok;
     Word(view) = btree::VersionOf(locked_word) + 2;
-    co_await InstallSeparator(static_cast<uint8_t>(level + 1), promoted,
-                              parent, new_raw);
-    co_return;
+    co_return co_await InstallSeparator(static_cast<uint8_t>(level + 1),
+                                        promoted, parent, new_raw);
   }
 }
 
@@ -462,6 +479,7 @@ Status ServerTree::Build(std::span<const KV> sorted, uint32_t fill_percent) {
   uint64_t prev = 0;
   do {
     const uint64_t raw = AllocatePage();
+    if (raw == 0) return Status::ResourceExhausted("bulk-load leaves");
     PageView leaf = View(raw);
     leaf.InitLeaf(kInfinityKey, 0);
     const size_t take = std::min<size_t>(leaf_fill, sorted.size() - i);
@@ -507,6 +525,7 @@ Status ServerTree::BuildUpper(std::vector<ChildRef> level_nodes,
     uint64_t prev = 0;
     while (j < level_nodes.size()) {
       const uint64_t raw = AllocatePage();
+      if (raw == 0) return Status::ResourceExhausted("bulk-load inner levels");
       PageView inner = View(raw);
       inner.InitInner(level, kInfinityKey, 0);
       const size_t children =

@@ -96,9 +96,14 @@ class ServerTree {
   bool remote_leaves() const { return remote_leaves_; }
 
  private:
+  /// Outcome of a root-growth attempt (see TryGrowRoot).
+  enum class GrowResult { kDone, kLostRace, kExhausted };
+
   btree::PageView View(uint64_t raw) const;
   bool IsLocalPage(uint64_t raw) const;
 
+  /// Allocates one page from this server's region. 0 = region exhausted
+  /// (kResourceExhausted surfaces through the caller, never an assert).
   uint64_t AllocatePage();
 
   /// Charges handler CPU (scaled for the QPI penalty).
@@ -116,11 +121,14 @@ class ServerTree {
   sim::Task<uint64_t> DescendToLevelLocked(uint8_t level, btree::Key sep);
 
   /// Installs a separator at `level` after a split of (left, right).
-  sim::Task<void> InstallSeparator(uint8_t level, btree::Key sep,
-                                   uint64_t left_raw, uint64_t right_raw);
+  /// kResourceExhausted = the region ran out of pages mid-propagation; the
+  /// tree stays valid via the sibling chain (B-link), the separator is
+  /// simply not indexed yet.
+  sim::Task<Status> InstallSeparator(uint8_t level, btree::Key sep,
+                                     uint64_t left_raw, uint64_t right_raw);
 
-  bool TryGrowRoot(uint8_t new_level, btree::Key sep, uint64_t left_raw,
-                   uint64_t right_raw);
+  GrowResult TryGrowRoot(uint8_t new_level, btree::Key sep, uint64_t left_raw,
+                         uint64_t right_raw);
 
   /// Generic bottom-up builder over one prepared bottom level.
   Status BuildUpper(std::vector<ChildRef> level_nodes, uint8_t bottom_level,

@@ -53,8 +53,8 @@ TraversalEngine::CacheStats TraversalEngine::GetCacheStats() const {
   return stats;
 }
 
-sim::Task<rdma::RemotePtr> TraversalEngine::AllocFor(RemoteOps& ops,
-                                                     const Tree& tree) {
+sim::Task<AllocResult> TraversalEngine::AllocFor(RemoteOps& ops,
+                                                 const Tree& tree) {
   if (tree.alloc_server >= 0) {
     co_return co_await ops.AllocPage(
         static_cast<uint32_t>(tree.alloc_server));
@@ -118,8 +118,9 @@ sim::Task<bool> TraversalEngine::TryGrowRoot(RemoteOps& ops, uint32_t tree,
                                              uint8_t new_level, Key sep,
                                              rdma::RemotePtr left,
                                              rdma::RemotePtr right) {
-  const rdma::RemotePtr new_root = co_await AllocFor(ops, trees_[tree]);
-  if (new_root.is_null()) co_return true;  // give up silently: tree valid
+  const AllocResult alloc = co_await AllocFor(ops, trees_[tree]);
+  if (!alloc.ok()) co_return true;  // give up silently: tree valid
+  const rdma::RemotePtr new_root = alloc.ptr;
   std::vector<uint8_t> image(ops.page_size());
   PageView view(image.data(), ops.page_size());
   view.InitInner(new_level, kInfinityKey, 0);
@@ -127,11 +128,10 @@ sim::Task<bool> TraversalEngine::TryGrowRoot(RemoteOps& ops, uint32_t tree,
   view.inner_children()[0] = left.raw();
   view.inner_children()[1] = right.raw();
   view.header().count = 1;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Write(ops.ctx().client_id(), new_root, image.data(),
-                              ops.page_size());
-  // A dropped root-image write must not be published: give up, tree valid.
-  if (!ops.alive()) co_return true;
+  // Fresh-page publication (primary + live backups under replication); a
+  // dropped root-image write must not be published: give up, tree valid.
+  const Status published = co_await ops.WriteFreshPage(new_root, image.data());
+  if (!published.ok()) co_return true;
   // Publish through the catalog. The check-and-update happens atomically in
   // virtual time (no awaits in between), mirroring a catalog-service CAS.
   if (trees_[tree].root != left) co_return false;  // somebody else grew it
@@ -221,6 +221,12 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
       // Re-validate the range under the lock (version pinned by the CAS).
       if (view.InnerInsert(sep, right.raw())) {
         const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
+        if (wu.IsAborted()) {
+          // The locked acting primary died mid-publication (R>1): the lock
+          // evaporated with it; retry against the promoted replica.
+          ops.ctx().restarts++;
+          continue;
+        }
         if (!wu.ok()) co_return wu;
         if (cache != nullptr) {
           // Seed the cache with the image we just published: the next
@@ -231,12 +237,16 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
         co_return Status::OK();
       }
       // Full: split this inner node and recurse with the promoted key.
-      const rdma::RemotePtr new_right = co_await AllocFor(ops, trees_[tree]);
-      if (new_right.is_null()) {
+      const AllocResult alloc = co_await AllocFor(ops, trees_[tree]);
+      if (!alloc.ok()) {
         if (!ops.alive()) co_return Status::Unavailable("client crashed");
         (void)co_await ops.UnlockPage(ptr);
-        co_return Status::OK();  // OOM; separator uninstalled (B-link safe)
+        if (alloc.status.IsOutOfMemory()) {
+          co_return Status::OK();  // OOM; separator uninstalled (B-link safe)
+        }
+        co_return alloc.status;  // dead allocation pool: surface it
       }
+      const rdma::RemotePtr new_right = alloc.ptr;
       std::vector<uint8_t> rimage(ops.page_size());
       PageView rview(rimage.data(), ops.page_size());
       const Key promoted = view.SplitInnerInto(rview, new_right.raw());
@@ -249,6 +259,13 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
       // reclaims it) and leaks the unpublished right node — both sound.
       const Status wu = co_await ops.WriteSiblingAndUnlockPage(
           new_right, rimage.data(), ptr, buf);
+      if (wu.IsAborted()) {
+        // Locked primary died mid-split-publication: the promoted replica
+        // still shows the pre-split image and the lock evaporated. The
+        // allocated right node leaks (unreachable) — retry the pass.
+        ops.ctx().restarts++;
+        continue;
+      }
       if (!wu.ok()) co_return wu;
       if (cache != nullptr) {
         // Seed both halves of the split with their freshly published
@@ -275,6 +292,10 @@ sim::Task<Status> TraversalEngine::BootstrapFromCatalog(RemoteOps& ops,
   co_await ops.fabric().Read(ops.ctx().client_id(), trees_[tree].catalog_ptr,
                              &raw, 8);
   if (!ops.alive()) co_return Status::Unavailable("client crashed");
+  if (!ops.fabric().ServerAlive(trees_[tree].catalog_ptr.server_id())) {
+    // Catalog slots live in the (unreplicated) region header.
+    co_return Status::Unavailable("catalog host dead");
+  }
   const rdma::RemotePtr root(raw);
   if (root.is_null()) co_return Status::NotFound("catalog slot empty");
   // Learn the root's level from its page header.

@@ -164,8 +164,10 @@ class TraversalEngine {
     rdma::RemotePtr catalog_ptr;
   };
 
-  /// RDMA_ALLOC following the tree's placement policy.
-  sim::Task<rdma::RemotePtr> AllocFor(RemoteOps& ops, const Tree& tree);
+  /// RDMA_ALLOC following the tree's placement policy. Surfaces
+  /// kOutOfMemory (stripe exhausted) and kUnavailable (dead client / no
+  /// live server) through the AllocResult status.
+  sim::Task<AllocResult> AllocFor(RemoteOps& ops, const Tree& tree);
 
   /// Publishes a grown root through the tree's catalog slot. True = done
   /// (or gave up soundly); false = lost the race, caller re-examines.

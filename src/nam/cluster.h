@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -94,6 +95,13 @@ class ClientContext {
   /// Round-robin cursor for remote page allocation (fine-grained splits
   /// scatter new nodes over all memory servers).
   uint32_t alloc_rr = 0;
+
+  /// Failover lock routes (replicated fabrics only): primary page address
+  /// -> the acting-primary replica this client actually locked, recorded
+  /// by TryLockPage and consumed by the unlock paths so a release lands on
+  /// the server that holds the lock even after further failovers. Empty at
+  /// R=1.
+  std::unordered_map<uint64_t, uint64_t> lock_routes;
 
  private:
   uint32_t client_id_;

@@ -95,6 +95,11 @@ class MemoryServer {
   sim::Task<> WorkerLoop() {
     for (;;) {
       rdma::IncomingRpc rpc = co_await fabric_.srq(server_id_).Recv();
+      if (!fabric_.ServerAlive(server_id_)) {
+        // A dead server's workers are gone: requests still queued on the
+        // SRQ are lost (their callers are failed by the death fallout).
+        continue;
+      }
       requests_handled_++;
       auto it = handlers_.find(rpc.request.service);
       if (it == handlers_.end()) {

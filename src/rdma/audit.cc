@@ -494,6 +494,17 @@ void VerbAuditor::OnRpcRequest(uint32_t client, uint32_t server) {
   server_vc_[server].Join(client_vc_[client]);
 }
 
+void VerbAuditor::OnServerDeath(uint32_t server) {
+  if (!enabled_) return;
+  words_.erase(server);
+  // In-flight writes aimed at the dead region never land; drop their
+  // tickets so later reads do not flag them as torn-read suspects.
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    it = it->second.dst.server_id() == server ? inflight_.erase(it)
+                                              : std::next(it);
+  }
+}
+
 void VerbAuditor::OnRpcReply(uint32_t client, uint32_t server) {
   if (!enabled_) return;
   RecordTrace(client, "RPC-REP", RemotePtr::Make(server, 0), 0, 0, 0);

@@ -167,6 +167,14 @@ class VerbAuditor {
   /// server's service clock.
   void OnRpcReply(uint32_t client, uint32_t server);
 
+  /// Memory server `server` died: its region's contents are gone, so every
+  /// tracked word it hosted is forgotten — a dead *server* (like a dead
+  /// holder) sanctions recovery, and LockedWords() must not report locks
+  /// that no longer exist anywhere. Idempotent; promoted replicas on live
+  /// servers start tracking fresh at their first protocol-shaped acquire
+  /// CAS, so failover needs no explicit HB edges.
+  void OnServerDeath(uint32_t server);
+
   // ---- Queries ------------------------------------------------------------
 
   /// A tracked version word that is currently locked, with its holder.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace namtree::rdma {
 
@@ -44,6 +45,17 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     auto [it, inserted] = crash_after_.emplace(cp.client, cp.after_verbs);
     if (!inserted) it->second = std::min(it->second, cp.after_verbs);
   }
+  for (const FabricConfig::ServerCrashPoint& cp :
+       config_.server_crash_points) {
+    auto [it, inserted] = server_crash_after_.emplace(cp.server,
+                                                     cp.after_verbs);
+    if (!inserted) it->second = std::min(it->second, cp.after_verbs);
+  }
+  server_death_time_.assign(config_.num_memory_servers,
+                            std::numeric_limits<SimTime>::max());
+  server_verbs_executed_.assign(config_.num_memory_servers, 0);
+  replication_ = std::max<uint32_t>(
+      1, std::min(config_.replication_factor, config_.num_memory_servers));
   memory_servers_.reserve(config_.num_memory_servers);
   for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
     memory_servers_.emplace_back(simulator_,
@@ -58,6 +70,12 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
 void Fabric::RegisterRegion(uint32_t server_id, MemoryRegion* region) {
   assert(server_id < memory_servers_.size());
   memory_servers_[server_id].region = region;
+  if (replicated()) {
+    // Primary allocations stay inside the region's rank-0 stripe; the
+    // stripes above it hold backups of the R-1 preceding servers.
+    region->set_alloc_limit(MemoryRegion::kHeaderSize +
+                            ReplicaStripeBytes(server_id));
+  }
 }
 
 void Fabric::SetNumClients(uint32_t n) {
@@ -86,6 +104,68 @@ void Fabric::KillClient(uint32_t client, SimTime at_time) {
   if (!inserted) it->second = std::min(it->second, t);
 }
 
+void Fabric::KillServer(uint32_t server, SimTime at_time) {
+  assert(server < server_death_time_.size());
+  const SimTime t = std::max(at_time, simulator_.now());
+  if (t < server_death_time_[server]) server_death_time_[server] = t;
+  // An immediate kill settles its fallout now; a scheduled future kill is
+  // settled lazily by the first drop site that observes the death (and
+  // callers already waiting on its workers by the RPC timeout machinery).
+  if (t <= simulator_.now()) OnServerDeathNow(server);
+}
+
+void Fabric::OnServerDeathNow(uint32_t server) {
+  if (auditor_) auditor_->OnServerDeath(server);
+  // Fail callers parked on this server's workers: no response will ever
+  // come. Entries already responded (done set, reply SEND in flight) keep
+  // their response — it left the NIC before the death.
+  for (auto& [call_id, pending] : pending_calls_) {
+    (void)call_id;
+    if (pending->server_id != server || pending->done.is_set()) continue;
+    pending->response = RpcResponse();
+    pending->response.status =
+        static_cast<uint16_t>(StatusCode::kUnavailable);
+    pending->deliver_at = simulator_.now();
+    pending->done.Set();
+  }
+}
+
+bool Fabric::ServerVerbExecutes(uint32_t server) {
+  if (!ServerAlive(server)) {
+    // First drop site after a scheduled death settles the fallout.
+    OnServerDeathNow(server);
+    return false;
+  }
+  const uint64_t done = server_verbs_executed_[server]++;
+  auto it = server_crash_after_.find(server);
+  if (it != server_crash_after_.end() && done >= it->second) {
+    // The crash point fires on this verb effect: the server dies with the
+    // verb on its NIC, so the effect never reaches memory.
+    KillServer(server, simulator_.now());
+    return false;
+  }
+  return true;
+}
+
+void Fabric::SyncReplicasFromPrimaries() {
+  if (!replicated()) return;
+  for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
+    MemoryRegion* region = memory_servers_[s].region;
+    if (region == nullptr) continue;
+    const uint64_t cursor = region->allocated();
+    if (cursor <= MemoryRegion::kHeaderSize) continue;
+    const uint64_t bytes = cursor - MemoryRegion::kHeaderSize;
+    for (uint32_t r = 1; r < replication_; ++r) {
+      const RemotePtr dst = ReplicaPtr(
+          RemotePtr::Make(s, MemoryRegion::kHeaderSize), r);
+      MemoryRegion* backup = memory_servers_[dst.server_id()].region;
+      assert(backup != nullptr && backup->Contains(dst.offset(), bytes));
+      std::memcpy(backup->at(dst.offset()),
+                  region->at(MemoryRegion::kHeaderSize), bytes);
+    }
+  }
+}
+
 bool Fabric::CountVerbAndCheckAlive(uint32_t client) {
   if (!ClientAlive(client)) return false;
   const uint64_t issued = verbs_issued_[client]++;
@@ -99,16 +179,37 @@ bool Fabric::CountVerbAndCheckAlive(uint32_t client) {
   return true;
 }
 
-sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
+sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
+                                                   uint32_t target) {
   if (!CountVerbAndCheckAlive(reader)) {
     dropped_verbs_++;
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return true;  // a dead reader learns nothing; callers re-check alive
+    // A dead reader learns nothing; callers re-check alive.
+    co_return EpochReadResult{Status::OK(), true};
+  }
+  constexpr uint32_t kEpochBytes = 8;
+  // The registry record of `target` lives on server target % N; under
+  // replication its replica group is consulted in rank order so the probe
+  // survives the home server's death.
+  const uint32_t home = target % config_.num_memory_servers;
+  uint32_t server_id = home;
+  bool host_found = false;
+  for (uint32_t r = 0; r < replication_; ++r) {
+    const uint32_t candidate = (home + r) % config_.num_memory_servers;
+    if (ServerAlive(candidate)) {
+      server_id = candidate;
+      host_found = true;
+      break;
+    }
+  }
+  if (!host_found) {
+    // Every host of the record is gone: the post errs out locally.
+    co_await sim::Delay(simulator_, config_.nic_post_ns);
+    co_return EpochReadResult{
+        Status::Unavailable("liveness registry host dead"), true};
   }
   doorbells_++;
   signaled_verbs_++;
-  constexpr uint32_t kEpochBytes = 8;
-  const uint32_t server_id = target % config_.num_memory_servers;
   MemoryServerEndpoint& server = memory_servers_[server_id];
 
   if (IsLocal(reader, server_id)) {
@@ -116,7 +217,12 @@ sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, kEpochBytes);
     co_await sim::DelayUntil(simulator_, done);
-    co_return ClientAlive(target);
+    if (!ServerVerbExecutes(server_id)) {
+      dropped_verbs_++;
+      co_return EpochReadResult{
+          Status::Unavailable("liveness registry host dead"), true};
+    }
+    co_return EpochReadResult{Status::OK(), ClientAlive(target)};
   }
 
   ComputeEndpoint& compute = ComputeFor(reader);
@@ -130,6 +236,11 @@ sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
 
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
+  if (!ServerVerbExecutes(server_id)) {  // host died with the READ in flight
+    dropped_verbs_++;
+    co_return EpochReadResult{
+        Status::Unavailable("liveness registry host dead"), true};
+  }
   const bool alive = ClientAlive(target);
 
   const SimTime t_tx = server.tx.ReserveTransfer(t_effect, kEpochBytes);
@@ -138,7 +249,7 @@ sim::Task<bool> Fabric::ReadClientEpoch(uint32_t reader, uint32_t target) {
   const SimTime done = compute.rx.ReserveArrival(first_byte_at_client,
                                                  kEpochBytes);
   co_await sim::DelayUntil(simulator_, done);
-  co_return alive;
+  co_return EpochReadResult{Status::OK(), alive};
 }
 
 uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
@@ -173,6 +284,10 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
       dropped_verbs_++;
       co_return;
     }
+    if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
+      dropped_verbs_++;
+      co_return;
+    }
     if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
     std::memcpy(dst, remote, len);
     co_return;
@@ -191,6 +306,10 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // died with the verb in flight: drop it
+    dropped_verbs_++;
+    co_return;
+  }
+  if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
     dropped_verbs_++;
     co_return;
   }
@@ -347,6 +466,20 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
       co_return;
     }
     const ChainOp& op = ops[p.index];
+    // Server fault domain: a member whose target server is dead (or dies
+    // on exactly this effect), or whose fence server has died, drops
+    // individually — members bound for live servers still land, so an
+    // unlock aimed at a live primary is not lost to a dead backup.
+    const bool fenced_out =
+        op.fence_server >= 0 &&
+        !ServerAlive(static_cast<uint32_t>(op.fence_server));
+    if (fenced_out || !ServerVerbExecutes(op.target.server_id())) {
+      if (auditor_ && op.kind == ChainOp::Kind::kWrite) {
+        auditor_->DropWrite(p.audit_ticket);
+      }
+      dropped_verbs_++;
+      continue;
+    }
     switch (op.kind) {
       case ChainOp::Kind::kRead: {
         if (auditor_) {
@@ -417,6 +550,11 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
       dropped_verbs_++;
       co_return;
     }
+    if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
+      if (auditor_) auditor_->DropWrite(audit_ticket);
+      dropped_verbs_++;
+      co_return;
+    }
     if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
     std::memcpy(remote, src, len);
     co_return;
@@ -438,6 +576,11 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
   server.writes++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: nothing lands
+    if (auditor_) auditor_->DropWrite(audit_ticket);
+    dropped_verbs_++;
+    co_return;
+  }
+  if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
     if (auditor_) auditor_->DropWrite(audit_ticket);
     dropped_verbs_++;
     co_return;
@@ -494,6 +637,10 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
     dropped_verbs_++;
     co_return 0;
   }
+  if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
+    dropped_verbs_++;
+    co_return 0;  // callers disambiguate via ServerAlive
+  }
   uint64_t current;
   std::memcpy(&current, remote, 8);
   if (current == expected) {
@@ -548,6 +695,10 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
     dropped_verbs_++;
     co_return 0;
   }
+  if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
+    dropped_verbs_++;
+    co_return 0;  // callers disambiguate via ServerAlive
+  }
   uint64_t current;
   std::memcpy(&current, remote, 8);
   const uint64_t updated = current + add;
@@ -573,6 +724,16 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     }
     doorbells_++;
     signaled_verbs_++;
+    if (!ServerAlive(server_id)) {
+      // The connection to a dead server errs out at the posting NIC;
+      // retrying cannot help, so fail fast with kUnavailable (also needed
+      // with rpc_timeout_ns=0, where a lost delivery would hang forever).
+      OnServerDeathNow(server_id);
+      co_await sim::Delay(simulator_, config_.nic_post_ns);
+      RpcResponse down;
+      down.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+      co_return down;
+    }
     MemoryServerEndpoint& server = memory_servers_[server_id];
     const uint32_t wire_bytes = request.WireBytes();
 
@@ -599,12 +760,21 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
       dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
       co_return dead;
     }
+    if (!ServerVerbExecutes(server_id)) {
+      // The server died with the SEND in flight: the request is lost and
+      // no worker will ever see it.
+      dropped_verbs_++;
+      RpcResponse down;
+      down.status = static_cast<uint16_t>(StatusCode::kUnavailable);
+      co_return down;
+    }
 
     const uint64_t call_id = next_call_id_++;
     PendingCall* pending =
         pending_calls_
             .emplace(call_id, std::make_unique<PendingCall>(simulator_))
             .first->second.get();
+    pending->server_id = server_id;
     IncomingRpc incoming;
     incoming.client_id = client;
     incoming.request = request;  // copied: a timeout resends it
@@ -645,6 +815,12 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
 
 void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
                      RpcResponse response) {
+  if (!ServerAlive(server_id)) {
+    // A handler racing its own server's death: the dead NIC sends
+    // nothing. The caller was (or will be) failed by the death fallout.
+    dropped_responses_++;
+    return;
+  }
   MemoryServerEndpoint& server = memory_servers_[server_id];
   const uint32_t wire_bytes = response.WireBytes();
 

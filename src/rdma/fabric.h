@@ -18,6 +18,15 @@
 
 namespace namtree::rdma {
 
+/// Outcome of a liveness-registry read (Fabric::ReadClientEpoch): OK with
+/// the liveness snapshot, or kUnavailable when every server that could host
+/// the target's epoch record is dead (the probe must not spin forever).
+/// Default-constructible — coroutine Task payloads must be.
+struct EpochReadResult {
+  Status status;
+  bool alive = true;
+};
+
 /// The simulated RDMA network connecting compute clients to memory servers.
 ///
 /// All verbs perform their *real* memory effect (copy / compare-and-swap /
@@ -89,11 +98,80 @@ class Fabric {
   }
 
   /// One-sided READ of `target`'s liveness record from the registry page
-  /// hosted on memory server `target % num_memory_servers`. Charges the
-  /// full 8-byte READ cost shape (post, wire, engine, response) to
-  /// `reader` and returns the liveness snapshot taken at the verb's memory
-  /// effect. A dead reader learns nothing and gets `true`.
-  sim::Task<bool> ReadClientEpoch(uint32_t reader, uint32_t target);
+  /// hosted on memory server `target % num_memory_servers` (or, under
+  /// replication, the first live server of that record's replica group).
+  /// Charges the full 8-byte READ cost shape (post, wire, engine,
+  /// response) to `reader` and returns the liveness snapshot taken at the
+  /// verb's memory effect. A dead reader learns nothing and gets OK/true;
+  /// a dead *registry host* (every replica gone) surfaces kUnavailable so
+  /// waiters bound their probing instead of spinning forever.
+  sim::Task<EpochReadResult> ReadClientEpoch(uint32_t reader,
+                                             uint32_t target);
+
+  // ---- Memory-server fault domain -----------------------------------------
+
+  /// Kills memory server `server` at virtual time `at_time` (0 or past =
+  /// immediately). From its death on, one-sided verbs targeting its region
+  /// drop before their memory effect (per chain *member* — members bound
+  /// for live servers still land), RPCs routed to it complete with
+  /// kUnavailable, and its worker loop stops consuming the SRQ. Killing is
+  /// idempotent; the earliest time wins. Deterministic alternative:
+  /// FabricConfig::server_crash_points.
+  void KillServer(uint32_t server, SimTime at_time = 0);
+
+  /// Memory-server liveness at the current virtual time.
+  bool ServerAlive(uint32_t server) const {
+    return simulator_.now() < server_death_time_[server];
+  }
+
+  /// Verb effects executed against `server` so far (server crash points
+  /// key off this count).
+  uint64_t server_verbs_executed(uint32_t server) const {
+    return server_verbs_executed_[server];
+  }
+
+  // ---- Replication ---------------------------------------------------------
+
+  /// Effective replication degree: FabricConfig::replication_factor clamped
+  /// to [1, num_memory_servers].
+  uint32_t replication() const { return replication_; }
+  bool replicated() const { return replication_ > 1; }
+
+  /// Bytes of one rank stripe of `server`'s page area (capacity minus the
+  /// header, divided by R). Rank 0 [kHeaderSize, kHeaderSize + stripe) is
+  /// the server's own primary stripe; rank r >= 1 holds backups of server
+  /// (s - r + N) % N's primaries.
+  uint64_t ReplicaStripeBytes(uint32_t server) const {
+    return (region_capacity(server) - MemoryRegion::kHeaderSize) /
+           replication_;
+  }
+
+  /// Address of replica `rank` of the page at primary address `primary`:
+  /// server (s + rank) % N, offset shifted up by rank stripes. Rank 0 is
+  /// the identity. Pure formula — no directory.
+  RemotePtr ReplicaPtr(RemotePtr primary, uint32_t rank) const {
+    if (rank == 0) return primary;
+    const uint32_t server =
+        (primary.server_id() + rank) % config_.num_memory_servers;
+    const uint64_t off = primary.offset() - MemoryRegion::kHeaderSize;
+    return RemotePtr::Make(
+        server, MemoryRegion::kHeaderSize +
+                    rank * ReplicaStripeBytes(primary.server_id()) + off);
+  }
+
+  /// Primary-allocation cap of `server`'s region: its rank-0 stripe end
+  /// under replication, full capacity otherwise.
+  uint64_t AllocLimit(uint32_t server) const {
+    return replicated()
+               ? MemoryRegion::kHeaderSize + ReplicaStripeBytes(server)
+               : region_capacity(server);
+  }
+
+  /// Copies every server's allocated primary pages into its backup ranks
+  /// (setup-time catch-up after bulk load, outside simulated time). No-op
+  /// at R=1. Region headers (alloc cursors, catalog slots) are not
+  /// replicated.
+  void SyncReplicasFromPrimaries();
 
   // ---- One-sided verbs ----------------------------------------------------
 
@@ -119,6 +197,14 @@ class Fabric {
     uint64_t expected = 0;      ///< CAS compare value
     uint64_t desired = 0;       ///< CAS swap value
     uint64_t* result = nullptr; ///< CAS pre-image sink (optional)
+    /// Fence: drop this member at effect time if the named server is dead
+    /// by then (-1 = unfenced). Replicated unlock chains fence backup
+    /// WRITEs on the lock-holding primary: once the primary dies, a
+    /// reader may already have promoted a backup, so a late backup WRITE
+    /// must not clobber it. Soundness: the member's effect is either
+    /// before the primary's death (lands before any promotion could
+    /// begin) or after it (dropped).
+    int32_t fence_server = -1;
 
     static ChainOp Read(RemotePtr src, void* dst, uint32_t len) {
       ChainOp op;
@@ -329,6 +415,21 @@ class Fabric {
   /// must drop the verb without a memory effect.
   bool CountVerbAndCheckAlive(uint32_t client);
 
+  /// Effect-time gate of the server fault domain: counts one verb effect
+  /// against `server` and evaluates its crash point. Returns false when
+  /// the server is dead (or died on exactly this verb) — the caller must
+  /// drop the effect. Cost reservations are never affected, so healthy
+  /// runs stay bit-identical.
+  bool ServerVerbExecutes(uint32_t server);
+
+  uint64_t region_capacity(uint32_t server) const {
+    return memory_servers_[server].region->capacity();
+  }
+
+  /// Fails every pending RPC targeting `server` with kUnavailable (its
+  /// workers will never respond) and tells the auditor the region is gone.
+  void OnServerDeathNow(uint32_t server);
+
   sim::Simulator& simulator_;
   FabricConfig config_;
   std::vector<MemoryServerEndpoint> memory_servers_;
@@ -344,6 +445,13 @@ class Fabric {
   std::unordered_map<uint32_t, SimTime> death_time_;
   std::unordered_map<uint32_t, uint64_t> crash_after_;
   std::unordered_map<uint32_t, uint64_t> verbs_issued_;
+  // Memory-server fault domain: death times (sentinel = immortal),
+  // effect-time verb counters, and per-server crash points (earliest
+  // after_verbs wins).
+  std::vector<SimTime> server_death_time_;
+  std::vector<uint64_t> server_verbs_executed_;
+  std::unordered_map<uint32_t, uint64_t> server_crash_after_;
+  uint32_t replication_ = 1;
   std::unordered_map<uint64_t, std::unique_ptr<PendingCall>> pending_calls_;
   uint64_t next_call_id_ = 1;
   /// Doorbell-chain ids handed to the auditor so a race report can name the

@@ -132,6 +132,31 @@ struct FabricConfig {
   /// Multiple entries for one client take the earliest point.
   std::vector<CrashPoint> crash_points;
 
+  /// Deterministic memory-server crash-point: kill server `server` once
+  /// `after_verbs` verb effects have executed against it. Unlike client
+  /// crash points (post-time), server crash points are evaluated at
+  /// *effect* time per target server, so a threshold can land between two
+  /// members of one doorbell chain — the member that trips it (and every
+  /// later member aimed at the dead server) is dropped while members bound
+  /// for live servers still land. RPC deliveries count as one effect.
+  struct ServerCrashPoint {
+    uint32_t server = 0;
+    uint64_t after_verbs = 0;
+  };
+  /// Server crash schedule (empty = immortal storage, today's behavior).
+  /// Multiple entries for one server take the earliest point.
+  std::vector<ServerCrashPoint> server_crash_points;
+
+  /// Page replication degree R (paper §3.1 / "The End of Slow Networks":
+  /// the NAM separation exists so dumb memory servers can be replicated).
+  /// 1 (default) = single copy, bit-identical to the unreplicated fabric.
+  /// R > 1 splits each region's page area into R equal rank stripes;
+  /// replica r of page (s, off) lives on server (s + r) % N at
+  /// off + r * stripe — a pure address formula, no directory. Disciplined
+  /// writers publish primary + backups in one doorbell chain; readers that
+  /// find the primary's server dead promote the next live replica.
+  uint32_t replication_factor = 1;
+
   // ---- Client-side protocol knobs ----------------------------------------
   /// Doorbell-batched verb chains (Fabric::PostChain) on the hot write
   /// paths: WriteUnlockPage collapses {page WRITE, unlock WRITE} into one

@@ -48,12 +48,20 @@ class MemoryRegion {
     return offset + len <= buffer_.size() && offset + len >= offset;
   }
 
+  /// Upper bound for allocations (0 = full capacity). Under replication
+  /// the fabric caps each region's primary allocations to its own rank-0
+  /// stripe so the backup stripes above it stay reserved for replicas.
+  void set_alloc_limit(uint64_t limit) { alloc_limit_ = limit; }
+  uint64_t alloc_limit() const {
+    return alloc_limit_ == 0 ? buffer_.size() : alloc_limit_;
+  }
+
   /// Server-local (bootstrap/bulk-load time) allocation. Returns a null
   /// pointer when the region is exhausted. Remote allocation at runtime
   /// goes through RDMA FETCH_AND_ADD on the cursor instead.
   RemotePtr AllocateLocal(uint64_t bytes) {
     const uint64_t cursor = ReadU64(kAllocCursorOffset);
-    if (cursor + bytes > buffer_.size()) return RemotePtr::Null();
+    if (cursor + bytes > alloc_limit()) return RemotePtr::Null();
     WriteU64(kAllocCursorOffset, cursor + bytes);
     return RemotePtr::Make(server_id_, cursor);
   }
@@ -76,6 +84,7 @@ class MemoryRegion {
  private:
   uint32_t server_id_;
   std::vector<uint8_t> buffer_;
+  uint64_t alloc_limit_ = 0;  // 0 = capacity()
 };
 
 }  // namespace namtree::rdma

@@ -54,6 +54,10 @@ struct PendingCall {
   explicit PendingCall(sim::Simulator& simulator) : done(simulator) {}
   RpcResponse response;
   SimTime deliver_at = 0;
+  /// Memory server the request was delivered to. An immediate KillServer
+  /// fails every pending call targeting the dead server with kUnavailable
+  /// (its workers will never respond).
+  uint32_t server_id = 0;
   sim::DeadlineEvent done;
 };
 

@@ -854,3 +854,376 @@ TEST(RpcTimeoutTest, DeadCallerGetsUnavailableWithoutRetrying) {
 
 }  // namespace
 }  // namespace namtree::index
+
+// ---------------------------------------------------------------------------
+// Memory-server fault domain (docs/fault_model.md §Memory-server failures):
+// server crash injection, replicated page writes, and client-driven
+// failover. At R=1 a dead server's pages are simply gone — ops surface
+// kUnavailable. At R>1 every page has R rank-striped replicas on distinct
+// servers; readers promote the next live replica deterministically and
+// disciplined writers publish primary + backups in one doorbell chain.
+// ---------------------------------------------------------------------------
+
+namespace namtree::index {
+namespace {
+
+using btree::KV;
+using nam::Cluster;
+
+// A reader whose page's primary server died is served from the rank-1
+// replica — same bytes, no auditor complaint. The R=1 control: the same
+// death makes the read fail with kUnavailable instead of hanging.
+TEST(ServerLossTest, ReplicatedReadFailsOverToBackup) {
+  constexpr uint32_t kPage = 256;
+  for (const uint32_t replication : {1u, 2u}) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 2;
+    fc.replication_factor = replication;
+    Cluster cluster(fc, 1 << 20);
+    cluster.fabric().SetNumClients(1);
+    rdma::MemoryRegion& region = cluster.memory_server(0).region();
+    const rdma::RemotePtr ptr = region.AllocateLocal(kPage);
+    btree::PageView view(region.at(ptr.offset()), kPage);
+    view.InitLeaf(btree::kInfinityKey, 0);
+    EXPECT_TRUE(view.LeafInsert(42, 7));
+    view.header().version_lock = 2;
+    cluster.fabric().SyncReplicasFromPrimaries();
+    cluster.fabric().KillServer(0);
+
+    nam::ClientContext reader(0, cluster.fabric(), kPage, 1);
+    struct Reader {
+      static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr,
+                            Status* status, uint64_t* version) {
+        uint8_t* buf = ops.ctx().page_a();
+        const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+        *status = read.status;
+        *version = read.version;
+        if (read.ok()) {
+          btree::PageView view(buf, kPage);
+          EXPECT_GE(view.LeafFindLive(42), 0)
+              << "promoted replica lost the bulk-loaded entry";
+        }
+      }
+    };
+    Status status;
+    uint64_t version = 0;
+    sim::Spawn(cluster.simulator(),
+               Reader::Go(RemoteOps(reader), ptr, &status, &version));
+    cluster.simulator().Run();
+
+    if (replication > 1) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      EXPECT_EQ(version, 2u) << "replica must carry the primary's version";
+    } else {
+      EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+    }
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << cluster.fabric().CheckAuditClean().ToString();
+  }
+}
+
+// The primary dies between the lock CAS and the write-unlock publication.
+// The publication aborts (kAborted — nothing of it landed), and the writer
+// retries the whole op against the promoted replica: the backup word is
+// always a clean unlocked version, so the retry locks it, applies the
+// write, and the entry is durable on the replica.
+TEST(ServerLossTest, WriterRetriesOnPromotedReplicaAfterPrimaryDeath) {
+  constexpr uint32_t kPage = 256;
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.replication_factor = 2;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(1);
+  rdma::MemoryRegion& region = cluster.memory_server(0).region();
+  const rdma::RemotePtr ptr = region.AllocateLocal(kPage);
+  btree::PageView(region.at(ptr.offset()), kPage)
+      .InitLeaf(btree::kInfinityKey, 0);
+  cluster.fabric().SyncReplicasFromPrimaries();
+  nam::ClientContext writer(0, cluster.fabric(), kPage, 1);
+
+  struct Writer {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr,
+                          Status* first_unlock, Status* retry_status) {
+      uint8_t* buf = ops.ctx().page_a();
+      EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
+      btree::PageView view(buf, kPage);
+      EXPECT_TRUE(view.LeafInsert(7, 7));
+      // The primary dies while the lock is held, before publication.
+      ops.fabric().KillServer(ptr.server_id());
+      *first_unlock = co_await ops.WriteUnlockPage(ptr, buf);
+      if (!first_unlock->IsAborted()) co_return;
+      // Op-level retry: re-read (promotes the replica), re-apply, publish.
+      const PageReadResult lock = co_await ops.LockPage(ptr, buf);
+      EXPECT_TRUE(lock.ok()) << lock.status.ToString();
+      btree::PageView retry_view(buf, kPage);
+      EXPECT_TRUE(retry_view.LeafInsert(7, 7));
+      *retry_status = co_await ops.WriteUnlockPage(ptr, buf);
+    }
+  };
+  Status first_unlock;
+  Status retry_status;
+  sim::Spawn(cluster.simulator(),
+             Writer::Go(RemoteOps(writer), ptr, &first_unlock,
+                        &retry_status));
+  cluster.simulator().Run();
+
+  EXPECT_TRUE(first_unlock.IsAborted()) << first_unlock.ToString();
+  EXPECT_TRUE(retry_status.ok()) << retry_status.ToString();
+
+  // The surviving replica holds the entry, unlocked, version advanced.
+  const rdma::RemotePtr rep = cluster.fabric().ReplicaPtr(ptr, 1);
+  btree::PageView rview(
+      cluster.fabric().region(rep.server_id())->at(rep.offset()), kPage);
+  EXPECT_FALSE(btree::IsLocked(rview.version_word()));
+  EXPECT_GE(rview.LeafFindLive(7), 0);
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+  if (const auto* auditor = cluster.fabric().auditor()) {
+    EXPECT_TRUE(auditor->LockedWords().empty());
+  }
+}
+
+// Server crash points land at *effect* time, so a threshold can fall
+// between two members of one split-publication chain. Sweeping the
+// threshold across the whole chain: the op ends OK or kUnavailable (R=1),
+// the auditor stays clean (it is taught the retraction), and whenever the
+// left page's sibling pointer is visible in the (frozen) region, the
+// sibling page it names was fully written first — posting order holds up
+// to the drop point.
+TEST(ServerKillChainTest, SplitChainServerDeathIsSanctioned) {
+  constexpr uint32_t kPage = 256;
+  constexpr btree::Key kSep = 500;
+  for (uint64_t after_verbs = 1; after_verbs <= 12; ++after_verbs) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 1;
+    fc.server_crash_points = {{0, after_verbs}};
+    Cluster cluster(fc, 1 << 20);
+    cluster.fabric().SetNumClients(1);
+    rdma::MemoryRegion& region = cluster.memory_server(0).region();
+    const rdma::RemotePtr left = region.AllocateLocal(kPage);
+    const rdma::RemotePtr sib = region.AllocateLocal(kPage);
+    btree::PageView(region.at(left.offset()), kPage)
+        .InitLeaf(btree::kInfinityKey, 0);
+    nam::ClientContext writer(0, cluster.fabric(), kPage, 1);
+
+    struct Writer {
+      static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr left,
+                            rdma::RemotePtr sib, Status* out) {
+        uint8_t* buf = ops.ctx().page_a();
+        const PageReadResult lock = co_await ops.LockPage(left, buf);
+        if (!lock.ok()) {
+          *out = lock.status;
+          co_return;
+        }
+        btree::PageView view(buf, kPage);
+        view.header().high_key = kSep;
+        view.header().right_sibling = sib.raw();
+        std::vector<uint8_t> rimage(kPage, 0);
+        btree::PageView rview(rimage.data(), kPage);
+        rview.InitLeaf(btree::kInfinityKey, 0);
+        EXPECT_TRUE(rview.LeafInsert(700, 7));
+        *out = co_await ops.WriteSiblingAndUnlockPage(sib, rimage.data(),
+                                                      left, buf);
+      }
+    };
+    Status status;
+    sim::Spawn(cluster.simulator(),
+               Writer::Go(RemoteOps(writer), left, sib, &status));
+    cluster.simulator().Run();
+
+    EXPECT_TRUE(status.ok() || status.IsUnavailable())
+        << "after_verbs=" << after_verbs << ": " << status.ToString();
+    EXPECT_FALSE(cluster.fabric().ServerAlive(0) && !status.ok())
+        << "after_verbs=" << after_verbs
+        << ": op failed but the server never died";
+
+    // The region's frozen state still respects posting order.
+    btree::PageView lview(region.at(left.offset()), kPage);
+    btree::PageView sview(region.at(sib.offset()), kPage);
+    if (lview.right_sibling() == sib.raw()) {
+      EXPECT_EQ(sview.high_key(), btree::kInfinityKey)
+          << "after_verbs=" << after_verbs
+          << ": published pointer to an unwritten sibling";
+    }
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << "after_verbs=" << after_verbs << ": "
+        << cluster.fabric().CheckAuditClean().ToString();
+  }
+}
+
+// A waiter lease-stealing an orphaned lock needs the holder's epoch word.
+// When the server hosting that word is dead (and unreplicated), the
+// liveness probe must not spin forever: after rpc_max_retries consecutive
+// failed probes the op surfaces kUnavailable.
+TEST(ServerLossTest, DeadEpochHostBoundsTheStealProbe) {
+  constexpr uint32_t kPage = 256;
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 2;
+  fc.lock_lease_ns = 20 * kMicrosecond;
+  fc.rpc_max_retries = 2;
+  Cluster cluster(fc, 1 << 20);
+  cluster.fabric().SetNumClients(2);
+  rdma::MemoryRegion& region = cluster.memory_server(0).region();
+  const rdma::RemotePtr ptr = region.AllocateLocal(kPage);
+  btree::PageView(region.at(ptr.offset()), kPage)
+      .InitLeaf(btree::kInfinityKey, 0);
+  // Client 1's epoch word lives on server 1 (client_id % num_servers).
+  nam::ClientContext holder(1, cluster.fabric(), kPage, 1);
+  nam::ClientContext stealer(0, cluster.fabric(), kPage, 2);
+
+  struct Holder {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr) {
+      uint8_t* buf = ops.ctx().page_a();
+      EXPECT_TRUE((co_await ops.LockPage(ptr, buf)).ok());
+      // Die holding the lock — and take the epoch host down with us.
+      ops.fabric().KillServer(1);
+      ops.fabric().KillClient(ops.ctx().client_id());
+      (void)co_await ops.WriteUnlockPage(ptr, buf);
+    }
+  };
+  struct Stealer {
+    static sim::Task<> Go(RemoteOps ops, rdma::RemotePtr ptr, Status* out) {
+      co_await sim::Delay(ops.fabric().simulator(), 5 * kMicrosecond);
+      uint8_t* buf = ops.ctx().page_a();
+      *out = (co_await ops.LockPage(ptr, buf)).status;
+    }
+  };
+  Status steal_status;
+  sim::Spawn(cluster.simulator(), Holder::Go(RemoteOps(holder), ptr));
+  sim::Spawn(cluster.simulator(),
+             Stealer::Go(RemoteOps(stealer), ptr, &steal_status));
+  const SimTime end = cluster.simulator().Run();
+
+  EXPECT_TRUE(steal_status.IsUnavailable()) << steal_status.ToString();
+  // Bounded: the probe gives up within a handful of lease periods instead
+  // of re-arming forever.
+  EXPECT_LT(end, 100 * kMillisecond);
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+}
+
+// Degraded YCSB at R=1: killing one of four memory servers mid-run must
+// fail fast — every fault-induced failure is kUnavailable (never a hang, a
+// timeout loop, or a torn write the auditor would flag).
+TEST(ServerLossTest, DegradedRunAtR1FailsOpsUnavailable) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.lock_lease_ns = 100 * kMicrosecond;
+  Cluster cluster(fc, 64 << 20);
+  IndexConfig config;
+  config.page_size = 256;
+  config.head_node_interval = 4;
+  FineGrainedIndex index(cluster, config);
+  const uint64_t keys = 4000;
+  ASSERT_TRUE(index.BulkLoad(MakeData(keys)).ok());
+  cluster.fabric().KillServer(1, 8 * kMillisecond);
+
+  ycsb::RunConfig run;
+  run.num_clients = 16;
+  run.warmup = 0;
+  run.duration = 20 * kMillisecond;
+  run.seed = 51;
+  run.mix = StressMix();
+  const auto result = ycsb::RunWorkload(cluster, index, keys, run);
+
+  EXPECT_GT(result.ops, 100u) << "survivable partitions must keep serving";
+  EXPECT_GT(result.failures.unavailable, 0u)
+      << "the dead server's key range never surfaced";
+  // kUnavailable (and benign NotFound from the mix) are the only failure
+  // modes: no timeouts, aborts, or mystery statuses.
+  EXPECT_EQ(result.failures.timed_out, 0u);
+  EXPECT_EQ(result.failures.aborted, 0u);
+  EXPECT_EQ(result.failures.out_of_memory, 0u);
+  EXPECT_EQ(result.failures.other, 0u);
+  EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+      << cluster.fabric().CheckAuditClean().ToString();
+}
+
+// The acceptance run: at R=2 the same mid-run server death is invisible to
+// correctness — zero fault-induced failures, clean audit, and a sound
+// (replication-aware) inspection — across eight exploration seeds.
+TEST(ServerLossTest, ReplicatedRunSurvivesServerDeathAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 4;
+    fc.replication_factor = 2;
+    fc.lock_lease_ns = 100 * kMicrosecond;
+    Cluster cluster(fc, 64 << 20);
+    IndexConfig config;
+    config.page_size = 256;
+    config.head_node_interval = 4;
+    FineGrainedIndex index(cluster, config);
+    const uint64_t keys = 4000;
+    ASSERT_TRUE(index.BulkLoad(MakeData(keys)).ok());
+    cluster.fabric().KillServer(2, 8 * kMillisecond);
+
+    ycsb::RunConfig run;
+    run.num_clients = 16;
+    run.warmup = 0;
+    run.duration = 20 * kMillisecond;
+    run.seed = seed;
+    run.gc_interval = 6 * kMillisecond;
+    run.mix = StressMix();
+    const auto result = ycsb::RunWorkload(cluster, index, keys, run);
+
+    EXPECT_GT(result.ops, 100u) << "seed " << seed;
+    // NotFound is workload noise (updates/deletes of absent keys); every
+    // fault-induced failure class must be zero.
+    EXPECT_EQ(result.failures.unavailable, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures.timed_out, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures.aborted, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures.out_of_memory, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures.other, 0u) << "seed " << seed;
+    EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
+        << "seed " << seed << ": "
+        << cluster.fabric().CheckAuditClean().ToString();
+
+    const auto report = IndexInspector::Inspect(cluster.fabric(), index);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.ToString();
+  }
+}
+
+// ServerTree (the RPC designs' server-side tree) surfaces region
+// exhaustion as kResourceExhausted through the insert RPC instead of
+// asserting the whole process away; reads keep working on the full tree.
+TEST(ResourceExhaustionTest, CoarseGrainedInsertsSurfaceResourceExhausted) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 1;
+  Cluster cluster(fc, 64 * 1024);  // tiny region: splits run it dry
+  IndexConfig config;
+  config.page_size = 256;
+  CoarseGrainedIndex index(cluster, config);
+  std::vector<KV> data;
+  for (uint64_t i = 0; i < 1500; ++i) data.push_back({i * 4, i});
+  ASSERT_TRUE(index.BulkLoad(data).ok());
+
+  nam::ClientContext ctx(0, cluster.fabric(), config.page_size, 1);
+  struct Driver {
+    static sim::Task<> Go(CoarseGrainedIndex& index, nam::ClientContext& ctx,
+                          uint64_t* ok_count, uint64_t* rex_count) {
+      for (uint64_t k = 0; k < 6000; ++k) {
+        const Status s = co_await index.Insert(ctx, k * 4 + 1, k);
+        if (s.ok()) {
+          (*ok_count)++;
+        } else if (s.IsResourceExhausted()) {
+          (*rex_count)++;
+        } else {
+          ADD_FAILURE() << "unexpected status " << s.ToString();
+        }
+      }
+      // The tree stays fully readable after exhaustion.
+      const LookupResult hit = co_await index.Lookup(ctx, 4);
+      EXPECT_TRUE(hit.found);
+    }
+  };
+  uint64_t ok_count = 0;
+  uint64_t rex_count = 0;
+  sim::Spawn(cluster.simulator(),
+             Driver::Go(index, ctx, &ok_count, &rex_count));
+  cluster.simulator().Run();
+  EXPECT_GT(ok_count, 0u);
+  EXPECT_GT(rex_count, 0u) << "the region never filled; shrink it";
+}
+
+}  // namespace
+}  // namespace namtree::index

@@ -140,9 +140,9 @@ TEST(RemoteOpsTest, StaleVersionCasFails) {
 Task<> AllocSome(RemoteOps ops, uint32_t server, int n,
                  std::vector<uint64_t>* offsets) {
   for (int i = 0; i < n; ++i) {
-    const rdma::RemotePtr p = co_await ops.AllocPage(server);
-    EXPECT_FALSE(p.is_null());
-    offsets->push_back(p.offset());
+    const AllocResult alloc = co_await ops.AllocPage(server);
+    EXPECT_TRUE(alloc.ok()) << alloc.status.ToString();
+    offsets->push_back(alloc.ptr.offset());
   }
 }
 
@@ -162,24 +162,31 @@ TEST(RemoteOpsTest, ConcurrentRemoteAllocationIsDisjoint) {
   EXPECT_EQ(unique.size(), 80u) << "allocations must never overlap";
 }
 
-Task<> AllocUntilFull(RemoteOps ops, uint32_t server, uint64_t* successes) {
+Task<> AllocUntilFull(RemoteOps ops, uint32_t server, uint64_t* successes,
+                      Status* last) {
   for (;;) {
-    const rdma::RemotePtr p = co_await ops.AllocPage(server);
-    if (p.is_null()) co_return;
+    const AllocResult alloc = co_await ops.AllocPage(server);
+    if (!alloc.ok()) {
+      *last = alloc.status;
+      co_return;
+    }
     (*successes)++;
   }
 }
 
-TEST(RemoteOpsTest, AllocationExhaustionReturnsNull) {
+TEST(RemoteOpsTest, AllocationExhaustionReturnsOutOfMemory) {
   rdma::FabricConfig config;
   config.num_memory_servers = 1;
   Cluster cluster(config, 16 * 1024);  // tiny region
   ClientContext ctx(0, cluster.fabric(), 1024, 1);
   uint64_t successes = 0;
-  Spawn(cluster.simulator(), AllocUntilFull(RemoteOps(ctx), 0, &successes));
+  Status last;
+  Spawn(cluster.simulator(),
+        AllocUntilFull(RemoteOps(ctx), 0, &successes, &last));
   cluster.simulator().Run();
   // Region header occupies 256 bytes; 15 pages of 1024 fit.
   EXPECT_EQ(successes, 15u);
+  EXPECT_TRUE(last.IsOutOfMemory()) << last.ToString();
 }
 
 TEST(RemoteOpsTest, RoundRobinAllocationScatters) {
@@ -190,8 +197,9 @@ TEST(RemoteOpsTest, RoundRobinAllocationScatters) {
   struct Runner {
     static Task<> Go(RemoteOps ops, std::vector<uint32_t>* servers) {
       for (int i = 0; i < 8; ++i) {
-        const rdma::RemotePtr p = co_await ops.AllocPageRoundRobin();
-        servers->push_back(p.server_id());
+        const AllocResult alloc = co_await ops.AllocPageRoundRobin();
+        EXPECT_TRUE(alloc.ok()) << alloc.status.ToString();
+        servers->push_back(alloc.ptr.server_id());
       }
     }
   };
