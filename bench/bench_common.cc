@@ -61,6 +61,7 @@ Experiment MakeExperiment(const ExperimentConfig& config) {
     fabric_config.workers_per_server = config.workers_per_server;
   }
   fabric_config.verb_chaining = config.verb_chaining;
+  fabric_config.read_combining = config.read_combining;
 
   uint64_t region_bytes = config.region_bytes;
   if (region_bytes == 0) {
@@ -81,6 +82,7 @@ Experiment MakeExperiment(const ExperimentConfig& config) {
   index_config.partition = config.partition;
   index_config.client_cache_pages = config.client_cache_pages;
   index_config.client_cache_ttl = config.client_cache_ttl;
+  index_config.speculative_descent = config.speculative_descent;
   if (config.skewed_data) {
     index_config.partition_weights = SkewWeights(config.num_memory_servers);
   }

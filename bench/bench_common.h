@@ -59,6 +59,11 @@ struct ExperimentConfig {
   /// Per-client inner-node cache (IndexConfig::client_cache_pages / _ttl).
   uint32_t client_cache_pages = 0;
   SimTime client_cache_ttl = 2 * kMillisecond;
+  /// One-RTT speculative descent (IndexConfig::speculative_descent;
+  /// one-sided designs, needs client_cache_pages > 0).
+  bool speculative_descent = false;
+  /// In-flight read combining (FabricConfig::read_combining).
+  bool read_combining = false;
 };
 
 /// The paper's §6.1 skewed placement, generalised to S servers:

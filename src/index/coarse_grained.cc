@@ -171,9 +171,8 @@ sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
   req.service = rpc_service_;
   req.op = kLookup;
   req.arg0 = key;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code == StatusCode::kOk) {
     co_return LookupResult{true, resp.arg0, Status::OK()};
@@ -196,10 +195,7 @@ sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
     req.op = kScan;
     req.arg0 = lo;
     req.arg1 = hi;
-    ctx.round_trips++;
-    rdma::RpcResponse resp =
-        co_await cluster_.fabric().Call(ctx.client_id(), server,
-                                        std::move(req));
+    rdma::RpcResponse resp = co_await ctx.Call(server, std::move(req));
     if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) {
       break;  // transport failure: report the partial count
     }
@@ -228,9 +224,8 @@ sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
   req.op = kInsert;
   req.arg0 = key;
   req.arg1 = value;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code == StatusCode::kOk) co_return Status::OK();
   if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut ||
@@ -247,9 +242,8 @@ sim::Task<Status> CoarseGrainedIndex::Update(nam::ClientContext& ctx, Key key,
   req.op = kUpdate;
   req.arg0 = key;
   req.arg1 = value;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code == StatusCode::kOk) co_return Status::OK();
   if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
@@ -264,9 +258,8 @@ sim::Task<uint64_t> CoarseGrainedIndex::LookupAll(
   req.service = rpc_service_;
   req.op = kLookupAll;
   req.arg0 = key;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) co_return 0;
   if (out != nullptr) {
     out->insert(out->end(), resp.payload.begin(), resp.payload.end());
@@ -280,9 +273,8 @@ sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
   req.service = rpc_service_;
   req.op = kDelete;
   req.arg0 = key;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code == StatusCode::kOk) co_return Status::OK();
   if (code == StatusCode::kUnavailable || code == StatusCode::kTimedOut) {
@@ -324,9 +316,7 @@ sim::Task<void> CoarseGrainedIndex::RunBatch(nam::ClientContext& ctx,
       req.payload.push_back(op.key);
       req.payload.push_back(op.value);
     }
-    ctx.round_trips++;
-    rdma::RpcResponse resp =
-        co_await cluster_.fabric().Call(ctx.client_id(), s, std::move(req));
+    rdma::RpcResponse resp = co_await ctx.Call(s, std::move(req));
     if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) {
       // Transport failure: the whole group shares the frame's fate.
       const auto code = static_cast<StatusCode>(resp.status);
@@ -356,6 +346,24 @@ sim::Task<void> CoarseGrainedIndex::RunBatch(nam::ClientContext& ctx,
   }
 }
 
+sim::Task<void> CoarseGrainedIndex::MultiGet(nam::ClientContext& ctx,
+                                             std::span<const btree::Key> keys,
+                                             LookupResult* results) {
+  // Reuse the multi-op coalescing path: the keys become kLookup point ops,
+  // one kBatch frame per home server.
+  std::vector<PointOp> ops(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ops[i].kind = PointOpKind::kLookup;
+    ops[i].key = keys[i];
+  }
+  std::vector<PointOpResult> op_results(keys.size());
+  co_await RunBatch(ctx, ops, op_results.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    results[i] = LookupResult{op_results[i].found, op_results[i].value,
+                              op_results[i].status};
+  }
+}
+
 sim::Task<uint64_t> CoarseGrainedIndex::GarbageCollect(
     nam::ClientContext& ctx) {
   // Epoch GC runs on each memory server (paper §3.2); triggering it costs
@@ -363,11 +371,9 @@ sim::Task<uint64_t> CoarseGrainedIndex::GarbageCollect(
   uint64_t reclaimed = 0;
   for (uint32_t s = 0; s < cluster_.num_memory_servers(); ++s) {
     rdma::RpcRequest req;
-  req.service = rpc_service_;
+    req.service = rpc_service_;
     req.op = kGc;
-    ctx.round_trips++;
-    rdma::RpcResponse resp =
-        co_await cluster_.fabric().Call(ctx.client_id(), s, std::move(req));
+    rdma::RpcResponse resp = co_await ctx.Call(s, std::move(req));
     if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) break;
     reclaimed += resp.arg0;
   }

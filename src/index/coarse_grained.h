@@ -63,6 +63,13 @@ class CoarseGrainedIndex : public DistributedIndex {
                            std::span<const PointOp> ops,
                            PointOpResult* results) override;
 
+  /// Batched lookups ride the same multi-op coalescing as RunBatch: the
+  /// keys become kLookup point ops, grouped by home server into one kBatch
+  /// SEND per server.
+  sim::Task<void> MultiGet(nam::ClientContext& ctx,
+                           std::span<const btree::Key> keys,
+                           LookupResult* results) override;
+
   std::string name() const override { return "coarse-grained"; }
   uint32_t page_size() const override { return config_.page_size; }
 

@@ -23,7 +23,8 @@ CoarseOneSidedIndex::CoarseOneSidedIndex(nam::Cluster& cluster,
           config.client_cache_pages > 0
               ? TraversalEngine::CacheMode::kInnerImages
               : TraversalEngine::CacheMode::kNone,
-          config.client_cache_pages, config.client_cache_ttl}) {
+          config.client_cache_pages, config.client_cache_ttl,
+          config.speculative_descent}) {
   // One engine tree per partition: splits allocate on the partition's
   // server and the root is published in that server's catalog slot.
   for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
@@ -85,12 +86,63 @@ sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
                                                     Key key) {
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
+  // As in FG: the predicted leaf rides the speculative-descent batch into
+  // page_b and feeds SearchChain's first iteration when confirmed.
+  TraversalEngine::DescentPrefetch prefetch;
+  prefetch.leaf_buf = ctx.page_b();
   const rdma::RemotePtr leaf =
-      co_await engine_.DescendToLeaf(ops, server, key);
+      co_await engine_.DescendToLeaf(ops, server, key, &prefetch);
   if (leaf.is_null()) {
     co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
   }
-  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+  co_return co_await LeafLevel::SearchChain(
+      ops, leaf, key, prefetch.leaf_image_valid ? ctx.page_b() : nullptr);
+}
+
+sim::Task<void> CoarseOneSidedIndex::MultiGet(nam::ClientContext& ctx,
+                                              std::span<const Key> keys,
+                                              LookupResult* results) {
+  RemoteOps ops(ctx);
+  // Sort, then group consecutive keys by locally predicted leaf within
+  // their partition tree; each group is one chain walk. Prediction never
+  // crosses partitions: ServerFor pins the tree, and PredictLeaf only
+  // groups keys that resolve to the same leaf of the same tree.
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  const SimTime now = ctx.fabric().simulator().now();
+  size_t i = 0;
+  while (i < order.size()) {
+    const uint32_t server = partitioner_.ServerFor(keys[order[i]]);
+    const rdma::RemotePtr predicted =
+        engine_.PredictLeaf(ctx.client_id(), server, keys[order[i]], now);
+    size_t j = i + 1;
+    if (!predicted.is_null()) {
+      while (j < order.size() &&
+             partitioner_.ServerFor(keys[order[j]]) == server &&
+             engine_.PredictLeaf(ctx.client_id(), server, keys[order[j]],
+                                 now) == predicted) {
+        j++;
+      }
+    }
+    if (predicted.is_null() || j == i + 1) {
+      results[order[i]] = co_await Lookup(ctx, keys[order[i]]);
+      i = j;
+      continue;
+    }
+    std::vector<Key> group(j - i);
+    for (size_t k = i; k < j; ++k) group[k - i] = keys[order[k]];
+    std::vector<LookupResult> group_results(group.size());
+    // namtree-lint: status-ok(per-key statuses land in group_results)
+    (void)co_await LeafLevel::SearchChainMulti(ops, predicted, group,
+                                               group_results.data());
+    for (size_t k = i; k < j; ++k) {
+      results[order[k]] = group_results[k - i];
+    }
+    i = j;
+  }
 }
 
 sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,

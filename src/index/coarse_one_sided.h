@@ -58,6 +58,13 @@ class CoarseOneSidedIndex : public DistributedIndex {
   sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
   sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
 
+  /// Sorts the keys and groups consecutive ones by (partition, locally
+  /// predicted leaf); each group is served by one chain walk
+  /// (LeafLevel::SearchChainMulti), the rest by single lookups.
+  sim::Task<void> MultiGet(nam::ClientContext& ctx,
+                           std::span<const btree::Key> keys,
+                           LookupResult* results) override;
+
   std::string name() const override { return "coarse-one-sided"; }
   uint32_t page_size() const override { return config_.page_size; }
 

@@ -1,5 +1,7 @@
 #include "index/fine_grained.h"
 
+#include <algorithm>
+
 #include "btree/page.h"
 #include "index/tree_build.h"
 #include "rdma/memory_region.h"
@@ -19,7 +21,8 @@ FineGrainedIndex::FineGrainedIndex(nam::Cluster& cluster, IndexConfig config)
           config.client_cache_pages > 0
               ? TraversalEngine::CacheMode::kInnerImages
               : TraversalEngine::CacheMode::kNone,
-          config.client_cache_pages, config.client_cache_ttl}),
+          config.client_cache_pages, config.client_cache_ttl,
+          config.speculative_descent}),
       tree_(engine_.AddTree(
           /*alloc_server=*/-1,
           rdma::RemotePtr::Make(
@@ -52,11 +55,64 @@ Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
 sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
                                                  Key key) {
   RemoteOps ops(ctx);
-  const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
+  // Under speculative descent the predicted leaf's image rides the descent
+  // batch into page_b (free on this read-only path) and, when confirmed,
+  // feeds SearchChain's first iteration — the one-RTT lookup.
+  TraversalEngine::DescentPrefetch prefetch;
+  prefetch.leaf_buf = ctx.page_b();
+  const rdma::RemotePtr leaf =
+      co_await engine_.DescendToLeaf(ops, tree_, key, &prefetch);
   if (leaf.is_null()) {
     co_return LookupResult{false, 0, Status::Unavailable("client crashed")};
   }
-  co_return co_await LeafLevel::SearchChain(ops, leaf, key);
+  co_return co_await LeafLevel::SearchChain(
+      ops, leaf, key, prefetch.leaf_image_valid ? ctx.page_b() : nullptr);
+}
+
+sim::Task<void> FineGrainedIndex::MultiGet(nam::ClientContext& ctx,
+                                           std::span<const Key> keys,
+                                           LookupResult* results) {
+  RemoteOps ops(ctx);
+  // Sort (stably, by key) so chain walks move strictly right, then group
+  // consecutive keys whose locally predicted leaf matches: each group costs
+  // one descent plus one READ per visited leaf instead of one full lookup
+  // per key. Keys the cache cannot place fall back to single lookups.
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  const SimTime now = ctx.fabric().simulator().now();
+  size_t i = 0;
+  while (i < order.size()) {
+    const rdma::RemotePtr predicted =
+        engine_.PredictLeaf(ctx.client_id(), tree_, keys[order[i]], now);
+    size_t j = i + 1;
+    if (!predicted.is_null()) {
+      while (j < order.size() &&
+             engine_.PredictLeaf(ctx.client_id(), tree_, keys[order[j]],
+                                 now) == predicted) {
+        j++;
+      }
+    }
+    if (predicted.is_null() || j == i + 1) {
+      results[order[i]] = co_await Lookup(ctx, keys[order[i]]);
+      i = j;
+      continue;
+    }
+    std::vector<Key> group(j - i);
+    for (size_t k = i; k < j; ++k) group[k - i] = keys[order[k]];
+    std::vector<LookupResult> group_results(group.size());
+    // A stale prediction can only name a leaf too far left; the chain
+    // chase inside SearchChainMulti recovers, exactly as for Lookup.
+    // namtree-lint: status-ok(per-key statuses land in group_results)
+    (void)co_await LeafLevel::SearchChainMulti(ops, predicted, group,
+                                               group_results.data());
+    for (size_t k = i; k < j; ++k) {
+      results[order[k]] = group_results[k - i];
+    }
+    i = j;
+  }
 }
 
 sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,

@@ -46,6 +46,14 @@ class FineGrainedIndex : public DistributedIndex {
   sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
   sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
 
+  /// Sorts the keys, groups consecutive ones by locally predicted leaf
+  /// (PredictLeaf over the inner-image cache), and serves each group from
+  /// one chain walk (LeafLevel::SearchChainMulti); unpredictable keys fall
+  /// back to single lookups.
+  sim::Task<void> MultiGet(nam::ClientContext& ctx,
+                           std::span<const btree::Key> keys,
+                           LookupResult* results) override;
+
   std::string name() const override { return "fine-grained"; }
   uint32_t page_size() const override { return config_.page_size; }
 

@@ -210,12 +210,11 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     BucketView next_bucket(fresh.data());
     next_bucket.set_slot(0, KV{key, value});
     next_bucket.set_count(1);
-    ctx.round_trips++;
-    co_await ops.fabric().Write(ctx.client_id(), next, fresh.data(),
-                                kBucketBytes);
     // Crashing here orphans the bucket lock (lease-steal reclaims it) and
     // leaks the unpublished overflow bucket — both sound.
-    if (!ops.alive()) co_return Status::Unavailable("client crashed");
+    const Status fresh_write =
+        co_await ops.WriteRaw(next, fresh.data(), kBucketBytes);
+    if (!fresh_write.ok()) co_return fresh_write;
     bucket.set_overflow(next.raw());
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {

@@ -1,6 +1,7 @@
 #include "index/hybrid.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace namtree::index {
 
@@ -127,9 +128,8 @@ sim::Task<DescentResult> HybridIndex::ResolveLeaf(nam::ClientContext& ctx,
   req.service = rpc_service_;
   req.op = kFindLeaf;
   req.arg0 = key;
-  ctx.round_trips++;
-  rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-      ctx.client_id(), partitioner_.ServerFor(key), std::move(req));
+  rdma::RpcResponse resp =
+      co_await ctx.Call(partitioner_.ServerFor(key), std::move(req));
   const auto code = static_cast<StatusCode>(resp.status);
   if (code != StatusCode::kOk) {
     co_return DescentResult{Status::FromCode(code, "find-leaf rpc"),
@@ -144,6 +144,56 @@ sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
   if (!fl.ok()) co_return LookupResult{false, 0, fl.status};
   RemoteOps ops(ctx);
   co_return co_await LeafLevel::SearchChain(ops, fl.leaf, key);
+}
+
+sim::Task<void> HybridIndex::MultiGet(nam::ClientContext& ctx,
+                                      std::span<const Key> keys,
+                                      LookupResult* results) {
+  RemoteOps ops(ctx);
+  // Sort, then group consecutive keys sharing a *cached* route (Peek — no
+  // find-leaf RPC, no cache-stat skew): each group is one chain walk from
+  // that route. Keys without a fresh cached route go through Lookup, which
+  // resolves and seeds the route cache as usual. Stale routes only point
+  // too far left in the global chain; the chase recovers.
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  NodeCache* cache = engine_.CacheFor(ctx.client_id());
+  const SimTime now = ctx.fabric().simulator().now();
+  const auto cached_route = [&](Key key) {
+    if (cache == nullptr) return rdma::RemotePtr::Null();
+    bool expired = false;
+    const uint8_t* image = cache->Peek(key, now, &expired);
+    if (image == nullptr || expired) return rdma::RemotePtr::Null();
+    uint64_t raw;
+    std::memcpy(&raw, image, 8);
+    return rdma::RemotePtr(raw);
+  };
+  size_t i = 0;
+  while (i < order.size()) {
+    const rdma::RemotePtr route = cached_route(keys[order[i]]);
+    size_t j = i + 1;
+    if (!route.is_null()) {
+      while (j < order.size() && cached_route(keys[order[j]]) == route) j++;
+    }
+    if (route.is_null() || j == i + 1) {
+      results[order[i]] = co_await Lookup(ctx, keys[order[i]]);
+      i = j;
+      continue;
+    }
+    std::vector<Key> group(j - i);
+    for (size_t k = i; k < j; ++k) group[k - i] = keys[order[k]];
+    std::vector<LookupResult> group_results(group.size());
+    // namtree-lint: status-ok(per-key statuses land in group_results)
+    (void)co_await LeafLevel::SearchChainMulti(ops, route, group,
+                                               group_results.data());
+    for (size_t k = i; k < j; ++k) {
+      results[order[k]] = group_results[k - i];
+    }
+    i = j;
+  }
 }
 
 sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
@@ -177,10 +227,8 @@ sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
     req.op = kInstallSep;
     req.arg0 = split.separator;
     req.arg1 = split.right.raw();
-    ctx.round_trips++;
-    const rdma::RpcResponse resp = co_await cluster_.fabric().Call(
-        ctx.client_id(), partitioner_.ServerFor(split.separator),
-        std::move(req));
+    const rdma::RpcResponse resp = co_await ctx.Call(
+        partitioner_.ServerFor(split.separator), std::move(req));
     const auto code = static_cast<StatusCode>(resp.status);
     if (code != StatusCode::kOk) {
       // The inserted entry is live and reachable through the leaf chain;

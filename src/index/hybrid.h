@@ -56,6 +56,13 @@ class HybridIndex : public DistributedIndex,
   sim::Task<Status> Delete(nam::ClientContext& ctx, btree::Key key) override;
   sim::Task<uint64_t> GarbageCollect(nam::ClientContext& ctx) override;
 
+  /// Sorts the keys and groups consecutive ones sharing a fresh cached
+  /// route (no find-leaf RPC per grouped key); each group is one chain
+  /// walk, uncached keys fall back to Lookup (which seeds the cache).
+  sim::Task<void> MultiGet(nam::ClientContext& ctx,
+                           std::span<const btree::Key> keys,
+                           LookupResult* results) override;
+
   std::string name() const override { return "hybrid"; }
   uint32_t page_size() const override { return config_.page_size; }
 

@@ -32,4 +32,13 @@ sim::Task<void> DistributedIndex::RunBatch(nam::ClientContext& ctx,
   }
 }
 
+sim::Task<void> DistributedIndex::MultiGet(nam::ClientContext& ctx,
+                                           std::span<const btree::Key> keys,
+                                           LookupResult* results) {
+  // Sequential fallback — the semantic contract every override must match.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    results[i] = co_await Lookup(ctx, keys[i]);
+  }
+}
+
 }  // namespace namtree::index

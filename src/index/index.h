@@ -56,6 +56,15 @@ struct IndexConfig {
   /// `client_cache_ttl` bounds the staleness window.
   uint32_t client_cache_pages = 0;
   SimTime client_cache_ttl = 2 * kMillisecond;
+
+  /// One-RTT speculative descent for the one-sided designs (FG,
+  /// CG-one-sided; requires client_cache_pages > 0). Predict the full
+  /// root→leaf path from cached inner images — including TTL-expired ones —
+  /// and fetch every missing/expired predicted page plus the leaf in a
+  /// single doorbell-batched READ, validating top-down with fallback to the
+  /// level-by-level descent. Default off: bit-identical behavior to the
+  /// plain loop (see docs/traversal.md, "Speculative descent").
+  bool speculative_descent = false;
 };
 
 /// Outcome of a point query. `status` distinguishes a clean miss (OK,
@@ -152,6 +161,18 @@ class DistributedIndex {
   virtual sim::Task<void> RunBatch(nam::ClientContext& ctx,
                                    std::span<const PointOp> ops,
                                    PointOpResult* results);
+
+  /// Batched point lookup: answers `keys[i]` into `results[i]` (which must
+  /// have space for keys.size() entries). Semantically identical to
+  /// keys.size() independent Lookup calls — same found/value/status per key
+  /// — but designs exploit batch locality: the one-sided designs sort the
+  /// keys, group them by locally predicted leaf, and serve each group from
+  /// one chain walk (one READ per visited page); the hybrid design groups
+  /// by cached route; the RPC design coalesces per-server multi-op frames.
+  /// The default runs the keys sequentially through Lookup.
+  virtual sim::Task<void> MultiGet(nam::ClientContext& ctx,
+                                   std::span<const btree::Key> keys,
+                                   LookupResult* results);
 
   /// Human-readable design name ("coarse-grained", ...).
   virtual std::string name() const = 0;

@@ -109,14 +109,24 @@ Status LeafLevel::Build(rdma::Fabric& fabric,
 
 sim::Task<LookupResult> LeafLevel::SearchChain(RemoteOps ops,
                                                rdma::RemotePtr start,
-                                               Key key) {
+                                               Key key,
+                                               const uint8_t* preread) {
   uint8_t* buf = ops.ctx().page_a();
   rdma::RemotePtr ptr = start;
   // namtree-lint: bounded-loop(chain-chase: every step moves right along ascending fences and stops at the first fence above key; read failures exit)
   for (;;) {
-    const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
-    if (!read.ok()) co_return LookupResult{false, 0, read.status};
-    PageView view(buf, ops.page_size());
+    const uint8_t* image;
+    if (preread != nullptr) {
+      // Speculatively prefetched image of `start`: already validated
+      // unlocked by the descent, consumed exactly once.
+      image = preread;
+      preread = nullptr;
+    } else {
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) co_return LookupResult{false, 0, read.status};
+      image = buf;
+    }
+    PageView view(const_cast<uint8_t*>(image), ops.page_size());
     if (view.is_head()) {
       ptr = rdma::RemotePtr(view.right_sibling());
       if (ptr.is_null()) co_return LookupResult{false, 0, Status::OK()};
@@ -133,6 +143,60 @@ sim::Task<LookupResult> LeafLevel::SearchChain(RemoteOps ops,
     }
     co_return LookupResult{false, 0, Status::OK()};
   }
+}
+
+sim::Task<Status> LeafLevel::SearchChainMulti(RemoteOps ops,
+                                              rdma::RemotePtr start,
+                                              std::span<const Key> keys,
+                                              LookupResult* results) {
+  uint8_t* buf = ops.ctx().page_a();
+  rdma::RemotePtr ptr = start;
+  size_t i = 0;
+  bool have_image = false;
+  // Ascending keys make the walk monotone: the cursor only ever moves
+  // right, and each visited page is read once no matter how many of the
+  // group's keys it answers.
+  // namtree-lint: bounded-loop(chain-chase: keys ascend and every re-read step moves right along ascending fences; read failures exit)
+  while (i < keys.size()) {
+    if (!have_image) {
+      const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
+      if (!read.ok()) {
+        for (; i < keys.size(); ++i) {
+          results[i] = LookupResult{false, 0, read.status};
+        }
+        co_return read.status;
+      }
+      have_image = true;
+    }
+    PageView view(buf, ops.page_size());
+    if (view.is_head()) {
+      ptr = rdma::RemotePtr(view.right_sibling());
+      if (ptr.is_null()) {  // chain ends in a trailing head: clean misses
+        for (; i < keys.size(); ++i) {
+          results[i] = LookupResult{false, 0, Status::OK()};
+        }
+        co_return Status::OK();
+      }
+      have_image = false;
+      continue;
+    }
+    const Key key = keys[i];
+    const int32_t idx = view.LeafFindLive(key);
+    if (idx >= 0) {
+      results[i] =
+          LookupResult{true, view.leaf_entries()[idx].value, Status::OK()};
+      i++;
+      continue;
+    }
+    if (view.NeedsChase(key)) {
+      ptr = rdma::RemotePtr(view.right_sibling());
+      have_image = false;
+      continue;
+    }
+    results[i] = LookupResult{false, 0, Status::OK()};
+    i++;
+  }
+  co_return Status::OK();
 }
 
 namespace {
@@ -172,6 +236,7 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
   // Scratch space for prefetched leaves (sized on first head encounter).
   std::vector<uint8_t> prefetch_buf;
 
+  // namtree-lint: bounded-loop(chain-chase: every step moves right along ascending fences and stops at the first fence >= hi or the rightmost page; read failures exit)
   for (;;) {
     // Degraded mode returns the partial count collected so far.
     if (!(co_await ops.ReadPageUnlocked(ptr, buf)).ok()) co_return found;
@@ -205,9 +270,9 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
                       prefetch_buf.data() + static_cast<size_t>(k) * page_size,
                       page_size});
     }
-    ops.ctx().round_trips++;
-    co_await ops.fabric().ReadBatch(ops.ctx().client_id(), std::move(reqs));
-    if (!ops.alive()) co_return found;  // batch dropped; images unspecified
+    if (!(co_await ops.ReadPagesBatch(std::move(reqs))).ok()) {
+      co_return found;  // batch dropped; images unspecified
+    }
 
     bool resumed_chain = false;
     for (uint32_t k = 0; k < n; ++k) {

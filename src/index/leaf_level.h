@@ -50,10 +50,26 @@ class LeafLevel {
                       int32_t fixed_server = -1);
 
   /// Point search starting at the leaf that covers `key` (chases siblings,
-  /// skips head nodes). Listing 2's leaf phase.
+  /// skips head nodes). Listing 2's leaf phase. `preread`, when non-null,
+  /// is a consistent (unlocked) image of the page at `start` the caller
+  /// already holds — a speculative-descent prefetch — consumed in place of
+  /// the first remote read; chases past it read remotely as usual.
   static sim::Task<LookupResult> SearchChain(RemoteOps ops,
                                              rdma::RemotePtr start,
-                                             btree::Key key);
+                                             btree::Key key,
+                                             const uint8_t* preread = nullptr);
+
+  /// Multi-point search (Index::MultiGet): serves `keys` — ascending, all
+  /// routed to the chain position at `start` by the caller's grouping —
+  /// with one READ per *visited page* instead of one chain walk per key:
+  /// every key covered by the current image is answered locally, and the
+  /// walk chases right only once the next key is beyond the current fence.
+  /// `results[i]` corresponds to `keys[i]`. Stops on the first failed read
+  /// (remaining results carry its status).
+  static sim::Task<Status> SearchChainMulti(RemoteOps ops,
+                                            rdma::RemotePtr start,
+                                            std::span<const btree::Key> keys,
+                                            LookupResult* results);
 
   /// Range scan over [lo, hi) starting at the leaf covering `lo`. Uses
   /// head-node prefetch via selectively-signaled batched reads; outdated

@@ -57,6 +57,28 @@ class NodeCache {
     return it->second.image.data();
   }
 
+  /// Non-mutating lookup for the speculative path predictor: no LRU touch,
+  /// no hit/miss/expiration accounting, and — unlike Get — TTL-expired
+  /// entries are neither erased nor hidden: the image is returned with
+  /// `*expired = true` so the predictor can route through it locally (a
+  /// stale inner image only routes too far left) while scheduling a fresh
+  /// batched read for it. The pointer is valid until the next cache
+  /// mutation; prediction must not await between Peek and use.
+  const uint8_t* Peek(uint64_t ptr_raw, SimTime now, bool* expired) const {
+    *expired = false;
+    auto it = entries_.find(ptr_raw);
+    if (it == entries_.end()) return nullptr;
+    if (ttl_ > 0 && now - it->second.loaded_at > ttl_) *expired = true;
+    return it->second.image.data();
+  }
+
+  /// Debug/test introspection: cached keys in LRU order (most recent
+  /// first). Lets tests pin that speculative probing leaves the
+  /// replacement state bit-identical to a no-speculation run.
+  std::vector<uint64_t> LruKeys() const {
+    return std::vector<uint64_t>(lru_.begin(), lru_.end());
+  }
+
   /// Inserts/overwrites the image for `ptr_raw`, evicting the LRU entry
   /// when over budget.
   void Put(uint64_t ptr_raw, const uint8_t* image, SimTime now) {

@@ -36,12 +36,51 @@ void RemoteOps::StampLocked(uint8_t* buf, uint64_t version) {
 }
 
 sim::Task<Status> RemoteOps::ReadPageFrom(rdma::RemotePtr at, uint8_t* buf) {
-  ctx_->round_trips++;
-  co_await fabric().Read(ctx_->client_id(), at, buf, page_size());
+  // With FabricConfig::read_combining a concurrent lane's identical READ
+  // serves this one too: no verb posted, no round trip — only the
+  // combined-read counter moves. Off (default), CombinedRead degenerates
+  // to a plain Read and the toll is the historical one.
+  const bool combined =
+      co_await fabric().CombinedRead(ctx_->client_id(), at, buf, page_size());
+  if (combined) {
+    ctx_->combined_reads++;
+  } else {
+    ctx_->round_trips++;
+  }
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(at.server_id())) {
     co_return Status::Unavailable("memory server dead");
   }
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::ReadWord(rdma::RemotePtr at, uint64_t* out) {
+  ctx_->round_trips++;
+  co_await fabric().Read(ctx_->client_id(), at, out, 8);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::WriteWord(rdma::RemotePtr at, uint64_t value) {
+  ctx_->round_trips++;
+  co_await fabric().Write(ctx_->client_id(), at, &value, 8);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::WriteRaw(rdma::RemotePtr at, const void* src,
+                                      uint32_t len) {
+  ctx_->round_trips++;
+  co_await fabric().Write(ctx_->client_id(), at, src, len);
+  if (!alive()) co_return Status::Unavailable("client crashed");
+  co_return Status::OK();
+}
+
+sim::Task<Status> RemoteOps::ReadPagesBatch(
+    std::vector<rdma::Fabric::ReadRequest> requests) {
+  ctx_->round_trips++;
+  co_await fabric().ReadBatch(ctx_->client_id(), std::move(requests));
+  if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define NAMTREE_INDEX_REMOTE_OPS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "btree/page.h"
 #include "common/status.h"
@@ -166,6 +167,35 @@ class RemoteOps {
   /// round-robin (keeps the fine-grained distribution property under
   /// splits).
   sim::Task<AllocResult> AllocPageRoundRobin();
+
+  // ---- Counted raw-verb helpers -------------------------------------------
+  // The round-trip toll for client-visible verbs is paid here (or in
+  // nam::ClientContext::Call for RPCs), never by hand at call sites, so
+  // batched and combined paths cannot miscount.
+
+  /// One counted 8-byte READ of a metadata word (catalog slots). No
+  /// failover — region headers are unreplicated; the caller checks the
+  /// host's liveness. Unavailable = this client died mid-read.
+  sim::Task<Status> ReadWord(rdma::RemotePtr at, uint64_t* out);
+
+  /// One counted 8-byte WRITE of a metadata word (catalog publication).
+  /// Unavailable = this client died mid-write (the word may or may not
+  /// have landed, exactly like any dropped verb).
+  sim::Task<Status> WriteWord(rdma::RemotePtr at, uint64_t value);
+
+  /// One counted WRITE of `len` raw bytes (fresh overflow buckets and
+  /// other unversioned payloads outside the page protocol). Unavailable =
+  /// this client died mid-write.
+  sim::Task<Status> WriteRaw(rdma::RemotePtr at, const void* src,
+                             uint32_t len);
+
+  /// One counted doorbell-batched READ-only chain (head-node prefetch,
+  /// speculative path prefetch): all requests ride one doorbell — one
+  /// round trip regardless of the batch size. Buffers of requests whose
+  /// target server died mid-batch are unspecified; the caller re-checks
+  /// `alive()` and per-slot `ServerAlive` like any batch consumer.
+  sim::Task<Status> ReadPagesBatch(
+      std::vector<rdma::Fabric::ReadRequest> requests);
 
  private:
   /// One full-page READ from exactly `at` (no failover), with liveness

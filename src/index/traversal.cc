@@ -75,43 +75,240 @@ void TraversalEngine::SeedPublishedImage(NodeCache* cache,
   cache->Put(ptr.raw(), buf, now);
 }
 
-sim::Task<rdma::RemotePtr> TraversalEngine::DescendToLeaf(RemoteOps& ops,
-                                                          uint32_t tree,
-                                                          Key key) {
+sim::Task<void> TraversalEngine::SpeculatePath(RemoteOps& ops, uint32_t tree,
+                                               Key key, NodeCache* cache,
+                                               DescentPrefetch* prefetch,
+                                               SpecState* spec) {
+  const SimTime now = ops.fabric().simulator().now();
+  const uint32_t page = opts_.page_size;
+  rdma::RemotePtr ptr = trees_[tree].root;
+  // Hop budget: a healthy path is root_level hops and staleness adds a few
+  // chases; a cyclic stale-fence walk trips the budget and abandons
+  // speculation entirely (the plain loop then runs untouched).
+  const size_t max_hops =
+      static_cast<size_t>(trees_[tree].root_level) * 2 + 8;
+  struct Hop {
+    uint64_t raw = 0;
+    bool fresh = false;  ///< missing or TTL-expired: ride the batch
+  };
+  std::vector<Hop> path;
+  // Local prediction: no awaits, so Peek pointers stay valid throughout.
+  // A TTL-expired image still routes the prediction (stale = too far
+  // left, recoverable) while scheduling its refresh in the batch.
+  // namtree-lint: bounded-loop(speculative prediction: hop budget max_hops)
+  while (path.size() < max_hops) {
+    if (ptr.is_null()) co_return;  // garbage route: abandon speculation
+    bool expired = false;
+    const uint8_t* img = cache->Peek(ptr.raw(), now, &expired);
+    if (img == nullptr) {
+      // Frontier: the pointer is known but its image is not. Batch the
+      // page itself; prediction cannot see below it.
+      path.push_back({ptr.raw(), true});
+      break;
+    }
+    PageView v(const_cast<uint8_t*>(img), page);
+    if (v.level() == 0) {
+      // A leaf image under an inner-path pointer (stale root metadata):
+      // treat as frontier and let validation sort it out.
+      path.push_back({ptr.raw(), true});
+      break;
+    }
+    path.push_back({ptr.raw(), expired});
+    if (v.NeedsChase(key)) {
+      ptr = rdma::RemotePtr(v.right_sibling());
+      continue;
+    }
+    const rdma::RemotePtr child(v.InnerChildFor(key));
+    if (v.level() == 1) {
+      if (child.is_null()) co_return;  // hybrid sentinel / garbage entry
+      spec->predicted_leaf = child;
+      spec->complete = true;
+      break;
+    }
+    ptr = child;
+  }
+  if (!spec->complete && path.size() >= max_hops) co_return;  // cycle trip
+
+  size_t fresh_count = 0;
+  for (const Hop& h : path) {
+    if (h.fresh) fresh_count++;
+  }
+  const bool want_leaf =
+      spec->complete && prefetch != nullptr && prefetch->leaf_buf != nullptr;
+  spec->attempted = spec->complete || fresh_count > 0;
+  for (const Hop& h : path) spec->predicted.emplace(h.raw, true);
+  if (spec->complete) {
+    spec->predicted.emplace(spec->predicted_leaf.raw(), true);
+  }
+  if (fresh_count == 0 && !want_leaf) co_return;  // pure warm-cache path
+
+  // One doorbell: every missing/expired predicted page plus the leaf.
+  spec->arena.resize(fresh_count * static_cast<size_t>(page));
+  std::vector<rdma::Fabric::ReadRequest> reqs;
+  reqs.reserve(fresh_count + 1);
+  size_t slot = 0;
+  for (const Hop& h : path) {
+    if (!h.fresh) continue;
+    reqs.push_back(
+        {rdma::RemotePtr(h.raw), spec->arena.data() + slot * page, page});
+    slot++;
+  }
+  if (want_leaf) {
+    reqs.push_back({spec->predicted_leaf, prefetch->leaf_buf, page});
+    spec->leaf_in_batch = true;
+  }
+  if (!(co_await ops.ReadPagesBatch(std::move(reqs))).ok()) co_return;
+
+  // Accept only usable slots: live target server, unlocked image. A
+  // locked or dropped slot simply never enters `fresh` — validation falls
+  // back to a real read there, which fails over under replication.
+  slot = 0;
+  for (const Hop& h : path) {
+    if (!h.fresh) continue;
+    uint8_t* img = spec->arena.data() + slot * page;
+    slot++;
+    if (!ops.fabric().ServerAlive(rdma::RemotePtr(h.raw).server_id())) {
+      continue;
+    }
+    uint64_t word;
+    std::memcpy(&word, img + btree::kVersionOffset, 8);
+    if (btree::IsLocked(word)) continue;
+    spec->fresh.emplace(h.raw, img);
+  }
+}
+
+rdma::RemotePtr TraversalEngine::PredictLeaf(uint32_t client_id,
+                                             uint32_t tree, Key key,
+                                             SimTime now) const {
+  if (opts_.cache_mode != CacheMode::kInnerImages) {
+    return rdma::RemotePtr::Null();
+  }
+  if (trees_[tree].root_level == 0) return trees_[tree].root;
+  auto it = caches_.find(client_id);
+  if (it == caches_.end()) return rdma::RemotePtr::Null();
+  const NodeCache& cache = *it->second;
+  rdma::RemotePtr ptr = trees_[tree].root;
+  const size_t max_hops =
+      static_cast<size_t>(trees_[tree].root_level) * 2 + 8;
+  // namtree-lint: bounded-loop(local cache walk: hop budget max_hops)
+  for (size_t hop = 0; hop < max_hops; ++hop) {
+    if (ptr.is_null()) return rdma::RemotePtr::Null();
+    bool expired = false;
+    const uint8_t* img = cache.Peek(ptr.raw(), now, &expired);
+    if (img == nullptr) return rdma::RemotePtr::Null();
+    PageView v(const_cast<uint8_t*>(img), opts_.page_size);
+    if (v.level() == 0) return rdma::RemotePtr::Null();
+    if (v.NeedsChase(key)) {
+      ptr = rdma::RemotePtr(v.right_sibling());
+      continue;
+    }
+    const rdma::RemotePtr child(v.InnerChildFor(key));
+    if (v.level() == 1) return child;
+    ptr = child;
+  }
+  return rdma::RemotePtr::Null();
+}
+
+sim::Task<rdma::RemotePtr> TraversalEngine::DescendToLeaf(
+    RemoteOps& ops, uint32_t tree, Key key, DescentPrefetch* prefetch) {
+  if (prefetch != nullptr) prefetch->leaf_image_valid = false;
   rdma::RemotePtr ptr = trees_[tree].root;
   if (trees_[tree].root_level == 0) co_return ptr;  // single-leaf tree
   uint8_t* buf = ops.ctx().page_a();
   NodeCache* cache = CacheFor(ops.ctx().client_id());
+
+  // Speculative path prefetch (Options::speculative_descent): predict the
+  // whole path from cached images, batch the missing/expired prefix in one
+  // RTT, then let the loop below validate top-down — it consumes batch
+  // images in place of remote reads and degrades to the plain
+  // level-by-level descent from the first hop speculation cannot serve.
+  SpecState spec;
+  if (opts_.speculative_descent &&
+      opts_.cache_mode == CacheMode::kInnerImages && cache != nullptr) {
+    co_await SpeculatePath(ops, tree, key, cache, prefetch, &spec);
+    if (!ops.alive()) co_return rdma::RemotePtr::Null();
+  }
+
+  rdma::RemotePtr leaf;
+  bool fallback_read = false;  // a predicted hop needed a real read
   // namtree-lint: bounded-loop(blink-descent: every step moves down a level or right along ascending fences; read failures exit)
   for (;;) {
     // A.4 caching: inner-node images may come from the client cache; a
     // stale image can only route us too far left, which the B-link chase
-    // at the next level (or leaf chain) corrects.
+    // at the next level (or leaf chain) corrects. The cache is consulted
+    // *before* the speculative batch — the exact order of the plain loop,
+    // so hit/miss/expiration accounting and LRU motion are bit-identical
+    // with speculation on (pinned by the Peek regression test).
     const uint8_t* image = nullptr;
+    bool fresh_from_batch = false;
     if (cache != nullptr) {
       image = cache->Get(ptr.raw(), ops.fabric().simulator().now());
+    }
+    if (image == nullptr && spec.attempted) {
+      auto it = spec.fresh.find(ptr.raw());
+      if (it != spec.fresh.end()) {
+        image = it->second;
+        fresh_from_batch = true;
+      }
     }
     if (image == nullptr) {
       const PageReadResult read = co_await ops.ReadPageUnlocked(ptr, buf);
       if (!read.ok()) co_return rdma::RemotePtr::Null();
       image = buf;
+      if (spec.attempted &&
+          (spec.complete || spec.predicted.count(ptr.raw()) > 0)) {
+        // Below an incomplete prediction's frontier real reads are the
+        // plan, not a mispredict; on a predicted hop (or anywhere under a
+        // complete prediction) they mean speculation failed here.
+        fallback_read = true;
+      }
       if (cache != nullptr && PageView(buf, ops.page_size()).level() >= 1) {
         cache->Put(ptr.raw(), buf, ops.fabric().simulator().now());
       }
+    } else if (fresh_from_batch && cache != nullptr &&
+               PageView(const_cast<uint8_t*>(image), ops.page_size())
+                       .level() >= 1) {
+      // The batched read substitutes for the remote read the plain loop
+      // would have issued at this hop; seed the cache the same way.
+      cache->Put(ptr.raw(), image, ops.fabric().simulator().now());
     }
     PageView view(const_cast<uint8_t*>(image), ops.page_size());
     if (view.level() == 0) {
       // Stale root metadata can land us on a leaf; hand it to the caller.
-      co_return ptr;
+      leaf = ptr;
+      break;
     }
     if (view.NeedsChase(key)) {
       ptr = rdma::RemotePtr(view.right_sibling());
       continue;
     }
     const rdma::RemotePtr child(view.InnerChildFor(key));
-    if (view.level() == 1) co_return child;
+    if (view.level() == 1) {
+      leaf = child;
+      break;
+    }
     ptr = child;
   }
+
+  if (spec.attempted) {
+    bool leaf_usable = false;
+    if (spec.leaf_in_batch && leaf == spec.predicted_leaf &&
+        ops.fabric().ServerAlive(leaf.server_id())) {
+      uint64_t word;
+      std::memcpy(&word, prefetch->leaf_buf + btree::kVersionOffset, 8);
+      leaf_usable = !btree::IsLocked(word);
+    }
+    const bool mispredicted = fallback_read ||
+                              (spec.complete && leaf != spec.predicted_leaf) ||
+                              (spec.leaf_in_batch && !leaf_usable);
+    if (mispredicted) {
+      ops.ctx().mispredicts++;
+    } else if (spec.complete) {
+      ops.ctx().speculative_hits++;
+    }
+    if (leaf_usable) prefetch->leaf_image_valid = true;
+  }
+  co_return leaf;
 }
 
 sim::Task<bool> TraversalEngine::TryGrowRoot(RemoteOps& ops, uint32_t tree,
@@ -138,9 +335,10 @@ sim::Task<bool> TraversalEngine::TryGrowRoot(RemoteOps& ops, uint32_t tree,
   trees_[tree].root = new_root;
   trees_[tree].root_level = new_level;
   if (!trees_[tree].catalog_ptr.is_null()) {
-    ops.ctx().round_trips++;
-    co_await ops.fabric().Write(ops.ctx().client_id(),
-                                trees_[tree].catalog_ptr, &new_root, 8);
+    // A dropped catalog write (dead client) is sound: the in-memory root
+    // already moved, and bootstrapping clients re-read the slot anyway.
+    // namtree-lint: status-ok(catalog publication is best-effort)
+    (void)co_await ops.WriteWord(trees_[tree].catalog_ptr, new_root.raw());
   }
   co_return true;
 }
@@ -288,10 +486,8 @@ sim::Task<Status> TraversalEngine::BootstrapFromCatalog(RemoteOps& ops,
     co_return Status::Unsupported("tree has no catalog slot");
   }
   uint64_t raw = 0;
-  ops.ctx().round_trips++;
-  co_await ops.fabric().Read(ops.ctx().client_id(), trees_[tree].catalog_ptr,
-                             &raw, 8);
-  if (!ops.alive()) co_return Status::Unavailable("client crashed");
+  const Status word = co_await ops.ReadWord(trees_[tree].catalog_ptr, &raw);
+  if (!word.ok()) co_return word;
   if (!ops.fabric().ServerAlive(trees_[tree].catalog_ptr.server_id())) {
     // Catalog slots live in the (unreplicated) region header.
     co_return Status::Unavailable("catalog host dead");

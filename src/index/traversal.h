@@ -76,6 +76,31 @@ class TraversalEngine {
     CacheMode cache_mode = CacheMode::kNone;
     size_t cache_pages = 0;
     SimTime cache_ttl = 0;
+    /// One-RTT speculative descent (kInnerImages only; default off —
+    /// bit-identical to the level-by-level loop). Before awaiting
+    /// anything, DescendToLeaf walks the cached inner images locally —
+    /// including TTL-expired ones and the sibling-chase hops their fences
+    /// imply — to predict the full root→leaf path, issues a single
+    /// doorbell-batched READ covering every predicted page that is missing
+    /// or expired (plus the leaf itself when the caller passes a
+    /// DescentPrefetch), and then validates top-down, falling back to the
+    /// level-by-level loop from the first mispredicted hop. Staleness
+    /// degrades exactly as in the plain loop: a stale image routes too far
+    /// left and the chase recovers — speculation can waste batched reads,
+    /// never correctness.
+    bool speculative_descent = false;
+  };
+
+  /// Optional leaf handoff for speculative descents: when the predictor
+  /// resolves a full path, the predicted leaf's image rides the same
+  /// batch into `leaf_buf` (caller-owned, page-sized). On return,
+  /// `leaf_image_valid` says the descent confirmed the predicted leaf and
+  /// the image is consistent (unlocked, live server) — the caller may hand
+  /// it to LeafLevel::SearchChain as its first-iteration preread and skip
+  /// one more round trip.
+  struct DescentPrefetch {
+    uint8_t* leaf_buf = nullptr;
+    bool leaf_image_valid = false;
   };
 
   /// Aggregate per-client cache statistics.
@@ -117,9 +142,21 @@ class TraversalEngine {
 
   /// Descends tree `tree`'s inner levels one-sided (paper Listing 2) to a
   /// leaf candidate for `key`, consulting/seeding the inner-image cache.
-  /// Null means this client died mid-descent.
+  /// Null means this client died mid-descent. With
+  /// Options::speculative_descent the descent is prefixed by the
+  /// predict→batch→validate pass (see Options); `prefetch`, when non-null,
+  /// additionally requests the predicted leaf's image in the same batch.
   sim::Task<rdma::RemotePtr> DescendToLeaf(RemoteOps& ops, uint32_t tree,
-                                           btree::Key key);
+                                           btree::Key key,
+                                           DescentPrefetch* prefetch = nullptr);
+
+  /// Locally predicts the leaf for `key` from this client's cached inner
+  /// images alone — Peek only: no verbs, no LRU touch, no stat skew.
+  /// Null when the cache cannot resolve a complete path. Stale predictions
+  /// are safe for grouping (MultiGet): they can only name a leaf too far
+  /// left, and the chain chase recovers.
+  rdma::RemotePtr PredictLeaf(uint32_t client_id, uint32_t tree,
+                              btree::Key key, SimTime now) const;
 
   /// Installs separator `sep` / right child `right` at inner `level` of
   /// tree `tree` after a split of `left`, growing the root through the
@@ -179,6 +216,28 @@ class TraversalEngine {
   /// word to the post-release version so later descents validate cleanly.
   void SeedPublishedImage(NodeCache* cache, rdma::RemotePtr ptr,
                           uint8_t* buf, SimTime now);
+
+  /// Images fetched by one speculative batch, plus what was predicted.
+  struct SpecState {
+    /// Batch landing area (page-granular slots into `arena`), keyed by the
+    /// page's primary pointer. Slots whose target died mid-batch or whose
+    /// image arrived locked are dropped at validation time.
+    std::unordered_map<uint64_t, uint8_t*> fresh;
+    /// Every page pointer the local prediction walked through.
+    std::unordered_map<uint64_t, bool> predicted;
+    std::vector<uint8_t> arena;
+    bool attempted = false;       ///< a prediction (with or w/o batch) ran
+    bool complete = false;        ///< prediction reached a leaf pointer
+    bool leaf_in_batch = false;   ///< predicted leaf rode the batch
+    rdma::RemotePtr predicted_leaf;
+  };
+
+  /// The predict→batch half of a speculative descent: walks cached images
+  /// locally (Peek — no cache mutation), then issues one doorbell-batched
+  /// READ for the missing/expired prefix plus (optionally) the leaf.
+  sim::Task<void> SpeculatePath(RemoteOps& ops, uint32_t tree,
+                                btree::Key key, NodeCache* cache,
+                                DescentPrefetch* prefetch, SpecState* spec);
 
   Options opts_;
   std::vector<Tree> trees_;

@@ -85,12 +85,33 @@ class ClientContext {
     return static_cast<uint32_t>(page_buf_a_.size());
   }
 
+  /// Counted RPC: the one place client code pays the round-trip toll for a
+  /// two-sided call, so coalesced frames and retried sends cannot be
+  /// miscounted by hand-bumped sites. Every caller awaits the task
+  /// immediately, so the bump matches the historical
+  /// `round_trips++; co_await fabric().Call(...)` pattern bit-for-bit.
+  sim::Task<rdma::RpcResponse> Call(uint32_t server,
+                                    rdma::RpcRequest request) {
+    round_trips++;
+    co_return co_await fabric_->Call(client_id_, server, std::move(request));
+  }
+
   // ---- Per-client accounting (reset between measurement intervals) -------
   uint64_t round_trips = 0;     ///< network round trips issued
   uint64_t restarts = 0;        ///< optimistic protocol restarts
   uint64_t lock_waits = 0;      ///< remote spinlock re-reads
   uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
   uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
+  /// Page reads served by attaching to another lane's in-flight READ
+  /// (FabricConfig::read_combining); these do not count as round trips —
+  /// the saved duplicate verb is exactly what the combiner measures.
+  uint64_t combined_reads = 0;
+  /// Speculative descents (TraversalEngine::Options::speculative_descent)
+  /// whose predicted root->leaf path validated without a fallback read.
+  uint64_t speculative_hits = 0;
+  /// Speculative descents where validation had to fall back to the
+  /// level-by-level loop (stale prediction, locked or dropped batch slot).
+  uint64_t mispredicts = 0;
 
   /// Round-robin cursor for remote page allocation (fine-grained splits
   /// scatter new nodes over all memory servers).

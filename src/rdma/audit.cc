@@ -366,6 +366,22 @@ void VerbAuditor::OnReadEffect(uint32_t client, RemotePtr src, uint32_t len,
       });
 }
 
+void VerbAuditor::OnReadPosted(uint32_t client, RemotePtr src,
+                               uint32_t len) {
+  if (!enabled_) return;
+  uint32_t& outstanding = inflight_reads_[{client, src.raw(), len}];
+  if (outstanding > 0) duplicate_inflight_reads_++;
+  outstanding++;
+}
+
+void VerbAuditor::OnReadCompleted(uint32_t client, RemotePtr src,
+                                  uint32_t len) {
+  if (!enabled_) return;
+  auto it = inflight_reads_.find({client, src.raw(), len});
+  if (it == inflight_reads_.end()) return;  // posted while disabled
+  if (--it->second == 0) inflight_reads_.erase(it);
+}
+
 void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
                               uint64_t expected, uint64_t desired,
                               uint64_t observed, SimTime now,
@@ -559,6 +575,8 @@ void VerbAuditor::Reset() {
   ClearViolations();
   words_.clear();
   inflight_.clear();
+  inflight_reads_.clear();
+  duplicate_inflight_reads_ = 0;
   client_vc_.clear();
   server_vc_.clear();
   trace_.clear();

@@ -272,6 +272,9 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   }
   doorbells_++;
   signaled_verbs_++;
+  // Standalone READ in-flight tracking (drops complete the posting too):
+  // overlapping same-client duplicates are the combiner's waste metric.
+  if (auditor_) auditor_->OnReadPosted(client, src, len);
   MemoryServerEndpoint& server = memory_servers_[src.server_id()];
   uint8_t* remote = TargetAddress(src, len);
 
@@ -280,6 +283,7 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     const SimTime done = bus.ReserveTransfer(
         simulator_.now() + config_.local_latency_ns, len);
     co_await sim::DelayUntil(simulator_, done);
+    if (auditor_) auditor_->OnReadCompleted(client, src, len);
     if (!ClientAlive(client)) {
       dropped_verbs_++;
       co_return;
@@ -307,10 +311,12 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // died with the verb in flight: drop it
     dropped_verbs_++;
+    if (auditor_) auditor_->OnReadCompleted(client, src, len);
     co_return;
   }
   if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
     dropped_verbs_++;
+    if (auditor_) auditor_->OnReadCompleted(client, src, len);
     co_return;
   }
   if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
@@ -321,6 +327,37 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
       t_tx - server.tx.TransferDuration(len) + WireLatency();
   const SimTime done = compute.rx.ReserveArrival(first_byte_at_client, len);
   co_await sim::DelayUntil(simulator_, done);
+  if (auditor_) auditor_->OnReadCompleted(client, src, len);
+}
+
+sim::Task<bool> Fabric::CombinedRead(uint32_t client, RemotePtr src,
+                                     void* dst, uint32_t len) {
+  if (!config_.read_combining) {
+    co_await Read(client, src, dst, len);
+    co_return false;
+  }
+  const auto key = std::make_tuple(client, src.raw(), len);
+  auto it = pending_reads_.find(key);
+  if (it != pending_reads_.end()) {
+    // Attach to the outstanding verb: no doorbell, no duplicate. The
+    // shared_ptr keeps the landing buffer alive past the poster's erase.
+    std::shared_ptr<PendingRead> pending = it->second;
+    combined_reads_++;
+    co_await pending->done;
+    std::memcpy(dst, pending->data.data(), len);
+    co_return true;
+  }
+  auto pending = std::make_shared<PendingRead>(simulator_);
+  pending->data.resize(len);
+  pending_reads_.emplace(key, pending);
+  co_await Read(client, src, pending->data.data(), len);
+  // Dropped verbs (dead client/server) leave `data` zero-initialised —
+  // as unspecified as any dropped READ's buffer; every caller re-checks
+  // liveness after resuming, poster and waiters alike.
+  pending_reads_.erase(key);
+  pending->done.Set();
+  std::memcpy(dst, pending->data.data(), len);
+  co_return false;
 }
 
 sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
@@ -899,6 +936,7 @@ void Fabric::ResetStats() {
   signaled_verbs_ = 0;
   unsignaled_verbs_ = 0;
   doorbells_ = 0;
+  combined_reads_ = 0;
 }
 
 }  // namespace namtree::rdma

@@ -2,7 +2,9 @@
 #define NAMTREE_RDMA_FABRIC_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -178,6 +180,26 @@ class Fabric {
   /// RDMA READ: copies `len` bytes from remote memory into `dst`.
   sim::Task<void> Read(uint32_t client, RemotePtr src, void* dst,
                        uint32_t len);
+
+  /// READ with in-flight combining (FabricConfig::read_combining): if this
+  /// client already has an identical (src, len) READ outstanding, attach
+  /// to it — no verb is posted; the caller resumes when the outstanding
+  /// read's completion arrives and receives the bytes it delivered.
+  /// Returns true when the request was combined, false when it posted the
+  /// verb itself. With the knob off this is exactly Read (returns false).
+  ///
+  /// A combined waiter observes a snapshot taken at the primary verb's
+  /// effect time, which may precede its own call by the in-flight window —
+  /// indistinguishable from having issued the read slightly earlier, so
+  /// the OLC staleness argument (validate version, chase right) covers it.
+  /// Failure symmetry: if the verb was dropped (dead client or server) the
+  /// waiter's buffer is as unspecified as the poster's, and both re-check
+  /// liveness after resuming.
+  sim::Task<bool> CombinedRead(uint32_t client, RemotePtr src, void* dst,
+                               uint32_t len);
+
+  /// Reads combined away by CombinedRead (verbs never posted).
+  uint64_t combined_reads() const { return combined_reads_; }
 
   struct ReadRequest {
     RemotePtr src;
@@ -457,6 +479,20 @@ class Fabric {
   /// Doorbell-chain ids handed to the auditor so a race report can name the
   /// chain both verbs rode in (0 = standalone verb).
   uint64_t next_chain_id_ = 1;
+  /// In-flight combining state (FabricConfig::read_combining): one entry
+  /// per outstanding combinable READ, keyed (client, target raw, len).
+  /// Later same-key requesters park on `done` and copy out of `data`;
+  /// shared ownership keeps the landing buffer alive for waiters that
+  /// resume after the poster erased the table entry.
+  struct PendingRead {
+    explicit PendingRead(sim::Simulator& simulator) : done(simulator) {}
+    std::vector<uint8_t> data;
+    sim::SimEvent done;
+  };
+  std::map<std::tuple<uint32_t, uint64_t, uint32_t>,
+           std::shared_ptr<PendingRead>>
+      pending_reads_;
+  uint64_t combined_reads_ = 0;
   uint64_t dropped_verbs_ = 0;
   uint64_t dropped_responses_ = 0;
   uint64_t rpc_timeouts_ = 0;

@@ -143,6 +143,70 @@ sim::Task<> BatchedClientLoop(nam::Cluster& cluster, DistributedIndex& index,
 }
 
 // namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
+sim::Task<> MultiGetClientLoop(nam::Cluster& cluster, DistributedIndex& index,
+                               WorkloadGenerator& gen, ClientContext& ctx,
+                               SharedState& state, uint32_t batch,
+                               bool primary_lane) {
+  sim::Simulator& simulator = cluster.simulator();
+  std::vector<btree::Key> keys;
+  std::vector<index::LookupResult> results;
+  while (simulator.now() < state.deadline) {
+    if (!cluster.fabric().ClientAlive(ctx.client_id())) {
+      if (primary_lane) state.result.dead_clients++;
+      break;
+    }
+    // Gather up to `batch` consecutive point lookups into one MultiGet; any
+    // other operation flushes the gathered batch first and then runs by
+    // itself, preserving this client's issue order.
+    keys.clear();
+    Operation other_op;
+    bool have_other = false;
+    while (keys.size() < batch) {
+      const Operation op = gen.Next(ctx.rng());
+      if (op.type != OpType::kPoint) {
+        other_op = op;
+        have_other = true;
+        break;
+      }
+      keys.push_back(op.key);
+    }
+    if (!keys.empty()) {
+      const SimTime start = simulator.now();
+      results.assign(keys.size(), index::LookupResult{});
+      co_await index.MultiGet(ctx, keys, results.data());
+      const SimTime end = simulator.now();
+      // Closed-loop semantics per batch: every lookup in it observes the
+      // batch's end-to-end latency.
+      for (size_t i = 0; i < keys.size(); ++i) {
+        Account(state, OpType::kPoint, results[i].status, start, end);
+      }
+    }
+    if (have_other) {
+      const SimTime start = simulator.now();
+      Status status;
+      switch (other_op.type) {
+        case OpType::kRange:
+          (void)co_await index.Scan(ctx, other_op.key, other_op.hi, nullptr);
+          break;
+        case OpType::kInsert:
+          status = co_await index.Insert(ctx, other_op.key, other_op.value);
+          break;
+        case OpType::kUpdate:
+          status = co_await index.Update(ctx, other_op.key, other_op.value);
+          break;
+        case OpType::kDelete:
+          status = co_await index.Delete(ctx, other_op.key);
+          break;
+        case OpType::kPoint:
+          break;  // unreachable
+      }
+      const SimTime end = simulator.now();
+      Account(state, other_op.type, status, start, end);
+    }
+  }
+}
+
+// namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
 sim::Task<> GcLoop(nam::Cluster& cluster, DistributedIndex& index,
                    ClientContext& ctx, SharedState& state,
                    SimTime interval) {
@@ -182,6 +246,7 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
   sim::Spawn(simulator, WarmupMarker(cluster, state));
   const uint32_t depth = std::max<uint32_t>(1, config.pipeline_depth);
   const bool batched = depth > 1 && index.SupportsBatchedPointOps();
+  const uint32_t multiget = std::max<uint32_t>(1, config.multiget_batch);
   for (uint32_t c = 0; c < config.num_clients; ++c) {
     if (batched) {
       // RPC-based design: one loop per client that coalesces up to `depth`
@@ -190,9 +255,15 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
                                               *contexts[c], state, depth));
       continue;
     }
-    sim::Spawn(simulator,
-               ClientLoop(cluster, index, gen, *contexts[c], state,
-                          /*primary_lane=*/true));
+    if (multiget > 1) {
+      sim::Spawn(simulator,
+                 MultiGetClientLoop(cluster, index, gen, *contexts[c], state,
+                                    multiget, /*primary_lane=*/true));
+    } else {
+      sim::Spawn(simulator,
+                 ClientLoop(cluster, index, gen, *contexts[c], state,
+                            /*primary_lane=*/true));
+    }
     // One-sided design with depth > 1: extra lanes share the client id
     // (and therefore its fabric poller and lock-holder identity) but carry
     // their own scratch buffers and rng stream, so `depth` independent
@@ -201,9 +272,16 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
       contexts.push_back(std::make_unique<ClientContext>(
           c, cluster.fabric(), index.page_size(),
           config.seed ^ (0x9E3779B97F4A7C15ull * lane)));
-      sim::Spawn(simulator,
-                 ClientLoop(cluster, index, gen, *contexts.back(), state,
-                            /*primary_lane=*/false));
+      if (multiget > 1) {
+        sim::Spawn(simulator, MultiGetClientLoop(cluster, index, gen,
+                                                 *contexts.back(), state,
+                                                 multiget,
+                                                 /*primary_lane=*/false));
+      } else {
+        sim::Spawn(simulator,
+                   ClientLoop(cluster, index, gen, *contexts.back(), state,
+                              /*primary_lane=*/false));
+      }
     }
   }
   if (config.gc_interval > 0) {
@@ -235,6 +313,9 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
     result.lock_waits += ctx->lock_waits;
     result.backoff_rounds += ctx->backoff_rounds;
     result.lock_steals += ctx->lock_steals;
+    result.combined_reads += ctx->combined_reads;
+    result.speculative_hits += ctx->speculative_hits;
+    result.mispredicts += ctx->mispredicts;
   }
   return result;
 }

@@ -43,6 +43,10 @@ struct RunConfig {
   /// batch); one-sided designs run d independent lanes per client so
   /// lookups overlap on the wire.
   uint32_t pipeline_depth = 1;
+  /// Gather up to this many consecutive point lookups per client into one
+  /// Index::MultiGet call (0/1 = issue singly). Non-lookup operations and
+  /// scans flush the gathered batch first, preserving per-client order.
+  uint32_t multiget_batch = 1;
 };
 
 /// Aggregated measurement of one run.
@@ -61,6 +65,9 @@ struct RunResult {
   uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
   uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
   uint64_t dead_clients = 0;    ///< clients crash-injected away during the run
+  uint64_t combined_reads = 0;     ///< READs served by attaching to in-flight ones
+  uint64_t speculative_hits = 0;   ///< descents fully served by the one-RTT batch
+  uint64_t mispredicts = 0;        ///< speculative descents that fell back
 
   /// Failed operations bucketed by status class; `failed_ops == total()`.
   struct FailureBreakdown {

@@ -83,6 +83,43 @@ TEST(NodeCacheTest, InvalidateDrops) {
   cache.Invalidate(42);  // no-op
 }
 
+TEST(NodeCacheTest, PeekDoesNotMutate) {
+  // Peek is the speculative predictor's read path: it must leave hit/miss/
+  // expiration counters and the LRU order exactly as they were, and it
+  // must return TTL-expired images (flagged) instead of erasing them.
+  NodeCache cache(8, 3, 1000);
+  std::vector<uint8_t> image(8, 7);
+  cache.Put(1, image.data(), 0);
+  cache.Put(2, image.data(), 0);
+  cache.Put(3, image.data(), 0);
+  const std::vector<uint64_t> lru_before = cache.LruKeys();
+
+  bool expired = true;
+  const uint8_t* hit = cache.Peek(2, 500, &expired);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(expired);
+  EXPECT_EQ(hit[0], 7);
+  EXPECT_EQ(cache.Peek(42, 500, &expired), nullptr);
+
+  // A TTL-expired entry is still visible to Peek — and still in the cache.
+  hit = cache.Peek(1, 2000, &expired);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(cache.size(), 3u);
+
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.expirations(), 0u);
+  EXPECT_EQ(cache.LruKeys(), lru_before) << "Peek must not touch the LRU";
+
+  // Get after the Peeks behaves as if they never happened.
+  EXPECT_NE(cache.Get(2, 500), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.Get(1, 2000), nullptr);  // now it expires and erases
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(NodeCacheTest, ZeroCapacityDisables) {
   NodeCache cache(8, 0, 0);
   std::vector<uint8_t> image(8, 1);
