@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
       const double lookups = static_cast<double>(cache_stats.hits +
                                                  cache_stats.misses);
       PrintRow({cache_config.label, Num(result.ops_per_sec),
-                Num(static_cast<double>(result.round_trips) /
-                    std::max<uint64_t>(1, result.ops)),
+                Num(static_cast<double>(result.round_trips()) /
+                    std::max<uint64_t>(1, result.ops())),
                 lookups > 0 ? Num(cache_stats.hits / lookups) : "n/a"});
     }
   }

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
     auto exp = namtree::bench::MakeExperiment(config);
     const auto result = RunScan(exp, keys);
     PrintRow({Num(interval), Num(result.ops_per_sec),
-              Num(static_cast<double>(result.round_trips) /
-                  std::max<uint64_t>(1, result.ops))});
+              Num(static_cast<double>(result.round_trips()) /
+                  std::max<uint64_t>(1, result.ops()))});
   }
 
   // Staleness: splits invalidate head groupings; the epoch rebuild restores
@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
 
     const auto fresh = RunScan(exp, keys);
     PrintRow({"fresh", Num(fresh.ops_per_sec),
-              Num(static_cast<double>(fresh.round_trips) /
-                  std::max<uint64_t>(1, fresh.ops))});
+              Num(static_cast<double>(fresh.round_trips()) /
+                  std::max<uint64_t>(1, fresh.ops()))});
 
     // Insert burst (workload D) to split many leaves.
     namtree::ycsb::RunConfig churn;
@@ -75,8 +75,8 @@ int main(int argc, char** argv) {
 
     const auto stale = RunScan(exp, keys);
     PrintRow({"after_inserts", Num(stale.ops_per_sec),
-              Num(static_cast<double>(stale.round_trips) /
-                  std::max<uint64_t>(1, stale.ops))});
+              Num(static_cast<double>(stale.round_trips()) /
+                  std::max<uint64_t>(1, stale.ops()))});
 
     // One GC pass (compaction + head rebuild) from a compute client.
     namtree::ycsb::RunConfig gc;
@@ -89,8 +89,8 @@ int main(int argc, char** argv) {
 
     const auto rebuilt = RunScan(exp, keys);
     PrintRow({"after_rebuild", Num(rebuilt.ops_per_sec),
-              Num(static_cast<double>(rebuilt.round_trips) /
-                  std::max<uint64_t>(1, rebuilt.ops))});
+              Num(static_cast<double>(rebuilt.round_trips()) /
+                  std::max<uint64_t>(1, rebuilt.ops()))});
   }
   return 0;
 }

@@ -78,8 +78,8 @@ Outcome Measure(uint32_t merge_percent, uint64_t keys, uint32_t clients) {
   const auto result = namtree::ycsb::RunWorkload(cluster, index, keys, run);
   outcome.scan_ops = result.ops_per_sec;
   outcome.round_trips_per_op =
-      static_cast<double>(result.round_trips) /
-      std::max<uint64_t>(1, result.ops);
+      static_cast<double>(result.round_trips()) /
+      std::max<uint64_t>(1, result.ops());
   return outcome;
 }
 

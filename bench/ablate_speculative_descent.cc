@@ -94,6 +94,8 @@ struct CombinePhaseResult {
   uint64_t combined_reads = 0;
   double ops_per_s = 0;
   uint64_t failed_ops = 0;
+  /// Registry window of the run — emitted wholesale into the JSON report.
+  namtree::metrics::Delta counters;
 };
 
 /// Pipelined Zipf point lookups on the fine-grained design: 8 lanes per
@@ -122,9 +124,10 @@ CombinePhaseResult RunCombinePhase(bool combining, uint64_t keys,
   const namtree::rdma::VerbAuditor* auditor = exp.cluster->fabric().auditor();
   r.duplicate_inflight_reads =
       auditor ? auditor->duplicate_inflight_reads() : 0;
-  r.combined_reads = result.combined_reads;
+  r.combined_reads = result.combined_reads();
   r.ops_per_s = result.ops_per_sec;
-  r.failed_ops = result.failed_ops;
+  r.failed_ops = result.failed_ops();
+  r.counters = result.counters;
   return r;
 }
 
@@ -271,6 +274,9 @@ int main(int argc, char** argv) {
              mg.grouped_round_trips_per_op);
   report.Set("multiget.reduction_factor", mg_speedup);
   report.Set("multiget.missing", mg.missing);
+  // The whole registry window of the combining-on run, emitted generically
+  // (docs/observability.md); the CI metrics-schema step diffs this key set.
+  namtree::bench::EmitMetrics(comb_on.counters, report);
   if (!namtree::bench::MaybeWriteJson(args, report)) return 1;
   return 0;
 }

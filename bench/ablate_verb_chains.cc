@@ -75,9 +75,9 @@ VerbPhaseResult RunVerbPhase(bool chained, uint64_t keys, uint64_t inserts,
 
   VerbPhaseResult r;
   const double n = static_cast<double>(inserts);
-  r.signaled_per_op = static_cast<double>(fabric.signaled_verbs()) / n;
-  r.unsignaled_per_op = static_cast<double>(fabric.unsignaled_verbs()) / n;
-  r.doorbells_per_op = static_cast<double>(fabric.doorbells()) / n;
+  r.signaled_per_op = static_cast<double>(fabric.metrics().Value("fabric.signaled_verbs")) / n;
+  r.unsignaled_per_op = static_cast<double>(fabric.metrics().Value("fabric.unsignaled_verbs")) / n;
+  r.doorbells_per_op = static_cast<double>(fabric.metrics().Value("fabric.doorbells")) / n;
   return r;
 }
 

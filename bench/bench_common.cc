@@ -331,6 +331,34 @@ bool JsonReport::WriteTo(const std::string& path) const {
   return ok;
 }
 
+void EmitMetrics(const metrics::Delta& counters, JsonReport& report,
+                 const std::string& prefix) {
+  for (const auto& family : counters.families()) {
+    for (const auto& [label_values, value] : family.values) {
+      std::string key = prefix + "." + family.name;
+      if (!label_values.empty()) {
+        key += ".";
+        for (size_t i = 0; i < label_values.size(); ++i) {
+          if (i > 0) key += ",";
+          key += family.label_keys[i] + "=" + label_values[i];
+        }
+      }
+      if (family.kind == metrics::MetricKind::kHistogram) {
+        report.Set(key + ".count", value);
+        for (const auto& [hist_values, hist] : family.hists) {
+          if (hist_values == label_values) {
+            report.Set(key + ".mean_ns", hist.mean());
+            report.Set(key + ".p99_ns", hist.Quantile(0.99));
+            break;
+          }
+        }
+      } else {
+        report.Set(key, value);
+      }
+    }
+  }
+}
+
 bool MaybeWriteJson(const ArgParser& args, const JsonReport& report) {
   if (!args.Has("json")) return true;
   return report.WriteTo(args.GetString("json", ""));

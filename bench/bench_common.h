@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/arg_parser.h"
+#include "common/metrics.h"
 #include "index/index.h"
 #include "nam/cluster.h"
 #include "ycsb/runner.h"
@@ -128,6 +129,16 @@ class JsonReport {
   /// order.
   std::vector<std::pair<std::string, std::string>> entries_;
 };
+
+/// Emits every cell of a run's registry window into `report`, generically:
+/// no per-counter code, whatever families the run touched appear. Keys are
+/// "<prefix>.<family>" for unlabeled cells and
+/// "<prefix>.<family>.<k>=<v>[,<k>=<v>...]" for labeled ones (label order =
+/// registration order); histogram cells fan out into ".count", ".mean_ns"
+/// and ".p99_ns" leaves. Families whose window moved nothing still appear
+/// (value 0), so the emitted key set is a stable schema for CI to diff.
+void EmitMetrics(const metrics::Delta& counters, JsonReport& report,
+                 const std::string& prefix = "metrics");
 
 /// Writes `report` to the file named by `--json <path>` when the flag is
 /// present (the standard machine-readable side channel of the TSV benches).

@@ -59,7 +59,7 @@ Cell RunCell(uint64_t keys, uint32_t clients, uint32_t crashed,
 
   Cell cell;
   cell.result = ycsb::RunWorkload(cluster, index, keys, run);
-  cell.dropped_verbs = cluster.fabric().dropped_verbs();
+  cell.dropped_verbs = cluster.fabric().metrics().Value("fabric.dropped_verbs");
   return cell;
 }
 
@@ -74,12 +74,12 @@ void RunDesign(const char* label, uint64_t keys, uint32_t clients,
     const Cell cell =
         RunCell<Index>(keys, clients, crashed, lease_ns, 7 + crashed);
     PrintRow({Num(crashed),
-              Num(static_cast<double>(cell.result.dead_clients)),
+              Num(static_cast<double>(cell.result.dead_clients())),
               Num(cell.result.ops_per_sec),
-              Num(static_cast<double>(cell.result.failures.unavailable)),
-              Num(static_cast<double>(cell.result.failures.timed_out)),
-              Num(static_cast<double>(cell.result.lock_steals)),
-              Num(static_cast<double>(cell.result.backoff_rounds)),
+              Num(static_cast<double>(cell.result.failures().unavailable)),
+              Num(static_cast<double>(cell.result.failures().timed_out)),
+              Num(static_cast<double>(cell.result.lock_steals())),
+              Num(static_cast<double>(cell.result.backoff_rounds())),
               Num(static_cast<double>(cell.dropped_verbs))});
   }
 }

@@ -76,13 +76,13 @@ Cell RunCell(uint64_t keys, uint32_t clients, uint32_t replication,
 
   Cell cell;
   cell.result = ycsb::RunWorkload(cluster, index, keys, run);
-  cell.dropped_verbs = cluster.fabric().dropped_verbs();
+  cell.dropped_verbs = cluster.fabric().metrics().Value("fabric.dropped_verbs");
   return cell;
 }
 
 /// Failures a memory-server fault can cause; NotFound is workload noise.
 uint64_t FaultFailedOps(const ycsb::RunResult& r) {
-  return r.failures.total() - r.failures.not_found;
+  return r.failures().total() - r.failures().not_found;
 }
 
 }  // namespace
@@ -115,19 +115,19 @@ int main(int argc, char** argv) {
       const Cell cell = RunCell(keys, clients, replication, phase);
       const auto& r = cell.result;
       PrintRow({PhaseName(phase), Num(r.ops_per_sec),
-                Num(static_cast<double>(r.failures.total())),
+                Num(static_cast<double>(r.failures().total())),
                 Num(static_cast<double>(FaultFailedOps(r))),
-                Num(static_cast<double>(r.failures.unavailable)),
-                Num(static_cast<double>(r.failures.aborted)),
-                Num(static_cast<double>(r.lock_steals)),
+                Num(static_cast<double>(r.failures().unavailable)),
+                Num(static_cast<double>(r.failures().aborted)),
+                Num(static_cast<double>(r.lock_steals())),
                 Num(static_cast<double>(cell.dropped_verbs))});
       const std::string key = "replication_" + std::to_string(replication) +
                               "." + PhaseName(phase);
       report.Set(key + ".ops_per_s", r.ops_per_sec);
-      report.Set(key + ".failed_ops", r.failures.total());
+      report.Set(key + ".failed_ops", r.failures().total());
       report.Set(key + ".fault_failed_ops", FaultFailedOps(r));
-      report.Set(key + ".unavailable", r.failures.unavailable);
-      report.Set(key + ".aborted", r.failures.aborted);
+      report.Set(key + ".unavailable", r.failures().unavailable);
+      report.Set(key + ".aborted", r.failures().aborted);
       report.Set(key + ".dropped_verbs", cell.dropped_verbs);
     }
   }

@@ -51,9 +51,9 @@ int main(int argc, char** argv) {
           namtree::bench::DurationFor(cell.mix, keys, run.num_clients);
       run.warmup = run.duration / 10;
       const auto result = exp.Run(run);
-      const double ops = std::max<double>(1, result.ops);
+      const double ops = std::max<double>(1, result.ops());
       PrintRow({namtree::bench::DesignLabel(design),
-                Num(static_cast<double>(result.round_trips) / ops),
+                Num(static_cast<double>(result.round_trips()) / ops),
                 Num(static_cast<double>(result.server_bytes) / ops)});
     }
   }

@@ -60,7 +60,7 @@ void CheckDesign(const char* label, uint64_t keys, uint32_t clients,
 
   const auto report = index::IndexInspector::Inspect(cluster.fabric(), index);
   std::printf("%-16s %8s ops churned | %s\n", label,
-              FormatCount(static_cast<double>(result.ops)).c_str(),
+              FormatCount(static_cast<double>(result.ops())).c_str(),
               report.ok() ? "STRUCTURE OK" : "VIOLATIONS FOUND");
   std::printf("  %s\n\n", report.ToString().c_str());
 }

@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf("\nreplayed on %-14s: %s ops in %s virtual time "
               "(%s ops/s, %.2f GB/s on the fabric)\n",
               index->name().c_str(),
-              FormatCount(static_cast<double>(result.ops)).c_str(),
+              FormatCount(static_cast<double>(result.ops())).c_str(),
               FormatDuration(static_cast<SimTime>(result.seconds * kSecond))
                   .c_str(),
               FormatCount(result.ops_per_sec).c_str(), result.gb_per_sec);

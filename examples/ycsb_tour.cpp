@@ -89,19 +89,19 @@ int main(int argc, char** argv) {
                     static_cast<SimTime>(result.latency.Quantile(0.99)))
                     .c_str(),
                 result.gb_per_sec);
-    if (result.failed_ops > 0) {
-      const auto& f = result.failures;
+    if (result.failed_ops() > 0) {
+      const auto& f = result.failures();
       std::printf(
           "  failed=%llu (not-found=%llu unavailable=%llu timed-out=%llu "
           "oom=%llu aborted=%llu other=%llu) steals=%llu\n",
-          static_cast<unsigned long long>(result.failed_ops),
+          static_cast<unsigned long long>(result.failed_ops()),
           static_cast<unsigned long long>(f.not_found),
           static_cast<unsigned long long>(f.unavailable),
           static_cast<unsigned long long>(f.timed_out),
           static_cast<unsigned long long>(f.out_of_memory),
           static_cast<unsigned long long>(f.aborted),
           static_cast<unsigned long long>(f.other),
-          static_cast<unsigned long long>(result.lock_steals));
+          static_cast<unsigned long long>(result.lock_steals()));
     }
   }
   return 0;

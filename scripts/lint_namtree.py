@@ -76,6 +76,20 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    the statement:
        // namtree-lint: status-ok(<why the failure cannot matter here>)
 
+8. raw-counter-field (error)
+   A `uint64_t foo = 0;` field in a src/ header whose name reads like an
+   event counter (hits, misses, retries, round_trips, ...) is a
+   hand-threaded counter: invisible to the metrics registry, it must be
+   plumbed field-by-field into every result struct and JSON emitter — the
+   pattern the unified registry (src/common/metrics.h,
+   docs/observability.md) replaced after five generations of drift.
+   Declare a `metrics::Counter` handle and register it instead. Exempt:
+   the registry and histogram primitives themselves. Suppress an audited
+   field (e.g. a materialized aggregate that is a *copy* of registry data,
+   or a cursor that is not an event count) with a comment on (or directly
+   above) the declaration:
+       // namtree-lint: metric-ok(<why this is not a registry counter>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -92,7 +106,7 @@ import sys
 
 SUPPRESS_RE = re.compile(
     r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop|"
-    r"unchained-ok|chase-ok|status-ok)\(")
+    r"unchained-ok|chase-ok|status-ok|metric-ok)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
@@ -104,6 +118,24 @@ CHASE_ALLOWED_FILES = {"traversal.cc", "tree_build.cc"}
 
 # An if/while header; the condition is paren-matched from the match end.
 CHASE_COND_RE = re.compile(r"\b(?:if|while)\s*\(")
+
+# Files exempt from raw-counter-field: the metric primitives themselves.
+RAW_COUNTER_ALLOWED_FILES = {"metrics.h", "histogram.h"}
+
+# A zero-initialised uint64_t field declaration in a header.
+RAW_COUNTER_FIELD_RE = re.compile(
+    r"\buint64_t\s+(?P<name>[A-Za-z_]\w*)\s*=\s*0\s*;")
+
+# Field names that read like event counters. Matched against whole
+# underscore-separated words so e.g. `region_bytes` stays quiet while
+# `dropped_verbs` and `count_` are caught.
+COUNTERISH_WORDS = (
+    "count|counts|counted|hits|misses|retries|restarts|trips|waits|rounds|"
+    "steals|drops|dropped|timeouts|doorbells|ops|errors|failures|aborts|"
+    "spans|events|reads|writes|verbs|probes|lookups|inserts|updates|"
+    "deletes|scans|calls|completions")
+COUNTERISH_NAME_RE = re.compile(
+    r"(?:^|_)(?:" + COUNTERISH_WORDS + r")(?:_|$)")
 
 BLOCKING_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|"
@@ -440,6 +472,27 @@ def lint_tree(src_root, verbose):
                     "inclusive/exclusive fence contract stays in one "
                     "place, or annotate with "
                     "'// namtree-lint: chase-ok(...)'"))
+
+        # Rule: raw-counter-field — hand-threaded counter fields in
+        # headers belong on the metrics registry (docs/observability.md).
+        if (path.endswith((".h", ".hpp"))
+                and os.path.basename(path) not in RAW_COUNTER_ALLOWED_FILES):
+            for m in RAW_COUNTER_FIELD_RE.finditer(clean):
+                name = m.group("name")
+                if not COUNTERISH_NAME_RE.search(name):
+                    continue
+                line = line_of(clean, m.start())
+                if is_suppressed(raw_lines, line):
+                    continue
+                findings.append(Finding(
+                    "raw-counter-field", rel, line,
+                    f"'uint64_t {name} = 0;' is a hand-threaded counter "
+                    "field, invisible to the metrics registry and plumbed "
+                    "by hand into every consumer. Declare a "
+                    "metrics::Counter and register it "
+                    "(src/common/metrics.h, docs/observability.md), or "
+                    "annotate the audited field with "
+                    "'// namtree-lint: metric-ok(...)'"))
 
         # Spawn call sites.
         for m in SPAWN_RE.finditer(clean):

@@ -30,6 +30,45 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+StatusClass StatusClassOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return StatusClass::kOk;
+    case StatusCode::kNotFound:
+      return StatusClass::kNotFound;
+    case StatusCode::kUnavailable:
+      return StatusClass::kUnavailable;
+    case StatusCode::kTimedOut:
+      return StatusClass::kTimedOut;
+    case StatusCode::kOutOfMemory:
+      return StatusClass::kOutOfMemory;
+    case StatusCode::kAborted:
+      return StatusClass::kAborted;
+    default:
+      return StatusClass::kOther;
+  }
+}
+
+const char* StatusClassName(StatusClass cls) {
+  switch (cls) {
+    case StatusClass::kOk:
+      return "ok";
+    case StatusClass::kNotFound:
+      return "not_found";
+    case StatusClass::kUnavailable:
+      return "unavailable";
+    case StatusClass::kTimedOut:
+      return "timed_out";
+    case StatusClass::kOutOfMemory:
+      return "out_of_memory";
+    case StatusClass::kAborted:
+      return "aborted";
+    case StatusClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

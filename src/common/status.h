@@ -29,6 +29,28 @@ enum class StatusCode {
 /// Returns a human-readable name for `code` ("OK", "NotFound", ...).
 const char* StatusCodeName(StatusCode code);
 
+/// Coarse status classes used wherever outcomes are bucketed — the YCSB
+/// runner's failure breakdown and the metric registry's `class` label share
+/// this one mapping, so the two can never drift apart.
+enum class StatusClass {
+  kOk = 0,
+  kNotFound,
+  kUnavailable,
+  kTimedOut,
+  kOutOfMemory,
+  kAborted,
+  kOther,  ///< any code without a dedicated bucket
+};
+
+inline constexpr int kNumStatusClasses =
+    static_cast<int>(StatusClass::kOther) + 1;
+
+StatusClass StatusClassOf(StatusCode code);
+
+/// Stable lower_snake name used as the `class` metric label and in JSON
+/// artifacts: "ok", "not_found", "unavailable", ...
+const char* StatusClassName(StatusClass cls);
+
 /// A cheap, copyable success/error value. OK status carries no allocation.
 /// [[nodiscard]]: silently dropping a Status hides protocol failures
 /// (kUnavailable after a crash, kTimedOut after retry exhaustion); cast to

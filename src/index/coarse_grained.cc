@@ -167,6 +167,7 @@ sim::Task<> CoarseGrainedIndex::Handle(nam::MemoryServer& server,
 
 sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
                                                    Key key) {
+  metrics::OpSpan span(ctx.trace(), "lookup");
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kLookup;
@@ -186,6 +187,7 @@ sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
 
 sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
                                              Key hi, std::vector<KV>* out) {
+  metrics::OpSpan span(ctx.trace(), "scan");
   uint64_t found = 0;
   std::vector<KV> merged;
   const bool hash = partitioner_.kind() == PartitionKind::kHash;
@@ -219,6 +221,7 @@ sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
 
 sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
                                              Value value) {
+  metrics::OpSpan span(ctx.trace(), "insert");
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kInsert;
@@ -237,6 +240,7 @@ sim::Task<Status> CoarseGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
 
 sim::Task<Status> CoarseGrainedIndex::Update(nam::ClientContext& ctx, Key key,
                                              Value value) {
+  metrics::OpSpan span(ctx.trace(), "update");
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kUpdate;
@@ -254,6 +258,7 @@ sim::Task<Status> CoarseGrainedIndex::Update(nam::ClientContext& ctx, Key key,
 
 sim::Task<uint64_t> CoarseGrainedIndex::LookupAll(
     nam::ClientContext& ctx, Key key, std::vector<Value>* out) {
+  metrics::OpSpan span(ctx.trace(), "lookup_all");
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kLookupAll;
@@ -269,6 +274,7 @@ sim::Task<uint64_t> CoarseGrainedIndex::LookupAll(
 
 sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
                                              Key key) {
+  metrics::OpSpan span(ctx.trace(), "delete");
   rdma::RpcRequest req;
   req.service = rpc_service_;
   req.op = kDelete;
@@ -286,6 +292,7 @@ sim::Task<Status> CoarseGrainedIndex::Delete(nam::ClientContext& ctx,
 sim::Task<void> CoarseGrainedIndex::RunBatch(nam::ClientContext& ctx,
                                              std::span<const PointOp> ops,
                                              PointOpResult* results) {
+  metrics::OpSpan span(ctx.trace(), "batch");
   // Group ops by home server, preserving submission order inside a group,
   // then ship one kBatch frame per server: n same-server ops cost one
   // SEND/RECV round-trip and one server dispatch instead of n.
@@ -349,6 +356,7 @@ sim::Task<void> CoarseGrainedIndex::RunBatch(nam::ClientContext& ctx,
 sim::Task<void> CoarseGrainedIndex::MultiGet(nam::ClientContext& ctx,
                                              std::span<const btree::Key> keys,
                                              LookupResult* results) {
+  metrics::OpSpan span(ctx.trace(), "multiget");
   // Reuse the multi-op coalescing path: the keys become kLookup point ops,
   // one kBatch frame per home server.
   std::vector<PointOp> ops(keys.size());

@@ -84,6 +84,7 @@ Status CoarseOneSidedIndex::BulkLoad(std::span<const KV> sorted) {
 
 sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
                                                     Key key) {
+  metrics::OpSpan span(ctx.trace(), "lookup");
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   // As in FG: the predicted leaf rides the speculative-descent batch into
@@ -102,6 +103,7 @@ sim::Task<LookupResult> CoarseOneSidedIndex::Lookup(nam::ClientContext& ctx,
 sim::Task<void> CoarseOneSidedIndex::MultiGet(nam::ClientContext& ctx,
                                               std::span<const Key> keys,
                                               LookupResult* results) {
+  metrics::OpSpan span(ctx.trace(), "multiget");
   RemoteOps ops(ctx);
   // Sort, then group consecutive keys by locally predicted leaf within
   // their partition tree; each group is one chain walk. Prediction never
@@ -147,6 +149,7 @@ sim::Task<void> CoarseOneSidedIndex::MultiGet(nam::ClientContext& ctx,
 
 sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
                                               Key hi, std::vector<KV>* out) {
+  metrics::OpSpan span(ctx.trace(), "scan");
   // Partition chains are per-server; visit every partition intersecting
   // the range (all of them under hash partitioning, Table 2).
   RemoteOps ops(ctx);
@@ -170,6 +173,7 @@ sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
 
 sim::Task<Status> CoarseOneSidedIndex::Insert(nam::ClientContext& ctx,
                                               Key key, Value value) {
+  metrics::OpSpan span(ctx.trace(), "insert");
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf =
@@ -189,6 +193,7 @@ sim::Task<Status> CoarseOneSidedIndex::Insert(nam::ClientContext& ctx,
 
 sim::Task<Status> CoarseOneSidedIndex::Update(nam::ClientContext& ctx,
                                               Key key, Value value) {
+  metrics::OpSpan span(ctx.trace(), "update");
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf =
@@ -200,6 +205,7 @@ sim::Task<Status> CoarseOneSidedIndex::Update(nam::ClientContext& ctx,
 sim::Task<uint64_t> CoarseOneSidedIndex::LookupAll(nam::ClientContext& ctx,
                                                    Key key,
                                                    std::vector<Value>* out) {
+  metrics::OpSpan span(ctx.trace(), "lookup_all");
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf =
@@ -210,6 +216,7 @@ sim::Task<uint64_t> CoarseOneSidedIndex::LookupAll(nam::ClientContext& ctx,
 
 sim::Task<Status> CoarseOneSidedIndex::Delete(nam::ClientContext& ctx,
                                               Key key) {
+  metrics::OpSpan span(ctx.trace(), "delete");
   RemoteOps ops(ctx);
   const uint32_t server = partitioner_.ServerFor(key);
   const rdma::RemotePtr leaf =

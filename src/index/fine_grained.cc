@@ -54,6 +54,7 @@ Status FineGrainedIndex::BulkLoad(std::span<const KV> sorted) {
 
 sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
                                                  Key key) {
+  metrics::OpSpan span(ctx.trace(), "lookup");
   RemoteOps ops(ctx);
   // Under speculative descent the predicted leaf's image rides the descent
   // batch into page_b (free on this read-only path) and, when confirmed,
@@ -72,6 +73,7 @@ sim::Task<LookupResult> FineGrainedIndex::Lookup(nam::ClientContext& ctx,
 sim::Task<void> FineGrainedIndex::MultiGet(nam::ClientContext& ctx,
                                            std::span<const Key> keys,
                                            LookupResult* results) {
+  metrics::OpSpan span(ctx.trace(), "multiget");
   RemoteOps ops(ctx);
   // Sort (stably, by key) so chain walks move strictly right, then group
   // consecutive keys whose locally predicted leaf matches: each group costs
@@ -117,6 +119,7 @@ sim::Task<void> FineGrainedIndex::MultiGet(nam::ClientContext& ctx,
 
 sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
                                            Key hi, std::vector<KV>* out) {
+  metrics::OpSpan span(ctx.trace(), "scan");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, lo);
   if (leaf.is_null()) co_return 0;
@@ -125,6 +128,7 @@ sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
 
 sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
                                            Value value) {
+  metrics::OpSpan span(ctx.trace(), "insert");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
@@ -145,6 +149,7 @@ sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,
 
 sim::Task<Status> FineGrainedIndex::Update(nam::ClientContext& ctx, Key key,
                                            Value value) {
+  metrics::OpSpan span(ctx.trace(), "update");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");
@@ -154,6 +159,7 @@ sim::Task<Status> FineGrainedIndex::Update(nam::ClientContext& ctx, Key key,
 sim::Task<uint64_t> FineGrainedIndex::LookupAll(nam::ClientContext& ctx,
                                                 Key key,
                                                 std::vector<Value>* out) {
+  metrics::OpSpan span(ctx.trace(), "lookup_all");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return 0;
@@ -161,6 +167,7 @@ sim::Task<uint64_t> FineGrainedIndex::LookupAll(nam::ClientContext& ctx,
 }
 
 sim::Task<Status> FineGrainedIndex::Delete(nam::ClientContext& ctx, Key key) {
+  metrics::OpSpan span(ctx.trace(), "delete");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, key);
   if (leaf.is_null()) co_return Status::Unavailable("client crashed");

@@ -134,6 +134,7 @@ Status DistributedHashIndex::BulkLoad(std::span<const KV> sorted) {
 
 sim::Task<LookupResult> DistributedHashIndex::Lookup(nam::ClientContext& ctx,
                                                      Key key) {
+  metrics::OpSpan span(ctx.trace(), "lookup");
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
@@ -153,6 +154,7 @@ sim::Task<LookupResult> DistributedHashIndex::Lookup(nam::ClientContext& ctx,
 sim::Task<uint64_t> DistributedHashIndex::Scan(nam::ClientContext& ctx,
                                                Key lo, Key hi,
                                                std::vector<KV>* out) {
+  metrics::OpSpan span(ctx.trace(), "scan");
   // Range queries are the tree designs' raison d'etre; a hash index simply
   // cannot serve them (paper §8).
   (void)ctx;
@@ -164,6 +166,7 @@ sim::Task<uint64_t> DistributedHashIndex::Scan(nam::ClientContext& ctx,
 
 sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
                                                Key key, Value value) {
+  metrics::OpSpan span(ctx.trace(), "insert");
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
@@ -180,7 +183,7 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     const Status lock = co_await ops.TryLockPage(ptr, read.version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;
-      ctx.restarts++;
+      ctx.restarts.Inc();
       continue;
     }
     ops.StampLocked(buf, read.version);
@@ -190,7 +193,7 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
       bucket.set_count(bucket.count() + 1);
       const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
       if (wu.IsAborted()) {
-        ctx.restarts++;  // primary died mid-publication: retry promoted
+        ctx.restarts.Inc();  // primary died mid-publication: retry promoted
         continue;
       }
       co_return wu;
@@ -218,7 +221,7 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
     bucket.set_overflow(next.raw());
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {
-      ctx.restarts++;  // overflow bucket leaks (unreachable); retry promoted
+      ctx.restarts.Inc();  // overflow bucket leaks (unreachable); retry promoted
       continue;
     }
     co_return wu;
@@ -227,6 +230,7 @@ sim::Task<Status> DistributedHashIndex::Insert(nam::ClientContext& ctx,
 
 sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
                                                Key key, Value value) {
+  metrics::OpSpan span(ctx.trace(), "update");
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
@@ -242,7 +246,7 @@ sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
     const Status lock = co_await ops.TryLockPage(ptr, read.version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;
-      ctx.restarts++;
+      ctx.restarts.Inc();
       continue;  // re-read the same bucket
     }
     ops.StampLocked(buf, read.version);
@@ -251,7 +255,7 @@ sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
     bucket.set_slot(i, kv);
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {
-      ctx.restarts++;  // primary died mid-publication: retry promoted
+      ctx.restarts.Inc();  // primary died mid-publication: retry promoted
       continue;
     }
     co_return wu;
@@ -262,6 +266,7 @@ sim::Task<Status> DistributedHashIndex::Update(nam::ClientContext& ctx,
 sim::Task<uint64_t> DistributedHashIndex::LookupAll(nam::ClientContext& ctx,
                                                     Key key,
                                                     std::vector<Value>* out) {
+  metrics::OpSpan span(ctx.trace(), "lookup_all");
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
@@ -283,6 +288,7 @@ sim::Task<uint64_t> DistributedHashIndex::LookupAll(nam::ClientContext& ctx,
 
 sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
                                                Key key) {
+  metrics::OpSpan span(ctx.trace(), "delete");
   RemoteOps ops(ctx);
   uint8_t* buf = ctx.page_a();
   rdma::RemotePtr ptr = HeadBucketFor(key);
@@ -298,7 +304,7 @@ sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
     const Status lock = co_await ops.TryLockPage(ptr, read.version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;
-      ctx.restarts++;
+      ctx.restarts.Inc();
       continue;
     }
     ops.StampLocked(buf, read.version);
@@ -308,7 +314,7 @@ sim::Task<Status> DistributedHashIndex::Delete(nam::ClientContext& ctx,
     bucket.set_count(bucket.count() - 1);
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {
-      ctx.restarts++;  // primary died mid-publication: retry promoted
+      ctx.restarts.Inc();  // primary died mid-publication: retry promoted
       continue;
     }
     co_return wu;

@@ -140,6 +140,7 @@ sim::Task<DescentResult> HybridIndex::ResolveLeaf(nam::ClientContext& ctx,
 
 sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
                                             Key key) {
+  metrics::OpSpan span(ctx.trace(), "lookup");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
   if (!fl.ok()) co_return LookupResult{false, 0, fl.status};
   RemoteOps ops(ctx);
@@ -149,6 +150,7 @@ sim::Task<LookupResult> HybridIndex::Lookup(nam::ClientContext& ctx,
 sim::Task<void> HybridIndex::MultiGet(nam::ClientContext& ctx,
                                       std::span<const Key> keys,
                                       LookupResult* results) {
+  metrics::OpSpan span(ctx.trace(), "multiget");
   RemoteOps ops(ctx);
   // Sort, then group consecutive keys sharing a *cached* route (Peek — no
   // find-leaf RPC, no cache-stat skew): each group is one chain walk from
@@ -198,6 +200,7 @@ sim::Task<void> HybridIndex::MultiGet(nam::ClientContext& ctx,
 
 sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
                                       std::vector<KV>* out) {
+  metrics::OpSpan span(ctx.trace(), "scan");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, lo);
   if (!fl.ok()) co_return 0;
   RemoteOps ops(ctx);
@@ -208,6 +211,7 @@ sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
 
 sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
                                       Value value) {
+  metrics::OpSpan span(ctx.trace(), "insert");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
   if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);
@@ -241,6 +245,7 @@ sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,
 
 sim::Task<Status> HybridIndex::Update(nam::ClientContext& ctx, Key key,
                                       Value value) {
+  metrics::OpSpan span(ctx.trace(), "update");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
   if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);
@@ -249,6 +254,7 @@ sim::Task<Status> HybridIndex::Update(nam::ClientContext& ctx, Key key,
 
 sim::Task<uint64_t> HybridIndex::LookupAll(nam::ClientContext& ctx, Key key,
                                            std::vector<Value>* out) {
+  metrics::OpSpan span(ctx.trace(), "lookup_all");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
   if (!fl.ok()) co_return 0;
   RemoteOps ops(ctx);
@@ -256,6 +262,7 @@ sim::Task<uint64_t> HybridIndex::LookupAll(nam::ClientContext& ctx, Key key,
 }
 
 sim::Task<Status> HybridIndex::Delete(nam::ClientContext& ctx, Key key) {
+  metrics::OpSpan span(ctx.trace(), "delete");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, key);
   if (!fl.ok()) co_return fl.status;
   RemoteOps ops(ctx);

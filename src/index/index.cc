@@ -5,6 +5,7 @@ namespace namtree::index {
 sim::Task<void> DistributedIndex::RunBatch(nam::ClientContext& ctx,
                                            std::span<const PointOp> ops,
                                            PointOpResult* results) {
+  metrics::OpSpan span(ctx.trace(), "batch");
   // Sequential fallback: one point-op virtual per entry, in order. Designs
   // with an RPC transport override this with a coalesced multi-op frame.
   for (size_t i = 0; i < ops.size(); ++i) {
@@ -35,6 +36,7 @@ sim::Task<void> DistributedIndex::RunBatch(nam::ClientContext& ctx,
 sim::Task<void> DistributedIndex::MultiGet(nam::ClientContext& ctx,
                                            std::span<const btree::Key> keys,
                                            LookupResult* results) {
+  metrics::OpSpan span(ctx.trace(), "multiget");
   // Sequential fallback — the semantic contract every override must match.
   for (size_t i = 0; i < keys.size(); ++i) {
     results[i] = co_await Lookup(ctx, keys[i]);

@@ -345,7 +345,7 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
     const Status lock = co_await ops.TryLockPage(ptr, version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;  // dead: no partial state
-      ops.ctx().restarts++;
+      ops.ctx().restarts.Inc();
       continue;  // version moved: re-read and retry
     }
     // The CAS succeeded against the version of our image, so the image is
@@ -357,7 +357,7 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
       if (wu.IsAborted()) {
         // The locked acting primary died mid-publication (R>1): the lock
         // evaporated with the server; retry against the promoted replica.
-        ops.ctx().restarts++;
+        ops.ctx().restarts.Inc();
         continue;
       }
       co_return wu;
@@ -398,7 +398,7 @@ sim::Task<Status> LeafLevel::InsertAt(RemoteOps ops, rdma::RemotePtr start,
       // Locked primary died mid-split-publication: the promoted replica
       // still shows the pre-split image. The allocated right page leaks
       // (unreachable); retry the whole pass.
-      ops.ctx().restarts++;
+      ops.ctx().restarts.Inc();
       continue;
     }
     if (!unlock.ok()) co_return unlock;
@@ -434,7 +434,7 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
     const Status lock = co_await ops.TryLockPage(ptr, read.version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;
-      ops.ctx().restarts++;
+      ops.ctx().restarts.Inc();
       continue;
     }
     ops.StampLocked(buf, read.version);
@@ -445,7 +445,7 @@ sim::Task<Status> LeafLevel::UpdateAt(RemoteOps ops, rdma::RemotePtr start,
     }
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {
-      ops.ctx().restarts++;  // primary died mid-publication: retry promoted
+      ops.ctx().restarts.Inc();  // primary died mid-publication: retry promoted
       continue;
     }
     co_return wu;
@@ -504,7 +504,7 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
     const Status lock = co_await ops.TryLockPage(ptr, read.version);
     if (!lock.ok()) {
       if (!lock.IsAborted()) co_return lock;
-      ops.ctx().restarts++;
+      ops.ctx().restarts.Inc();
       continue;
     }
     ops.StampLocked(buf, read.version);
@@ -517,7 +517,7 @@ sim::Task<Status> LeafLevel::DeleteAt(RemoteOps ops, rdma::RemotePtr start,
     }
     const Status wu = co_await ops.WriteUnlockPage(ptr, buf);
     if (wu.IsAborted()) {
-      ops.ctx().restarts++;  // primary died mid-publication: retry promoted
+      ops.ctx().restarts.Inc();  // primary died mid-publication: retry promoted
       continue;
     }
     co_return wu;

@@ -40,12 +40,14 @@ sim::Task<Status> RemoteOps::ReadPageFrom(rdma::RemotePtr at, uint8_t* buf) {
   // serves this one too: no verb posted, no round trip — only the
   // combined-read counter moves. Off (default), CombinedRead degenerates
   // to a plain Read and the toll is the historical one.
+  const SimTime t0 = TraceStart();
   const bool combined =
       co_await fabric().CombinedRead(ctx_->client_id(), at, buf, page_size());
+  TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
   if (combined) {
-    ctx_->combined_reads++;
+    ctx_->combined_reads.Inc();
   } else {
-    ctx_->round_trips++;
+    ctx_->round_trips.Inc();
   }
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(at.server_id())) {
@@ -55,31 +57,52 @@ sim::Task<Status> RemoteOps::ReadPageFrom(rdma::RemotePtr at, uint8_t* buf) {
 }
 
 sim::Task<Status> RemoteOps::ReadWord(rdma::RemotePtr at, uint64_t* out) {
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   co_await fabric().Read(ctx_->client_id(), at, out, 8);
+  TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::WriteWord(rdma::RemotePtr at, uint64_t value) {
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   co_await fabric().Write(ctx_->client_id(), at, &value, 8);
+  TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0, t0);
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::WriteRaw(rdma::RemotePtr at, const void* src,
                                       uint32_t len) {
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   co_await fabric().Write(ctx_->client_id(), at, src, len);
+  TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0, t0);
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::ReadPagesBatch(
     std::vector<rdma::Fabric::ReadRequest> requests) {
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  // One event per batch slot, all under one chain id: the whole batch rides
+  // one doorbell, so the slots share start/finish but keep per-server
+  // attribution.
+  const SimTime t0 = TraceStart();
+  const uint64_t chain = ctx_->trace().NextChainId();
+  std::vector<uint32_t> servers;
+  if (ctx_->trace().in_span()) {
+    servers.reserve(requests.size());
+    for (const rdma::Fabric::ReadRequest& r : requests) {
+      servers.push_back(r.src.server_id());
+    }
+  }
   co_await fabric().ReadBatch(ctx_->client_id(), std::move(requests));
+  for (const uint32_t server : servers) {
+    TraceVerbEvent(metrics::TraceVerb::kReadBatch, server, chain, t0);
+  }
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
@@ -96,7 +119,7 @@ sim::Task<Status> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
     // The acting primary died with the READ in flight: promote the next
     // live replica (ActingPrimary re-resolves past the dead server).
     if (fabric().ServerAlive(route.ptr.server_id())) co_return read;
-    ctx_->restarts++;
+    ctx_->restarts.Inc();
   }
 }
 
@@ -127,7 +150,7 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
       if (alive() && fabric().replicated() &&
           !fabric().ServerAlive(at.server_id())) {
         // Mid-read server death: promote and retry.
-        ctx_->restarts++;
+        ctx_->restarts.Inc();
         continue;
       }
       co_return PageReadResult{read, 0};
@@ -135,7 +158,7 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
     uint64_t word;
     std::memcpy(&word, buf + btree::kVersionOffset, 8);
     if (!IsLocked(word)) co_return PageReadResult{Status::OK(), word};
-    ctx_->lock_waits++;
+    ctx_->lock_waits.Inc();
 
     if (word != watched_word) {
       watched_word = word;
@@ -147,9 +170,15 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
       // registry. Readers steal too — otherwise a dead writer wedges every
       // optimistic reader of the page forever.
       const uint32_t holder = btree::HolderOf(word);
-      ctx_->round_trips++;
+      ctx_->round_trips.Inc();
+      const SimTime probe_t0 = TraceStart();
       const rdma::EpochReadResult probe =
           co_await fabric().ReadClientEpoch(ctx_->client_id(), holder);
+      // The holder's registry record lives on server holder % N (its home;
+      // failover may promote a replica — home is the attribution).
+      TraceVerbEvent(metrics::TraceVerb::kRead,
+                     holder % fabric().num_memory_servers(), /*chain=*/0,
+                     probe_t0);
       if (!alive()) {
         co_return PageReadResult{Status::Unavailable("client crashed"), 0};
       }
@@ -168,15 +197,18 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
           // CAS the orphan's locked word back to unlocked, one full
           // version cycle ahead so the orphan's partial image never
           // revalidates.
-          ctx_->round_trips++;
+          ctx_->round_trips.Inc();
+          const SimTime cas_t0 = TraceStart();
           const uint64_t observed = co_await fabric().CompareAndSwap(
               ctx_->client_id(), at.Plus(btree::kVersionOffset), word,
               btree::StolenUnlockWord(word));
+          TraceVerbEvent(metrics::TraceVerb::kCas, at.server_id(),
+                         /*chain=*/0, cas_t0);
           if (!alive()) {
             co_return PageReadResult{Status::Unavailable("client crashed"),
                                      0};
           }
-          if (observed == word) ctx_->lock_steals++;
+          if (observed == word) ctx_->lock_steals.Inc();
           // Re-read immediately (we or a faster waiter just freed it).
           watched_word = 0;
           backoff_round = 0;
@@ -198,7 +230,7 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
     const SimTime delay = static_cast<SimTime>(
         half + static_cast<uint64_t>(ctx_->rng().NextDouble() *
                                      static_cast<double>(base - half)));
-    ctx_->backoff_rounds++;
+    ctx_->backoff_rounds.Inc();
     backoff_round++;
     co_await sim::Delay(simulator, delay);
   }
@@ -208,10 +240,13 @@ sim::Task<Status> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
                                          uint64_t version) {
   const RouteResult route = ActingPrimary(ptr);
   if (!route.ok()) co_return route.status;
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   const uint64_t old = co_await fabric().CompareAndSwap(
       ctx_->client_id(), route.ptr.Plus(btree::kVersionOffset), version,
       btree::MakeLockedWord(version, ctx_->client_id()));
+  TraceVerbEvent(metrics::TraceVerb::kCas, route.ptr.server_id(), /*chain=*/0,
+                 t0);
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(route.ptr.server_id())) {
     // The acting primary died mid-CAS. Whether the swap landed or not,
@@ -244,7 +279,7 @@ sim::Task<PageReadResult> RemoteOps::LockPage(rdma::RemotePtr ptr,
       co_return read;
     }
     if (!lock.IsAborted()) co_return PageReadResult{lock, 0};
-    ctx_->restarts++;
+    ctx_->restarts.Inc();
   }
 }
 
@@ -283,9 +318,12 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
     // Unchained fallback: individually signaled WRITE + FAA release,
     // bit-identical to the pre-chain protocol (the FAA keeps the stale
     // holder bits in the unlocked word; VersionOf masks them out).
-    ctx_->round_trips += 2;
+    ctx_->round_trips.Inc(2);
+    const SimTime write_t0 = TraceStart();
     // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
     co_await fabric().Write(ctx_->client_id(), locked_at, buf, page_size());
+    TraceVerbEvent(metrics::TraceVerb::kWrite, locked_server, /*chain=*/0,
+                   write_t0);
     if (!alive()) co_return Status::Unavailable("client crashed");
     if (!fabric().ServerAlive(locked_server)) {
       ctx_->lock_routes.erase(ptr.raw());
@@ -299,18 +337,24 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
       if (rep == locked_at || !fabric().ServerAlive(rep.server_id())) {
         continue;
       }
-      ctx_->round_trips++;
+      ctx_->round_trips.Inc();
+      const SimTime rep_t0 = TraceStart();
       // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
       co_await fabric().Write(ctx_->client_id(), rep, backup_img.data(),
                               page_size());
+      TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(), /*chain=*/0,
+                     rep_t0);
       if (!alive()) co_return Status::Unavailable("client crashed");
       if (!fabric().ServerAlive(locked_server)) {
         ctx_->lock_routes.erase(ptr.raw());
         co_return Status::Aborted("locked primary died during publication");
       }
     }
+    const SimTime faa_t0 = TraceStart();
     co_await fabric().FetchAndAdd(ctx_->client_id(),
                                   locked_at.Plus(btree::kVersionOffset), 1);
+    TraceVerbEvent(metrics::TraceVerb::kFaa, locked_server, /*chain=*/0,
+                   faa_t0);
     ctx_->lock_routes.erase(ptr.raw());
     if (!alive()) co_return Status::Unavailable("client crashed");
     if (!fabric().ServerAlive(locked_server)) {
@@ -326,7 +370,7 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
   // reaches. Backup WRITEs are fenced on the locked primary: once it dies
   // a reader may already have promoted a backup, so a late backup WRITE
   // must not clobber the promoted copy.
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
   std::vector<rdma::Fabric::ChainOp> chain;
   chain.reserve(1 + fabric().replication());
   chain.push_back(
@@ -345,7 +389,19 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
   }
   chain.push_back(rdma::Fabric::ChainOp::Write(
       locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
+  const SimTime chain_t0 = TraceStart();
+  const uint64_t chain_id = ctx_->trace().NextChainId();
+  std::vector<uint32_t> chain_servers;
+  if (ctx_->trace().in_span()) {
+    chain_servers.reserve(chain.size());
+    for (const rdma::Fabric::ChainOp& op : chain) {
+      chain_servers.push_back(op.target.server_id());
+    }
+  }
   co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
+  for (const uint32_t server : chain_servers) {
+    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  }
   ctx_->lock_routes.erase(ptr.raw());
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(locked_server)) {
@@ -360,18 +416,24 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
     rdma::RemotePtr sibling, const uint8_t* sibling_buf, rdma::RemotePtr ptr,
     const uint8_t* buf) {
   if (!fabric().config().verb_chaining) {
-    ctx_->round_trips++;
+    ctx_->round_trips.Inc();
+    const SimTime sib_t0 = TraceStart();
     co_await fabric().Write(ctx_->client_id(), sibling, sibling_buf,
                             page_size());
+    TraceVerbEvent(metrics::TraceVerb::kWrite, sibling.server_id(),
+                   /*chain=*/0, sib_t0);
     if (!alive()) co_return Status::Unavailable("client crashed");
     for (uint32_t r = 1; fabric().replicated() && r < fabric().replication();
          ++r) {
       const rdma::RemotePtr rep = fabric().ReplicaPtr(sibling, r);
       if (!fabric().ServerAlive(rep.server_id())) continue;
-      ctx_->round_trips++;
+      ctx_->round_trips.Inc();
+      const SimTime rep_t0 = TraceStart();
       // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
       co_await fabric().Write(ctx_->client_id(), rep, sibling_buf,
                               page_size());
+      TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(), /*chain=*/0,
+                     rep_t0);
       if (!alive()) co_return Status::Unavailable("client crashed");
     }
     co_return co_await WriteUnlockPage(ptr, buf);  // unchained path
@@ -398,7 +460,7 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
     backup_img.assign(buf, buf + page_size());
     std::memcpy(backup_img.data() + btree::kVersionOffset, &unlocked, 8);
   }
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
   std::vector<rdma::Fabric::ChainOp> chain;
   chain.reserve(1 + 2 * fabric().replication());
   chain.push_back(
@@ -429,7 +491,19 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
   }
   chain.push_back(rdma::Fabric::ChainOp::Write(
       locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
+  const SimTime chain_t0 = TraceStart();
+  const uint64_t chain_id = ctx_->trace().NextChainId();
+  std::vector<uint32_t> chain_servers;
+  if (ctx_->trace().in_span()) {
+    chain_servers.reserve(chain.size());
+    for (const rdma::Fabric::ChainOp& op : chain) {
+      chain_servers.push_back(op.target.server_id());
+    }
+  }
   co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
+  for (const uint32_t server : chain_servers) {
+    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  }
   ctx_->lock_routes.erase(ptr.raw());
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(locked_server)) {
@@ -450,9 +524,12 @@ sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
     // clean unlocked word (backups never store locked words).
     co_return Status::OK();
   }
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   co_await fabric().FetchAndAdd(ctx_->client_id(),
                                 route.ptr.Plus(btree::kVersionOffset), 1);
+  TraceVerbEvent(metrics::TraceVerb::kFaa, route.ptr.server_id(), /*chain=*/0,
+                 t0);
   if (!alive()) co_return Status::Unavailable("client crashed");
   if (!fabric().ServerAlive(route.ptr.server_id())) {
     co_return fabric().replicated()
@@ -465,8 +542,11 @@ sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
 sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
                                             const uint8_t* buf) {
   if (!fabric().replicated()) {
-    ctx_->round_trips++;
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
     co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
+    TraceVerbEvent(metrics::TraceVerb::kWrite, ptr.server_id(), /*chain=*/0,
+                   t0);
     if (!alive()) co_return Status::Unavailable("client crashed");
     if (!fabric().ServerAlive(ptr.server_id())) {
       co_return Status::Unavailable("memory server dead");
@@ -476,7 +556,7 @@ sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
   // Primary + all live backups, unfenced: the page is unreachable until a
   // later (fenced) publication links it, so partial replication after a
   // mid-chain death is harmless.
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
   std::vector<rdma::Fabric::ChainOp> chain;
   chain.reserve(fabric().replication());
   for (uint32_t r = 0; r < fabric().replication(); ++r) {
@@ -485,7 +565,19 @@ sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
     chain.push_back(rdma::Fabric::ChainOp::Write(rep, buf, page_size()));
   }
   if (chain.empty()) co_return Status::Unavailable("all replicas dead");
+  const SimTime chain_t0 = TraceStart();
+  const uint64_t chain_id = ctx_->trace().NextChainId();
+  std::vector<uint32_t> chain_servers;
+  if (ctx_->trace().in_span()) {
+    chain_servers.reserve(chain.size());
+    for (const rdma::Fabric::ChainOp& op : chain) {
+      chain_servers.push_back(op.target.server_id());
+    }
+  }
   co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
+  for (const uint32_t server : chain_servers) {
+    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  }
   if (!alive()) co_return Status::Unavailable("client crashed");
   co_return Status::OK();
 }
@@ -516,9 +608,11 @@ sim::Task<AllocResult> RemoteOps::AllocPage(uint32_t server) {
   }
   const rdma::RemotePtr cursor =
       rdma::RemotePtr::Make(target, rdma::MemoryRegion::kAllocCursorOffset);
-  ctx_->round_trips++;
+  ctx_->round_trips.Inc();
+  const SimTime t0 = TraceStart();
   const uint64_t offset = co_await fabric().FetchAndAdd(
       ctx_->client_id(), cursor, page_size());
+  TraceVerbEvent(metrics::TraceVerb::kFaa, target, /*chain=*/0, t0);
   // A dead client's FAA is dropped and returns 0, which would alias the
   // region header — treat it as an allocation failure.
   if (!alive()) {

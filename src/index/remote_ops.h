@@ -203,6 +203,25 @@ class RemoteOps {
   /// mid-read — ReadPage/ReadPageUnlocked disambiguate via ServerAlive.
   sim::Task<Status> ReadPageFrom(rdma::RemotePtr at, uint8_t* buf);
 
+  // ---- Verb-event tracing --------------------------------------------------
+  // Every counted verb above records a metrics::TraceEvent into the owning
+  // client's OpTrace when a span is open (ClientContext::trace). TraceStart
+  // samples virtual time only inside an open span, so with tracing off (the
+  // default) the helpers are a branch and nothing else.
+
+  /// Virtual-time stamp taken just before posting a verb; 0 when no span is
+  /// open (the matching TraceVerbEvent is then dropped by the ring).
+  SimTime TraceStart() const {
+    return ctx_->trace().in_span() ? ctx_->fabric().simulator().now() : 0;
+  }
+
+  /// Records the completed verb `[t0, now]` against `server`; `chain` > 0
+  /// groups the members of one doorbell-batched chain.
+  void TraceVerbEvent(metrics::TraceVerb verb, uint32_t server, uint64_t chain,
+                      SimTime t0) {
+    ctx_->trace().Event(verb, server, chain, t0);
+  }
+
   /// The replica this client locked for primary address `ptr`: the
   /// recorded lock route when one exists, else the current acting primary.
   RouteResult LockedReplica(rdma::RemotePtr ptr) const;

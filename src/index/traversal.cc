@@ -302,9 +302,9 @@ sim::Task<rdma::RemotePtr> TraversalEngine::DescendToLeaf(
                               (spec.complete && leaf != spec.predicted_leaf) ||
                               (spec.leaf_in_batch && !leaf_usable);
     if (mispredicted) {
-      ops.ctx().mispredicts++;
+      ops.ctx().mispredicts.Inc();
     } else if (spec.complete) {
-      ops.ctx().speculative_hits++;
+      ops.ctx().speculative_hits.Inc();
     }
     if (leaf_usable) prefetch->leaf_image_valid = true;
   }
@@ -411,7 +411,7 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
       const Status lock = co_await ops.TryLockPage(ptr, read.version);
       if (!lock.ok()) {
         if (!lock.IsAborted()) co_return lock;
-        ops.ctx().restarts++;
+        ops.ctx().restarts.Inc();
         continue;  // lost the CAS race: re-read this node
       }
       ops.StampLocked(buf, read.version);
@@ -422,7 +422,7 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
         if (wu.IsAborted()) {
           // The locked acting primary died mid-publication (R>1): the lock
           // evaporated with it; retry against the promoted replica.
-          ops.ctx().restarts++;
+          ops.ctx().restarts.Inc();
           continue;
         }
         if (!wu.ok()) co_return wu;
@@ -461,7 +461,7 @@ sim::Task<Status> TraversalEngine::InstallSeparator(RemoteOps& ops,
         // Locked primary died mid-split-publication: the promoted replica
         // still shows the pre-split image and the lock evaporated. The
         // allocated right node leaks (unreachable) — retry the pass.
-        ops.ctx().restarts++;
+        ops.ctx().restarts.Inc();
         continue;
       }
       if (!wu.ok()) co_return wu;

@@ -105,7 +105,9 @@ class TraversalEngine {
 
   /// Aggregate per-client cache statistics.
   struct CacheStats {
+    // namtree-lint: metric-ok(aggregated copy of NodeCache's local counts, returned by value to callers; not a live counter)
     uint64_t hits = 0;
+    // namtree-lint: metric-ok(see hits)
     uint64_t misses = 0;
     uint64_t expirations = 0;
   };

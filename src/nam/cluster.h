@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "nam/memory_server.h"
 #include "rdma/fabric.h"
@@ -73,7 +75,31 @@ class ClientContext {
         fabric_(&fabric),
         rng_(seed ^ (0x5851F42D4C957F2Dull * (client_id + 1))),
         page_buf_a_(page_size),
-        page_buf_b_(page_size) {}
+        page_buf_b_(page_size),
+        trace_(client_id) {
+    metrics::MetricRegistry& registry = fabric.metrics();
+    const metrics::LabelSet labels = {{"client", std::to_string(client_id)}};
+    registry.RegisterCounter(round_trips, "client.round_trips", labels,
+                             "network round trips issued");
+    registry.RegisterCounter(restarts, "client.restarts", labels,
+                             "optimistic protocol restarts");
+    registry.RegisterCounter(lock_waits, "client.lock_waits", labels,
+                             "remote spinlock re-reads");
+    registry.RegisterCounter(backoff_rounds, "client.backoff_rounds", labels,
+                             "exponential-backoff sleeps while spinning");
+    registry.RegisterCounter(lock_steals, "client.lock_steals", labels,
+                             "orphaned locks reclaimed from dead holders");
+    registry.RegisterCounter(combined_reads, "client.combined_reads", labels,
+                             "READs served by attaching to in-flight ones");
+    registry.RegisterCounter(speculative_hits, "client.speculative_hits",
+                             labels, "speculative descents fully validated");
+    registry.RegisterCounter(mispredicts, "client.mispredicts", labels,
+                             "speculative descents that fell back");
+    trace_.SetClock([&fabric] { return fabric.simulator().now(); });
+  }
+
+  ClientContext(const ClientContext&) = delete;
+  ClientContext& operator=(const ClientContext&) = delete;
 
   uint32_t client_id() const { return client_id_; }
   rdma::Fabric& fabric() { return *fabric_; }
@@ -92,26 +118,40 @@ class ClientContext {
   /// `round_trips++; co_await fabric().Call(...)` pattern bit-for-bit.
   sim::Task<rdma::RpcResponse> Call(uint32_t server,
                                     rdma::RpcRequest request) {
-    round_trips++;
-    co_return co_await fabric_->Call(client_id_, server, std::move(request));
+    round_trips.Inc();
+    const SimTime posted = trace_.in_span() ? fabric_->simulator().now() : 0;
+    rdma::RpcResponse response =
+        co_await fabric_->Call(client_id_, server, std::move(request));
+    trace_.Event(metrics::TraceVerb::kRpc, server, /*chain=*/0, posted);
+    co_return response;
   }
 
-  // ---- Per-client accounting (reset between measurement intervals) -------
-  uint64_t round_trips = 0;     ///< network round trips issued
-  uint64_t restarts = 0;        ///< optimistic protocol restarts
-  uint64_t lock_waits = 0;      ///< remote spinlock re-reads
-  uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
-  uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
+  /// This client's op trace (off until OpTrace::Enable). The counted-verb
+  /// helpers (RemoteOps, Call) record verb events here; the YCSB runner and
+  /// index entry points open the spans.
+  metrics::OpTrace& trace() { return trace_; }
+
+  // ---- Per-client accounting ---------------------------------------------
+  // Registered `client.*` counter families labeled {client}; the handles
+  // own the storage, so the hot-path increment is still a plain uint64_t
+  // bump and per-context reads keep their historical values. Mutate only
+  // through Inc()/Reset() — the consolidated counting paths (RemoteOps,
+  // Call) do this for every verb.
+  metrics::Counter round_trips;     ///< network round trips issued
+  metrics::Counter restarts;        ///< optimistic protocol restarts
+  metrics::Counter lock_waits;      ///< remote spinlock re-reads
+  metrics::Counter backoff_rounds;  ///< backoff sleeps while spinning
+  metrics::Counter lock_steals;     ///< orphaned locks reclaimed from dead
   /// Page reads served by attaching to another lane's in-flight READ
   /// (FabricConfig::read_combining); these do not count as round trips —
   /// the saved duplicate verb is exactly what the combiner measures.
-  uint64_t combined_reads = 0;
+  metrics::Counter combined_reads;
   /// Speculative descents (TraversalEngine::Options::speculative_descent)
   /// whose predicted root->leaf path validated without a fallback read.
-  uint64_t speculative_hits = 0;
+  metrics::Counter speculative_hits;
   /// Speculative descents where validation had to fall back to the
   /// level-by-level loop (stale prediction, locked or dropped batch slot).
-  uint64_t mispredicts = 0;
+  metrics::Counter mispredicts;
 
   /// Round-robin cursor for remote page allocation (fine-grained splits
   /// scatter new nodes over all memory servers).
@@ -130,6 +170,7 @@ class ClientContext {
   Rng rng_;
   std::vector<uint8_t> page_buf_a_;
   std::vector<uint8_t> page_buf_b_;
+  metrics::OpTrace trace_;
 };
 
 }  // namespace namtree::nam

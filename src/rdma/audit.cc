@@ -107,8 +107,34 @@ void VerbAuditor::ForEachCoveredWord(uint32_t server, uint64_t lo,
   for (; it != words.end() && it->first < hi; ++it) fn(it->first, it->second);
 }
 
+void VerbAuditor::BindMetrics(metrics::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->RegisterCounter(lock_steals_, "audit.lock_steals", {},
+                            "sanctioned CAS-clears of dead holders' locks");
+  registry->RegisterCounter(duplicate_inflight_reads_,
+                            "audit.duplicate_inflight_reads", {},
+                            "same-client duplicate READs posted in flight");
+  registry->RegisterCounter(total_occurrences_, "audit.violations_total",
+                            {}, "protocol-violation occurrences, all kinds");
+  registry->RegisterCounter(suppressed_violations_,
+                            "audit.suppressed_violations", {},
+                            "occurrences dropped at the storage cap");
+  for (int k = 0; k <= static_cast<int>(ViolationKind::kRemoteRace); ++k) {
+    const auto kind = static_cast<ViolationKind>(k);
+    registry->RegisterCallback(
+        "audit.violations",
+        [this, kind] { return static_cast<uint64_t>(CountOfKind(kind)); },
+        {{"kind", ViolationKindName(kind)}},
+        "deduplicated violation occurrences by kind");
+  }
+  registry->RegisterCallback(
+      "audit.tracked_words",
+      [this] { return static_cast<uint64_t>(tracked_words()); }, {},
+      "version words currently under protocol tracking");
+}
+
 void VerbAuditor::Record(Violation v) {
-  total_occurrences_++;
+  total_occurrences_.Inc();
   const auto key = std::make_pair(static_cast<int>(v.kind), v.target.raw());
   auto it = violation_index_.find(key);
   if (it != violation_index_.end()) {
@@ -116,7 +142,7 @@ void VerbAuditor::Record(Violation v) {
     return;
   }
   if (violations_.size() >= kMaxStoredViolations) {
-    suppressed_violations_++;
+    suppressed_violations_.Inc();
     return;
   }
   violation_index_.emplace(key, violations_.size());
@@ -370,7 +396,7 @@ void VerbAuditor::OnReadPosted(uint32_t client, RemotePtr src,
                                uint32_t len) {
   if (!enabled_) return;
   uint32_t& outstanding = inflight_reads_[{client, src.raw(), len}];
-  if (outstanding > 0) duplicate_inflight_reads_++;
+  if (outstanding > 0) duplicate_inflight_reads_.Inc();
   outstanding++;
 }
 
@@ -431,7 +457,7 @@ void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
     const bool holder_dead =
         liveness_probe_ && !liveness_probe_(state->holder);
     if (holder_dead) {
-      lock_steals_++;
+      lock_steals_.Inc();
       // The sanctioned steal is the recovery-time hand-off: the stealer
       // adopts the dead holder's history so the holder's landed writes
       // are ordered before everything after the steal.
@@ -567,8 +593,8 @@ Status VerbAuditor::CheckClean() const {
 void VerbAuditor::ClearViolations() {
   violations_.clear();
   violation_index_.clear();
-  total_occurrences_ = 0;
-  suppressed_violations_ = 0;
+  total_occurrences_.Reset();
+  suppressed_violations_.Reset();
 }
 
 void VerbAuditor::Reset() {
@@ -576,7 +602,7 @@ void VerbAuditor::Reset() {
   words_.clear();
   inflight_.clear();
   inflight_reads_.clear();
-  duplicate_inflight_reads_ = 0;
+  duplicate_inflight_reads_.Reset();
   client_vc_.clear();
   server_vc_.clear();
   trace_.clear();

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "rdma/remote_ptr.h"
@@ -129,6 +130,17 @@ class VerbAuditor {
   void SetLivenessProbe(std::function<bool(uint32_t)> probe) {
     liveness_probe_ = std::move(probe);
   }
+
+  /// Registers the auditor's tallies as metric families (the fabric wires
+  /// in its registry right after construction):
+  ///   audit.lock_steals               sanctioned CAS-clears of dead locks
+  ///   audit.duplicate_inflight_reads  same-client duplicate READs posted
+  ///   audit.violations{kind}          occurrences per ViolationKind
+  ///   audit.suppressed_violations     occurrences dropped at the cap
+  ///   audit.tracked_words             words under tracking (gauge-like)
+  /// Optional: a standalone auditor (no registry) keeps counting locally.
+  /// The registry must outlive the auditor.
+  void BindMetrics(metrics::MetricRegistry* registry);
 
   // ---- Hooks, called by the fabric ---------------------------------------
 
@@ -385,17 +397,17 @@ class VerbAuditor {
   std::unordered_map<uint32_t, ServerWords> words_;
   std::unordered_map<uint64_t, InflightWrite> inflight_;
   uint64_t next_ticket_ = 1;
-  uint64_t lock_steals_ = 0;
+  metrics::Counter lock_steals_;
   /// Outstanding standalone READ count per (client, target raw, len);
   /// entries are erased when they drain to zero.
   std::map<std::tuple<uint32_t, uint64_t, uint32_t>, uint32_t>
       inflight_reads_;
-  uint64_t duplicate_inflight_reads_ = 0;
+  metrics::Counter duplicate_inflight_reads_;
   std::vector<Violation> violations_;
   /// (kind, target raw) -> index into violations_, for deduplication.
   std::map<std::pair<int, uint64_t>, size_t> violation_index_;
-  uint64_t total_occurrences_ = 0;
-  uint64_t suppressed_violations_ = 0;
+  metrics::Counter total_occurrences_;
+  metrics::Counter suppressed_violations_;
   std::unordered_map<uint32_t, VectorClock> client_vc_;
   std::unordered_map<uint32_t, VectorClock> server_vc_;
   std::deque<VerbRecord> trace_;

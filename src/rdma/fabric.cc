@@ -65,6 +65,34 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
   for (auto& bus : local_bus_) {
     bus = std::make_unique<sim::Link>(config_.local_bandwidth_bytes_per_sec);
   }
+
+  metrics_.RegisterCounter(signaled_verbs_, "fabric.signaled_verbs", {},
+                           "verbs posted with a signaled completion");
+  metrics_.RegisterCounter(unsignaled_verbs_, "fabric.unsignaled_verbs", {},
+                           "chain members riding a doorbell unsignaled");
+  metrics_.RegisterCounter(doorbells_, "fabric.doorbells",
+                           {}, "doorbell rings (one per verb or chain)");
+  metrics_.RegisterCounter(combined_reads_, "fabric.combined_reads", {},
+                           "READs combined away onto in-flight ones");
+  metrics_.RegisterCounter(dropped_verbs_, "fabric.dropped_verbs", {},
+                           "verbs dropped at post or effect time");
+  metrics_.RegisterCounter(dropped_responses_, "fabric.dropped_responses",
+                           {}, "RPC responses with no waiting caller");
+  metrics_.RegisterCounter(rpc_timeouts_, "fabric.rpc_timeouts", {},
+                           "RPC attempts abandoned at the deadline");
+  for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
+    metrics_.RegisterCallback(
+        "server.bytes",
+        [this, s] {
+          const ServerStats stats = server_stats(s);
+          return stats.tx_bytes + stats.rx_bytes;
+        },
+        {{"server", std::to_string(s)}},
+        "per-server tx+rx bytes since the last reset");
+  }
+#if NAMTREE_AUDIT
+  auditor_->BindMetrics(&metrics_);
+#endif
 }
 
 void Fabric::RegisterRegion(uint32_t server_id, MemoryRegion* region) {
@@ -182,7 +210,7 @@ bool Fabric::CountVerbAndCheckAlive(uint32_t client) {
 sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
                                                    uint32_t target) {
   if (!CountVerbAndCheckAlive(reader)) {
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     // A dead reader learns nothing; callers re-check alive.
     co_return EpochReadResult{Status::OK(), true};
@@ -208,8 +236,8 @@ sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
     co_return EpochReadResult{
         Status::Unavailable("liveness registry host dead"), true};
   }
-  doorbells_++;
-  signaled_verbs_++;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[server_id];
 
   if (IsLocal(reader, server_id)) {
@@ -218,7 +246,7 @@ sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
         simulator_.now() + config_.local_latency_ns, kEpochBytes);
     co_await sim::DelayUntil(simulator_, done);
     if (!ServerVerbExecutes(server_id)) {
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return EpochReadResult{
           Status::Unavailable("liveness registry host dead"), true};
     }
@@ -237,7 +265,7 @@ sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ServerVerbExecutes(server_id)) {  // host died with the READ in flight
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return EpochReadResult{
         Status::Unavailable("liveness registry host dead"), true};
   }
@@ -266,12 +294,12 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   if (!CountVerbAndCheckAlive(client)) {
     // Dead client: the verb never leaves the NIC. Charging the post cost
     // keeps virtual time moving for any coroutine still driving verbs.
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
-  doorbells_++;
-  signaled_verbs_++;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();
   // Standalone READ in-flight tracking (drops complete the posting too):
   // overlapping same-client duplicates are the combiner's waste metric.
   if (auditor_) auditor_->OnReadPosted(client, src, len);
@@ -285,11 +313,11 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     co_await sim::DelayUntil(simulator_, done);
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
     if (!ClientAlive(client)) {
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return;
     }
     if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return;
     }
     if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
@@ -310,12 +338,12 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   server.reads++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // died with the verb in flight: drop it
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
     co_return;
   }
   if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
     co_return;
   }
@@ -342,7 +370,7 @@ sim::Task<bool> Fabric::CombinedRead(uint32_t client, RemotePtr src,
     // Attach to the outstanding verb: no doorbell, no duplicate. The
     // shared_ptr keeps the landing buffer alive past the poster's erase.
     std::shared_ptr<PendingRead> pending = it->second;
-    combined_reads_++;
+    combined_reads_.Inc();
     co_await pending->done;
     std::memcpy(dst, pending->data.data(), len);
     co_return true;
@@ -364,13 +392,13 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
   if (ops.empty()) co_return;
   // One doorbell, one crash-point tick for the whole chain.
   if (!CountVerbAndCheckAlive(client)) {
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
-  doorbells_++;
-  signaled_verbs_++;  // the tail carries the chain's only completion
-  unsignaled_verbs_ += ops.size() - 1;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();  // the tail carries the chain's only completion
+  unsignaled_verbs_.Inc(ops.size() - 1);
   const uint64_t chain_id = next_chain_id_++;
 
   // A READ-only chain (head-node prefetch) has independent members; any
@@ -499,7 +527,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
           }
         }
       }
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return;
     }
     const ChainOp& op = ops[p.index];
@@ -514,7 +542,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
       if (auditor_ && op.kind == ChainOp::Kind::kWrite) {
         auditor_->DropWrite(p.audit_ticket);
       }
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       continue;
     }
     switch (op.kind) {
@@ -565,12 +593,12 @@ sim::Task<void> Fabric::ReadBatch(uint32_t client,
 sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
                               uint32_t len) {
   if (!CountVerbAndCheckAlive(client)) {
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return;
   }
-  doorbells_++;
-  signaled_verbs_++;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
   uint8_t* remote = TargetAddress(dst, len);
   const uint64_t audit_ticket =
@@ -584,12 +612,12 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
     co_await sim::DelayUntil(simulator_, done);
     if (!ClientAlive(client)) {
       if (auditor_) auditor_->DropWrite(audit_ticket);
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return;
     }
     if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
       if (auditor_) auditor_->DropWrite(audit_ticket);
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_return;
     }
     if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
@@ -614,12 +642,12 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: nothing lands
     if (auditor_) auditor_->DropWrite(audit_ticket);
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return;
   }
   if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
     if (auditor_) auditor_->DropWrite(audit_ticket);
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return;
   }
   if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
@@ -634,12 +662,12 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
                                            uint64_t expected,
                                            uint64_t desired) {
   if (!CountVerbAndCheckAlive(client)) {
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return 0;  // meaningless to a dead caller; RemoteOps checks alive()
   }
-  doorbells_++;
-  signaled_verbs_++;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -671,11 +699,11 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
   server.atomics++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: no swap
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return 0;
   }
   if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return 0;  // callers disambiguate via ServerAlive
   }
   uint64_t current;
@@ -694,12 +722,12 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
 sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
                                         uint64_t add) {
   if (!CountVerbAndCheckAlive(client)) {
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
     co_return 0;
   }
-  doorbells_++;
-  signaled_verbs_++;
+  doorbells_.Inc();
+  signaled_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -729,11 +757,11 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
   server.atomics++;
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: no add
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return 0;
   }
   if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
-    dropped_verbs_++;
+    dropped_verbs_.Inc();
     co_return 0;  // callers disambiguate via ServerAlive
   }
   uint64_t current;
@@ -753,14 +781,14 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
       config_.rpc_timeout_ns > 0 ? config_.rpc_max_retries + 1 : 1;
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (!CountVerbAndCheckAlive(client)) {
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       co_await sim::Delay(simulator_, config_.nic_post_ns);
       RpcResponse dead;
       dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
       co_return dead;
     }
-    doorbells_++;
-    signaled_verbs_++;
+    doorbells_.Inc();
+    signaled_verbs_.Inc();
     if (!ServerAlive(server_id)) {
       // The connection to a dead server errs out at the posting NIC;
       // retrying cannot help, so fail fast with kUnavailable (also needed
@@ -792,7 +820,7 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     server.sends++;
     co_await sim::DelayUntil(simulator_, t_deliver);
     if (!ClientAlive(client)) {  // SEND dropped in flight
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       RpcResponse dead;
       dead.status = static_cast<uint16_t>(StatusCode::kUnavailable);
       co_return dead;
@@ -800,7 +828,7 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     if (!ServerVerbExecutes(server_id)) {
       // The server died with the SEND in flight: the request is lost and
       // no worker will ever see it.
-      dropped_verbs_++;
+      dropped_verbs_.Inc();
       RpcResponse down;
       down.status = static_cast<uint16_t>(StatusCode::kUnavailable);
       co_return down;
@@ -829,7 +857,7 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
       // Abandon the call: the registry entry dies here, so a handler that
       // responds later finds nothing (never a dangling caller frame).
       pending_calls_.erase(call_id);
-      rpc_timeouts_++;
+      rpc_timeouts_.Inc();
       continue;
     }
     co_await sim::DelayUntil(simulator_, pending->deliver_at);
@@ -855,7 +883,7 @@ void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
   if (!ServerAlive(server_id)) {
     // A handler racing its own server's death: the dead NIC sends
     // nothing. The caller was (or will be) failed by the death fallout.
-    dropped_responses_++;
+    dropped_responses_.Inc();
     return;
   }
   MemoryServerEndpoint& server = memory_servers_[server_id];
@@ -886,7 +914,7 @@ void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
 
   auto it = pending_calls_.find(incoming.call_id);
   if (it == pending_calls_.end()) {
-    dropped_responses_++;  // caller timed out or died; reply goes nowhere
+    dropped_responses_.Inc();  // caller timed out or died; reply goes nowhere
     return;
   }
   PendingCall& pending = *it->second;
@@ -933,10 +961,10 @@ void Fabric::ResetStats() {
     ep->rx.ResetStats();
   }
   for (auto& bus : local_bus_) bus->ResetStats();
-  signaled_verbs_ = 0;
-  unsignaled_verbs_ = 0;
-  doorbells_ = 0;
-  combined_reads_ = 0;
+  signaled_verbs_.Reset();
+  unsignaled_verbs_.Reset();
+  doorbells_.Reset();
+  combined_reads_.Reset();
 }
 
 }  // namespace namtree::rdma

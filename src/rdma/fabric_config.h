@@ -126,6 +126,7 @@ struct FabricConfig {
   /// time has passed stay applied, everything after the death vanishes.
   struct CrashPoint {
     uint32_t client = 0;
+    // namtree-lint: metric-ok(a configured threshold, not an event count)
     uint64_t after_verbs = 0;
   };
   /// Crash schedule evaluated by the fabric (empty = no crash injection).
@@ -141,6 +142,7 @@ struct FabricConfig {
   /// for live servers still land. RPC deliveries count as one effect.
   struct ServerCrashPoint {
     uint32_t server = 0;
+    // namtree-lint: metric-ok(a configured threshold, not an event count)
     uint64_t after_verbs = 0;
   };
   /// Server crash schedule (empty = immortal storage, today's behavior).

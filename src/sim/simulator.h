@@ -109,6 +109,7 @@ class Simulator {
   std::unordered_set<uint64_t> cancelled_;  // seq numbers of disarmed events
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  // namtree-lint: metric-ok(engine-internal diagnostic beneath the layer that owns the registry; read via accessor, never plumbed into results)
   uint64_t events_processed_ = 0;
   uint64_t schedule_seed_ = 0;
   SimTime schedule_jitter_ns_ = 0;

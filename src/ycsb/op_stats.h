@@ -1,0 +1,55 @@
+#ifndef NAMTREE_YCSB_OP_STATS_H_
+#define NAMTREE_YCSB_OP_STATS_H_
+
+#include <map>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "ycsb/workload.h"
+
+namespace namtree::ycsb::internal {
+
+/// On-demand registry cells for the per-run YCSB op accounting, shared by
+/// the closed-loop runner and the trace replayer:
+///
+///   ycsb.ops{op, class}   completed ops by type and status class
+///   ycsb.op_latency{op}   per-op latency distribution (ns)
+///
+/// Cells materialize on first use (a run that never deletes creates no
+/// delete cells) and live in node-stable maps — the registry keeps pointers
+/// to the handles, so they must never relocate. Destroying this struct at
+/// end of run folds the final values into the registry's retired residue;
+/// the run's window Delta still reads them exactly.
+struct OpStats {
+  metrics::MetricRegistry* registry = nullptr;
+  std::map<std::pair<int, int>, metrics::Counter> op_cells;
+  std::map<int, metrics::Histogram> latency_cells;
+
+  metrics::Counter& OpCell(OpType type, StatusClass cls) {
+    const auto key = std::make_pair(static_cast<int>(type),
+                                    static_cast<int>(cls));
+    auto [it, inserted] = op_cells.try_emplace(key);
+    if (inserted) {
+      registry->RegisterCounter(
+          it->second, "ycsb.ops",
+          {{"op", OpTypeName(type)}, {"class", StatusClassName(cls)}},
+          "completed ops by type and status class");
+    }
+    return it->second;
+  }
+
+  metrics::Histogram& LatencyCell(OpType type) {
+    auto [it, inserted] = latency_cells.try_emplace(static_cast<int>(type));
+    if (inserted) {
+      registry->RegisterHistogram(it->second, "ycsb.op_latency",
+                                  {{"op", OpTypeName(type)}},
+                                  "per-op latency (ns)");
+    }
+    return it->second;
+  }
+};
+
+}  // namespace namtree::ycsb::internal
+
+#endif  // NAMTREE_YCSB_OP_STATS_H_

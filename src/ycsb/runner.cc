@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/task.h"
+#include "ycsb/op_stats.h"
 
 namespace namtree::ycsb {
 
@@ -17,22 +19,29 @@ struct SharedState {
   SimTime warmup_end = 0;
   SimTime deadline = 0;
   RunResult result;
+  /// Registry cells for the op accounting ("ycsb.ops"{op, class} and
+  /// "ycsb.op_latency"{op}), created on first use.
+  internal::OpStats stats;
+  /// Clients crash-injected away during the run ("ycsb.dead_clients").
+  metrics::Counter dead_clients;
 };
 
 /// Records one completed operation if it fell inside the measurement
-/// window (both loop shapes share these window semantics).
+/// window (both loop shapes share these window semantics). Counts land in
+/// the registry — one "ycsb.ops" bump per {op type, status class}, with
+/// StatusClassOf as the single status -> class mapping — so RunResult's
+/// ops()/failed_ops()/failures() views and the bench --json emitter all
+/// read the same cells.
 void Account(SharedState& state, OpType type, const Status& status,
              SimTime start, SimTime end) {
   if (start < state.warmup_end || end > state.deadline) return;
-  state.result.ops++;
-  state.result.latency.Add(static_cast<uint64_t>(end - start));
+  const uint64_t latency = static_cast<uint64_t>(end - start);
+  state.result.latency.Add(latency);
   auto& per_type = state.result.per_type[static_cast<int>(type)];
   per_type.count++;
-  per_type.latency.Add(static_cast<uint64_t>(end - start));
-  if (!status.ok()) {
-    state.result.failed_ops++;
-    state.result.failures.Count(status.code());
-  }
+  per_type.latency.Add(latency);
+  state.stats.OpCell(type, StatusClassOf(status.code())).Inc();
+  state.stats.LatencyCell(type).Observe(latency);
 }
 
 // namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
@@ -45,13 +54,17 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
     // verbs were dropped by the fabric. Only the first lane of a pipelined
     // client reports the death, so `dead_clients` counts clients.
     if (!cluster.fabric().ClientAlive(ctx.client_id())) {
-      if (primary_lane) state.result.dead_clients++;
+      if (primary_lane) state.dead_clients.Inc();
       break;
     }
     const Operation op = gen.Next(ctx.rng());
     const SimTime start = simulator.now();
     OpResult op_result;
     op_result.type = op.type;
+    // The runner's span is the outermost one: the index entry points' own
+    // spans go inert under it, so each closed-loop op traces exactly once,
+    // labeled by its workload op type.
+    metrics::OpSpan span(ctx.trace(), OpTypeName(op.type));
     switch (op.type) {
       case OpType::kPoint: {
         // A clean miss carries an OK status; only degraded-mode failures
@@ -92,7 +105,7 @@ sim::Task<> BatchedClientLoop(nam::Cluster& cluster, DistributedIndex& index,
   std::vector<index::PointOpResult> results;
   while (simulator.now() < state.deadline) {
     if (!cluster.fabric().ClientAlive(ctx.client_id())) {
-      state.result.dead_clients++;
+      state.dead_clients.Inc();
       break;
     }
     // Gather up to `depth` coalescable point ops. A range op flushes the
@@ -152,7 +165,7 @@ sim::Task<> MultiGetClientLoop(nam::Cluster& cluster, DistributedIndex& index,
   std::vector<index::LookupResult> results;
   while (simulator.now() < state.deadline) {
     if (!cluster.fabric().ClientAlive(ctx.client_id())) {
-      if (primary_lane) state.result.dead_clients++;
+      if (primary_lane) state.dead_clients.Inc();
       break;
     }
     // Gather up to `batch` consecutive point lookups into one MultiGet; any
@@ -229,10 +242,21 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
                       uint64_t num_keys, const RunConfig& config) {
   sim::Simulator& simulator = cluster.simulator();
   cluster.fabric().SetNumClients(config.num_clients);
+  metrics::MetricRegistry& registry = cluster.fabric().metrics();
 
   SharedState state;
   state.warmup_end = simulator.now() + config.warmup;
   state.deadline = state.warmup_end + config.duration;
+  state.stats.registry = &registry;
+  registry.RegisterCounter(state.dead_clients, "ycsb.dead_clients", {},
+                           "clients crash-injected away during the run");
+
+  // The run's measurement window over the (fabric-lifetime) registry:
+  // everything this run's contexts do — warmup included, matching the
+  // historical per-context sums — reads as end minus begin. Cells created
+  // below (per-client counters, op cells) count from zero; residue of
+  // earlier runs on the same fabric is in `begin` and subtracts out.
+  const metrics::Snapshot begin = registry.Collect();
 
   WorkloadGenerator gen(config.mix, num_keys, config.dist, config.zipf_theta);
 
@@ -292,14 +316,24 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
     sim::Spawn(simulator, GcLoop(cluster, index, *contexts.back(), state,
                                  config.gc_interval));
   }
+  if (config.trace_ops) {
+    for (const auto& ctx : contexts) {
+      ctx->trace().Enable(config.trace_ring, config.trace_outliers);
+    }
+  }
 
   simulator.Run();
 
   RunResult& result = state.result;
+  result.counters = metrics::Delta::Between(begin, registry.Collect());
   result.seconds = static_cast<double>(config.duration) / kSecond;
   result.ops_per_sec =
-      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+      result.seconds > 0 ? static_cast<double>(result.ops()) / result.seconds
                          : 0;
+  // Server byte totals stay materialized from the fabric's per-server
+  // stats (not viewed through the window Delta): the reading is "bytes
+  // since the last ResetStats" — the warmup marker's reset — exactly as
+  // before the registry existed.
   for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
     const auto stats = cluster.fabric().server_stats(s);
     result.per_server_bytes.push_back(stats.tx_bytes + stats.rx_bytes);
@@ -307,17 +341,30 @@ RunResult RunWorkload(nam::Cluster& cluster, DistributedIndex& index,
   }
   result.gb_per_sec =
       static_cast<double>(result.server_bytes) / result.seconds / 1e9;
-  for (const auto& ctx : contexts) {
-    result.round_trips += ctx->round_trips;
-    result.restarts += ctx->restarts;
-    result.lock_waits += ctx->lock_waits;
-    result.backoff_rounds += ctx->backoff_rounds;
-    result.lock_steals += ctx->lock_steals;
-    result.combined_reads += ctx->combined_reads;
-    result.speculative_hits += ctx->speculative_hits;
-    result.mispredicts += ctx->mispredicts;
+  if (config.trace_ops) {
+    for (const auto& ctx : contexts) {
+      const std::string dump = ctx->trace().DumpOutliers();
+      if (dump.empty()) continue;
+      result.trace_outliers += "client " +
+                               std::to_string(ctx->client_id()) + ":\n" +
+                               dump;
+    }
   }
   return result;
+}
+
+RunResult::FailureBreakdown RunResult::failures() const {
+  const auto of = [this](StatusClass cls) {
+    return counters.Value("ycsb.ops", "class", StatusClassName(cls));
+  };
+  FailureBreakdown b;
+  b.not_found = of(StatusClass::kNotFound);
+  b.unavailable = of(StatusClass::kUnavailable);
+  b.timed_out = of(StatusClass::kTimedOut);
+  b.out_of_memory = of(StatusClass::kOutOfMemory);
+  b.aborted = of(StatusClass::kAborted);
+  b.other = of(StatusClass::kOther);
+  return b;
 }
 
 }  // namespace namtree::ycsb

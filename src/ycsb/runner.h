@@ -2,9 +2,11 @@
 #define NAMTREE_YCSB_RUNNER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "index/index.h"
@@ -47,29 +49,72 @@ struct RunConfig {
   /// Index::MultiGet call (0/1 = issue singly). Non-lookup operations and
   /// scans flush the gathered batch first, preserving per-client order.
   uint32_t multiget_batch = 1;
+  /// Per-op verb tracing (docs/observability.md): enable every client's
+  /// OpTrace and run each closed-loop operation under an OpSpan, recording
+  /// the verbs it issued (kind, target server, chain id, virtual-time
+  /// window). Off (default) = no tracing work beyond one branch per verb,
+  /// so virtual time and every counter stay bit-identical.
+  bool trace_ops = false;
+  /// Completed-span ring capacity per client (newest spans win).
+  size_t trace_ring = metrics::OpTrace::kDefaultRingCapacity;
+  /// Slowest spans retained per op label per client — the top-K stand-in
+  /// for the slowest percentile; dumped into RunResult::trace_outliers.
+  size_t trace_outliers = metrics::OpTrace::kDefaultOutliersPerOp;
 };
 
-/// Aggregated measurement of one run.
+/// Aggregated measurement of one run. Counter-valued results live in
+/// `counters`, the registry window of the run (metrics families `client.*`,
+/// `fabric.*`, `ycsb.*` — see docs/observability.md); the historical field
+/// names are kept as accessor views over that window. Derived rates,
+/// latency histograms, and byte totals are materialized as before.
 struct RunResult {
-  uint64_t ops = 0;            ///< operations completed in the window
-  uint64_t failed_ops = 0;     ///< NotFound inserts/deletes etc.
   double seconds = 0;          ///< window length in virtual seconds
   double ops_per_sec = 0;
   Histogram latency;           ///< per-op latency (ns), completed in window
   uint64_t server_bytes = 0;   ///< memory-server tx+rx bytes in window
   double gb_per_sec = 0;       ///< server_bytes / window (decimal GB)
   std::vector<uint64_t> per_server_bytes;
-  uint64_t round_trips = 0;
-  uint64_t restarts = 0;
-  uint64_t lock_waits = 0;
-  uint64_t backoff_rounds = 0;  ///< exponential-backoff sleeps while spinning
-  uint64_t lock_steals = 0;     ///< orphaned locks reclaimed from dead holders
-  uint64_t dead_clients = 0;    ///< clients crash-injected away during the run
-  uint64_t combined_reads = 0;     ///< READs served by attaching to in-flight ones
-  uint64_t speculative_hits = 0;   ///< descents fully served by the one-RTT batch
-  uint64_t mispredicts = 0;        ///< speculative descents that fell back
 
-  /// Failed operations bucketed by status class; `failed_ops == total()`.
+  /// The registry window of this run: Delta between the registry at run
+  /// start and at run end. Every counter the run moved — per-client
+  /// protocol counters, fabric verb counters, per-{op, status class} op
+  /// counts — reads from here, and bench --json emits it generically.
+  metrics::Delta counters;
+
+  /// Verb-by-verb dump of the slowest spans per op type, one block per
+  /// client (empty unless RunConfig::trace_ops).
+  std::string trace_outliers;
+
+  // ---- Counter views over `counters` --------------------------------------
+  uint64_t ops() const { return counters.Value("ycsb.ops"); }
+  uint64_t failed_ops() const {
+    return ops() - counters.Value("ycsb.ops", "class",
+                                  StatusClassName(StatusClass::kOk));
+  }
+  uint64_t round_trips() const { return counters.Value("client.round_trips"); }
+  uint64_t restarts() const { return counters.Value("client.restarts"); }
+  uint64_t lock_waits() const { return counters.Value("client.lock_waits"); }
+  /// Exponential-backoff sleeps while spinning on a remote lock.
+  uint64_t backoff_rounds() const {
+    return counters.Value("client.backoff_rounds");
+  }
+  /// Orphaned locks reclaimed from dead holders.
+  uint64_t lock_steals() const { return counters.Value("client.lock_steals"); }
+  /// Clients crash-injected away during the run.
+  uint64_t dead_clients() const { return counters.Value("ycsb.dead_clients"); }
+  /// READs served by attaching to in-flight ones.
+  uint64_t combined_reads() const {
+    return counters.Value("client.combined_reads");
+  }
+  /// Speculative descents fully served by the one-RTT batch.
+  uint64_t speculative_hits() const {
+    return counters.Value("client.speculative_hits");
+  }
+  /// Speculative descents that fell back to the level-by-level loop.
+  uint64_t mispredicts() const { return counters.Value("client.mispredicts"); }
+
+  /// Failed operations bucketed by status class (the one status -> class
+  /// mapping is common/status.h StatusClassOf); `failed_ops() == total()`.
   struct FailureBreakdown {
     uint64_t not_found = 0;
     uint64_t unavailable = 0;
@@ -78,25 +123,17 @@ struct RunResult {
     uint64_t aborted = 0;
     uint64_t other = 0;
 
-    void Count(StatusCode code) {
-      switch (code) {
-        case StatusCode::kNotFound: not_found++; break;
-        case StatusCode::kUnavailable: unavailable++; break;
-        case StatusCode::kTimedOut: timed_out++; break;
-        case StatusCode::kOutOfMemory: out_of_memory++; break;
-        case StatusCode::kAborted: aborted++; break;
-        default: other++; break;
-      }
-    }
     uint64_t total() const {
       return not_found + unavailable + timed_out + out_of_memory + aborted +
              other;
     }
   };
-  FailureBreakdown failures;
+  /// View over the `ycsb.ops` family's non-ok status classes.
+  FailureBreakdown failures() const;
 
   /// Per-operation-type breakdown (indexed by OpType).
   struct PerType {
+    // namtree-lint: metric-ok(materialized windowed copy of ycsb.ops{op}; the live counter is the registry cell)
     uint64_t count = 0;
     Histogram latency;
   };

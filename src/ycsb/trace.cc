@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sim/task.h"
+#include "ycsb/op_stats.h"
 
 namespace namtree::ycsb {
 
@@ -122,6 +123,8 @@ namespace {
 
 struct ReplayState {
   RunResult result;
+  /// Registry cells for the op accounting (see ycsb/op_stats.h).
+  internal::OpStats stats;
 };
 
 // namtree-lint: safe-coro-ref(every referent lives in the caller's frame, which blocks on simulator.Run() until all spawned tasks finish)
@@ -133,7 +136,7 @@ sim::Task<> ReplayClient(nam::Cluster& cluster,
   sim::Simulator& simulator = cluster.simulator();
   for (const Operation& op : ops) {
     const SimTime start = simulator.now();
-    bool ok = true;
+    Status status;
     switch (op.type) {
       case OpType::kPoint:
         (void)co_await index.Lookup(ctx, op.key);
@@ -142,22 +145,26 @@ sim::Task<> ReplayClient(nam::Cluster& cluster,
         (void)co_await index.Scan(ctx, op.key, op.hi, nullptr);
         break;
       case OpType::kInsert:
-        ok = (co_await index.Insert(ctx, op.key, op.value)).ok();
+        status = co_await index.Insert(ctx, op.key, op.value);
         break;
       case OpType::kUpdate:
-        ok = (co_await index.Update(ctx, op.key, op.value)).ok();
+        status = co_await index.Update(ctx, op.key, op.value);
         break;
       case OpType::kDelete:
-        ok = (co_await index.Delete(ctx, op.key)).ok();
+        status = co_await index.Delete(ctx, op.key);
         break;
     }
     const SimTime end = simulator.now();
-    state.result.ops++;
-    state.result.latency.Add(static_cast<uint64_t>(end - start));
+    const uint64_t latency = static_cast<uint64_t>(end - start);
+    state.result.latency.Add(latency);
     auto& per_type = state.result.per_type[static_cast<int>(op.type)];
     per_type.count++;
-    per_type.latency.Add(static_cast<uint64_t>(end - start));
-    if (!ok) state.result.failed_ops++;
+    per_type.latency.Add(latency);
+    // Replay keeps its historical failure semantics: point and range ops
+    // never count as failures (their status is discarded above), mutations
+    // count by status class (the legacy `ok` test becomes class != ok).
+    state.stats.OpCell(op.type, StatusClassOf(status.code())).Inc();
+    state.stats.LatencyCell(op.type).Observe(latency);
   }
 }
 
@@ -175,7 +182,10 @@ RunResult ReplayTrace(nam::Cluster& cluster, index::DistributedIndex& index,
     per_client[top.client].push_back(top.op);
   }
 
+  metrics::MetricRegistry& registry = cluster.fabric().metrics();
   ReplayState state;
+  state.stats.registry = &registry;
+  const metrics::Snapshot begin = registry.Collect();
   std::vector<std::unique_ptr<nam::ClientContext>> ctxs;
   const SimTime start_time = simulator.now();
   for (uint32_t c = 0; c < clients; ++c) {
@@ -187,10 +197,11 @@ RunResult ReplayTrace(nam::Cluster& cluster, index::DistributedIndex& index,
   simulator.Run();
 
   RunResult& result = state.result;
+  result.counters = metrics::Delta::Between(begin, registry.Collect());
   result.seconds =
       static_cast<double>(simulator.now() - start_time) / kSecond;
   result.ops_per_sec =
-      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds
+      result.seconds > 0 ? static_cast<double>(result.ops()) / result.seconds
                          : 0;
   for (uint32_t s = 0; s < cluster.num_memory_servers(); ++s) {
     const auto stats = cluster.fabric().server_stats(s);
@@ -201,11 +212,6 @@ RunResult ReplayTrace(nam::Cluster& cluster, index::DistributedIndex& index,
                           ? static_cast<double>(result.server_bytes) /
                                 result.seconds / 1e9
                           : 0;
-  for (const auto& ctx : ctxs) {
-    result.round_trips += ctx->round_trips;
-    result.restarts += ctx->restarts;
-    result.lock_waits += ctx->lock_waits;
-  }
   return result;
 }
 

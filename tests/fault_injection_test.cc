@@ -77,7 +77,7 @@ StressOutcome RunStress(const rdma::FabricConfig& fabric_config,
 
   const auto report = IndexInspector::Inspect(cluster.fabric(), index);
   StressOutcome outcome;
-  outcome.ops = result.ops;
+  outcome.ops = result.ops();
   outcome.live_entries = report.live_entries;
   outcome.sound = report.ok();
   outcome.report = report.ToString();
@@ -332,9 +332,9 @@ CrashOutcome RunCrashStress(rdma::FabricConfig fc, uint64_t seed) {
 
   const auto report = IndexInspector::Inspect(cluster.fabric(), index);
   CrashOutcome outcome;
-  outcome.ops = result.ops;
-  outcome.dead_clients = result.dead_clients;
-  outcome.lock_steals = result.lock_steals + rec.lock_steals;
+  outcome.ops = result.ops();
+  outcome.dead_clients = result.dead_clients();
+  outcome.lock_steals = result.lock_steals() + rec.lock_steals;
   outcome.sound = report.ok();
   outcome.report = report.ToString();
   return outcome;
@@ -802,8 +802,8 @@ TEST(RpcTimeoutTest, SlowFirstAttemptIsRetriedAndLateReplyDropped) {
   EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kOk));
   EXPECT_EQ(out.arg0, 42u);
   EXPECT_EQ(calls, 2u);
-  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 1u);
-  EXPECT_EQ(cluster.fabric().dropped_responses(), 1u)
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.rpc_timeouts"), 1u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.dropped_responses"), 1u)
       << "the abandoned attempt's late reply must be charged and dropped";
 }
 
@@ -827,8 +827,8 @@ TEST(RpcTimeoutTest, PersistentlySlowServiceSurfacesTimedOut) {
 
   EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kTimedOut));
   // Initial attempt + rpc_max_retries resends, each abandoned.
-  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 3u);
-  EXPECT_EQ(cluster.fabric().dropped_responses(), 3u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.rpc_timeouts"), 3u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.dropped_responses"), 3u);
 }
 
 TEST(RpcTimeoutTest, DeadCallerGetsUnavailableWithoutRetrying) {
@@ -849,7 +849,7 @@ TEST(RpcTimeoutTest, DeadCallerGetsUnavailableWithoutRetrying) {
   cluster.simulator().Run();
 
   EXPECT_EQ(out.status, static_cast<uint16_t>(StatusCode::kUnavailable));
-  EXPECT_EQ(cluster.fabric().rpc_timeouts(), 0u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.rpc_timeouts"), 0u);
 }
 
 }  // namespace
@@ -1126,15 +1126,15 @@ TEST(ServerLossTest, DegradedRunAtR1FailsOpsUnavailable) {
   run.mix = StressMix();
   const auto result = ycsb::RunWorkload(cluster, index, keys, run);
 
-  EXPECT_GT(result.ops, 100u) << "survivable partitions must keep serving";
-  EXPECT_GT(result.failures.unavailable, 0u)
+  EXPECT_GT(result.ops(), 100u) << "survivable partitions must keep serving";
+  EXPECT_GT(result.failures().unavailable, 0u)
       << "the dead server's key range never surfaced";
   // kUnavailable (and benign NotFound from the mix) are the only failure
   // modes: no timeouts, aborts, or mystery statuses.
-  EXPECT_EQ(result.failures.timed_out, 0u);
-  EXPECT_EQ(result.failures.aborted, 0u);
-  EXPECT_EQ(result.failures.out_of_memory, 0u);
-  EXPECT_EQ(result.failures.other, 0u);
+  EXPECT_EQ(result.failures().timed_out, 0u);
+  EXPECT_EQ(result.failures().aborted, 0u);
+  EXPECT_EQ(result.failures().out_of_memory, 0u);
+  EXPECT_EQ(result.failures().other, 0u);
   EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
       << cluster.fabric().CheckAuditClean().ToString();
 }
@@ -1166,14 +1166,14 @@ TEST(ServerLossTest, ReplicatedRunSurvivesServerDeathAcrossSeeds) {
     run.mix = StressMix();
     const auto result = ycsb::RunWorkload(cluster, index, keys, run);
 
-    EXPECT_GT(result.ops, 100u) << "seed " << seed;
+    EXPECT_GT(result.ops(), 100u) << "seed " << seed;
     // NotFound is workload noise (updates/deletes of absent keys); every
     // fault-induced failure class must be zero.
-    EXPECT_EQ(result.failures.unavailable, 0u) << "seed " << seed;
-    EXPECT_EQ(result.failures.timed_out, 0u) << "seed " << seed;
-    EXPECT_EQ(result.failures.aborted, 0u) << "seed " << seed;
-    EXPECT_EQ(result.failures.out_of_memory, 0u) << "seed " << seed;
-    EXPECT_EQ(result.failures.other, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures().unavailable, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures().timed_out, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures().aborted, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures().out_of_memory, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures().other, 0u) << "seed " << seed;
     EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
         << "seed " << seed << ": "
         << cluster.fabric().CheckAuditClean().ToString();

@@ -580,7 +580,7 @@ TEST(HeadNodeTest, PrefetchReducesRoundTrips) {
           ScanOne(index, ctx, 0, 40000, nullptr, &count));
     local_cluster.simulator().Run();
     EXPECT_EQ(count, 20000u);
-    return ctx.round_trips;
+    return ctx.round_trips.value();
   };
 
   const uint64_t without = measure(0);
@@ -630,11 +630,68 @@ TEST(HeadNodeTest, OutdatedHeadsFallBackAndRebuildRestoresThem) {
   Spawn(cluster.simulator(), Rebuild::Run(index, ctx));
   cluster.simulator().Run();
 
-  ctx.round_trips = 0;
+  ctx.round_trips.Reset();
   count = 0;
   Spawn(cluster.simulator(), ScanOne(index, ctx, 0, 8000, nullptr, &count));
   cluster.simulator().Run();
   EXPECT_EQ(count, 6000u);
+}
+
+// ---- Metrics registry parity ------------------------------------------------
+
+// Every counter a context moves must read identically from the fabric's
+// registry, per client via the {client} label and in aggregate across the
+// family (docs/observability.md). This is the contract that lets RunResult
+// be a pure window over the registry.
+TEST_P(IndexDesignTest, RegistryMirrorsContextCounters) {
+  TestRig setup(GetParam());
+  ASSERT_TRUE(setup.index->BulkLoad(MakeData(4000)).ok());
+  ClientContext a = setup.MakeClient(0, 1);
+  ClientContext b = setup.MakeClient(1, 2);
+
+  std::vector<Key> keys;
+  for (Key k = 0; k < 400; ++k) keys.push_back(k * 2);
+  std::vector<LookupResult> results_a, results_b;
+  Spawn(setup.cluster.simulator(),
+        LookupMany(*setup.index, a, keys, &results_a));
+  Spawn(setup.cluster.simulator(),
+        LookupMany(*setup.index, b, keys, &results_b));
+  setup.cluster.simulator().Run();
+
+  std::vector<KV> fresh;
+  for (uint64_t i = 0; i < 200; ++i) fresh.push_back({i * 2 + 1, i + 1});
+  uint64_t failures = 0;
+  Spawn(setup.cluster.simulator(),
+        InsertMany(*setup.index, a, std::move(fresh), &failures));
+  setup.cluster.simulator().Run();
+  ASSERT_EQ(failures, 0u);
+
+  auto& registry = setup.cluster.fabric().metrics();
+  const auto parity = [&](const char* family, const metrics::Counter& ca,
+                          const metrics::Counter& cb) {
+    EXPECT_EQ(registry.Value(family, "client", "0"), ca.value()) << family;
+    EXPECT_EQ(registry.Value(family, "client", "1"), cb.value()) << family;
+    EXPECT_EQ(registry.Value(family), ca.value() + cb.value()) << family;
+  };
+  parity("client.round_trips", a.round_trips, b.round_trips);
+  parity("client.restarts", a.restarts, b.restarts);
+  parity("client.lock_waits", a.lock_waits, b.lock_waits);
+  parity("client.backoff_rounds", a.backoff_rounds, b.backoff_rounds);
+  parity("client.lock_steals", a.lock_steals, b.lock_steals);
+  parity("client.combined_reads", a.combined_reads, b.combined_reads);
+  EXPECT_GT(registry.Value("client.round_trips"), 0u);
+
+  // A Snapshot window over more work isolates exactly that work.
+  const metrics::Snapshot begin = registry.Collect();
+  const uint64_t trips_before = a.round_trips;
+  std::vector<LookupResult> again;
+  Spawn(setup.cluster.simulator(), LookupMany(*setup.index, a, keys, &again));
+  setup.cluster.simulator().Run();
+  const metrics::Delta window =
+      metrics::Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(window.Value("client.round_trips", "client", "0"),
+            a.round_trips - trips_before);
+  EXPECT_EQ(window.Value("client.round_trips", "client", "1"), 0u);
 }
 
 // ---- Multi-op RPC batches (PointOp / RunBatch) ------------------------------

@@ -101,7 +101,7 @@ TEST(InspectorTest, CoarseOneSidedSurvivesMixedWorkload) {
   mix.range_selectivity = 0.01;
   run.mix = mix;
   const auto result = ycsb::RunWorkload(cluster, index, keys, run);
-  ASSERT_GT(result.ops, 1000u);
+  ASSERT_GT(result.ops(), 1000u);
   const auto report = IndexInspector::Inspect(cluster.fabric(), index);
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
@@ -200,7 +200,7 @@ TEST_P(InspectorStressTest, StructureSurvivesMixedWorkload) {
   mix.range_selectivity = 0.01;
   run.mix = mix;
   const auto result = ycsb::RunWorkload(cluster, *index, keys, run);
-  ASSERT_GT(result.ops, 1000u);
+  ASSERT_GT(result.ops(), 1000u);
 
   IndexInspector::Report report;
   if (cg != nullptr) {

@@ -1,0 +1,377 @@
+// Unit tests for the unified metrics registry and per-op tracing layer
+// (src/common/metrics.h, docs/observability.md): handle registration and
+// label fan-out, Snapshot/Delta window semantics (mid-window cells, reset
+// detection, retired-handle residue), histogram cell merging, and the
+// OpTrace span ring (bounding, event truncation, outlier retention and
+// hook, nested-span inertness).
+
+#include "common/metrics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace namtree::metrics {
+namespace {
+
+TEST(MetricRegistryTest, RegisterAndLookup) {
+  MetricRegistry registry;
+  Counter frobs;
+  registry.RegisterCounter(frobs, "x.frobs", {}, "frobnications");
+  EXPECT_EQ(registry.family_count(), 1u);
+  EXPECT_EQ(registry.Value("x.frobs"), 0u);
+  EXPECT_EQ(registry.Help("x.frobs"), "frobnications");
+
+  frobs.Inc();
+  frobs.Inc(4);
+  EXPECT_EQ(registry.Value("x.frobs"), 5u);
+  EXPECT_EQ(frobs.value(), 5u);
+  // The implicit conversion is the compatibility shim for legacy field
+  // reads: arithmetic and gtest comparisons work unchanged.
+  EXPECT_EQ(frobs, 5u);
+
+  // Unknown families read as zero rather than erroring: callers probe
+  // families that a given run may never have touched.
+  EXPECT_EQ(registry.Value("x.absent"), 0u);
+  EXPECT_EQ(registry.Help("x.absent"), "");
+}
+
+TEST(MetricRegistryTest, LabelFanOutSumsAndFilters) {
+  MetricRegistry registry;
+  Counter c0, c1, c2;
+  registry.RegisterCounter(c0, "x.ops", {{"client", "0"}});
+  registry.RegisterCounter(c1, "x.ops", {{"client", "1"}});
+  registry.RegisterCounter(c2, "x.ops", {{"client", "2"}});
+  EXPECT_EQ(registry.family_count(), 1u) << "one family, three cells";
+
+  c0.Inc(1);
+  c1.Inc(10);
+  c2.Inc(100);
+  EXPECT_EQ(registry.Value("x.ops"), 111u);
+  EXPECT_EQ(registry.Value("x.ops", "client", "1"), 10u);
+  EXPECT_EQ(registry.Value("x.ops", "client", "9"), 0u);
+
+  const Snapshot snap = registry.Collect();
+  EXPECT_EQ(snap.Value("x.ops"), 111u);
+  EXPECT_EQ(snap.Value("x.ops", "client", "2"), 100u);
+  ASSERT_EQ(snap.families().size(), 1u);
+  EXPECT_EQ(snap.families()[0].label_keys,
+            std::vector<std::string>{"client"});
+  EXPECT_EQ(snap.families()[0].values.size(), 3u);
+}
+
+TEST(MetricRegistryTest, MultipleHandlesOfOneCellSum) {
+  // Two handles carrying the same label values land in the same logical
+  // cell of the family (e.g. several RemoteOps engines for one client).
+  MetricRegistry registry;
+  Counter a, b;
+  registry.RegisterCounter(a, "x.ops", {{"client", "0"}});
+  registry.RegisterCounter(b, "x.ops", {{"client", "0"}});
+  a.Inc(3);
+  b.Inc(4);
+  EXPECT_EQ(registry.Value("x.ops", "client", "0"), 7u);
+  const Snapshot snap = registry.Collect();
+  ASSERT_EQ(snap.families()[0].values.size(), 1u) << "one merged cell";
+  EXPECT_EQ(snap.families()[0].values[0].second, 7u);
+}
+
+TEST(MetricRegistryTest, RetiredHandleResidueKeepsTotalsMonotone) {
+  MetricRegistry registry;
+  {
+    Counter ephemeral;
+    registry.RegisterCounter(ephemeral, "x.ops", {{"client", "7"}});
+    ephemeral.Inc(42);
+  }  // handle destroyed: value folds into the retired residue
+  EXPECT_EQ(registry.Value("x.ops"), 42u);
+  EXPECT_EQ(registry.Value("x.ops", "client", "7"), 42u);
+
+  // A successor handle with the same labels adds on top of the residue —
+  // per-run ClientContexts on a long-lived fabric keep family totals
+  // monotone across runs.
+  Counter successor;
+  registry.RegisterCounter(successor, "x.ops", {{"client", "7"}});
+  successor.Inc(8);
+  EXPECT_EQ(registry.Value("x.ops", "client", "7"), 50u);
+}
+
+TEST(MetricRegistryTest, CallbackFamilyReadsAtCollectTime) {
+  MetricRegistry registry;
+  uint64_t source = 0;
+  registry.RegisterCallback("x.bytes", [&] { return source; },
+                            {{"server", "0"}});
+  EXPECT_EQ(registry.Value("x.bytes"), 0u);
+  source = 1234;
+  EXPECT_EQ(registry.Value("x.bytes"), 1234u);
+  EXPECT_EQ(registry.Collect().Value("x.bytes", "server", "0"), 1234u);
+}
+
+TEST(MetricRegistryTest, GaugeReportsLevel) {
+  MetricRegistry registry;
+  Gauge depth;
+  registry.RegisterGauge(depth, "x.depth");
+  depth.Set(5);
+  depth.Add(2);
+  depth.Sub(3);
+  EXPECT_EQ(registry.Value("x.depth"), 4u);
+}
+
+TEST(DeltaTest, WindowSubtractsCounters) {
+  MetricRegistry registry;
+  Counter ops;
+  registry.RegisterCounter(ops, "x.ops");
+  ops.Inc(10);
+  const Snapshot begin = registry.Collect();
+  ops.Inc(7);
+  const Delta delta = Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(delta.Value("x.ops"), 7u);
+  EXPECT_TRUE(delta.Has("x.ops"));
+  EXPECT_FALSE(delta.Has("x.other"));
+}
+
+TEST(DeltaTest, CellCreatedMidWindowCountsFromZero) {
+  MetricRegistry registry;
+  Counter before;
+  registry.RegisterCounter(before, "x.ops", {{"client", "0"}});
+  before.Inc(5);
+  const Snapshot begin = registry.Collect();
+
+  Counter mid;
+  registry.RegisterCounter(mid, "x.ops", {{"client", "1"}});
+  mid.Inc(30);
+  before.Inc(1);
+
+  const Delta delta = Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(delta.Value("x.ops", "client", "0"), 1u);
+  EXPECT_EQ(delta.Value("x.ops", "client", "1"), 30u)
+      << "mid-window cell must count from zero, not vanish";
+  EXPECT_EQ(delta.Value("x.ops"), 31u);
+}
+
+TEST(DeltaTest, ResetInsideWindowReportsPostResetValue) {
+  // Prometheus-style reset detection: a window spanning Fabric::ResetStats
+  // must reproduce the legacy "since last reset" reading.
+  MetricRegistry registry;
+  Counter ops;
+  registry.RegisterCounter(ops, "x.ops");
+  ops.Inc(100);
+  const Snapshot begin = registry.Collect();
+  ops.Reset();
+  ops.Inc(9);
+  const Delta delta = Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(delta.Value("x.ops"), 9u);
+}
+
+TEST(DeltaTest, DefaultConstructedIsEmpty) {
+  const Delta delta;
+  EXPECT_EQ(delta.Value("anything"), 0u);
+  EXPECT_EQ(delta.Value("anything", "k", "v"), 0u);
+  EXPECT_FALSE(delta.Has("anything"));
+  EXPECT_TRUE(delta.families().empty());
+}
+
+TEST(DeltaTest, GaugeReportsEndLevelNotDifference) {
+  MetricRegistry registry;
+  Gauge depth;
+  registry.RegisterGauge(depth, "x.depth");
+  depth.Set(10);
+  const Snapshot begin = registry.Collect();
+  depth.Set(3);
+  const Delta delta = Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(delta.Value("x.depth"), 3u);
+}
+
+TEST(HistogramFamilyTest, CellsMergePerLabelSet) {
+  MetricRegistry registry;
+  Histogram lane0, lane1;
+  registry.RegisterHistogram(lane0, "x.latency", {{"op", "point"}});
+  registry.RegisterHistogram(lane1, "x.latency", {{"op", "point"}});
+  lane0.Observe(100);
+  lane0.Observe(200);
+  lane1.Observe(300);
+
+  const Snapshot snap = registry.Collect();
+  ASSERT_EQ(snap.families().size(), 1u);
+  const FamilySample& family = snap.families()[0];
+  EXPECT_EQ(family.kind, MetricKind::kHistogram);
+  ASSERT_EQ(family.hists.size(), 1u) << "same labels -> one merged cell";
+  EXPECT_EQ(family.hists[0].second.count(), 3u);
+  EXPECT_EQ(family.hists[0].second.max(), 300u);
+  EXPECT_EQ(snap.Value("x.latency"), 3u) << "values carry the obs count";
+}
+
+TEST(HistogramFamilyTest, DeltaReportsWindowedCount) {
+  MetricRegistry registry;
+  Histogram lat;
+  registry.RegisterHistogram(lat, "x.latency", {{"op", "point"}});
+  lat.Observe(1);
+  lat.Observe(2);
+  const Snapshot begin = registry.Collect();
+  lat.Observe(3);
+  const Delta delta = Delta::Between(begin, registry.Collect());
+  EXPECT_EQ(delta.Value("x.latency"), 1u);
+  ASSERT_EQ(delta.families().size(), 1u);
+  // The distribution itself is cumulative end-of-window.
+  EXPECT_EQ(delta.families()[0].hists[0].second.count(), 3u);
+}
+
+TEST(HistogramFamilyTest, RetiredHistogramMergesIntoResidue) {
+  MetricRegistry registry;
+  {
+    Histogram ephemeral;
+    registry.RegisterHistogram(ephemeral, "x.latency", {{"op", "point"}});
+    ephemeral.Observe(50);
+  }
+  Histogram successor;
+  registry.RegisterHistogram(successor, "x.latency", {{"op", "point"}});
+  successor.Observe(70);
+  const Snapshot snap = registry.Collect();
+  EXPECT_EQ(snap.Value("x.latency"), 2u);
+  EXPECT_EQ(snap.families()[0].hists[0].second.max(), 70u);
+  EXPECT_EQ(snap.families()[0].hists[0].second.min(), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// OpTrace
+// ---------------------------------------------------------------------------
+
+class OpTraceTest : public ::testing::Test {
+ protected:
+  OpTraceTest() : trace_(3) {
+    trace_.SetClock([this] { return now_; });
+  }
+
+  SimTime now_ = 0;
+  OpTrace trace_;
+};
+
+TEST_F(OpTraceTest, DisabledTraceIsInert) {
+  EXPECT_FALSE(trace_.enabled());
+  {
+    OpSpan span(trace_, "point");
+    EXPECT_FALSE(span.active());
+    EXPECT_FALSE(trace_.in_span());
+    trace_.Event(TraceVerb::kRead, 0, 0, 0);
+  }
+  EXPECT_TRUE(trace_.ring().empty());
+}
+
+TEST_F(OpTraceTest, SpanRecordsVerbEventsInOrder) {
+  trace_.Enable();
+  now_ = 1000;
+  {
+    OpSpan span(trace_, "point");
+    EXPECT_TRUE(span.active());
+    EXPECT_TRUE(trace_.in_span());
+    const SimTime t0 = now_;
+    now_ = 1500;
+    trace_.Event(TraceVerb::kRead, 2, 0, t0);
+    now_ = 2000;
+    trace_.Event(TraceVerb::kCas, 1, 7, 1500);
+  }
+  ASSERT_EQ(trace_.ring().size(), 1u);
+  const SpanRecord& rec = trace_.ring().front();
+  EXPECT_EQ(rec.op, "point");
+  EXPECT_EQ(rec.start, 1000);
+  EXPECT_EQ(rec.finish, 2000);
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_EQ(rec.events[0].verb, TraceVerb::kRead);
+  EXPECT_EQ(rec.events[0].server, 2u);
+  EXPECT_EQ(rec.events[0].start, 1000);
+  EXPECT_EQ(rec.events[0].finish, 1500);
+  EXPECT_EQ(rec.events[1].verb, TraceVerb::kCas);
+  EXPECT_EQ(rec.events[1].chain, 7u);
+  EXPECT_EQ(rec.truncated, 0u);
+  EXPECT_NE(rec.ToString().find("point"), std::string::npos);
+}
+
+TEST_F(OpTraceTest, NestedSpansStayInert) {
+  trace_.Enable();
+  OpSpan outer(trace_, "point");
+  ASSERT_TRUE(outer.active());
+  {
+    // The index entry point opens its own span under the runner's: it must
+    // not record, and closing it must not close the outer span.
+    OpSpan inner(trace_, "lookup");
+    EXPECT_FALSE(inner.active());
+    EXPECT_TRUE(trace_.in_span());
+  }
+  EXPECT_TRUE(trace_.in_span()) << "inner destructor closed the outer span";
+  trace_.Event(TraceVerb::kRead, 0, 0, 0);
+  EXPECT_TRUE(trace_.ring().empty()) << "outer span still open";
+}
+
+TEST_F(OpTraceTest, RingIsBoundedNewestWin) {
+  trace_.Enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    now_ = i * 100;
+    OpSpan span(trace_, "point");
+    now_ = i * 100 + 10;
+  }
+  ASSERT_EQ(trace_.ring().size(), 4u);
+  EXPECT_EQ(trace_.ring().front().start, 600);
+  EXPECT_EQ(trace_.ring().back().start, 900);
+}
+
+TEST_F(OpTraceTest, EventsPerSpanAreTruncated) {
+  trace_.Enable();
+  {
+    OpSpan span(trace_, "scan");
+    for (size_t i = 0; i < OpTrace::kMaxEventsPerSpan + 25; ++i) {
+      trace_.Event(TraceVerb::kRead, 0, 0, 0);
+    }
+  }
+  ASSERT_EQ(trace_.ring().size(), 1u);
+  const SpanRecord& rec = trace_.ring().front();
+  EXPECT_EQ(rec.events.size(), OpTrace::kMaxEventsPerSpan);
+  EXPECT_EQ(rec.truncated, 25u);
+  EXPECT_NE(rec.ToString().find("truncated"), std::string::npos);
+}
+
+TEST_F(OpTraceTest, SlowestSpansRetainedPerOpWithHook) {
+  trace_.Enable(/*ring_capacity=*/2, /*outliers_per_op=*/2);
+  size_t hook_calls = 0;
+  trace_.SetOutlierHook([&](const SpanRecord&) { hook_calls++; });
+
+  // Durations: point 10, 40, 20, 30; scan 99.
+  const SimTime durations[] = {10, 40, 20, 30};
+  SimTime t = 0;
+  for (SimTime d : durations) {
+    now_ = t;
+    OpSpan span(trace_, "point");
+    now_ = t + d;
+    t += 1000;
+  }
+  now_ = t;
+  {
+    OpSpan span(trace_, "scan");
+    now_ = t + 99;
+  }
+
+  const auto slowest = trace_.SlowestFor("point");
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0]->duration(), 40);
+  EXPECT_EQ(slowest[1]->duration(), 30);
+  ASSERT_EQ(trace_.SlowestFor("scan").size(), 1u);
+  // Spans 10 and 40 seed the set, 20 evicts 10, 30 evicts 20, scan's 99
+  // enters its own op's set: every admission fires the hook once.
+  EXPECT_EQ(hook_calls, 5u);
+
+  const std::string dump = trace_.DumpOutliers();
+  EXPECT_NE(dump.find("point"), std::string::npos);
+  EXPECT_NE(dump.find("scan"), std::string::npos);
+
+  // The ring only kept the newest two spans; the retained outliers
+  // survive ring eviction.
+  EXPECT_EQ(trace_.ring().size(), 2u);
+}
+
+TEST_F(OpTraceTest, ChainIdsAreMonotonePerClient) {
+  const uint64_t a = trace_.NextChainId();
+  const uint64_t b = trace_.NextChainId();
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace namtree::metrics

@@ -207,7 +207,7 @@ Status RunFineGrainedUnderSeed(uint64_t schedule_seed, SimTime jitter_ns,
   rc.mix = ycsb::WorkloadD();  // insert-heavy: splits, locks, hand-offs
   rc.gc_interval = 2 * kMillisecond;
   const ycsb::RunResult result = ycsb::RunWorkload(cluster, index, keys, rc);
-  if (result.ops == 0) return Status::Corruption("no ops completed");
+  if (result.ops() == 0) return Status::Corruption("no ops completed");
 
   const Status audit = cluster.fabric().CheckAuditClean();
   if (!audit.ok()) return audit;

@@ -86,6 +86,16 @@ SpecRunStats RunSpecLookups(bool speculative, SimTime ttl, int rounds) {
   EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
       << cluster.fabric().CheckAuditClean().ToString();
 
+  // Registry parity: the registered client.* cells must read identically
+  // to the context handles they are backed by (docs/observability.md).
+  auto& registry = cluster.fabric().metrics();
+  EXPECT_EQ(registry.Value("client.round_trips", "client", "0"),
+            ctx.round_trips.value());
+  EXPECT_EQ(registry.Value("client.speculative_hits", "client", "0"),
+            ctx.speculative_hits.value());
+  EXPECT_EQ(registry.Value("client.mispredicts", "client", "0"),
+            ctx.mispredicts.value());
+
   stats.round_trips = ctx.round_trips;
   stats.speculative_hits = ctx.speculative_hits;
   stats.mispredicts = ctx.mispredicts;
@@ -442,7 +452,7 @@ TEST(ReadCombiningTest, ConcurrentLanesShareOneVerb) {
   EXPECT_EQ(static_cast<int>(ca) + static_cast<int>(cb) +
                 static_cast<int>(cc),
             2);
-  EXPECT_EQ(cluster.fabric().combined_reads(), 2u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.combined_reads"), 2u);
   ASSERT_NE(cluster.fabric().auditor(), nullptr);
   EXPECT_EQ(cluster.fabric().auditor()->duplicate_inflight_reads(), 0u);
 }
@@ -473,7 +483,7 @@ TEST(ReadCombiningTest, DisabledKnobIsPassThrough) {
   cluster.simulator().Run();
   EXPECT_EQ(a, 77u);
   EXPECT_EQ(b, 77u);
-  EXPECT_EQ(cluster.fabric().combined_reads(), 0u);
+  EXPECT_EQ(cluster.fabric().metrics().Value("fabric.combined_reads"), 0u);
   // The auditor sees what combining would have saved: the second lane
   // posted a duplicate of an outstanding READ.
   ASSERT_NE(cluster.fabric().auditor(), nullptr);
@@ -515,9 +525,9 @@ CombineRunOutcome RunZipfPipelined(bool combining) {
   out.duplicates = cluster.fabric().auditor()
                        ? cluster.fabric().auditor()->duplicate_inflight_reads()
                        : 0;
-  out.combined = result.combined_reads;
-  out.ops = result.ops;
-  out.failed = result.failed_ops;
+  out.combined = result.combined_reads();
+  out.ops = result.ops();
+  out.failed = result.failed_ops();
   EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
       << cluster.fabric().CheckAuditClean().ToString();
   return out;
@@ -561,9 +571,9 @@ TEST(MultiGetRunnerTest, BatchedPointLoopCompletesCleanly) {
   rc.warmup = kMillisecond;
   rc.duration = 10 * kMillisecond;
   const ycsb::RunResult result = ycsb::RunWorkload(cluster, index, keys, rc);
-  EXPECT_GT(result.ops, 0u);
-  EXPECT_EQ(result.failed_ops, 0u);
-  EXPECT_GT(result.speculative_hits, 0u);
+  EXPECT_GT(result.ops(), 0u);
+  EXPECT_EQ(result.failed_ops(), 0u);
+  EXPECT_GT(result.speculative_hits(), 0u);
   EXPECT_TRUE(cluster.fabric().CheckAuditClean().ok())
       << cluster.fabric().CheckAuditClean().ToString();
 }

@@ -107,10 +107,10 @@ TEST(TraceReplayTest, DeterministicReplay) {
   };
   const RunResult a = run();
   const RunResult b = run();
-  EXPECT_EQ(a.ops, trace.size());
-  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.ops(), trace.size());
+  EXPECT_EQ(a.ops(), b.ops());
   EXPECT_EQ(a.server_bytes, b.server_bytes);
-  EXPECT_EQ(a.round_trips, b.round_trips);
+  EXPECT_EQ(a.round_trips(), b.round_trips());
   EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
 }
 
@@ -131,7 +131,7 @@ TEST(TraceReplayTest, PerTypeBreakdownMatchesTrace) {
   EXPECT_EQ(result.per_type[static_cast<int>(OpType::kPoint)].count, points);
   EXPECT_EQ(result.per_type[static_cast<int>(OpType::kInsert)].count,
             inserts);
-  EXPECT_EQ(result.failed_ops, 0u);
+  EXPECT_EQ(result.failed_ops(), 0u);
 }
 
 }  // namespace

@@ -200,13 +200,13 @@ TEST(RunnerTest, MeasuresClosedLoopThroughput) {
   rc.mix = WorkloadA();
   const RunResult result = RunWorkload(cluster, index, keys, rc);
 
-  EXPECT_GT(result.ops, 100u);
+  EXPECT_GT(result.ops(), 100u);
   EXPECT_NEAR(result.seconds, 0.010, 1e-9);
   EXPECT_GT(result.ops_per_sec, 10000.0);
   EXPECT_GT(result.latency.count(), 0u);
   EXPECT_GT(result.server_bytes, 0u);
   EXPECT_EQ(result.per_server_bytes.size(), 2u);
-  EXPECT_GT(result.round_trips, 0u);
+  EXPECT_GT(result.round_trips(), 0u);
 }
 
 TEST(RunnerTest, DeterministicAcrossRuns) {
@@ -227,9 +227,42 @@ TEST(RunnerTest, DeterministicAcrossRuns) {
   };
   const RunResult a = run();
   const RunResult b = run();
-  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.ops(), b.ops());
   EXPECT_EQ(a.server_bytes, b.server_bytes);
-  EXPECT_EQ(a.round_trips, b.round_trips);
+  EXPECT_EQ(a.round_trips(), b.round_trips());
+}
+
+TEST(RunnerTest, OpTracingRecordsOutliersWithoutPerturbingTheRun) {
+  auto run = [](bool trace) {
+    rdma::FabricConfig fc;
+    fc.num_memory_servers = 2;
+    nam::Cluster cluster(fc, 64ull << 20);
+    index::IndexConfig ic;
+    index::FineGrainedIndex index(cluster, ic);
+    const uint64_t keys = 10000;
+    EXPECT_TRUE(index.BulkLoad(GenerateDataset(keys)).ok());
+    RunConfig rc;
+    rc.num_clients = 4;
+    rc.warmup = kMillisecond;
+    rc.duration = 5 * kMillisecond;
+    rc.mix = WorkloadA();  // mutations too, so insert/update spans appear
+    rc.trace_ops = trace;
+    return RunWorkload(cluster, index, keys, rc);
+  };
+  const RunResult plain = run(false);
+  const RunResult traced = run(true);
+
+  // Tracing is pure host-side observation: virtual time and every counter
+  // must be identical to the untraced run.
+  EXPECT_EQ(traced.ops(), plain.ops());
+  EXPECT_EQ(traced.round_trips(), plain.round_trips());
+  EXPECT_EQ(traced.server_bytes, plain.server_bytes);
+
+  EXPECT_TRUE(plain.trace_outliers.empty());
+  ASSERT_FALSE(traced.trace_outliers.empty());
+  // The dump names the runner's op labels and verb-level events.
+  EXPECT_NE(traced.trace_outliers.find("point"), std::string::npos);
+  EXPECT_NE(traced.trace_outliers.find("server="), std::string::npos);
 }
 
 TEST(RunnerTest, MoreClientsMoreThroughputUntilSaturation) {
@@ -279,12 +312,12 @@ TEST(RunnerTest, BatchedPipelineCoalescesRpcs) {
   };
   const RunResult solo = run(1);
   const RunResult batched = run(4);
-  ASSERT_GT(solo.ops, 100u);
-  ASSERT_GT(batched.ops, 100u);
+  ASSERT_GT(solo.ops(), 100u);
+  ASSERT_GT(batched.ops(), 100u);
   const double rt_solo =
-      static_cast<double>(solo.round_trips) / static_cast<double>(solo.ops);
-  const double rt_batched = static_cast<double>(batched.round_trips) /
-                            static_cast<double>(batched.ops);
+      static_cast<double>(solo.round_trips()) / static_cast<double>(solo.ops());
+  const double rt_batched = static_cast<double>(batched.round_trips()) /
+                            static_cast<double>(batched.ops());
   EXPECT_LT(rt_batched, 0.75 * rt_solo)
       << "coalesced frames must cut RPC round trips per op";
   EXPECT_GT(batched.ops_per_sec, solo.ops_per_sec);
@@ -311,8 +344,8 @@ TEST(RunnerTest, PipelineLanesOverlapOneSidedClients) {
   };
   const RunResult solo = run(1);
   const RunResult piped = run(4);
-  ASSERT_GT(solo.ops, 100u);
-  EXPECT_GT(piped.ops, 2 * solo.ops)
+  ASSERT_GT(solo.ops(), 100u);
+  EXPECT_GT(piped.ops(), 2 * solo.ops())
       << "extra lanes must overlap independent lookups";
 }
 
