@@ -1,0 +1,196 @@
+// Flaky-network fault domain (docs/fault_model.md §8): sweep seeded verb
+// loss/duplication rates across all four designs and measure what the
+// retry-and-read-back discipline costs. Per cell: goodput (ops/s), failed
+// operations split by status class, and the retry overhead (re-attempts,
+// exhausted budgets, dedup-served RPC retransmissions, net fault events).
+// The CI gate (BENCH_pr10.json): at the acceptance rates — 1% drops, 0.5%
+// duplicates — every design completes the window with zero fault-caused
+// failures and zero exhausted retry budgets.
+//
+//   ./build/bench/fault_network_flaky [--keys=20000] [--clients=16]
+//                                     [--json=BENCH_pr10.json]
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+#include "index/coarse_grained.h"
+#include "index/coarse_one_sided.h"
+#include "index/fine_grained.h"
+#include "index/hybrid.h"
+#include "nam/cluster.h"
+
+using namespace namtree;
+using namtree::bench::DesignKind;
+using namtree::bench::DesignLabel;
+using namtree::bench::JsonReport;
+using namtree::bench::Num;
+using namtree::bench::PrintRow;
+
+namespace {
+
+constexpr SimTime kWindow = 10 * kMillisecond;
+
+struct FaultLevel {
+  const char* name;
+  double drop_prob;
+  double dup_prob;
+  SimTime delay_jitter_ns;
+};
+
+// "gate" is the acceptance-test operating point (tests/flaky_net_test.cc);
+// "harsh" shows the discipline degrading gracefully, not a gated level.
+constexpr FaultLevel kLevels[] = {
+    {"clean", 0.0, 0.0, 0},
+    {"mild", 0.001, 0.0005, 500},
+    {"gate", 0.01, 0.005, 2 * kMicrosecond},
+    {"harsh", 0.03, 0.015, 5 * kMicrosecond},
+};
+
+constexpr DesignKind kDesigns[] = {
+    DesignKind::kCoarse,
+    DesignKind::kCoarseOneSided,
+    DesignKind::kFine,
+    DesignKind::kHybrid,
+};
+
+struct Cell {
+  ycsb::RunResult result;
+  uint64_t retry_attempts = 0;
+  uint64_t retry_exhausted = 0;
+  uint64_t dropped_verbs = 0;
+  uint64_t dropped_completions = 0;
+  uint64_t duplicates = 0;
+  uint64_t dedup_hits = 0;
+  bool audit_clean = false;
+};
+
+std::unique_ptr<index::DistributedIndex> MakeIndex(DesignKind design,
+                                                   nam::Cluster& cluster,
+                                                   const index::IndexConfig& c) {
+  switch (design) {
+    case DesignKind::kCoarse:
+      return std::make_unique<index::CoarseGrainedIndex>(cluster, c);
+    case DesignKind::kCoarseOneSided:
+      return std::make_unique<index::CoarseOneSidedIndex>(cluster, c);
+    case DesignKind::kFine:
+      return std::make_unique<index::FineGrainedIndex>(cluster, c);
+    case DesignKind::kHybrid:
+      return std::make_unique<index::HybridIndex>(cluster, c);
+  }
+  std::abort();
+}
+
+Cell RunCell(DesignKind design, const FaultLevel& level, uint64_t keys,
+             uint32_t clients) {
+  rdma::FabricConfig fc;
+  fc.num_memory_servers = 4;
+  fc.drop_prob = level.drop_prob;
+  fc.dup_prob = level.dup_prob;
+  fc.delay_jitter_ns = level.delay_jitter_ns;
+  fc.net_fault_seed = 0x51ED270Bu;
+  fc.rpc_max_retries = 6;
+  nam::Cluster cluster(fc, 256ull << 20);
+
+  index::IndexConfig ic;
+  ic.page_size = 1024;
+  auto index = MakeIndex(design, cluster, ic);
+  const auto data = ycsb::GenerateDataset(keys);
+  if (!index->BulkLoad(data).ok()) std::abort();
+
+  ycsb::RunConfig run;
+  run.num_clients = clients;
+  run.mix = ycsb::WorkloadA();  // 50/50 lookup-update: every op can retry
+  run.warmup = 0;
+  run.duration = kWindow;
+  run.seed = 7;
+
+  Cell cell;
+  cell.result = ycsb::RunWorkload(cluster, *index, keys, run);
+  const auto& m = cluster.fabric().metrics();
+  cell.retry_attempts = m.Value("retry.attempts");
+  cell.retry_exhausted = m.Value("retry.exhausted");
+  cell.dropped_verbs = m.Value("fabric.net.dropped_verbs");
+  cell.dropped_completions = m.Value("fabric.net.dropped_completions");
+  cell.duplicates = m.Value("fabric.net.duplicates");
+  cell.dedup_hits = m.Value("fabric.net.rpc_dedup_hits");
+  cell.audit_clean = cluster.fabric().CheckAuditClean().ok();
+  return cell;
+}
+
+/// Failures the network faults can cause; NotFound is workload noise.
+uint64_t FaultFailedOps(const ycsb::RunResult& r) {
+  return r.failures().total() - r.failures().not_found;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const uint64_t keys = static_cast<uint64_t>(args.GetInt("keys", 20000));
+  const uint32_t clients = static_cast<uint32_t>(args.GetInt("clients", 16));
+
+  namtree::bench::PrintPreamble(
+      "Flaky network: loss/dup rate vs goodput and retry overhead",
+      "All designs, YCSB A under seeded lossy/dup/delayed verb injection",
+      Num(static_cast<double>(keys)) + " keys, " + Num(clients) +
+          " clients, " + Num(kWindow / 1e6) + "ms window, retries on");
+
+  JsonReport report;
+  report.Set("bench", std::string("fault_network_flaky"));
+  report.Set("config.keys", keys);
+  report.Set("config.clients", static_cast<uint64_t>(clients));
+  report.Set("config.rpc_max_retries", static_cast<uint64_t>(6));
+
+  bool gate_ok = true;
+  for (DesignKind design : kDesigns) {
+    std::printf("\n# subplot: %s\n", DesignLabel(design));
+    PrintRow({"faults", "ops_per_s", "fault_failed_ops", "timed_out",
+              "retry_attempts", "retry_exhausted", "dropped_verbs",
+              "dropped_completions", "duplicates", "rpc_dedup_hits",
+              "audit"});
+    for (const FaultLevel& level : kLevels) {
+      const Cell cell = RunCell(design, level, keys, clients);
+      const auto& r = cell.result;
+      PrintRow({level.name, Num(r.ops_per_sec),
+                Num(static_cast<double>(FaultFailedOps(r))),
+                Num(static_cast<double>(r.failures().timed_out)),
+                Num(static_cast<double>(cell.retry_attempts)),
+                Num(static_cast<double>(cell.retry_exhausted)),
+                Num(static_cast<double>(cell.dropped_verbs)),
+                Num(static_cast<double>(cell.dropped_completions)),
+                Num(static_cast<double>(cell.duplicates)),
+                Num(static_cast<double>(cell.dedup_hits)),
+                cell.audit_clean ? "clean" : "VIOLATION"});
+      const std::string key =
+          std::string(DesignLabel(design)) + "." + level.name;
+      report.Set(key + ".ops_per_s", r.ops_per_sec);
+      report.Set(key + ".fault_failed_ops", FaultFailedOps(r));
+      report.Set(key + ".timed_out", r.failures().timed_out);
+      report.Set(key + ".retry_attempts", cell.retry_attempts);
+      report.Set(key + ".retry_exhausted", cell.retry_exhausted);
+      report.Set(key + ".dropped_verbs", cell.dropped_verbs);
+      report.Set(key + ".dropped_completions", cell.dropped_completions);
+      report.Set(key + ".duplicates", cell.duplicates);
+      report.Set(key + ".rpc_dedup_hits", cell.dedup_hits);
+      report.Set(key + ".audit_clean",
+                 static_cast<uint64_t>(cell.audit_clean ? 1 : 0));
+      // The gate: at and below the acceptance rates, the retry discipline
+      // absorbs every injected fault — no failed ops, no exhausted budget.
+      if (level.drop_prob <= 0.01) {
+        if (FaultFailedOps(r) != 0 || cell.retry_exhausted != 0 ||
+            !cell.audit_clean) {
+          gate_ok = false;
+        }
+      }
+    }
+  }
+  report.Set("gate.zero_fault_failures_at_1pct_drop",
+             static_cast<uint64_t>(gate_ok ? 1 : 0));
+  std::printf("\n# gate: %s\n", gate_ok ? "PASS" : "FAIL");
+
+  if (!namtree::bench::MaybeWriteJson(args, report)) return 1;
+  return gate_ok ? 0 : 1;
+}

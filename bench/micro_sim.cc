@@ -58,7 +58,8 @@ BENCHMARK(BM_SimulatedRead)->Arg(64)->Arg(1024)->Arg(4096);
 sim::Task<> CasLoop(rdma::Fabric& fabric, rdma::RemotePtr ptr, int n) {
   uint64_t expected = 0;
   for (int i = 0; i < n; ++i) {
-    expected = co_await fabric.CompareAndSwap(0, ptr, expected, expected + 1);
+    expected =
+        (co_await fabric.CompareAndSwap(0, ptr, expected, expected + 1)).value;
     expected = expected + 1;
   }
 }

@@ -90,6 +90,19 @@ to this repo's simulated-RDMA coroutine architecture, so this script scans
    above) the declaration:
        // namtree-lint: metric-ok(<why this is not a registry counter>)
 
+9. unresolved-ambiguous-retry (error)
+   A loop that co_awaits a non-idempotent atomic verb (CompareAndSwap /
+   FetchAndAdd) re-posts it on the next iteration. Under network faults a
+   kLost completion is *ambiguous* — the swap/add may have landed and lost
+   only its ACK — so a blind re-post can double-apply (a duplicated
+   release FAA is exactly what the auditor's kUnresolvedAmbiguousRetry
+   violation reports at runtime; see docs/fault_model.md §8). The loop
+   body must resolve the ambiguity with a read-back (an awaited
+   Read-class verb: ReadWord, ReadPageUnlocked, ...) before re-posting.
+   Suppress an audited re-post with a comment on (or directly above) the
+   loop or the atomic:
+       // namtree-lint: retry-ok(<why the re-post cannot double-apply>)
+
 With --verbose the script additionally *notes* every awaited Task coroutine
 taking reference/pointer parameters. These are not errors here: the repo
 convention is that a Task is co_await-ed immediately by its caller, whose
@@ -106,7 +119,7 @@ import sys
 
 SUPPRESS_RE = re.compile(
     r"namtree-lint:\s*(safe-coro-ref|real-threads-ok|bounded-loop|"
-    r"unchained-ok|chase-ok|status-ok|metric-ok)\(")
+    r"unchained-ok|chase-ok|status-ok|metric-ok|retry-ok)\(")
 
 # Directories (relative to src/) allowed to use real-thread primitives.
 REAL_THREAD_ALLOWED = {"btree"}
@@ -179,6 +192,19 @@ RETRY_GUARD_RE = re.compile(
 # opening paren of the call so the argument list can be paren-matched.
 AWAITED_WRITE_RE = re.compile(
     r"\bco_await\b[^;{}]*?\b(?:Write|CompareAndSwap|FetchAndAdd)\s*\(")
+
+# Any loop header (the unresolved-ambiguous-retry rule covers bounded
+# retry loops too, not just infinite ones).
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+
+# A co_awaited non-idempotent atomic verb: re-posted blindly, it can
+# double-apply when the first post lost only its completion.
+ATOMIC_AWAIT_RE = re.compile(
+    r"\bco_await\b[^;]*?\b(?:CompareAndSwap|FetchAndAdd)\s*\(", re.DOTALL)
+
+# Ambiguity-resolution evidence: an awaited Read-class verb or wrapper
+# (ReadWord, ReadPageUnlocked, ReadBatch, ...) inside the same loop body.
+READ_BACK_RE = re.compile(r"\bco_await\b[^;]*?\bRead\w*\s*\(", re.DOTALL)
 
 # A function returning Status or sim::Task<Status> (definition or member
 # declaration); the names feed the discarded-status rule.
@@ -414,6 +440,37 @@ def lint_tree(src_root, verbose):
                 "forever on an orphaned lock word. Add backoff or a "
                 "bound, or annotate with "
                 "'// namtree-lint: bounded-loop(...)'"))
+
+        # Rule: unresolved-ambiguous-retry — a loop that re-posts a
+        # non-idempotent atomic verb without a read-back cannot tell a
+        # dropped verb (safe to re-post) from a dropped completion (the
+        # effect landed; re-posting double-applies).
+        for m in LOOP_RE.finditer(clean):
+            header_open = clean.find("(", m.start())
+            header_close = match_paren(clean, header_open)
+            open_brace = clean.find("{", header_close)
+            if open_brace == -1 or clean[header_close:open_brace].strip():
+                continue  # braceless body, or not a loop header after all
+            body = clean[open_brace:match_brace_block(clean, open_brace)]
+            atomic = ATOMIC_AWAIT_RE.search(body)
+            if not atomic:
+                continue
+            if READ_BACK_RE.search(body):
+                continue  # the loop resolves ambiguity before re-posting
+            loop_line = line_of(clean, m.start())
+            atomic_line = line_of(clean, open_brace + atomic.start())
+            if (is_suppressed(raw_lines, loop_line)
+                    or is_suppressed(raw_lines, atomic_line)):
+                continue
+            findings.append(Finding(
+                "unresolved-ambiguous-retry", rel, atomic_line,
+                "loop re-posts a non-idempotent atomic verb "
+                "(CompareAndSwap/FetchAndAdd) with no read-back in the "
+                "body: a lost completion is ambiguous, and a blind re-post "
+                "double-applies a landed effect (the auditor's "
+                "kUnresolvedAmbiguousRetry at runtime). Resolve via a "
+                "Read-class verb first (cf. RemoteOps lock/unlock paths), "
+                "or annotate with '// namtree-lint: retry-ok(...)'"))
 
         # Rule: unchained-writes — two co_awaited signaled write-class
         # verbs to the same destination, with nothing but trivial

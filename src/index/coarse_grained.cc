@@ -186,8 +186,10 @@ sim::Task<LookupResult> CoarseGrainedIndex::Lookup(nam::ClientContext& ctx,
 }
 
 sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
-                                             Key hi, std::vector<KV>* out) {
+                                             Key hi, std::vector<KV>* out,
+                                             Status* status) {
   metrics::OpSpan span(ctx.trace(), "scan");
+  if (status != nullptr) *status = Status::OK();
   uint64_t found = 0;
   std::vector<KV> merged;
   const bool hash = partitioner_.kind() == PartitionKind::kHash;
@@ -199,7 +201,13 @@ sim::Task<uint64_t> CoarseGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
     req.arg1 = hi;
     rdma::RpcResponse resp = co_await ctx.Call(server, std::move(req));
     if (resp.status != static_cast<uint16_t>(StatusCode::kOk)) {
-      break;  // transport failure: report the partial count
+      // Transport failure (kUnavailable = dead caller/server, kTimedOut =
+      // RPC deadline exhausted): report the partial count and the reason.
+      if (status != nullptr) {
+        *status = Status::FromCode(static_cast<StatusCode>(resp.status),
+                                   "scan rpc");
+      }
+      break;
     }
     found += resp.arg0;
     if (out != nullptr) {

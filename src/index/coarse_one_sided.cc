@@ -148,8 +148,10 @@ sim::Task<void> CoarseOneSidedIndex::MultiGet(nam::ClientContext& ctx,
 }
 
 sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
-                                              Key hi, std::vector<KV>* out) {
+                                              Key hi, std::vector<KV>* out,
+                                              Status* status) {
   metrics::OpSpan span(ctx.trace(), "scan");
+  if (status != nullptr) *status = Status::OK();
   // Partition chains are per-server; visit every partition intersecting
   // the range (all of them under hash partitioning, Table 2).
   RemoteOps ops(ctx);
@@ -160,8 +162,19 @@ sim::Task<uint64_t> CoarseOneSidedIndex::Scan(nam::ClientContext& ctx, Key lo,
     std::vector<KV>* sink = out == nullptr ? nullptr : (hash ? &merged : out);
     const rdma::RemotePtr leaf =
         co_await engine_.DescendToLeaf(ops, server, lo);
-    if (leaf.is_null()) break;  // dead client: report the partial count
-    found += co_await LeafLevel::ScanChain(ops, leaf, lo, hi, sink);
+    if (leaf.is_null()) {  // dead client: report the partial count
+      if (status != nullptr) *status = Status::Unavailable("client crashed");
+      break;
+    }
+    // Later partitions may still be reachable after one chain degrades, so
+    // keep going for the best-effort count but report the first failure
+    // (kTimedOut vs kUnavailable matters to the YCSB FailureBreakdown).
+    Status chain_status;
+    found += co_await LeafLevel::ScanChain(ops, leaf, lo, hi, sink,
+                                           &chain_status);
+    if (!chain_status.ok() && status != nullptr && status->ok()) {
+      *status = chain_status;
+    }
   }
   if (out != nullptr && hash) {
     std::stable_sort(merged.begin(), merged.end(),

@@ -47,8 +47,8 @@ class CoarseOneSidedIndex : public DistributedIndex {
   sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
                                  btree::Key key) override;
   sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
-                           btree::Key hi,
-                           std::vector<btree::KV>* out) override;
+                           btree::Key hi, std::vector<btree::KV>* out,
+                           Status* status = nullptr) override;
   sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
                            btree::Value value) override;
   sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,

@@ -118,12 +118,16 @@ sim::Task<void> FineGrainedIndex::MultiGet(nam::ClientContext& ctx,
 }
 
 sim::Task<uint64_t> FineGrainedIndex::Scan(nam::ClientContext& ctx, Key lo,
-                                           Key hi, std::vector<KV>* out) {
+                                           Key hi, std::vector<KV>* out,
+                                           Status* status) {
   metrics::OpSpan span(ctx.trace(), "scan");
   RemoteOps ops(ctx);
   const rdma::RemotePtr leaf = co_await engine_.DescendToLeaf(ops, tree_, lo);
-  if (leaf.is_null()) co_return 0;
-  co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out);
+  if (leaf.is_null()) {
+    if (status != nullptr) *status = Status::Unavailable("client crashed");
+    co_return 0;
+  }
+  co_return co_await LeafLevel::ScanChain(ops, leaf, lo, hi, out, status);
 }
 
 sim::Task<Status> FineGrainedIndex::Insert(nam::ClientContext& ctx, Key key,

@@ -153,14 +153,16 @@ sim::Task<LookupResult> DistributedHashIndex::Lookup(nam::ClientContext& ctx,
 
 sim::Task<uint64_t> DistributedHashIndex::Scan(nam::ClientContext& ctx,
                                                Key lo, Key hi,
-                                               std::vector<KV>* out) {
+                                               std::vector<KV>* out,
+                                               Status* status) {
   metrics::OpSpan span(ctx.trace(), "scan");
   // Range queries are the tree designs' raison d'etre; a hash index simply
-  // cannot serve them (paper §8).
+  // cannot serve them (paper §8). Not a failure — the count is exactly 0.
   (void)ctx;
   (void)lo;
   (void)hi;
   (void)out;
+  if (status != nullptr) *status = Status::OK();
   co_return 0;
 }
 

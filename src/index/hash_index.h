@@ -41,10 +41,11 @@ class DistributedHashIndex : public DistributedIndex {
 
   sim::Task<LookupResult> Lookup(nam::ClientContext& ctx,
                                  btree::Key key) override;
-  /// Unsupported: hash indexes cannot serve range queries (§8). Returns 0.
+  /// Unsupported: hash indexes cannot serve range queries (§8). Returns 0
+  /// with an OK status (the inability is structural, not a failure).
   sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
-                           btree::Key hi,
-                           std::vector<btree::KV>* out) override;
+                           btree::Key hi, std::vector<btree::KV>* out,
+                           Status* status = nullptr) override;
   sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,
                            btree::Value value) override;
   sim::Task<Status> Update(nam::ClientContext& ctx, btree::Key key,

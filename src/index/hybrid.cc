@@ -199,14 +199,17 @@ sim::Task<void> HybridIndex::MultiGet(nam::ClientContext& ctx,
 }
 
 sim::Task<uint64_t> HybridIndex::Scan(nam::ClientContext& ctx, Key lo, Key hi,
-                                      std::vector<KV>* out) {
+                                      std::vector<KV>* out, Status* status) {
   metrics::OpSpan span(ctx.trace(), "scan");
   const DescentResult fl = co_await engine_.ResolveLeaf(ctx, *this, lo);
-  if (!fl.ok()) co_return 0;
+  if (!fl.ok()) {
+    if (status != nullptr) *status = fl.status;
+    co_return 0;
+  }
   RemoteOps ops(ctx);
   // The leaf chain is global, so one traversal covers the whole range even
   // across partition boundaries (§5.2).
-  co_return co_await LeafLevel::ScanChain(ops, fl.leaf, lo, hi, out);
+  co_return co_await LeafLevel::ScanChain(ops, fl.leaf, lo, hi, out, status);
 }
 
 sim::Task<Status> HybridIndex::Insert(nam::ClientContext& ctx, Key key,

@@ -117,10 +117,14 @@ class DistributedIndex {
                                          btree::Key key) = 0;
 
   /// Range query over [lo, hi) (workload B). Appends hits to `out` when it
-  /// is non-null; returns the match count either way.
+  /// is non-null; returns the match count either way. `status`, when
+  /// non-null, reports how the scan ended: OK for a complete pass,
+  /// kUnavailable/kTimedOut when degraded mode truncated it (the count is
+  /// then partial) — the distinction feeds the YCSB FailureBreakdown via
+  /// StatusClassOf.
   virtual sim::Task<uint64_t> Scan(nam::ClientContext& ctx, btree::Key lo,
-                                   btree::Key hi,
-                                   std::vector<btree::KV>* out) = 0;
+                                   btree::Key hi, std::vector<btree::KV>* out,
+                                   Status* status = nullptr) = 0;
 
   /// Inserts (key, value); duplicates allowed (workloads C/D).
   virtual sim::Task<Status> Insert(nam::ClientContext& ctx, btree::Key key,

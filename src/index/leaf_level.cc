@@ -221,7 +221,11 @@ uint64_t CollectFromImage(PageView view, Key lo, Key hi,
 
 sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
                                          Key lo, Key hi,
-                                         std::vector<KV>* out) {
+                                         std::vector<KV>* out, Status* status) {
+  // Every clean exit leaves this OK; the degraded-mode exits overwrite it
+  // with the failing read's status so the caller can tell kUnavailable
+  // (dead server/client) from kTimedOut (flaky-net budget exhausted).
+  if (status != nullptr) *status = Status::OK();
   if (lo >= hi) co_return 0;
   const uint32_t page_size = ops.page_size();
   uint8_t* buf = ops.ctx().page_a();
@@ -239,7 +243,11 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
   // namtree-lint: bounded-loop(chain-chase: every step moves right along ascending fences and stops at the first fence >= hi or the rightmost page; read failures exit)
   for (;;) {
     // Degraded mode returns the partial count collected so far.
-    if (!(co_await ops.ReadPageUnlocked(ptr, buf)).ok()) co_return found;
+    const PageReadResult step = co_await ops.ReadPageUnlocked(ptr, buf);
+    if (!step.ok()) {
+      if (status != nullptr) *status = step.status;
+      co_return found;
+    }
     PageView view(buf, page_size);
 
     if (!view.is_head()) {
@@ -270,7 +278,9 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
                       prefetch_buf.data() + static_cast<size_t>(k) * page_size,
                       page_size});
     }
-    if (!(co_await ops.ReadPagesBatch(std::move(reqs))).ok()) {
+    const Status batch = co_await ops.ReadPagesBatch(std::move(reqs));
+    if (!batch.ok()) {
+      if (status != nullptr) *status = batch;
       co_return found;  // batch dropped; images unspecified
     }
 
@@ -286,7 +296,10 @@ sim::Task<uint64_t> LeafLevel::ScanChain(RemoteOps ops, rdma::RemotePtr start,
         // which fails over to a live replica under replication.
         const PageReadResult reread =
             co_await ops.ReadPageUnlocked(rdma::RemotePtr(targets[k]), image);
-        if (!reread.ok()) co_return found;
+        if (!reread.ok()) {
+          if (status != nullptr) *status = reread.status;
+          co_return found;
+        }
         leaf = PageView(image, page_size);
       }
       if (leaf.is_head()) {  // stale pointer now naming a head: re-walk

@@ -10,6 +10,17 @@ namespace namtree::index {
 
 using btree::IsLocked;
 
+// Network-fault recovery discipline (docs/fault_model.md §8): a verb that
+// comes back kLost is *ambiguous* — the fabric may have executed its memory
+// effect and lost only the completion. Every recovery below therefore
+// either (a) re-posts a verb that is byte-idempotent (READs, WRITEs of the
+// same image), or (b) resolves the ambiguity with a read-back before
+// re-posting a non-idempotent atomic. Blind atomic re-posts are what the
+// auditor's kUnresolvedAmbiguousRetry violation exists to catch. All
+// re-posts are bounded by RetryPolicy::ForVerbs; exhaustion surfaces as
+// kTimedOut so restart loops and the YCSB failure breakdown can tell a
+// flaky link (kTimedOut) from a dead server (kUnavailable).
+
 RouteResult RemoteOps::ActingPrimary(rdma::RemotePtr primary) const {
   rdma::Fabric& fabric = ctx_->fabric();
   for (uint32_t r = 0; r < fabric.replication(); ++r) {
@@ -40,57 +51,112 @@ sim::Task<Status> RemoteOps::ReadPageFrom(rdma::RemotePtr at, uint8_t* buf) {
   // serves this one too: no verb posted, no round trip — only the
   // combined-read counter moves. Off (default), CombinedRead degenerates
   // to a plain Read and the toll is the historical one.
-  const SimTime t0 = TraceStart();
-  const bool combined =
-      co_await fabric().CombinedRead(ctx_->client_id(), at, buf, page_size());
-  TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
-  if (combined) {
-    ctx_->combined_reads.Inc();
-  } else {
-    ctx_->round_trips.Inc();
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    const SimTime t0 = TraceStart();
+    const rdma::CombinedReadResult read = co_await fabric().CombinedRead(
+        ctx_->client_id(), at, buf, page_size());
+    TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
+    if (read.combined) {
+      ctx_->combined_reads.Inc();
+    } else {
+      ctx_->round_trips.Inc();
+    }
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(at.server_id())) {
+      co_return Status::Unavailable("memory server dead");
+    }
+    if (read.ok()) co_return Status::OK();
+    // The READ or its completion was lost. A READ has no remote effect, so
+    // the re-post is sanctioned as-is.
+    // namtree-lint: retry-ok(READ is idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("READ lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  if (!fabric().ServerAlive(at.server_id())) {
-    co_return Status::Unavailable("memory server dead");
-  }
-  co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::ReadWord(rdma::RemotePtr at, uint64_t* out) {
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  co_await fabric().Read(ctx_->client_id(), at, out, 8);
-  TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().Read(ctx_->client_id(), at, out, 8);
+    TraceVerbEvent(metrics::TraceVerb::kRead, at.server_id(), /*chain=*/0, t0);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+    // namtree-lint: retry-ok(READ is idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("READ lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
+  }
 }
 
 sim::Task<Status> RemoteOps::WriteWord(rdma::RemotePtr at, uint64_t value) {
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  co_await fabric().Write(ctx_->client_id(), at, &value, 8);
-  TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0, t0);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().Write(ctx_->client_id(), at, &value, 8);
+    TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0,
+                   t0);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+    // Re-posts the same 8 bytes — byte-idempotent.
+    // namtree-lint: retry-ok(WRITE of identical bytes)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("WRITE lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
+  }
 }
 
 sim::Task<Status> RemoteOps::WriteRaw(rdma::RemotePtr at, const void* src,
                                       uint32_t len) {
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  co_await fabric().Write(ctx_->client_id(), at, src, len);
-  TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0, t0);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().Write(ctx_->client_id(), at, src, len);
+    TraceVerbEvent(metrics::TraceVerb::kWrite, at.server_id(), /*chain=*/0,
+                   t0);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+    // namtree-lint: retry-ok(WRITE of identical bytes)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("WRITE lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
+  }
 }
 
 sim::Task<Status> RemoteOps::ReadPagesBatch(
     std::vector<rdma::Fabric::ReadRequest> requests) {
-  ctx_->round_trips.Inc();
+  const rdma::RetryPolicy policy = VerbPolicy();
   // One event per batch slot, all under one chain id: the whole batch rides
   // one doorbell, so the slots share start/finish but keep per-server
   // attribution.
-  const SimTime t0 = TraceStart();
   const uint64_t chain = ctx_->trace().NextChainId();
   std::vector<uint32_t> servers;
   if (ctx_->trace().in_span()) {
@@ -99,12 +165,27 @@ sim::Task<Status> RemoteOps::ReadPagesBatch(
       servers.push_back(r.src.server_id());
     }
   }
-  co_await fabric().ReadBatch(ctx_->client_id(), std::move(requests));
-  for (const uint32_t server : servers) {
-    TraceVerbEvent(metrics::TraceVerb::kReadBatch, server, chain, t0);
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().ReadBatch(ctx_->client_id(), requests);
+    for (const uint32_t server : servers) {
+      TraceVerbEvent(metrics::TraceVerb::kReadBatch, server, chain, t0);
+    }
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+    // A READ-only chain has no remote effect: re-post it wholesale.
+    // namtree-lint: retry-ok(READ batch is idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("READ batch lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::ReadPage(rdma::RemotePtr ptr, uint8_t* buf) {
@@ -127,6 +208,8 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
                                                       uint8_t* buf) {
   const rdma::FabricConfig& cfg = fabric().config();
   sim::Simulator& simulator = fabric().simulator();
+  const rdma::RetryPolicy lock_policy = rdma::RetryPolicy::ForLocks(cfg);
+  const rdma::RetryPolicy steal_policy = rdma::RetryPolicy::ForSteal(cfg);
   // The exact locked word we have been watching, and since when. A change
   // of the word (new holder or new cycle) restarts both the lease window
   // and the backoff schedule.
@@ -183,11 +266,13 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
         co_return PageReadResult{Status::Unavailable("client crashed"), 0};
       }
       if (!probe.status.ok()) {
-        // The epoch-hosting server is dead. Bounded retry (the host's
-        // replica group may recover a route), then give up cleanly
-        // instead of spinning forever on the orphaned lock.
+        // The epoch-hosting server is dead. Bounded retry on the steal
+        // policy (the host's replica group may recover a route), then give
+        // up cleanly instead of spinning forever on the orphaned lock.
         failed_probes++;
-        if (failed_probes > cfg.rpc_max_retries) {
+        ctx_->steal_retry_attempts.Inc();
+        if (steal_policy.Exhausted(failed_probes)) {
+          ctx_->steal_retry_exhausted.Inc();
           co_return PageReadResult{
               Status::Unavailable("liveness registry unreachable"), 0};
         }
@@ -199,7 +284,7 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
           // revalidates.
           ctx_->round_trips.Inc();
           const SimTime cas_t0 = TraceStart();
-          const uint64_t observed = co_await fabric().CompareAndSwap(
+          const rdma::AtomicResult cas = co_await fabric().CompareAndSwap(
               ctx_->client_id(), at.Plus(btree::kVersionOffset), word,
               btree::StolenUnlockWord(word));
           TraceVerbEvent(metrics::TraceVerb::kCas, at.server_id(),
@@ -208,7 +293,10 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
             co_return PageReadResult{Status::Unavailable("client crashed"),
                                      0};
           }
-          if (observed == word) ctx_->lock_steals.Inc();
+          // A lost steal CAS needs no dedicated resolution: the immediate
+          // re-read below observes whichever outcome the network actually
+          // delivered, and the CAS never re-posts.
+          if (cas.ok() && cas.value == word) ctx_->lock_steals.Inc();
           // Re-read immediately (we or a faster waiter just freed it).
           watched_word = 0;
           backoff_round = 0;
@@ -220,17 +308,11 @@ sim::Task<PageReadResult> RemoteOps::ReadPageUnlocked(rdma::RemotePtr ptr,
 
     // Capped exponential backoff with per-client jitter: the delay doubles
     // per consecutive observation of the same locked word and is drawn
-    // uniformly from [base/2, base).
-    const uint64_t cap = std::max<uint64_t>(cfg.lock_retry_ns,
-                                            cfg.lock_backoff_max_ns);
-    uint64_t base = static_cast<uint64_t>(cfg.lock_retry_ns)
-                    << std::min<uint32_t>(backoff_round, 16);
-    base = std::min(std::max<uint64_t>(base, 1), cap);
-    const uint64_t half = base / 2;
-    const SimTime delay = static_cast<SimTime>(
-        half + static_cast<uint64_t>(ctx_->rng().NextDouble() *
-                                     static_cast<double>(base - half)));
+    // uniformly from [base/2, base) — RetryPolicy::BackoffFor is the
+    // extracted historical formula (same single RNG draw per round).
+    const SimTime delay = lock_policy.BackoffFor(backoff_round, ctx_->rng());
     ctx_->backoff_rounds.Inc();
+    ctx_->lock_retry_attempts.Inc();
     backoff_round++;
     co_await sim::Delay(simulator, delay);
   }
@@ -240,22 +322,51 @@ sim::Task<Status> RemoteOps::TryLockPage(rdma::RemotePtr ptr,
                                          uint64_t version) {
   const RouteResult route = ActingPrimary(ptr);
   if (!route.ok()) co_return route.status;
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  const uint64_t old = co_await fabric().CompareAndSwap(
-      ctx_->client_id(), route.ptr.Plus(btree::kVersionOffset), version,
-      btree::MakeLockedWord(version, ctx_->client_id()));
-  TraceVerbEvent(metrics::TraceVerb::kCas, route.ptr.server_id(), /*chain=*/0,
-                 t0);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  if (!fabric().ServerAlive(route.ptr.server_id())) {
-    // The acting primary died mid-CAS. Whether the swap landed or not,
-    // that replica is gone — restart against the promoted one.
-    co_return fabric().replicated()
-        ? Status::Aborted("acting primary died during lock CAS")
-        : Status::Unavailable("memory server dead");
+  const uint64_t locked = btree::MakeLockedWord(version, ctx_->client_id());
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::AtomicResult cas = co_await fabric().CompareAndSwap(
+        ctx_->client_id(), route.ptr.Plus(btree::kVersionOffset), version,
+        locked);
+    TraceVerbEvent(metrics::TraceVerb::kCas, route.ptr.server_id(),
+                   /*chain=*/0, t0);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(route.ptr.server_id())) {
+      // The acting primary died mid-CAS. Whether the swap landed or not,
+      // that replica is gone — restart against the promoted one.
+      co_return fabric().replicated()
+          ? Status::Aborted("acting primary died during lock CAS")
+          : Status::Unavailable("memory server dead");
+    }
+    if (cas.ok()) {
+      if (cas.value != version) co_return Status::Aborted("lock CAS lost");
+      break;  // acquired
+    }
+    // Ambiguous completion: the CAS — or only its ACK — was lost. Resolve
+    // by reading the word back; the holder stamp in our locked word is the
+    // witness. Blindly re-CASing here is exactly what the auditor's
+    // UnresolvedAmbiguousRetry violation flags: a landed swap would make
+    // the retry spin against our own lock.
+    uint64_t word = 0;
+    const Status read_back =
+        co_await ReadWord(route.ptr.Plus(btree::kVersionOffset), &word);
+    if (!read_back.ok()) co_return read_back;
+    if (word == locked) break;  // the swap landed; only the ACK was lost
+    if (word != version) co_return Status::Aborted("lock CAS lost");
+    // The word is untouched: the verb itself was dropped. Re-posting is
+    // sanctioned — the read-back proved there is no effect to duplicate.
+    // namtree-lint: retry-ok(read-back proved the CAS had no effect)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("lock CAS lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
-  if (old != version) co_return Status::Aborted("lock CAS lost");
   if (fabric().replicated()) {
     // Remember which replica actually holds the lock so the release lands
     // there even if further failovers change the acting primary.
@@ -313,23 +424,40 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
     backup_img.assign(buf, buf + page_size());
     std::memcpy(backup_img.data() + btree::kVersionOffset, &unlocked, 8);
   }
+  const rdma::RetryPolicy policy = VerbPolicy();
 
   if (!fabric().config().verb_chaining) {
     // Unchained fallback: individually signaled WRITE + FAA release,
     // bit-identical to the pre-chain protocol (the FAA keeps the stale
     // holder bits in the unlocked word; VersionOf masks them out).
     ctx_->round_trips.Inc(2);
-    const SimTime write_t0 = TraceStart();
-    // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
-    co_await fabric().Write(ctx_->client_id(), locked_at, buf, page_size());
-    TraceVerbEvent(metrics::TraceVerb::kWrite, locked_server, /*chain=*/0,
-                   write_t0);
-    if (!alive()) co_return Status::Unavailable("client crashed");
-    if (!fabric().ServerAlive(locked_server)) {
-      ctx_->lock_routes.erase(ptr.raw());
-      co_return fabric().replicated()
-          ? Status::Aborted("locked primary died during publication")
-          : Status::Unavailable("memory server dead");
+    // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+    for (uint32_t attempt = 0;; ++attempt) {
+      const SimTime write_t0 = TraceStart();
+      // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+      const rdma::VerbCompletion done = co_await fabric().Write(
+          ctx_->client_id(), locked_at, buf, page_size());
+      TraceVerbEvent(metrics::TraceVerb::kWrite, locked_server, /*chain=*/0,
+                     write_t0);
+      if (!alive()) co_return Status::Unavailable("client crashed");
+      if (!fabric().ServerAlive(locked_server)) {
+        ctx_->lock_routes.erase(ptr.raw());
+        co_return fabric().replicated()
+            ? Status::Aborted("locked primary died during publication")
+            : Status::Unavailable("memory server dead");
+      }
+      if (done == rdma::VerbCompletion::kOk) break;
+      // Lost page WRITE under our own lock: byte-idempotent re-post.
+      // namtree-lint: retry-ok(WRITE of identical bytes under our lock)
+      if (policy.Exhausted(attempt + 1)) {
+        ctx_->lock_routes.erase(ptr.raw());
+        ctx_->verb_retry_exhausted.Inc();
+        co_return Status::TimedOut("publication WRITE lost in the network");
+      }
+      ctx_->verb_retry_attempts.Inc();
+      ctx_->round_trips.Inc();
+      co_await sim::Delay(fabric().simulator(),
+                          policy.BackoffFor(attempt, ctx_->rng()));
     }
     for (uint32_t r = 0; fabric().replicated() && r < fabric().replication();
          ++r) {
@@ -337,31 +465,79 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
       if (rep == locked_at || !fabric().ServerAlive(rep.server_id())) {
         continue;
       }
-      ctx_->round_trips.Inc();
-      const SimTime rep_t0 = TraceStart();
-      // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
-      co_await fabric().Write(ctx_->client_id(), rep, backup_img.data(),
-                              page_size());
-      TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(), /*chain=*/0,
-                     rep_t0);
-      if (!alive()) co_return Status::Unavailable("client crashed");
-      if (!fabric().ServerAlive(locked_server)) {
-        ctx_->lock_routes.erase(ptr.raw());
-        co_return Status::Aborted("locked primary died during publication");
+      // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+      for (uint32_t attempt = 0;; ++attempt) {
+        ctx_->round_trips.Inc();
+        const SimTime rep_t0 = TraceStart();
+        // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+        const rdma::VerbCompletion done = co_await fabric().Write(
+            ctx_->client_id(), rep, backup_img.data(), page_size());
+        TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(),
+                       /*chain=*/0, rep_t0);
+        if (!alive()) co_return Status::Unavailable("client crashed");
+        if (!fabric().ServerAlive(locked_server)) {
+          ctx_->lock_routes.erase(ptr.raw());
+          co_return Status::Aborted("locked primary died during publication");
+        }
+        if (done == rdma::VerbCompletion::kOk) break;
+        // A backup whose server died mid-WRITE is skipped, exactly as a
+        // pre-WRITE death would have skipped it above.
+        if (!fabric().ServerAlive(rep.server_id())) break;
+        // namtree-lint: retry-ok(WRITE of identical bytes)
+        if (policy.Exhausted(attempt + 1)) {
+          ctx_->lock_routes.erase(ptr.raw());
+          ctx_->verb_retry_exhausted.Inc();
+          co_return Status::TimedOut("backup WRITE lost in the network");
+        }
+        ctx_->verb_retry_attempts.Inc();
+        co_await sim::Delay(fabric().simulator(),
+                            policy.BackoffFor(attempt, ctx_->rng()));
       }
     }
-    const SimTime faa_t0 = TraceStart();
-    co_await fabric().FetchAndAdd(ctx_->client_id(),
-                                  locked_at.Plus(btree::kVersionOffset), 1);
-    TraceVerbEvent(metrics::TraceVerb::kFaa, locked_server, /*chain=*/0,
-                   faa_t0);
-    ctx_->lock_routes.erase(ptr.raw());
-    if (!alive()) co_return Status::Unavailable("client crashed");
-    if (!fabric().ServerAlive(locked_server)) {
-      co_return fabric().replicated()
-          ? Status::Aborted("locked primary died during publication")
-          : Status::Unavailable("memory server dead");
+    // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+    for (uint32_t attempt = 0;; ++attempt) {
+      const SimTime faa_t0 = TraceStart();
+      const rdma::AtomicResult faa = co_await fabric().FetchAndAdd(
+          ctx_->client_id(), locked_at.Plus(btree::kVersionOffset), 1);
+      TraceVerbEvent(metrics::TraceVerb::kFaa, locked_server, /*chain=*/0,
+                     faa_t0);
+      if (!alive()) {
+        ctx_->lock_routes.erase(ptr.raw());
+        co_return Status::Unavailable("client crashed");
+      }
+      if (!fabric().ServerAlive(locked_server)) {
+        ctx_->lock_routes.erase(ptr.raw());
+        co_return fabric().replicated()
+            ? Status::Aborted("locked primary died during publication")
+            : Status::Unavailable("memory server dead");
+      }
+      if (faa.ok()) break;
+      // Ambiguous release: did the +1 land before the ACK vanished? Read
+      // the word back — it stays our locked word until the release is
+      // visible.
+      uint64_t now_word = 0;
+      const Status read_back = co_await ReadWord(
+          locked_at.Plus(btree::kVersionOffset), &now_word);
+      if (!read_back.ok()) {
+        ctx_->lock_routes.erase(ptr.raw());
+        co_return read_back;
+      }
+      if (now_word != word) break;  // release visible (or lock stolen)
+      // Still our locked word: the FAA never executed. Retrying the
+      // non-idempotent FAA is sanctioned only behind this read-back — a
+      // blind re-post would double-release.
+      // namtree-lint: retry-ok(read-back proved the FAA had no effect)
+      if (policy.Exhausted(attempt + 1)) {
+        ctx_->lock_routes.erase(ptr.raw());
+        ctx_->verb_retry_exhausted.Inc();
+        co_return Status::TimedOut("unlock FAA lost in the network");
+      }
+      ctx_->verb_retry_attempts.Inc();
+      ctx_->round_trips.Inc();
+      co_await sim::Delay(fabric().simulator(),
+                          policy.BackoffFor(attempt, ctx_->rng()));
     }
+    ctx_->lock_routes.erase(ptr.raw());
     co_return Status::OK();
   }
   // Doorbell-batched {page WRITE, backup WRITEs, unlock WRITE}: one
@@ -389,7 +565,6 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
   }
   chain.push_back(rdma::Fabric::ChainOp::Write(
       locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
-  const SimTime chain_t0 = TraceStart();
   const uint64_t chain_id = ctx_->trace().NextChainId();
   std::vector<uint32_t> chain_servers;
   if (ctx_->trace().in_span()) {
@@ -398,43 +573,103 @@ sim::Task<Status> RemoteOps::WriteUnlockPage(rdma::RemotePtr ptr,
       chain_servers.push_back(op.target.server_id());
     }
   }
-  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
-  for (const uint32_t server : chain_servers) {
-    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    const SimTime chain_t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().PostChain(ctx_->client_id(), chain);
+    for (const uint32_t server : chain_servers) {
+      TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+    }
+    if (!alive()) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return Status::Unavailable("client crashed");
+    }
+    if (!fabric().ServerAlive(locked_server)) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return fabric().replicated()
+          ? Status::Aborted("locked primary died during publication")
+          : Status::Unavailable("memory server dead");
+    }
+    if (done == rdma::VerbCompletion::kOk) break;
+    // Part of the chain — or only completions — was lost. The page stays
+    // ours until the unlock WRITE is visible, so read the version word
+    // back to decide.
+    uint64_t now_word = 0;
+    const Status read_back = co_await ReadWord(
+        locked_at.Plus(btree::kVersionOffset), &now_word);
+    if (!read_back.ok()) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return read_back;
+    }
+    if (now_word != word) break;  // the release landed; only ACKs were lost
+    // Still locked by us: the unlock WRITE never executed, so nobody can
+    // have modified the page — every member re-posts the same bytes.
+    // namtree-lint: retry-ok(read-back proved the release missing; chain is byte-idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->lock_routes.erase(ptr.raw());
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("publication chain lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    ctx_->round_trips.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
   ctx_->lock_routes.erase(ptr.raw());
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  if (!fabric().ServerAlive(locked_server)) {
-    co_return fabric().replicated()
-        ? Status::Aborted("locked primary died during publication")
-        : Status::Unavailable("memory server dead");
-  }
   co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
     rdma::RemotePtr sibling, const uint8_t* sibling_buf, rdma::RemotePtr ptr,
     const uint8_t* buf) {
+  const rdma::RetryPolicy policy = VerbPolicy();
   if (!fabric().config().verb_chaining) {
-    ctx_->round_trips.Inc();
-    const SimTime sib_t0 = TraceStart();
-    co_await fabric().Write(ctx_->client_id(), sibling, sibling_buf,
-                            page_size());
-    TraceVerbEvent(metrics::TraceVerb::kWrite, sibling.server_id(),
-                   /*chain=*/0, sib_t0);
-    if (!alive()) co_return Status::Unavailable("client crashed");
+    // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+    for (uint32_t attempt = 0;; ++attempt) {
+      ctx_->round_trips.Inc();
+      const SimTime sib_t0 = TraceStart();
+      const rdma::VerbCompletion done = co_await fabric().Write(
+          ctx_->client_id(), sibling, sibling_buf, page_size());
+      TraceVerbEvent(metrics::TraceVerb::kWrite, sibling.server_id(),
+                     /*chain=*/0, sib_t0);
+      if (!alive()) co_return Status::Unavailable("client crashed");
+      if (done == rdma::VerbCompletion::kOk) break;
+      // The sibling is unreachable until the page below publishes the
+      // link: re-post freely. namtree-lint: retry-ok(unlinked page)
+      if (policy.Exhausted(attempt + 1)) {
+        ctx_->verb_retry_exhausted.Inc();
+        co_return Status::TimedOut("sibling WRITE lost in the network");
+      }
+      ctx_->verb_retry_attempts.Inc();
+      co_await sim::Delay(fabric().simulator(),
+                          policy.BackoffFor(attempt, ctx_->rng()));
+    }
     for (uint32_t r = 1; fabric().replicated() && r < fabric().replication();
          ++r) {
       const rdma::RemotePtr rep = fabric().ReplicaPtr(sibling, r);
       if (!fabric().ServerAlive(rep.server_id())) continue;
-      ctx_->round_trips.Inc();
-      const SimTime rep_t0 = TraceStart();
-      // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
-      co_await fabric().Write(ctx_->client_id(), rep, sibling_buf,
-                              page_size());
-      TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(), /*chain=*/0,
-                     rep_t0);
-      if (!alive()) co_return Status::Unavailable("client crashed");
+      // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+      for (uint32_t attempt = 0;; ++attempt) {
+        ctx_->round_trips.Inc();
+        const SimTime rep_t0 = TraceStart();
+        // namtree-lint: unchained-ok(verb_chaining-disabled fallback path)
+        const rdma::VerbCompletion done = co_await fabric().Write(
+            ctx_->client_id(), rep, sibling_buf, page_size());
+        TraceVerbEvent(metrics::TraceVerb::kWrite, rep.server_id(),
+                       /*chain=*/0, rep_t0);
+        if (!alive()) co_return Status::Unavailable("client crashed");
+        if (done == rdma::VerbCompletion::kOk) break;
+        if (!fabric().ServerAlive(rep.server_id())) break;
+        // namtree-lint: retry-ok(unlinked page)
+        if (policy.Exhausted(attempt + 1)) {
+          ctx_->verb_retry_exhausted.Inc();
+          co_return Status::TimedOut("sibling WRITE lost in the network");
+        }
+        ctx_->verb_retry_attempts.Inc();
+        co_await sim::Delay(fabric().simulator(),
+                            policy.BackoffFor(attempt, ctx_->rng()));
+      }
     }
     co_return co_await WriteUnlockPage(ptr, buf);  // unchained path
   }
@@ -491,7 +726,6 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
   }
   chain.push_back(rdma::Fabric::ChainOp::Write(
       locked_at.Plus(btree::kVersionOffset), &unlocked, 8));
-  const SimTime chain_t0 = TraceStart();
   const uint64_t chain_id = ctx_->trace().NextChainId();
   std::vector<uint32_t> chain_servers;
   if (ctx_->trace().in_span()) {
@@ -500,17 +734,47 @@ sim::Task<Status> RemoteOps::WriteSiblingAndUnlockPage(
       chain_servers.push_back(op.target.server_id());
     }
   }
-  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
-  for (const uint32_t server : chain_servers) {
-    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    const SimTime chain_t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().PostChain(ctx_->client_id(), chain);
+    for (const uint32_t server : chain_servers) {
+      TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+    }
+    if (!alive()) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return Status::Unavailable("client crashed");
+    }
+    if (!fabric().ServerAlive(locked_server)) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return fabric().replicated()
+          ? Status::Aborted("locked primary died during publication")
+          : Status::Unavailable("memory server dead");
+    }
+    if (done == rdma::VerbCompletion::kOk) break;
+    // Same resolution as WriteUnlockPage: the page version word decides
+    // whether the (idempotent) chain must be re-posted.
+    uint64_t now_word = 0;
+    const Status read_back = co_await ReadWord(
+        locked_at.Plus(btree::kVersionOffset), &now_word);
+    if (!read_back.ok()) {
+      ctx_->lock_routes.erase(ptr.raw());
+      co_return read_back;
+    }
+    if (now_word != word) break;  // the release landed; only ACKs were lost
+    // namtree-lint: retry-ok(read-back proved the release missing; chain is byte-idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->lock_routes.erase(ptr.raw());
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("publication chain lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    ctx_->round_trips.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
   ctx_->lock_routes.erase(ptr.raw());
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  if (!fabric().ServerAlive(locked_server)) {
-    co_return fabric().replicated()
-        ? Status::Aborted("locked primary died during publication")
-        : Status::Unavailable("memory server dead");
-  }
   co_return Status::OK();
 }
 
@@ -524,34 +788,72 @@ sim::Task<Status> RemoteOps::UnlockPage(rdma::RemotePtr ptr) {
     // clean unlocked word (backups never store locked words).
     co_return Status::OK();
   }
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  co_await fabric().FetchAndAdd(ctx_->client_id(),
-                                route.ptr.Plus(btree::kVersionOffset), 1);
-  TraceVerbEvent(metrics::TraceVerb::kFaa, route.ptr.server_id(), /*chain=*/0,
-                 t0);
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  if (!fabric().ServerAlive(route.ptr.server_id())) {
-    co_return fabric().replicated()
-        ? Status::OK()  // lock and server vanished together
-        : Status::Unavailable("memory server dead");
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::AtomicResult faa = co_await fabric().FetchAndAdd(
+        ctx_->client_id(), route.ptr.Plus(btree::kVersionOffset), 1);
+    TraceVerbEvent(metrics::TraceVerb::kFaa, route.ptr.server_id(),
+                   /*chain=*/0, t0);
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (!fabric().ServerAlive(route.ptr.server_id())) {
+      co_return fabric().replicated()
+          ? Status::OK()  // lock and server vanished together
+          : Status::Unavailable("memory server dead");
+    }
+    if (faa.ok()) co_return Status::OK();
+    // Ambiguous release: read the word back. While it is still locked with
+    // our holder stamp the FAA provably never executed; anything else
+    // means the release is visible (or a lease steal intervened — either
+    // way a second +1 would corrupt the word).
+    uint64_t now_word = 0;
+    const Status read_back = co_await ReadWord(
+        route.ptr.Plus(btree::kVersionOffset), &now_word);
+    if (!read_back.ok()) co_return read_back;
+    if (!(IsLocked(now_word) &&
+          btree::HolderOf(now_word) == ctx_->client_id())) {
+      co_return Status::OK();
+    }
+    // namtree-lint: retry-ok(read-back proved the FAA had no effect)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("unlock FAA lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
-  co_return Status::OK();
 }
 
 sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
                                             const uint8_t* buf) {
+  const rdma::RetryPolicy policy = VerbPolicy();
   if (!fabric().replicated()) {
-    ctx_->round_trips.Inc();
-    const SimTime t0 = TraceStart();
-    co_await fabric().Write(ctx_->client_id(), ptr, buf, page_size());
-    TraceVerbEvent(metrics::TraceVerb::kWrite, ptr.server_id(), /*chain=*/0,
-                   t0);
-    if (!alive()) co_return Status::Unavailable("client crashed");
-    if (!fabric().ServerAlive(ptr.server_id())) {
-      co_return Status::Unavailable("memory server dead");
+    // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+    for (uint32_t attempt = 0;; ++attempt) {
+      ctx_->round_trips.Inc();
+      const SimTime t0 = TraceStart();
+      const rdma::VerbCompletion done = co_await fabric().Write(
+          ctx_->client_id(), ptr, buf, page_size());
+      TraceVerbEvent(metrics::TraceVerb::kWrite, ptr.server_id(), /*chain=*/0,
+                     t0);
+      if (!alive()) co_return Status::Unavailable("client crashed");
+      if (!fabric().ServerAlive(ptr.server_id())) {
+        co_return Status::Unavailable("memory server dead");
+      }
+      if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+      // The page is unreachable until a later publication links it.
+      // namtree-lint: retry-ok(unlinked page, byte-idempotent)
+      if (policy.Exhausted(attempt + 1)) {
+        ctx_->verb_retry_exhausted.Inc();
+        co_return Status::TimedOut("fresh-page WRITE lost in the network");
+      }
+      ctx_->verb_retry_attempts.Inc();
+      co_await sim::Delay(fabric().simulator(),
+                          policy.BackoffFor(attempt, ctx_->rng()));
     }
-    co_return Status::OK();
   }
   // Primary + all live backups, unfenced: the page is unreachable until a
   // later (fenced) publication links it, so partial replication after a
@@ -565,7 +867,6 @@ sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
     chain.push_back(rdma::Fabric::ChainOp::Write(rep, buf, page_size()));
   }
   if (chain.empty()) co_return Status::Unavailable("all replicas dead");
-  const SimTime chain_t0 = TraceStart();
   const uint64_t chain_id = ctx_->trace().NextChainId();
   std::vector<uint32_t> chain_servers;
   if (ctx_->trace().in_span()) {
@@ -574,12 +875,26 @@ sim::Task<Status> RemoteOps::WriteFreshPage(rdma::RemotePtr ptr,
       chain_servers.push_back(op.target.server_id());
     }
   }
-  co_await fabric().PostChain(ctx_->client_id(), std::move(chain));
-  for (const uint32_t server : chain_servers) {
-    TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    const SimTime chain_t0 = TraceStart();
+    const rdma::VerbCompletion done =
+        co_await fabric().PostChain(ctx_->client_id(), chain);
+    for (const uint32_t server : chain_servers) {
+      TraceVerbEvent(metrics::TraceVerb::kWrite, server, chain_id, chain_t0);
+    }
+    if (!alive()) co_return Status::Unavailable("client crashed");
+    if (done == rdma::VerbCompletion::kOk) co_return Status::OK();
+    // namtree-lint: retry-ok(unlinked pages, byte-idempotent)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return Status::TimedOut("fresh-page chain lost in the network");
+    }
+    ctx_->verb_retry_attempts.Inc();
+    ctx_->round_trips.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
-  if (!alive()) co_return Status::Unavailable("client crashed");
-  co_return Status::OK();
 }
 
 sim::Task<AllocResult> RemoteOps::AllocPage(uint32_t server) {
@@ -608,20 +923,65 @@ sim::Task<AllocResult> RemoteOps::AllocPage(uint32_t server) {
   }
   const rdma::RemotePtr cursor =
       rdma::RemotePtr::Make(target, rdma::MemoryRegion::kAllocCursorOffset);
-  ctx_->round_trips.Inc();
-  const SimTime t0 = TraceStart();
-  const uint64_t offset = co_await fabric().FetchAndAdd(
-      ctx_->client_id(), cursor, page_size());
-  TraceVerbEvent(metrics::TraceVerb::kFaa, target, /*chain=*/0, t0);
-  // A dead client's FAA is dropped and returns 0, which would alias the
-  // region header — treat it as an allocation failure.
-  if (!alive()) {
-    co_return AllocResult{Status::Unavailable("client crashed"),
-                          rdma::RemotePtr::Null()};
+  const rdma::RetryPolicy policy = VerbPolicy();
+  // Ambiguity bookkeeping: a lost allocation FAA leaves no witness in the
+  // allocated slot (unlike lock words, cursor slots carry no holder
+  // stamp), so pre-read the cursor while faults can fire. An unchanged
+  // cursor later proves a lost FAA never executed. The extra READ is
+  // gated on fault enablement — knobs-off runs stay verb-identical.
+  uint64_t cursor_before = 0;
+  bool have_cursor_before = false;
+  if (fabric().NetFaultsLive()) {
+    const Status pre = co_await ReadWord(cursor, &cursor_before);
+    if (!pre.ok()) co_return AllocResult{pre, rdma::RemotePtr::Null()};
+    have_cursor_before = true;
   }
-  if (!fabric().ServerAlive(target)) {  // died mid-FAA: cursor never moved
-    co_return AllocResult{Status::Unavailable("memory server dead"),
-                          rdma::RemotePtr::Null()};
+  uint64_t offset = 0;
+  // Bounded by the verb retry budget. namtree-lint: bounded-loop(retry)
+  for (uint32_t attempt = 0;; ++attempt) {
+    ctx_->round_trips.Inc();
+    const SimTime t0 = TraceStart();
+    const rdma::AtomicResult faa = co_await fabric().FetchAndAdd(
+        ctx_->client_id(), cursor, page_size());
+    TraceVerbEvent(metrics::TraceVerb::kFaa, target, /*chain=*/0, t0);
+    // A dead client's FAA is dropped and returns 0, which would alias the
+    // region header — treat it as an allocation failure.
+    if (!alive()) {
+      co_return AllocResult{Status::Unavailable("client crashed"),
+                            rdma::RemotePtr::Null()};
+    }
+    if (!fabric().ServerAlive(target)) {  // died mid-FAA: cursor never moved
+      co_return AllocResult{Status::Unavailable("memory server dead"),
+                            rdma::RemotePtr::Null()};
+    }
+    if (faa.ok()) {
+      offset = faa.value;
+      break;
+    }
+    // Ambiguous allocation: read the cursor back. Unchanged = our FAA
+    // never executed, plain re-post. Moved = ours may be among the movers
+    // but is indistinguishable from concurrent allocators', so re-draw
+    // conservatively: at worst one page-size hole leaks in the stripe
+    // (client.alloc_leaks counts the events).
+    uint64_t cursor_now = 0;
+    const Status read_back = co_await ReadWord(cursor, &cursor_now);
+    if (!read_back.ok()) {
+      co_return AllocResult{read_back, rdma::RemotePtr::Null()};
+    }
+    if (have_cursor_before && cursor_now != cursor_before) {
+      ctx_->alloc_leaks.Inc();
+    }
+    cursor_before = cursor_now;
+    have_cursor_before = true;
+    // namtree-lint: retry-ok(read-back resolved the lost FAA; moved cursors leak, never alias)
+    if (policy.Exhausted(attempt + 1)) {
+      ctx_->verb_retry_exhausted.Inc();
+      co_return AllocResult{Status::TimedOut("alloc FAA lost in the network"),
+                            rdma::RemotePtr::Null()};
+    }
+    ctx_->verb_retry_attempts.Inc();
+    co_await sim::Delay(fabric().simulator(),
+                        policy.BackoffFor(attempt, ctx_->rng()));
   }
   if (offset + page_size() > fabric().AllocLimit(target)) {
     co_return AllocResult{Status::OutOfMemory("region exhausted"),

@@ -54,6 +54,16 @@ struct RouteResult {
 /// remote page allocation via FETCH_AND_ADD on the region's allocation
 /// cursor (RDMA_ALLOC).
 ///
+/// Network-fault behavior: a verb that the flaky fabric reports kLost is
+/// ambiguous — its effect may have landed with only the completion gone.
+/// Idempotent verbs (READs, WRITEs of the same image) re-post under the
+/// bounded RetryPolicy::ForVerbs budget; non-idempotent atomics resolve
+/// the ambiguity first with a read-back (lock CAS: the holder-stamped
+/// word; unlock FAA / publication chains: the version word; allocation
+/// FAA: the cursor) and only re-post when the read-back proved no effect.
+/// Budget exhaustion surfaces Status::TimedOut — distinct from the
+/// kUnavailable of a dead server (docs/fault_model.md §8).
+///
 /// Crash-fault behavior: every op surfaces Status::Unavailable as soon as
 /// the owning client is dead (its verbs are dropped by the fabric).
 /// Spinning on a locked word uses capped exponential backoff with
@@ -198,6 +208,20 @@ class RemoteOps {
       std::vector<rdma::Fabric::ReadRequest> requests);
 
  private:
+  /// The lost-verb retry budget for this client's loops: ForVerbs on the
+  /// static config, widened to the full budget when only runtime fault
+  /// state (PartitionLink) makes the fabric lossy — the config predicate
+  /// cannot see severed links, and a partition may heal mid-retry. Knobs
+  /// off and no partitions: max_attempts stays 1, bit-identical.
+  rdma::RetryPolicy VerbPolicy() const {
+    rdma::RetryPolicy p =
+        rdma::RetryPolicy::ForVerbs(ctx_->fabric().config());
+    if (p.max_attempts == 1 && ctx_->fabric().NetFaultsLive()) {
+      p.max_attempts = rdma::RetryPolicy::kNetVerbAttempts;
+    }
+    return p;
+  }
+
   /// One full-page READ from exactly `at` (no failover), with liveness
   /// checks. Unavailable covers both a dead client and `at`'s server dying
   /// mid-read — ReadPage/ReadPageUnlocked disambiguate via ServerAlive.

@@ -95,6 +95,31 @@ class ClientContext {
                              labels, "speculative descents fully validated");
     registry.RegisterCounter(mispredicts, "client.mispredicts", labels,
                              "speculative descents that fell back");
+    // Retry accounting is labeled by retry *domain*, not by client: every
+    // client's handle feeds the same {domain=...} cell, so the registry sum
+    // is the fleet-wide figure the flaky-net acceptance gate reads
+    // (`retry.exhausted == 0`). The rpc domain lives in the Fabric itself.
+    registry.RegisterCounter(lock_retry_attempts, "retry.attempts",
+                             {{"domain", "lock"}},
+                             "retries after a first failed attempt");
+    registry.RegisterCounter(lock_retry_exhausted, "retry.exhausted",
+                             {{"domain", "lock"}},
+                             "retry budgets spent without success");
+    registry.RegisterCounter(verb_retry_attempts, "retry.attempts",
+                             {{"domain", "verb"}},
+                             "retries after a first failed attempt");
+    registry.RegisterCounter(verb_retry_exhausted, "retry.exhausted",
+                             {{"domain", "verb"}},
+                             "retry budgets spent without success");
+    registry.RegisterCounter(steal_retry_attempts, "retry.attempts",
+                             {{"domain", "steal"}},
+                             "retries after a first failed attempt");
+    registry.RegisterCounter(steal_retry_exhausted, "retry.exhausted",
+                             {{"domain", "steal"}},
+                             "retry budgets spent without success");
+    registry.RegisterCounter(alloc_leaks, "client.alloc_leaks", labels,
+                             "page slots conservatively re-drawn after a "
+                             "lost allocation FAA");
     trace_.SetClock([&fabric] { return fabric.simulator().now(); });
   }
 
@@ -152,6 +177,19 @@ class ClientContext {
   /// Speculative descents where validation had to fall back to the
   /// level-by-level loop (stale prediction, locked or dropped batch slot).
   metrics::Counter mispredicts;
+  // Unified retry families ({domain=lock|verb|steal}; {domain=rpc} is owned
+  // by the Fabric). `attempts` counts re-tries (first tries are free),
+  // `exhausted` counts budgets that ran dry.
+  metrics::Counter lock_retry_attempts;
+  metrics::Counter lock_retry_exhausted;
+  metrics::Counter verb_retry_attempts;
+  metrics::Counter verb_retry_exhausted;
+  metrics::Counter steal_retry_attempts;
+  metrics::Counter steal_retry_exhausted;
+  /// Allocation-cursor slots abandoned when a lost FAA could not be proven
+  /// absent (the cursor moved under concurrency): the conservative re-draw
+  /// leaks at most one page-size hole per event.
+  metrics::Counter alloc_leaks;
 
   /// Round-robin cursor for remote page allocation (fine-grained splits
   /// scatter new nodes over all memory servers).

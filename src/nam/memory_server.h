@@ -100,6 +100,11 @@ class MemoryServer {
         // SRQ are lost (their callers are failed by the death fallout).
         continue;
       }
+      if (!fabric_.AdmitRpc(server_id_, rpc)) {
+        // Retransmission of a request that already executed (or is mid
+        // handler): answered from the fabric's dedup cache, never re-run.
+        continue;
+      }
       requests_handled_++;
       auto it = handlers_.find(rpc.request.service);
       if (it == handlers_.end()) {

@@ -21,6 +21,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "LockStealFromLiveHolder";
     case ViolationKind::kRemoteRace:
       return "RemoteRace";
+    case ViolationKind::kUnresolvedAmbiguousRetry:
+      return "UnresolvedAmbiguousRetry";
   }
   return "Unknown";
 }
@@ -119,7 +121,8 @@ void VerbAuditor::BindMetrics(metrics::MetricRegistry* registry) {
   registry->RegisterCounter(suppressed_violations_,
                             "audit.suppressed_violations", {},
                             "occurrences dropped at the storage cap");
-  for (int k = 0; k <= static_cast<int>(ViolationKind::kRemoteRace); ++k) {
+  for (int k = 0;
+       k <= static_cast<int>(ViolationKind::kUnresolvedAmbiguousRetry); ++k) {
     const auto kind = static_cast<ViolationKind>(k);
     registry->RegisterCallback(
         "audit.violations",
@@ -437,7 +440,19 @@ void VerbAuditor::OnCasEffect(uint32_t client, RemotePtr target,
     }
     return;
   }
-  if (!swapped) return;  // failed CAS has no memory effect
+  if (!swapped) {
+    // A failed acquire CAS against a word the CASer *already holds* is a
+    // blind retry of an ambiguous (lost-completion) CAS whose first
+    // execution landed: the sanctioned recovery reads the holder-stamped
+    // word back instead of re-CASing (docs/fault_model.md §8). The spin
+    // loop against someone else's lock never matches (holder differs).
+    if (lock_acquire_shape && state->locked && state->holder == client &&
+        LockedWord(observed)) {
+      Report(ViolationKind::kUnresolvedAmbiguousRetry, client, target,
+             observed, desired, now);
+    }
+    return;  // failed CAS has no memory effect
+  }
 
   if (lock_acquire_shape && !state->locked) {
     // Release -> acquire: the new holder inherits everything ordered

@@ -55,6 +55,13 @@ enum class ViolationKind {
   /// verbs' records (client, op, chain id, page, time). See
   /// docs/static_analysis.md §Race detection.
   kRemoteRace,
+  /// A client re-issued a lock-acquire CAS while it already held the lock
+  /// on that word: the signature of a raw, un-resolved retry of a
+  /// non-idempotent verb after an ambiguous (lost) completion. The
+  /// sanctioned recovery is a read-back of the holder-stamped word
+  /// (docs/fault_model.md §8) — blind re-CAS either deadlocks on its own
+  /// lock or, after an intervening release, double-acquires.
+  kUnresolvedAmbiguousRetry,
 };
 
 /// Human-readable name for `kind` ("WriteWithoutLock", ...).

@@ -54,6 +54,12 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
   server_death_time_.assign(config_.num_memory_servers,
                             std::numeric_limits<SimTime>::max());
   server_verbs_executed_.assign(config_.num_memory_servers, 0);
+  net_faults_configured_ = config_.NetFaultsConfigured();
+  net_rng_.Seed(config_.net_fault_seed);
+  for (const FabricConfig::LinkFault& lf : config_.link_faults) {
+    link_fault_overrides_[{lf.client, lf.server}] = lf;
+  }
+  verb_fault_consumed_.assign(config_.verb_fault_points.size(), false);
   replication_ = std::max<uint32_t>(
       1, std::min(config_.replication_factor, config_.num_memory_servers));
   memory_servers_.reserve(config_.num_memory_servers);
@@ -80,6 +86,27 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
                            {}, "RPC responses with no waiting caller");
   metrics_.RegisterCounter(rpc_timeouts_, "fabric.rpc_timeouts", {},
                            "RPC attempts abandoned at the deadline");
+  metrics_.RegisterCounter(net_dropped_verbs_, "fabric.net.dropped_verbs", {},
+                           "verbs lost before the target NIC (no effect)");
+  metrics_.RegisterCounter(net_dropped_completions_,
+                           "fabric.net.dropped_completions", {},
+                           "verbs whose effect applied but whose ack was lost");
+  metrics_.RegisterCounter(net_duplicates_, "fabric.net.duplicates", {},
+                           "verbs re-executed at the target NIC");
+  metrics_.RegisterCounter(net_delayed_verbs_, "fabric.net.delayed_verbs", {},
+                           "verbs stretched by injected delay jitter");
+  metrics_.RegisterCounter(net_partitioned_drops_,
+                           "fabric.net.partitioned_drops", {},
+                           "verbs dropped on a severed (client, server) link");
+  metrics_.RegisterCounter(
+      rpc_dedup_hits_, "fabric.net.rpc_dedup_hits", {},
+      "retransmitted RPCs answered from the dedup cache (not re-executed)");
+  metrics_.RegisterCounter(rpc_retry_attempts_, "retry.attempts",
+                           {{"domain", "rpc"}},
+                           "re-attempts after a failed try, by retry domain");
+  metrics_.RegisterCounter(rpc_retry_exhausted_, "retry.exhausted",
+                           {{"domain", "rpc"}},
+                           "retry budgets used up, by retry domain");
   for (uint32_t s = 0; s < config_.num_memory_servers; ++s) {
     metrics_.RegisterCallback(
         "server.bytes",
@@ -207,6 +234,94 @@ bool Fabric::CountVerbAndCheckAlive(uint32_t client) {
   return true;
 }
 
+void Fabric::PartitionLink(uint32_t client, uint32_t server, SimTime at_time) {
+  const SimTime t = std::max(at_time, simulator_.now());
+  auto [it, inserted] = partitioned_links_.emplace(
+      std::make_pair(client, server), t);
+  if (!inserted) it->second = std::min(it->second, t);
+}
+
+void Fabric::PartitionLinks(
+    const std::vector<std::pair<uint32_t, uint32_t>>& links, SimTime at_time) {
+  for (const auto& [client, server] : links) {
+    PartitionLink(client, server, at_time);
+  }
+}
+
+void Fabric::HealLink(uint32_t client, uint32_t server) {
+  partitioned_links_.erase(std::make_pair(client, server));
+}
+
+bool Fabric::LinkPartitioned(uint32_t client, uint32_t server) const {
+  auto it = partitioned_links_.find(std::make_pair(client, server));
+  return it != partitioned_links_.end() && simulator_.now() >= it->second;
+}
+
+Fabric::NetFault Fabric::DrawNetFault(uint32_t client, uint32_t server,
+                                      bool is_atomic) {
+  NetFault fault;
+  // Exact fault points win: matched against the same post-order verb
+  // counter that crash points use (CountVerbAndCheckAlive has already
+  // ticked it for the current verb), consumed once each, no RNG draw.
+  if (!config_.verb_fault_points.empty()) {
+    const uint64_t index = verbs_issued_[client] - 1;
+    for (size_t i = 0; i < config_.verb_fault_points.size(); ++i) {
+      if (verb_fault_consumed_[i]) continue;
+      const FabricConfig::VerbFaultPoint& fp = config_.verb_fault_points[i];
+      if (fp.client != client || index < fp.after_verb) continue;
+      verb_fault_consumed_[i] = true;
+      switch (fp.kind) {
+        case FabricConfig::VerbFaultPoint::Kind::kDropVerb:
+          fault.kind = NetFaultKind::kDropVerb;
+          break;
+        case FabricConfig::VerbFaultPoint::Kind::kDropCompletion:
+          fault.kind = NetFaultKind::kDropCompletion;
+          break;
+        case FabricConfig::VerbFaultPoint::Kind::kDuplicate:
+          fault.kind = NetFaultKind::kDuplicate;
+          break;
+      }
+      return fault;
+    }
+  }
+  // A severed link eats every verb before the target NIC.
+  if (LinkPartitioned(client, server)) {
+    fault.kind = NetFaultKind::kDropVerb;
+    fault.partitioned = true;
+    return fault;
+  }
+  double drop = config_.drop_prob;
+  double dup = config_.dup_prob;
+  SimTime jitter = config_.delay_jitter_ns;
+  if (!link_fault_overrides_.empty()) {
+    auto it = link_fault_overrides_.find(std::make_pair(client, server));
+    if (it != link_fault_overrides_.end()) {
+      drop = it->second.drop_prob;
+      dup = it->second.dup_prob;
+      jitter = it->second.delay_jitter_ns;
+    }
+  }
+  if (jitter > 0) {
+    fault.extra_delay = static_cast<SimTime>(
+        net_rng_.NextDouble() * static_cast<double>(jitter));
+  }
+  if (drop > 0 || dup > 0) {
+    const double draw = net_rng_.NextDouble();
+    if (draw < drop) {
+      // A loss is equally likely to hit the request (no effect) or the
+      // acknowledgement (effect applied, completion lost — the ambiguity).
+      fault.kind = net_rng_.NextBool(0.5) ? NetFaultKind::kDropCompletion
+                                          : NetFaultKind::kDropVerb;
+    } else if (draw < drop + dup) {
+      // RC NICs answer retransmitted atomics from the response cache
+      // (exactly-once); random duplication therefore skips atomics, and
+      // only an exact fault point can force one for auditor tests.
+      if (!is_atomic) fault.kind = NetFaultKind::kDuplicate;
+    }
+  }
+  return fault;
+}
+
 sim::Task<EpochReadResult> Fabric::ReadClientEpoch(uint32_t reader,
                                                    uint32_t target) {
   if (!CountVerbAndCheckAlive(reader)) {
@@ -289,17 +404,28 @@ uint8_t* Fabric::TargetAddress(RemotePtr ptr, uint32_t len) {
   return ep.region->at(ptr.offset());
 }
 
-sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
-                             uint32_t len) {
+sim::Task<VerbCompletion> Fabric::Read(uint32_t client, RemotePtr src,
+                                       void* dst, uint32_t len) {
   if (!CountVerbAndCheckAlive(client)) {
     // Dead client: the verb never leaves the NIC. Charging the post cost
     // keeps virtual time moving for any coroutine still driving verbs.
     dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return;
+    co_return VerbCompletion::kOk;  // a dead caller observes nothing anyway
   }
+  NetFault net;
+  if (NetFaultsLive()) net = DrawNetFault(client, src.server_id(), false);
   doorbells_.Inc();
   signaled_verbs_.Inc();
+  if (net.kind == NetFaultKind::kDropVerb) {
+    // Lost before the target NIC: no memory effect, no completion. The
+    // caller's NIC gives up after the retransmission budget.
+    (net.partitioned ? net_partitioned_drops_ : net_dropped_verbs_).Inc();
+    co_await sim::Delay(simulator_,
+                        config_.nic_post_ns + config_.net_verb_timeout_ns);
+    co_return VerbCompletion::kLost;
+  }
+  if (net.extra_delay > 0) net_delayed_verbs_.Inc();
   // Standalone READ in-flight tracking (drops complete the posting too):
   // overlapping same-client duplicates are the combiner's waste metric.
   if (auditor_) auditor_->OnReadPosted(client, src, len);
@@ -314,41 +440,64 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
     if (!ClientAlive(client)) {
       dropped_verbs_.Inc();
-      co_return;
+      co_return VerbCompletion::kOk;
     }
     if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
       dropped_verbs_.Inc();
-      co_return;
+      co_return VerbCompletion::kOk;
     }
     if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
     std::memcpy(dst, remote, len);
-    co_return;
+    if (net.kind == NetFaultKind::kDropCompletion) {
+      net_dropped_completions_.Inc();
+      co_await sim::Delay(simulator_, config_.net_verb_timeout_ns);
+      co_return VerbCompletion::kLost;
+    }
+    co_return VerbCompletion::kOk;
   }
 
   ComputeEndpoint& compute = ComputeFor(client);
   const SimTime t_post = simulator_.now() + config_.nic_post_ns;
   const SimTime t_req_out = compute.tx.ReserveTransfer(t_post,
                                                        kReadRequestBytes);
-  const SimTime t_arrive = t_req_out + WireLatency();
-  const SimTime t_effect =
+  const SimTime t_arrive = t_req_out + WireLatency() + net.extra_delay;
+  SimTime t_effect =
       server.engine.ReserveOccupancy(
           t_arrive, EngineCost(src.server_id(), config_.onesided_engine_ns));
   server.rx.ReserveArrival(t_arrive - 1, kReadRequestBytes);
 
   server.reads++;
+  if (net.kind == NetFaultKind::kDuplicate) {
+    // Retransmission re-executes the READ at the NIC: a second engine
+    // occupancy, harmless to memory. The client sees one response.
+    net_duplicates_.Inc();
+    server.reads++;
+    t_effect = server.engine.ReserveOccupancy(
+        t_effect, EngineCost(src.server_id(), config_.onesided_engine_ns));
+  }
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // died with the verb in flight: drop it
     dropped_verbs_.Inc();
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
-    co_return;
+    co_return VerbCompletion::kOk;
   }
   if (!ServerVerbExecutes(src.server_id())) {  // target region is gone
     dropped_verbs_.Inc();
     if (auditor_) auditor_->OnReadCompleted(client, src, len);
-    co_return;
+    co_return VerbCompletion::kOk;
   }
   if (auditor_) auditor_->OnReadEffect(client, src, len, simulator_.now());
   std::memcpy(dst, remote, len);
+
+  if (net.kind == NetFaultKind::kDropCompletion) {
+    // The response never reaches the client: the bytes are in flight but
+    // unacknowledged, so the caller must treat the buffer as unspecified.
+    net_dropped_completions_.Inc();
+    if (auditor_) auditor_->OnReadCompleted(client, src, len);
+    co_await sim::DelayUntil(simulator_,
+                             t_effect + config_.net_verb_timeout_ns);
+    co_return VerbCompletion::kLost;
+  }
 
   const SimTime t_tx = server.tx.ReserveTransfer(t_effect, len);
   const SimTime first_byte_at_client =
@@ -356,13 +505,15 @@ sim::Task<void> Fabric::Read(uint32_t client, RemotePtr src, void* dst,
   const SimTime done = compute.rx.ReserveArrival(first_byte_at_client, len);
   co_await sim::DelayUntil(simulator_, done);
   if (auditor_) auditor_->OnReadCompleted(client, src, len);
+  co_return VerbCompletion::kOk;
 }
 
-sim::Task<bool> Fabric::CombinedRead(uint32_t client, RemotePtr src,
-                                     void* dst, uint32_t len) {
+sim::Task<CombinedReadResult> Fabric::CombinedRead(uint32_t client,
+                                                   RemotePtr src, void* dst,
+                                                   uint32_t len) {
   if (!config_.read_combining) {
-    co_await Read(client, src, dst, len);
-    co_return false;
+    const VerbCompletion c = co_await Read(client, src, dst, len);
+    co_return CombinedReadResult{false, c};
   }
   const auto key = std::make_tuple(client, src.raw(), len);
   auto it = pending_reads_.find(key);
@@ -373,28 +524,30 @@ sim::Task<bool> Fabric::CombinedRead(uint32_t client, RemotePtr src,
     combined_reads_.Inc();
     co_await pending->done;
     std::memcpy(dst, pending->data.data(), len);
-    co_return true;
+    co_return CombinedReadResult{true, pending->completion};
   }
   auto pending = std::make_shared<PendingRead>(simulator_);
   pending->data.resize(len);
   pending_reads_.emplace(key, pending);
-  co_await Read(client, src, pending->data.data(), len);
+  pending->completion = co_await Read(client, src, pending->data.data(), len);
   // Dropped verbs (dead client/server) leave `data` zero-initialised —
   // as unspecified as any dropped READ's buffer; every caller re-checks
-  // liveness after resuming, poster and waiters alike.
+  // liveness after resuming, poster and waiters alike. A lost completion
+  // propagates to every combined waiter (they share the missing ack).
   pending_reads_.erase(key);
   pending->done.Set();
   std::memcpy(dst, pending->data.data(), len);
-  co_return false;
+  co_return CombinedReadResult{false, pending->completion};
 }
 
-sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
-  if (ops.empty()) co_return;
+sim::Task<VerbCompletion> Fabric::PostChain(uint32_t client,
+                                            std::vector<ChainOp> ops) {
+  if (ops.empty()) co_return VerbCompletion::kOk;
   // One doorbell, one crash-point tick for the whole chain.
   if (!CountVerbAndCheckAlive(client)) {
     dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return;
+    co_return VerbCompletion::kOk;
   }
   doorbells_.Inc();
   signaled_verbs_.Inc();  // the tail carries the chain's only completion
@@ -407,6 +560,32 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
   bool ordered = false;
   for (const ChainOp& op : ops) {
     if (op.kind != ChainOp::Kind::kRead) ordered = true;
+  }
+
+  // Network faults hit chain members individually (one fault draw per
+  // member; an exact fault point matching the chain's verb index lands on
+  // its first member). The first member lost before the NIC also kills the
+  // not-yet-posted tail of an ordered chain — the initiating NIC stops
+  // streaming WQEs past a faulted one — and any loss (member or the
+  // signaled tail's ack) surfaces as a kLost chain completion.
+  std::vector<NetFault> member_faults;
+  size_t net_drop_from = ops.size();
+  bool completion_lost = false;
+  if (NetFaultsLive()) {
+    member_faults.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      member_faults[i] = DrawNetFault(
+          client, ops[i].target.server_id(),
+          ops[i].kind == ChainOp::Kind::kCas);
+      if (member_faults[i].kind == NetFaultKind::kDropVerb) {
+        if (ordered) net_drop_from = std::min(net_drop_from, i);
+        completion_lost = true;
+      } else if (member_faults[i].kind == NetFaultKind::kDropCompletion) {
+        completion_lost = true;
+        net_dropped_completions_.Inc();
+      }
+      if (member_faults[i].extra_delay > 0) net_delayed_verbs_.Inc();
+    }
   }
 
   struct Pending {
@@ -425,6 +604,8 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
 
   for (size_t i = 0; i < ops.size(); ++i) {
     const ChainOp& op = ops[i];
+    const NetFault mf =
+        member_faults.empty() ? NetFault{} : member_faults[i];
     const uint32_t sid = op.target.server_id();
     MemoryServerEndpoint& server = memory_servers_[sid];
     uint64_t ticket = 0;
@@ -455,7 +636,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
         case ChainOp::Kind::kRead: {
           const SimTime t_req_out =
               compute.tx.ReserveTransfer(t_post, kReadRequestBytes);
-          SimTime t_arrive = t_req_out + WireLatency();
+          SimTime t_arrive = t_req_out + WireLatency() + mf.extra_delay;
           if (ordered) t_arrive = std::max(t_arrive, prev_effect);
           t_effect = server.engine.ReserveOccupancy(
               t_arrive, EngineCost(sid, config_.unsignaled_engine_ns));
@@ -470,7 +651,8 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
           const uint32_t wire_bytes = op.len + kWriteHeaderBytes;
           const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
           const SimTime first_byte_at_server =
-              t_out - compute.tx.TransferDuration(wire_bytes) + WireLatency();
+              t_out - compute.tx.TransferDuration(wire_bytes) + WireLatency() +
+              mf.extra_delay;
           SimTime t_rx =
               server.rx.ReserveArrival(first_byte_at_server, wire_bytes);
           if (ordered) t_rx = std::max(t_rx, prev_effect);
@@ -487,7 +669,7 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
         case ChainOp::Kind::kCas: {
           const SimTime t_out =
               compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
-          SimTime t_arrive = t_out + WireLatency();
+          SimTime t_arrive = t_out + WireLatency() + mf.extra_delay;
           if (ordered) t_arrive = std::max(t_arrive, prev_effect);
           server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
           t_effect = server.engine.ReserveOccupancy(t_arrive,
@@ -499,10 +681,27 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
         }
       }
     }
+    if (mf.kind == NetFaultKind::kDuplicate) {
+      // Retransmission re-executes this member at the NIC: a second
+      // engine occupancy; the re-executed memory effect happens at the
+      // (later) second slot in the effects loop below.
+      net_duplicates_.Inc();
+      t_effect = server.engine.ReserveOccupancy(
+          t_effect, op.kind == ChainOp::Kind::kCas
+                        ? config_.atomic_engine_ns
+                        : EngineCost(sid, config_.unsignaled_engine_ns));
+    }
     switch (op.kind) {
       case ChainOp::Kind::kRead: server.reads++; break;
       case ChainOp::Kind::kWrite: server.writes++; break;
       case ChainOp::Kind::kCas: server.atomics++; break;
+    }
+    if (mf.kind == NetFaultKind::kDuplicate) {
+      switch (op.kind) {
+        case ChainOp::Kind::kRead: server.reads++; break;
+        case ChainOp::Kind::kWrite: server.writes++; break;
+        case ChainOp::Kind::kCas: server.atomics++; break;
+      }
     }
     prev_effect = t_effect;
     overall_done = std::max(overall_done, done);
@@ -528,9 +727,23 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
         }
       }
       dropped_verbs_.Inc();
-      co_return;
+      co_return VerbCompletion::kOk;
     }
     const ChainOp& op = ops[p.index];
+    // Network fault domain: a member lost before the NIC drops here, and
+    // so does the unexecuted tail behind it (ordered chains stream WQEs in
+    // posting order; net_drop_from marks where the NIC stopped).
+    if (!member_faults.empty() &&
+        (member_faults[p.index].kind == NetFaultKind::kDropVerb ||
+         p.index >= net_drop_from)) {
+      if (auditor_ && op.kind == ChainOp::Kind::kWrite) {
+        auditor_->DropWrite(p.audit_ticket);
+      }
+      (member_faults[p.index].partitioned ? net_partitioned_drops_
+                                          : net_dropped_verbs_)
+          .Inc();
+      continue;
+    }
     // Server fault domain: a member whose target server is dead (or dies
     // on exactly this effect), or whose fence server has died, drops
     // individually — members bound for live servers still land, so an
@@ -573,32 +786,62 @@ sim::Task<void> Fabric::PostChain(uint32_t client, std::vector<ChainOp> ops) {
                                 current, simulator_.now(), chain_id);
         }
         if (op.result != nullptr) *op.result = current;
+        if (!member_faults.empty() &&
+            member_faults[p.index].kind == NetFaultKind::kDuplicate) {
+          // Forced atomic duplicate (exact fault point): the retransmitted
+          // CAS compares again. After a successful first execution the
+          // word no longer matches `expected`, so the re-execution is a
+          // no-op — CAS duplication is self-neutralising, unlike FAA.
+          uint64_t again;
+          std::memcpy(&again, remote, 8);
+          if (again == op.expected) std::memcpy(remote, &op.desired, 8);
+        }
         break;
       }
     }
   }
+  if (completion_lost) {
+    // The signaled tail's acknowledgement never arrives: whatever subset
+    // of effects landed stays, but the poster learns nothing and gives up
+    // after the retransmission budget.
+    co_await sim::DelayUntil(simulator_,
+                             overall_done + config_.net_verb_timeout_ns);
+    co_return VerbCompletion::kLost;
+  }
   co_await sim::DelayUntil(simulator_, overall_done);
+  co_return VerbCompletion::kOk;
 }
 
-sim::Task<void> Fabric::ReadBatch(uint32_t client,
-                                  std::vector<ReadRequest> requests) {
+sim::Task<VerbCompletion> Fabric::ReadBatch(uint32_t client,
+                                            std::vector<ReadRequest> requests) {
   std::vector<ChainOp> ops;
   ops.reserve(requests.size());
   for (const ReadRequest& r : requests) {
     ops.push_back(ChainOp::Read(r.src, r.dst, r.len));
   }
-  co_await PostChain(client, std::move(ops));
+  co_return co_await PostChain(client, std::move(ops));
 }
 
-sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
-                              uint32_t len) {
+sim::Task<VerbCompletion> Fabric::Write(uint32_t client, RemotePtr dst,
+                                        const void* src, uint32_t len) {
   if (!CountVerbAndCheckAlive(client)) {
     dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return;
+    co_return VerbCompletion::kOk;
   }
+  NetFault net;
+  if (NetFaultsLive()) net = DrawNetFault(client, dst.server_id(), false);
   doorbells_.Inc();
   signaled_verbs_.Inc();
+  if (net.kind == NetFaultKind::kDropVerb) {
+    // Lost before the target NIC: the bytes never land, the ack never
+    // comes. Re-posting is safe (byte-idempotent payload).
+    (net.partitioned ? net_partitioned_drops_ : net_dropped_verbs_).Inc();
+    co_await sim::Delay(simulator_,
+                        config_.nic_post_ns + config_.net_verb_timeout_ns);
+    co_return VerbCompletion::kLost;
+  }
+  if (net.extra_delay > 0) net_delayed_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[dst.server_id()];
   uint8_t* remote = TargetAddress(dst, len);
   const uint64_t audit_ticket =
@@ -613,16 +856,21 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
     if (!ClientAlive(client)) {
       if (auditor_) auditor_->DropWrite(audit_ticket);
       dropped_verbs_.Inc();
-      co_return;
+      co_return VerbCompletion::kOk;
     }
     if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
       if (auditor_) auditor_->DropWrite(audit_ticket);
       dropped_verbs_.Inc();
-      co_return;
+      co_return VerbCompletion::kOk;
     }
     if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
     std::memcpy(remote, src, len);
-    co_return;
+    if (net.kind == NetFaultKind::kDropCompletion) {
+      net_dropped_completions_.Inc();
+      co_await sim::Delay(simulator_, config_.net_verb_timeout_ns);
+      co_return VerbCompletion::kLost;
+    }
+    co_return VerbCompletion::kOk;
   }
 
   ComputeEndpoint& compute = ComputeFor(client);
@@ -631,43 +879,76 @@ sim::Task<void> Fabric::Write(uint32_t client, RemotePtr dst, const void* src,
   const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
   const SimTime first_byte_at_server =
       t_out - compute.tx.TransferDuration(wire_bytes) +
-      WireLatency();
+      WireLatency() + net.extra_delay;
   const SimTime t_rx = server.rx.ReserveArrival(first_byte_at_server,
                                                 wire_bytes);
-  const SimTime t_effect =
+  SimTime t_effect =
       server.engine.ReserveOccupancy(
           t_rx, EngineCost(dst.server_id(), config_.onesided_engine_ns));
 
   server.writes++;
+  if (net.kind == NetFaultKind::kDuplicate) {
+    // Retransmission re-executes the WRITE at the NIC: a second engine
+    // occupancy landing the same bytes — byte-idempotent, so no second
+    // auditor effect (the sanctioned duplicate).
+    net_duplicates_.Inc();
+    server.writes++;
+    t_effect = server.engine.ReserveOccupancy(
+        t_effect, EngineCost(dst.server_id(), config_.onesided_engine_ns));
+  }
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: nothing lands
     if (auditor_) auditor_->DropWrite(audit_ticket);
     dropped_verbs_.Inc();
-    co_return;
+    co_return VerbCompletion::kOk;
   }
   if (!ServerVerbExecutes(dst.server_id())) {  // target region is gone
     if (auditor_) auditor_->DropWrite(audit_ticket);
     dropped_verbs_.Inc();
-    co_return;
+    co_return VerbCompletion::kOk;
   }
   if (auditor_) auditor_->OnWriteEffect(audit_ticket, src, simulator_.now());
   std::memcpy(remote, src, len);
 
+  if (net.kind == NetFaultKind::kDropCompletion) {
+    // The bytes landed; the ack did not. The caller resolves by reading
+    // the published word back (docs/fault_model.md §8).
+    net_dropped_completions_.Inc();
+    co_await sim::DelayUntil(simulator_,
+                             t_effect + config_.net_verb_timeout_ns);
+    co_return VerbCompletion::kLost;
+  }
+
   server.tx.ReserveTransfer(t_effect, kAckBytes);
   const SimTime done = t_effect + WireLatency();
   co_await sim::DelayUntil(simulator_, done);
+  co_return VerbCompletion::kOk;
 }
 
-sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
-                                           uint64_t expected,
-                                           uint64_t desired) {
+sim::Task<AtomicResult> Fabric::CompareAndSwap(uint32_t client,
+                                               RemotePtr target,
+                                               uint64_t expected,
+                                               uint64_t desired) {
   if (!CountVerbAndCheckAlive(client)) {
     dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return 0;  // meaningless to a dead caller; RemoteOps checks alive()
+    // Meaningless to a dead caller; RemoteOps checks alive().
+    co_return AtomicResult{};
   }
+  NetFault net;
+  if (NetFaultsLive()) net = DrawNetFault(client, target.server_id(), true);
   doorbells_.Inc();
   signaled_verbs_.Inc();
+  if (net.kind == NetFaultKind::kDropVerb) {
+    // Lost before the NIC: no swap happened. Indistinguishable (to the
+    // caller) from a lost ack after a successful swap — resolved by
+    // reading the word back.
+    (net.partitioned ? net_partitioned_drops_ : net_dropped_verbs_).Inc();
+    co_await sim::Delay(simulator_,
+                        config_.nic_post_ns + config_.net_verb_timeout_ns);
+    co_return AtomicResult{0, VerbCompletion::kLost};
+  }
+  if (net.extra_delay > 0) net_delayed_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -687,7 +968,7 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
     const SimTime t_post = simulator_.now() + config_.nic_post_ns;
     const SimTime t_out =
         compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
-    const SimTime t_arrive = t_out + WireLatency();
+    const SimTime t_arrive = t_out + WireLatency() + net.extra_delay;
     server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
     t_effect =
         server.engine.ReserveOccupancy(t_arrive, config_.atomic_engine_ns);
@@ -697,14 +978,23 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
   }
 
   server.atomics++;
+  if (net.kind == NetFaultKind::kDuplicate) {
+    // Forced atomic duplicate (exact fault point only): the NIC executes
+    // the CAS twice. A successful first swap makes the second a no-op, so
+    // only the engine pays; see FetchAndAdd for the non-neutral case.
+    net_duplicates_.Inc();
+    server.atomics++;
+    t_effect =
+        server.engine.ReserveOccupancy(t_effect, config_.atomic_engine_ns);
+  }
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: no swap
     dropped_verbs_.Inc();
-    co_return 0;
+    co_return AtomicResult{};
   }
   if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
     dropped_verbs_.Inc();
-    co_return 0;  // callers disambiguate via ServerAlive
+    co_return AtomicResult{};  // callers disambiguate via ServerAlive
   }
   uint64_t current;
   std::memcpy(&current, remote, 8);
@@ -715,19 +1005,41 @@ sim::Task<uint64_t> Fabric::CompareAndSwap(uint32_t client, RemotePtr target,
     auditor_->OnCasEffect(client, target, expected, desired, current,
                           simulator_.now());
   }
+  if (net.kind == NetFaultKind::kDuplicate) {
+    uint64_t again;
+    std::memcpy(&again, remote, 8);
+    if (again == expected) std::memcpy(remote, &desired, 8);
+  }
+  if (net.kind == NetFaultKind::kDropCompletion) {
+    // The swap (or its failure) happened; the response was lost. The
+    // pre-image never reaches the caller — stamp read-back resolves it.
+    net_dropped_completions_.Inc();
+    co_await sim::DelayUntil(simulator_,
+                             t_effect + config_.net_verb_timeout_ns);
+    co_return AtomicResult{0, VerbCompletion::kLost};
+  }
   co_await sim::DelayUntil(simulator_, done);
-  co_return current;
+  co_return AtomicResult{current, VerbCompletion::kOk};
 }
 
-sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
-                                        uint64_t add) {
+sim::Task<AtomicResult> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
+                                            uint64_t add) {
   if (!CountVerbAndCheckAlive(client)) {
     dropped_verbs_.Inc();
     co_await sim::Delay(simulator_, config_.nic_post_ns);
-    co_return 0;
+    co_return AtomicResult{};
   }
+  NetFault net;
+  if (NetFaultsLive()) net = DrawNetFault(client, target.server_id(), true);
   doorbells_.Inc();
   signaled_verbs_.Inc();
+  if (net.kind == NetFaultKind::kDropVerb) {
+    (net.partitioned ? net_partitioned_drops_ : net_dropped_verbs_).Inc();
+    co_await sim::Delay(simulator_,
+                        config_.nic_post_ns + config_.net_verb_timeout_ns);
+    co_return AtomicResult{0, VerbCompletion::kLost};
+  }
+  if (net.extra_delay > 0) net_delayed_verbs_.Inc();
   MemoryServerEndpoint& server = memory_servers_[target.server_id()];
   uint8_t* remote = TargetAddress(target, 8);
 
@@ -745,7 +1057,7 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
     const SimTime t_post = simulator_.now() + config_.nic_post_ns;
     const SimTime t_out =
         compute.tx.ReserveTransfer(t_post, kAtomicRequestBytes);
-    const SimTime t_arrive = t_out + WireLatency();
+    const SimTime t_arrive = t_out + WireLatency() + net.extra_delay;
     server.rx.ReserveArrival(t_arrive - 1, kAtomicRequestBytes);
     t_effect =
         server.engine.ReserveOccupancy(t_arrive, config_.atomic_engine_ns);
@@ -755,14 +1067,24 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
   }
 
   server.atomics++;
+  if (net.kind == NetFaultKind::kDuplicate) {
+    // Forced atomic duplicate (exact fault point only): FAA is NOT
+    // idempotent — the re-execution adds again, and the second effect is
+    // reported to the auditor as its own event so unsanctioned dups are
+    // caught (a duplicated release FAA trips kUnlockWithoutLock).
+    net_duplicates_.Inc();
+    server.atomics++;
+    t_effect =
+        server.engine.ReserveOccupancy(t_effect, config_.atomic_engine_ns);
+  }
   co_await sim::DelayUntil(simulator_, t_effect);
   if (!ClientAlive(client)) {  // verb-atomic drop: no add
     dropped_verbs_.Inc();
-    co_return 0;
+    co_return AtomicResult{};
   }
   if (!ServerVerbExecutes(target.server_id())) {  // target region is gone
     dropped_verbs_.Inc();
-    co_return 0;  // callers disambiguate via ServerAlive
+    co_return AtomicResult{};  // callers disambiguate via ServerAlive
   }
   uint64_t current;
   std::memcpy(&current, remote, 8);
@@ -771,15 +1093,50 @@ sim::Task<uint64_t> Fabric::FetchAndAdd(uint32_t client, RemotePtr target,
   if (auditor_) {
     auditor_->OnFaaEffect(client, target, add, current, simulator_.now());
   }
+  if (net.kind == NetFaultKind::kDuplicate) {
+    uint64_t again;
+    std::memcpy(&again, remote, 8);
+    const uint64_t twice = again + add;
+    std::memcpy(remote, &twice, 8);
+    if (auditor_) {
+      auditor_->OnFaaEffect(client, target, add, again, simulator_.now());
+    }
+  }
+  if (net.kind == NetFaultKind::kDropCompletion) {
+    // The add happened; the pre-image never came back.
+    net_dropped_completions_.Inc();
+    co_await sim::DelayUntil(simulator_,
+                             t_effect + config_.net_verb_timeout_ns);
+    co_return AtomicResult{0, VerbCompletion::kLost};
+  }
   co_await sim::DelayUntil(simulator_, done);
-  co_return current;
+  co_return AtomicResult{current, VerbCompletion::kOk};
 }
 
 sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
                                     RpcRequest request) {
-  const uint32_t attempts =
-      config_.rpc_timeout_ns > 0 ? config_.rpc_max_retries + 1 : 1;
-  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+  // The one RPC resend discipline (satellite of docs/fault_model.md §8):
+  // bounded attempts with a per-attempt deadline. With rpc_timeout_ns unset
+  // but network faults live, the retransmission budget stands in as the
+  // deadline so a lost SEND cannot hang the caller forever. That synthetic
+  // deadline only bounds attempts where a loss was actually drawn — a
+  // delivered request with an intact reply path waits for its response,
+  // however slow the handler (a long scan legitimately exceeds the verb
+  // timeout, and abandoning it would just re-execute it).
+  RetryPolicy policy = RetryPolicy::ForRpc(config_);
+  bool synthetic_deadline = false;
+  if (NetFaultsLive() && policy.timeout_ns == 0) {
+    policy.max_attempts = config_.rpc_max_retries + 1;
+    policy.timeout_ns = config_.net_verb_timeout_ns;
+    synthetic_deadline = true;
+  }
+  // Every retransmission of this logical call carries the same rpc_id; the
+  // server-side dedup layer (AdmitRpc) keys on it so a handler whose reply
+  // was lost is answered from cache instead of re-executed. 0 when network
+  // faults are off (no resends happen, no dedup state accrues).
+  const uint64_t rpc_id = NetFaultsLive() ? next_rpc_id_++ : 0;
+  for (uint32_t attempt = 0; !policy.Exhausted(attempt); ++attempt) {
+    if (attempt > 0) rpc_retry_attempts_.Inc();
     if (!CountVerbAndCheckAlive(client)) {
       dropped_verbs_.Inc();
       co_await sim::Delay(simulator_, config_.nic_post_ns);
@@ -789,6 +1146,17 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     }
     doorbells_.Inc();
     signaled_verbs_.Inc();
+    NetFault net;
+    if (NetFaultsLive()) net = DrawNetFault(client, server_id, false);
+    if (net.kind == NetFaultKind::kDropVerb) {
+      // The request SEND is lost: the handler never sees it, the caller
+      // burns this attempt waiting out the deadline.
+      (net.partitioned ? net_partitioned_drops_ : net_dropped_verbs_).Inc();
+      co_await sim::Delay(simulator_,
+                          config_.nic_post_ns + policy.timeout_ns);
+      continue;
+    }
+    if (net.extra_delay > 0) net_delayed_verbs_.Inc();
     if (!ServerAlive(server_id)) {
       // The connection to a dead server errs out at the posting NIC;
       // retrying cannot help, so fail fast with kUnavailable (also needed
@@ -811,13 +1179,21 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
       ComputeEndpoint& compute = ComputeFor(client);
       const SimTime t_post = simulator_.now() + config_.nic_post_ns;
       const SimTime t_out = compute.tx.ReserveTransfer(t_post, wire_bytes);
-      const SimTime t_arrive = t_out + WireLatency();
+      const SimTime t_arrive = t_out + WireLatency() + net.extra_delay;
       server.rx.ReserveArrival(t_arrive - 1, wire_bytes);
       t_deliver = server.engine.ReserveOccupancy(
           t_arrive, TwoSidedEngineCost(server_id, wire_bytes));
     }
 
     server.sends++;
+    if (net.kind == NetFaultKind::kDuplicate) {
+      // A retransmitted SEND costs the NIC twice but the SRQ's completion
+      // bookkeeping delivers the request to a handler once.
+      net_duplicates_.Inc();
+      server.sends++;
+      t_deliver = server.engine.ReserveOccupancy(
+          t_deliver, TwoSidedEngineCost(server_id, wire_bytes));
+    }
     co_await sim::DelayUntil(simulator_, t_deliver);
     if (!ClientAlive(client)) {  // SEND dropped in flight
       dropped_verbs_.Inc();
@@ -844,15 +1220,29 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     incoming.client_id = client;
     incoming.request = request;  // copied: a timeout resends it
     incoming.call_id = call_id;
+    incoming.rpc_id = rpc_id;
     server.srq->Deliver(std::move(incoming));
     // The delivered request orders everything the caller did so far before
     // the handler's work (two-sided HB edge).
     if (auditor_) auditor_->OnRpcRequest(client, server_id);
 
-    const SimTime deadline = config_.rpc_timeout_ns > 0
-                                 ? simulator_.now() + config_.rpc_timeout_ns
+    const SimTime deadline = policy.timeout_ns > 0
+                                 ? simulator_.now() + policy.timeout_ns
                                  : 0;
-    const bool completed = co_await pending->done.AwaitUntil(deadline);
+    if (net.kind == NetFaultKind::kDropCompletion) {
+      // The handler runs and responds, but the reply SEND is lost on the
+      // wire: the caller waits out the full deadline, abandons the call,
+      // and resends. The resend carries the same rpc_id, so AdmitRpc on
+      // the server answers it from the dedup cache — the handler's effects
+      // apply exactly once even though its reply was ambiguous.
+      net_dropped_completions_.Inc();
+      co_await sim::DelayUntil(simulator_, deadline);
+      pending_calls_.erase(call_id);
+      rpc_timeouts_.Inc();
+      continue;
+    }
+    const bool completed = co_await pending->done.AwaitUntil(
+        synthetic_deadline ? 0 : deadline);
     if (!completed) {
       // Abandon the call: the registry entry dies here, so a handler that
       // responds later finds nothing (never a dangling caller frame).
@@ -873,13 +1263,47 @@ sim::Task<RpcResponse> Fabric::Call(uint32_t client, uint32_t server_id,
     }
     co_return response;
   }
+  rpc_retry_exhausted_.Inc();
   RpcResponse timed_out;
   timed_out.status = static_cast<uint16_t>(StatusCode::kTimedOut);
   co_return timed_out;
 }
 
+bool Fabric::AdmitRpc(uint32_t server_id, const IncomingRpc& rpc) {
+  if (rpc.rpc_id == 0) return true;  // network faults off: no resends exist
+  auto [it, inserted] = rpc_dedup_.try_emplace(rpc.rpc_id);
+  if (inserted) return true;  // first delivery: run the handler
+  RpcDedupEntry& entry = it->second;
+  rpc_dedup_hits_.Inc();
+  if (entry.done) {
+    // Already executed, reply was lost: retransmit the cached response
+    // (paying the reply send costs again) without re-running the handler.
+    Respond(server_id, rpc, entry.response);
+  } else {
+    // The original delivery is still in a handler. Park this duplicate;
+    // Respond answers it from the cache the moment the original replies.
+    entry.waiters.push_back(rpc);
+  }
+  return false;
+}
+
 void Fabric::Respond(uint32_t server_id, const IncomingRpc& incoming,
                      RpcResponse response) {
+  if (incoming.rpc_id != 0) {
+    auto it = rpc_dedup_.find(incoming.rpc_id);
+    if (it != rpc_dedup_.end() && !it->second.done) {
+      // First reply for this rpc_id: cache it for retransmissions, then
+      // answer every duplicate that arrived while the handler ran. The
+      // recursive Respond calls see done == true and skip this block.
+      it->second.done = true;
+      it->second.response = response;
+      std::vector<IncomingRpc> waiters = std::move(it->second.waiters);
+      it->second.waiters.clear();
+      for (const IncomingRpc& w : waiters) {
+        Respond(server_id, w, it->second.response);
+      }
+    }
+  }
   if (!ServerAlive(server_id)) {
     // A handler racing its own server's death: the dead NIC sends
     // nothing. The caller was (or will be) failed by the death fallout.

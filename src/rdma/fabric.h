@@ -6,6 +6,7 @@
 #include <memory>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -28,6 +29,33 @@ namespace namtree::rdma {
 struct EpochReadResult {
   Status status;
   bool alive = true;
+};
+
+/// How a posted verb completed from the initiating client's point of view.
+/// kOk = the completion arrived (the memory effect, if any, is visible).
+/// kLost = no completion within the retransmission budget: either the verb
+/// never executed (dropped before the NIC) or it executed and only the
+/// acknowledgement was lost — the caller cannot tell which and must resolve
+/// the ambiguity by protocol (docs/fault_model.md §8). Only a flaky-network
+/// fault domain produces kLost; lossless runs always see kOk.
+enum class VerbCompletion : uint8_t { kOk, kLost };
+
+/// Completion + previous value of an RDMA atomic (CAS / FETCH_AND_ADD).
+/// `value` is meaningful only when ok(): a lost atomic completion delivers
+/// no pre-image, which is exactly the ambiguity the client must resolve by
+/// reading the word back. Default-constructible for coroutine payloads.
+struct AtomicResult {
+  uint64_t value = 0;
+  VerbCompletion completion = VerbCompletion::kOk;
+  bool ok() const { return completion == VerbCompletion::kOk; }
+};
+
+/// Outcome of Fabric::CombinedRead: whether the request attached to an
+/// in-flight READ, and how the underlying verb completed.
+struct CombinedReadResult {
+  bool combined = false;
+  VerbCompletion completion = VerbCompletion::kOk;
+  bool ok() const { return completion == VerbCompletion::kOk; }
 };
 
 /// The simulated RDMA network connecting compute clients to memory servers.
@@ -133,6 +161,36 @@ class Fabric {
     return server_verbs_executed_[server];
   }
 
+  // ---- Network fault domain (flaky fabric) --------------------------------
+
+  /// Severs the (client, server) link from `at_time` (0 or past =
+  /// immediately) until HealLink: every verb the client posts at that
+  /// server is dropped before its memory effect and its completion never
+  /// arrives (kLost after the retransmission budget). Both endpoints stay
+  /// alive — this is a partial partition, not a crash.
+  void PartitionLink(uint32_t client, uint32_t server, SimTime at_time = 0);
+
+  /// Severs several links at once (each pair is {client, server}).
+  void PartitionLinks(
+      const std::vector<std::pair<uint32_t, uint32_t>>& links,
+      SimTime at_time = 0);
+
+  /// Restores a severed link immediately.
+  void HealLink(uint32_t client, uint32_t server);
+
+  /// True when the (client, server) link is severed at the current virtual
+  /// time.
+  bool LinkPartitioned(uint32_t client, uint32_t server) const;
+
+  /// True once any network-fault source can still fire: configured
+  /// probabilities / fault points, or at least one severed link. Client
+  /// protocols consult this to decide whether ambiguity bookkeeping (e.g.
+  /// the allocation-cursor pre-read) is worth a round trip — knobs-off
+  /// runs must stay verb-for-verb identical.
+  bool NetFaultsLive() const {
+    return net_faults_configured_ || !partitioned_links_.empty();
+  }
+
   // ---- Replication ---------------------------------------------------------
 
   /// Effective replication degree: FabricConfig::replication_factor clamped
@@ -178,9 +236,11 @@ class Fabric {
 
   // ---- One-sided verbs ----------------------------------------------------
 
-  /// RDMA READ: copies `len` bytes from remote memory into `dst`.
-  sim::Task<void> Read(uint32_t client, RemotePtr src, void* dst,
-                       uint32_t len);
+  /// RDMA READ: copies `len` bytes from remote memory into `dst`. Returns
+  /// kLost when a network fault swallowed the verb or its completion (the
+  /// buffer is then unspecified); always kOk on a lossless fabric.
+  sim::Task<VerbCompletion> Read(uint32_t client, RemotePtr src, void* dst,
+                                 uint32_t len);
 
   /// READ with in-flight combining (FabricConfig::read_combining): if this
   /// client already has an identical (src, len) READ outstanding, attach
@@ -195,9 +255,10 @@ class Fabric {
   /// the OLC staleness argument (validate version, chase right) covers it.
   /// Failure symmetry: if the verb was dropped (dead client or server) the
   /// waiter's buffer is as unspecified as the poster's, and both re-check
-  /// liveness after resuming.
-  sim::Task<bool> CombinedRead(uint32_t client, RemotePtr src, void* dst,
-                               uint32_t len);
+  /// liveness after resuming. A combined waiter inherits the primary
+  /// verb's completion outcome.
+  sim::Task<CombinedReadResult> CombinedRead(uint32_t client, RemotePtr src,
+                                             void* dst, uint32_t len);
 
   struct ReadRequest {
     RemotePtr src;
@@ -267,27 +328,35 @@ class Fabric {
   /// a WRITE or CAS, members take effect strictly in posting order — the
   /// initiating NIC streams the WQEs sequentially — which is what makes
   /// the {page WRITE, unlock WRITE} and split chains safe to combine.
-  /// Completes when the signaled tail's response has arrived.
-  sim::Task<void> PostChain(uint32_t client, std::vector<ChainOp> ops);
+  /// Completes when the signaled tail's response has arrived. Under
+  /// network faults a chain member can be dropped individually; the first
+  /// dropped member also kills the not-yet-executed tail (the NIC stops
+  /// streaming WQEs past a faulted one), and the chain completes kLost.
+  sim::Task<VerbCompletion> PostChain(uint32_t client,
+                                      std::vector<ChainOp> ops);
 
   /// Selectively-signaled batch of READs (head-node prefetch, §4.3): a
   /// READ-only PostChain. Completes when the last read has arrived.
-  sim::Task<void> ReadBatch(uint32_t client,
-                            std::vector<ReadRequest> requests);
+  sim::Task<VerbCompletion> ReadBatch(uint32_t client,
+                                      std::vector<ReadRequest> requests);
 
-  /// RDMA WRITE: copies `len` bytes from `src` into remote memory.
-  sim::Task<void> Write(uint32_t client, RemotePtr dst, const void* src,
-                        uint32_t len);
+  /// RDMA WRITE: copies `len` bytes from `src` into remote memory. kLost
+  /// when a network fault swallowed the verb or its completion; the bytes
+  /// may or may not have landed (idempotent re-post is safe).
+  sim::Task<VerbCompletion> Write(uint32_t client, RemotePtr dst,
+                                  const void* src, uint32_t len);
 
-  /// RDMA compare-and-swap on an 8-byte remote word. Returns the previous
-  /// value (equal to `expected` iff the swap happened).
-  sim::Task<uint64_t> CompareAndSwap(uint32_t client, RemotePtr target,
-                                     uint64_t expected, uint64_t desired);
+  /// RDMA compare-and-swap on an 8-byte remote word. On kOk, `value` is
+  /// the previous value (equal to `expected` iff the swap happened). On
+  /// kLost the swap may or may not have executed — resolve by reading the
+  /// word back (the holder stamp / version tells which).
+  sim::Task<AtomicResult> CompareAndSwap(uint32_t client, RemotePtr target,
+                                         uint64_t expected, uint64_t desired);
 
-  /// RDMA fetch-and-add on an 8-byte remote word. Returns the previous
-  /// value.
-  sim::Task<uint64_t> FetchAndAdd(uint32_t client, RemotePtr target,
-                                  uint64_t add);
+  /// RDMA fetch-and-add on an 8-byte remote word. On kOk, `value` is the
+  /// previous value. On kLost the add may or may not have executed.
+  sim::Task<AtomicResult> FetchAndAdd(uint32_t client, RemotePtr target,
+                                      uint64_t add);
 
   // ---- Two-sided verbs (RPC) ----------------------------------------------
 
@@ -305,6 +374,16 @@ class Fabric {
   /// send costs but is dropped.
   void Respond(uint32_t server, const IncomingRpc& incoming,
                RpcResponse response);
+
+  /// Server-side exactly-once admission, called by a worker before invoking
+  /// the handler for `rpc`. Returns true when the handler should execute.
+  /// Returns false for a retransmission of a request that already executed
+  /// (the cached response is resent without re-running the handler) or that
+  /// is still executing (the duplicate is parked and answered when the
+  /// original responds). Handlers mutate index state, so this layer — not
+  /// handler idempotence — is what makes the Call resend discipline safe.
+  /// No-op (always true) when network faults are off: rpc_id is 0 then.
+  bool AdmitRpc(uint32_t server, const IncomingRpc& rpc);
 
   // ---- Verb-protocol audit ------------------------------------------------
 
@@ -341,6 +420,20 @@ class Fabric {
   ///                            the call (never reset)
   ///   fabric.rpc_timeouts      RPC attempts abandoned at the deadline
   ///                            (never reset)
+  ///   fabric.net.dropped_verbs        verbs lost before the target NIC
+  ///                                   (no memory effect; never reset)
+  ///   fabric.net.dropped_completions  verbs whose effect applied but whose
+  ///                                   acknowledgement was lost (never reset)
+  ///   fabric.net.duplicates           verbs re-executed at the NIC (never
+  ///                                   reset)
+  ///   fabric.net.delayed_verbs        verbs stretched by delay jitter
+  ///                                   (never reset)
+  ///   fabric.net.partitioned_drops    verbs dropped on a severed link
+  ///                                   (never reset)
+  ///   retry.attempts{domain}   re-attempts after a failed try, by retry
+  ///                            domain (rpc here; lock/verb/steal are
+  ///                            registered by ClientContext; never reset)
+  ///   retry.exhausted{domain}  retry budgets used up (never reset)
   ///   server.bytes{server}     per-server tx+rx bytes since last reset
   metrics::MetricRegistry& metrics() { return metrics_; }
   const metrics::MetricRegistry& metrics() const { return metrics_; }
@@ -455,6 +548,30 @@ class Fabric {
   /// runs stay bit-identical.
   bool ServerVerbExecutes(uint32_t server);
 
+  /// What the network does to one verb on the (client, server) link.
+  enum class NetFaultKind : uint8_t {
+    kNone,
+    kDropVerb,        ///< lost before the NIC: no effect, no completion
+    kDropCompletion,  ///< effect applied, acknowledgement lost
+    kDuplicate,       ///< executed twice at the NIC
+  };
+  struct NetFault {
+    NetFaultKind kind = NetFaultKind::kNone;
+    SimTime extra_delay = 0;    ///< additive delay-jitter draw
+    bool partitioned = false;   ///< drop caused by a severed link
+  };
+
+  /// Decides the network's treatment of the verb `client` just posted at
+  /// `server`. Called once per posted verb (chains: once per member), but
+  /// only when `net_faults_live_` — knobs-off runs never reach the RNG.
+  /// Exact verb_fault_points (matched against the post-order verb counter,
+  /// consumed once) take precedence; a severed link forces kDropVerb; then
+  /// the link's probabilistic knobs draw from `net_rng_`. Random dup draws
+  /// skip atomics when `is_atomic` (RC NICs answer retransmitted atomics
+  /// from the response cache — exactly-once); only an exact fault point
+  /// can force an atomic duplicate.
+  NetFault DrawNetFault(uint32_t client, uint32_t server, bool is_atomic);
+
   uint64_t region_capacity(uint32_t server) const {
     return memory_servers_[server].region->capacity();
   }
@@ -488,8 +605,32 @@ class Fabric {
   std::vector<uint64_t> server_verbs_executed_;
   std::unordered_map<uint32_t, uint64_t> server_crash_after_;
   uint32_t replication_ = 1;
+  // Network fault domain: cached enablement, dedicated RNG (seeded from
+  // net_fault_seed; drawn only when faults are live), per-link overrides,
+  // severed links (value = partition start time), and one consumed flag
+  // per configured exact fault point.
+  bool net_faults_configured_ = false;
+  Rng net_rng_{0x51ED270Bu};
+  std::map<std::pair<uint32_t, uint32_t>, FabricConfig::LinkFault>
+      link_fault_overrides_;
+  std::map<std::pair<uint32_t, uint32_t>, SimTime> partitioned_links_;
+  std::vector<bool> verb_fault_consumed_;
   std::unordered_map<uint64_t, std::unique_ptr<PendingCall>> pending_calls_;
   uint64_t next_call_id_ = 1;
+  /// Exactly-once bookkeeping for two-sided calls under network faults. An
+  /// entry is created when the first delivery of an rpc_id is admitted and
+  /// holds the cached response once the handler replied; duplicates that
+  /// arrive while the original is still executing park in `waiters` and are
+  /// answered from the cache when it responds. Only populated while
+  /// NetFaultsLive() (rpc_id stays 0 otherwise), so knobs-off runs never
+  /// touch it.
+  struct RpcDedupEntry {
+    bool done = false;
+    RpcResponse response;
+    std::vector<IncomingRpc> waiters;
+  };
+  std::unordered_map<uint64_t, RpcDedupEntry> rpc_dedup_;
+  uint64_t next_rpc_id_ = 1;
   /// Doorbell-chain ids handed to the auditor so a race report can name the
   /// chain both verbs rode in (0 = standalone verb).
   uint64_t next_chain_id_ = 1;
@@ -502,6 +643,8 @@ class Fabric {
     explicit PendingRead(sim::Simulator& simulator) : done(simulator) {}
     std::vector<uint8_t> data;
     sim::SimEvent done;
+    /// Completion outcome of the primary verb, inherited by every waiter.
+    VerbCompletion completion = VerbCompletion::kOk;
   };
   std::map<std::tuple<uint32_t, uint64_t, uint32_t>,
            std::shared_ptr<PendingRead>>
@@ -516,6 +659,17 @@ class Fabric {
   metrics::Counter signaled_verbs_;
   metrics::Counter unsignaled_verbs_;
   metrics::Counter doorbells_;
+  // Network-fault event families (never reset).
+  metrics::Counter net_dropped_verbs_;
+  metrics::Counter net_dropped_completions_;
+  metrics::Counter net_duplicates_;
+  metrics::Counter net_delayed_verbs_;
+  metrics::Counter net_partitioned_drops_;
+  metrics::Counter rpc_dedup_hits_;
+  // RPC retry discipline (domain=rpc cells of the shared retry.* families;
+  // ClientContext registers the lock/verb/steal cells).
+  metrics::Counter rpc_retry_attempts_;
+  metrics::Counter rpc_retry_exhausted_;
 };
 
 }  // namespace namtree::rdma

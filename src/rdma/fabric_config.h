@@ -1,6 +1,7 @@
 #ifndef NAMTREE_RDMA_FABRIC_CONFIG_H_
 #define NAMTREE_RDMA_FABRIC_CONFIG_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -159,6 +160,69 @@ struct FabricConfig {
   /// find the primary's server dead promote the next live replica.
   uint32_t replication_factor = 1;
 
+  // ---- Network fault injection (flaky fabric, docs/fault_model.md §8) -----
+  /// Fleet-wide per-verb fault probabilities, applied to every
+  /// (client, server) link that has no explicit `link_faults` override.
+  /// A *dropped verb* never reaches the target NIC: no memory effect, the
+  /// caller observes a lost completion. A *dropped completion* executes the
+  /// memory effect but loses the acknowledgement — the ambiguity case the
+  /// client must resolve by reading back protocol state. Duplication
+  /// re-executes the verb at the NIC (retransmission after a lost ACK):
+  /// harmless for READ and byte-idempotent WRITE, observable for atomics.
+  /// All zero (default) = lossless fabric, bit-identical to pre-fault runs.
+  double drop_prob = 0;
+  double dup_prob = 0;
+  /// Extra seed-deterministic delay in [0, delay_jitter_ns] added to a
+  /// verb's wire traversal (delay spikes; distinct from `latency_jitter`,
+  /// which stretches multiplicatively and draws from `jitter_seed`).
+  SimTime delay_jitter_ns = 0;
+  /// Seed of the dedicated network-fault RNG. Drawn only when fault
+  /// injection is live, so knobs-off runs consume no randomness.
+  uint64_t net_fault_seed = 0x51ED270Bu;
+  /// How long a client waits on a verb whose completion never arrives
+  /// before treating it as lost (RC retransmission budget). Only consulted
+  /// when network faults are enabled.
+  SimTime net_verb_timeout_ns = 50 * kMicrosecond;
+
+  /// Per-(client, server) link override of the fleet-wide probabilities.
+  struct LinkFault {
+    uint32_t client = 0;
+    uint32_t server = 0;
+    double drop_prob = 0;
+    double dup_prob = 0;
+    SimTime delay_jitter_ns = 0;
+  };
+  std::vector<LinkFault> link_faults;
+
+  /// Exact deterministic fault point: fault the verb that `client` posts
+  /// once it has issued `after_verb` verbs (same post-order counter as
+  /// CrashPoint::after_verbs). Exact points fire regardless of the
+  /// probabilistic knobs and are consumed once each.
+  struct VerbFaultPoint {
+    enum class Kind : uint8_t {
+      kDropVerb,        ///< verb lost before the NIC: no memory effect
+      kDropCompletion,  ///< effect applied, acknowledgement lost
+      kDuplicate,       ///< verb executed twice at the target NIC
+    };
+    uint32_t client = 0;
+    // namtree-lint: metric-ok(a configured threshold, not an event count)
+    uint64_t after_verb = 0;
+    Kind kind = Kind::kDropVerb;
+  };
+  std::vector<VerbFaultPoint> verb_fault_points;
+
+  /// True once any network-fault source is configured; gates every fault
+  /// branch and RNG draw so knobs-off runs stay bit-identical.
+  bool NetFaultsConfigured() const {
+    if (drop_prob > 0 || dup_prob > 0 || delay_jitter_ns > 0) return true;
+    if (!verb_fault_points.empty()) return true;
+    for (const LinkFault& lf : link_faults) {
+      if (lf.drop_prob > 0 || lf.dup_prob > 0 || lf.delay_jitter_ns > 0)
+        return true;
+    }
+    return false;
+  }
+
   // ---- Client-side protocol knobs ----------------------------------------
   /// Doorbell-batched verb chains (Fabric::PostChain) on the hot write
   /// paths: WriteUnlockPage collapses {page WRITE, unlock WRITE} into one
@@ -210,6 +274,91 @@ struct FabricConfig {
   bool CrossesQpi(uint32_t s) const {
     return memory_servers_per_machine > 1 &&
            (s % memory_servers_per_machine) != 0;
+  }
+};
+
+/// One bounded-retry discipline for every client-side loop that re-attempts
+/// remote work: lock re-polls, RPC resends, dead-holder steal probes, and
+/// lost-verb retries under network faults. Attempt rounds are numbered from
+/// 0; BackoffFor(round, rng) reproduces the capped exponential backoff with
+/// jitter that the lock spin loop has always used (same RNG draw shape, so
+/// adopting the policy is bit-identical for existing paths).
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1). Exhaustion surfaces as
+  /// kTimedOut through the caller's status path.
+  uint32_t max_attempts = 1;
+  /// Backoff before attempt `round + 1`: base << round, jittered into
+  /// [base/2, base), capped at max(base_backoff_ns, max_backoff_ns).
+  /// 0 = retry immediately (the RPC resend discipline).
+  SimTime base_backoff_ns = 0;
+  SimTime max_backoff_ns = 0;
+  /// Per-attempt deadline (0 = wait forever on each attempt).
+  SimTime timeout_ns = 0;
+
+  /// True once `attempts` completed attempts have used up the budget
+  /// (max_attempts == 0 never exhausts).
+  bool Exhausted(uint32_t attempts) const {
+    return max_attempts != 0 && attempts >= max_attempts;
+  }
+
+  /// Capped exponential backoff with jitter for retry round `round`
+  /// (0-based). `rng` needs NextDouble() in [0, 1). Always consumes exactly
+  /// one draw — the historical spin loop did, and adopting the policy must
+  /// not shift any client's RNG stream.
+  template <typename Rng>
+  SimTime BackoffFor(uint32_t round, Rng& rng) const {
+    const uint64_t cap =
+        std::max<uint64_t>(base_backoff_ns, max_backoff_ns);
+    uint64_t base = static_cast<uint64_t>(base_backoff_ns)
+                    << std::min<uint32_t>(round, 16);
+    base = std::min(std::max<uint64_t>(base, 1), cap);
+    const uint64_t half = base / 2;
+    return static_cast<SimTime>(
+        half + static_cast<uint64_t>(rng.NextDouble() *
+                                     static_cast<double>(base - half)));
+  }
+
+  /// The remote-spinlock discipline: unbounded historically; bounded here
+  /// by a generous attempt budget so a flaky link cannot wedge a descent.
+  static RetryPolicy ForLocks(const FabricConfig& cfg) {
+    RetryPolicy p;
+    p.max_attempts = 0;  // 0 = unbounded spin (legacy lock behavior)
+    p.base_backoff_ns = cfg.lock_retry_ns;
+    p.max_backoff_ns = cfg.lock_backoff_max_ns;
+    return p;
+  }
+  /// The RPC resend discipline: rpc_max_retries resends after the first
+  /// attempt, no inter-attempt sleep, per-attempt deadline rpc_timeout_ns.
+  static RetryPolicy ForRpc(const FabricConfig& cfg) {
+    RetryPolicy p;
+    p.max_attempts = cfg.rpc_timeout_ns > 0 ? cfg.rpc_max_retries + 1 : 1;
+    p.timeout_ns = cfg.rpc_timeout_ns;
+    return p;
+  }
+  /// The dead-holder steal-probe discipline: the liveness registry may be
+  /// temporarily unreachable, so probes are bounded by the RPC retry knob
+  /// (the historical `failed_probes > rpc_max_retries` bound), independent
+  /// of the RPC deadline knob.
+  static RetryPolicy ForSteal(const FabricConfig& cfg) {
+    RetryPolicy p;
+    p.max_attempts = cfg.rpc_max_retries + 1;
+    return p;
+  }
+  /// Lost-verb attempt budget under network faults (ForVerbs, and
+  /// RemoteOps::VerbPolicy when only runtime fault state — severed links —
+  /// makes the fabric lossy).
+  static constexpr uint32_t kNetVerbAttempts = 8;
+
+  /// Lost one-sided verbs under network faults: bounded re-post with the
+  /// lock backoff curve (shares the knobs; faults and locks contend on the
+  /// same links).
+  static RetryPolicy ForVerbs(const FabricConfig& cfg) {
+    RetryPolicy p;
+    p.max_attempts = cfg.NetFaultsConfigured() ? kNetVerbAttempts : 1;
+    p.base_backoff_ns = cfg.lock_retry_ns;
+    p.max_backoff_ns = cfg.lock_backoff_max_ns;
+    p.timeout_ns = cfg.net_verb_timeout_ns;
+    return p;
   }
 };
 

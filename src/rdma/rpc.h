@@ -68,6 +68,12 @@ struct IncomingRpc {
   uint32_t client_id = 0;
   RpcRequest request;
   uint64_t call_id = 0;
+  /// Resend-stable id: every retransmission of one logical Call carries the
+  /// same rpc_id (unlike call_id, which is per-attempt). The server-side
+  /// dedup layer keys on it so a handler whose reply was lost is not
+  /// re-executed by the resend (handlers are NOT idempotent). 0 = no dedup
+  /// (network faults off). Envelope-only: not part of WireBytes.
+  uint64_t rpc_id = 0;
 };
 
 /// Shared receive queue (SRQ): the single request queue all clients of a

@@ -73,7 +73,10 @@ sim::Task<> ClientLoop(nam::Cluster& cluster, DistributedIndex& index,
         break;
       }
       case OpType::kRange: {
-        (void)co_await index.Scan(ctx, op.key, op.hi, nullptr);
+        // A truncated scan reports how it degraded (kUnavailable vs
+        // kTimedOut) so the FailureBreakdown attributes it correctly.
+        (void)co_await index.Scan(ctx, op.key, op.hi, nullptr,
+                                  &op_result.status);
         break;
       }
       case OpType::kInsert: {
@@ -148,9 +151,11 @@ sim::Task<> BatchedClientLoop(nam::Cluster& cluster, DistributedIndex& index,
     }
     if (have_range) {
       const SimTime start = simulator.now();
-      (void)co_await index.Scan(ctx, range_op.key, range_op.hi, nullptr);
+      Status scan_status;
+      (void)co_await index.Scan(ctx, range_op.key, range_op.hi, nullptr,
+                                &scan_status);
       const SimTime end = simulator.now();
-      Account(state, OpType::kRange, Status::OK(), start, end);
+      Account(state, OpType::kRange, scan_status, start, end);
     }
   }
 }
@@ -199,7 +204,8 @@ sim::Task<> MultiGetClientLoop(nam::Cluster& cluster, DistributedIndex& index,
       Status status;
       switch (other_op.type) {
         case OpType::kRange:
-          (void)co_await index.Scan(ctx, other_op.key, other_op.hi, nullptr);
+          (void)co_await index.Scan(ctx, other_op.key, other_op.hi, nullptr,
+                                    &status);
           break;
         case OpType::kInsert:
           status = co_await index.Insert(ctx, other_op.key, other_op.value);

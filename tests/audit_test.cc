@@ -41,8 +41,10 @@ struct Rig {
   /// word, WRITE back the locked image, FAA(+1) to release. Afterwards the
   /// word is tracked by the auditor.
   Task<> CleanCycle(uint32_t client, uint64_t payload) {
-    const uint64_t version = co_await fabric().CompareAndSwap(
-        client, page, expected_version_, expected_version_ | 1);
+    const uint64_t version =
+        (co_await fabric().CompareAndSwap(client, page, expected_version_,
+                                          expected_version_ | 1))
+            .value;
     EXPECT_EQ(version, expected_version_) << "unexpected lock contention";
     std::vector<uint8_t> image(kPage, 0);
     const uint64_t locked = expected_version_ | 1;
@@ -206,7 +208,7 @@ Task<> ChainedCycle(Fabric& fabric, RemotePtr page, uint32_t client,
                     uint64_t version, uint64_t payload) {
   const uint64_t locked = btree::MakeLockedWord(version, client);
   const uint64_t observed =
-      co_await fabric.CompareAndSwap(client, page, version, locked);
+      (co_await fabric.CompareAndSwap(client, page, version, locked)).value;
   EXPECT_EQ(observed, version) << "unexpected lock contention";
   std::vector<uint8_t> image(kPage, 0);
   std::memcpy(image.data(), &locked, 8);

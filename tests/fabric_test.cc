@@ -93,9 +93,9 @@ TEST(FabricTest, WriteThenReadRoundTrips) {
 }
 
 Task<> DoCas(Fabric& fabric, RemotePtr ptr, std::vector<uint64_t>* results) {
-  results->push_back(co_await fabric.CompareAndSwap(0, ptr, 0, 111));
-  results->push_back(co_await fabric.CompareAndSwap(0, ptr, 0, 222));
-  results->push_back(co_await fabric.CompareAndSwap(0, ptr, 111, 333));
+  results->push_back((co_await fabric.CompareAndSwap(0, ptr, 0, 111)).value);
+  results->push_back((co_await fabric.CompareAndSwap(0, ptr, 0, 222)).value);
+  results->push_back((co_await fabric.CompareAndSwap(0, ptr, 111, 333)).value);
 }
 
 TEST(FabricTest, CompareAndSwapSemantics) {
@@ -134,7 +134,8 @@ Task<> RemoteAlloc(Fabric& fabric, uint32_t client, uint32_t server,
                    uint64_t bytes, std::vector<uint64_t>* offsets) {
   RemotePtr cursor =
       RemotePtr::Make(server, MemoryRegion::kAllocCursorOffset);
-  const uint64_t offset = co_await fabric.FetchAndAdd(client, cursor, bytes);
+  const uint64_t offset =
+      (co_await fabric.FetchAndAdd(client, cursor, bytes)).value;
   offsets->push_back(offset);
 }
 

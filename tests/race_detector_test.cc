@@ -47,8 +47,10 @@ struct Rig {
   /// teaches the auditor the word and (via the full-page write) its page
   /// extent.
   Task<> CleanCycle(uint32_t client, uint64_t payload) {
-    const uint64_t version = co_await fabric().CompareAndSwap(
-        client, page, expected_version_, expected_version_ | 1);
+    const uint64_t version =
+        (co_await fabric().CompareAndSwap(client, page, expected_version_,
+                                          expected_version_ | 1))
+            .value;
     EXPECT_EQ(version, expected_version_) << "unexpected lock contention";
     std::vector<uint8_t> image(kPage, 0);
     const uint64_t locked = expected_version_ | 1;
@@ -241,7 +243,7 @@ TEST(RaceDetectorTest, RepeatedViolationsDeduplicate) {
 
 Task<> DoubleUnlockCycle(Fabric& fabric, uint32_t client, RemotePtr word) {
   const uint64_t observed =
-      co_await fabric.CompareAndSwap(client, word, 0, 1);
+      (co_await fabric.CompareAndSwap(client, word, 0, 1)).value;
   EXPECT_EQ(observed, 0u);
   (void)co_await fabric.FetchAndAdd(client, word, 1);  // release: word = 2
   (void)co_await fabric.FetchAndAdd(client, word, 1);  // double unlock
@@ -276,7 +278,7 @@ Task<> ChainedCycle(Fabric& fabric, RemotePtr page, uint32_t client,
                     uint64_t version, uint64_t payload) {
   const uint64_t locked = btree::MakeLockedWord(version, client);
   const uint64_t observed =
-      co_await fabric.CompareAndSwap(client, page, version, locked);
+      (co_await fabric.CompareAndSwap(client, page, version, locked)).value;
   EXPECT_EQ(observed, version) << "unexpected lock contention";
   std::vector<uint8_t> image(kPage, 0);
   std::memcpy(image.data(), &locked, 8);

@@ -431,7 +431,8 @@ TEST(ReadCombiningTest, ConcurrentLanesShareOneVerb) {
     static Task<> Go(rdma::Fabric& fabric, rdma::RemotePtr ptr,
                      uint64_t* out, bool* combined) {
       std::vector<uint8_t> buf(64, 0);
-      *combined = co_await fabric.CombinedRead(0, ptr, buf.data(), 64);
+      *combined =
+          (co_await fabric.CombinedRead(0, ptr, buf.data(), 64)).combined;
       std::memcpy(out, buf.data(), 8);
     }
   };
@@ -472,7 +473,7 @@ TEST(ReadCombiningTest, DisabledKnobIsPassThrough) {
                      uint64_t* out) {
       std::vector<uint8_t> buf(64, 0);
       const bool combined =
-          co_await fabric.CombinedRead(0, ptr, buf.data(), 64);
+          (co_await fabric.CombinedRead(0, ptr, buf.data(), 64)).combined;
       EXPECT_FALSE(combined);
       std::memcpy(out, buf.data(), 8);
     }

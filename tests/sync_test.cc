@@ -226,8 +226,8 @@ TEST(FabricOrderingTest, WriteVisibleBeforeUnlockFaa) {
 
 Task<> RacingCas(Fabric& fabric, uint32_t client, RemotePtr word,
                  uint64_t desired, uint64_t* wins) {
-  const uint64_t old = co_await fabric.CompareAndSwap(client, word, 0,
-                                                      desired);
+  const uint64_t old =
+      (co_await fabric.CompareAndSwap(client, word, 0, desired)).value;
   if (old == 0) (*wins)++;
 }
 
